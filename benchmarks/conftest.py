@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables/figures
+and prints it.  By default the representative QUICK_SET (15 of the 41
+benchmarks) is swept so `pytest benchmarks/ --benchmark-only` finishes in
+minutes; set ``REPRO_FULL=1`` to sweep all 41 (as ``results/run_all.py``
+does — its full-suite outputs are committed under ``results/``).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def _quick():
+    return not os.environ.get("REPRO_FULL")
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(quick=_quick(), repetitions=1)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

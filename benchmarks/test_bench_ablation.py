@@ -1,0 +1,42 @@
+"""Ablation (DESIGN.md / paper §5 future work): what does a Wasm-tailored
+pipeline buy over the stock LLVM -O2 pipeline?
+
+Three configurations per benchmark:
+* ``O2``    — the stock pipeline (vectorize + remat, tuned for x86);
+* ``Oz``    — the accidental winner the paper found;
+* ``Owasm`` — the extension pipeline: Oz's pass set plus Binaryen-style
+  peephole and address strength reduction in the backend.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table, geomean
+
+
+def _sweep(ctx):
+    runner = ctx.runner()
+    rows = []
+    ratios = {"Oz": [], "Owasm": []}
+    for benchmark in ctx.benchmarks():
+        times = {}
+        for level in ("O2", "Oz", "Owasm"):
+            artifact = ctx.wasm(benchmark, "M", level)
+            times[level] = runner.run_wasm(artifact).time_ms
+        for level in ("Oz", "Owasm"):
+            ratios[level].append(times[level] / times["O2"])
+        rows.append([benchmark.name, times["O2"], times["Oz"],
+                     times["Owasm"]])
+    text = format_table(["benchmark", "O2 ms", "Oz ms", "Owasm ms"], rows,
+                        title="Ablation: Wasm-tailored pipeline vs stock")
+    return {"ratios": ratios, "text": text}
+
+
+def test_bench_tailored_pipeline(benchmark, ctx):
+    result = run_once(benchmark, lambda: _sweep(ctx))
+    oz = geomean(result["ratios"]["Oz"])
+    owasm = geomean(result["ratios"]["Owasm"])
+    print()
+    print(result["text"])
+    print(f"\nGeomean vs -O2: Oz {oz:.3f}, Owasm {owasm:.3f} "
+          "(the tailored pipeline should at least match Oz)")
+    assert owasm <= oz * 1.02
+    assert owasm < 1.0

@@ -1,0 +1,13 @@
+"""E3 (§4.2.2): Cheerp vs Emscripten."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import compare_cheerp_emscripten
+
+
+def test_bench_cheerp_vs_emscripten(benchmark, ctx):
+    result = run_once(benchmark, lambda: compare_cheerp_emscripten(ctx))
+    print()
+    print(result["text"])
+    # Paper: Emscripten 2.70x faster, 6.02x more memory.
+    assert result["summary"]["speedup_gmean"] > 1.1
+    assert result["summary"]["memory_gmean"] > 2.0

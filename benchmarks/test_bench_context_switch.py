@@ -1,0 +1,12 @@
+"""E9 (§4.5): JS↔Wasm context-switch overhead micro-benchmark."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import context_switch_overhead
+
+
+def test_bench_context_switch(benchmark, ctx):
+    result = run_once(benchmark, lambda: context_switch_overhead())
+    print()
+    print(result["text"])
+    # Paper: Firefox spends only ~0.13x of Chrome's time.
+    assert result["data"]["firefox"]["vs_chrome"] < 0.3

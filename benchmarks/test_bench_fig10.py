@@ -1,0 +1,15 @@
+"""E6: Fig. 10 — JIT improvement for JS vs Wasm."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10_jit_improvement
+
+
+def test_bench_jit_improvement(benchmark, ctx):
+    result = run_once(benchmark, lambda: figure10_jit_improvement(ctx))
+    print()
+    print(result["text"])
+    js = [e["improvement"] for e in result["data"]["js"].values()]
+    wasm = [e["improvement"] for e in result["data"]["wasm"].values()]
+    # Paper: JS gains are large, Wasm ratios "mostly near 1".
+    assert max(js) > 3.0
+    assert sum(v > 2.0 for v in wasm) == 0

@@ -1,0 +1,17 @@
+"""E12: Fig. 11 — five-number summaries of the optimization-level data."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure11_five_number
+
+
+def test_bench_five_number(benchmark, ctx):
+    result = run_once(benchmark, lambda: figure11_five_number(ctx))
+    print()
+    print(result["text"])
+    data = result["data"]
+    # Paper (Appendix B): x86 O1/O2 and Oz/O2 execution-time medians sit
+    # above 1; code-size spreads are tight.
+    assert data[("x86", "time", "O1/O2")].median > 1.0
+    assert data[("x86", "time", "Oz/O2")].median > 1.0
+    wasm_cs = data[("WASM", "code_size", "Oz/O2")]
+    assert wasm_cs.maximum - wasm_cs.minimum < 0.5

@@ -1,0 +1,17 @@
+"""E2: Fig. 6 — optimization levels on the x86 control toolchain."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import geomean
+from repro.experiments import figure6_opt_levels_x86
+
+
+def test_bench_fig6(benchmark, ctx):
+    result = run_once(benchmark, lambda: figure6_opt_levels_x86(ctx))
+    print()
+    print(result["text"])
+    times = [entry["time"]["Ofast/O2"] for entry in result["data"].values()]
+    sizes = [entry["code_size"]["Ofast/O2"]
+             for entry in result["data"].values()]
+    # Paper: Ofast fastest (0.97x) and larger (1.11x) on x86.
+    assert geomean(times) < 1.0
+    assert geomean(sizes) > 1.0

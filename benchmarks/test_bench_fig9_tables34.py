@@ -1,0 +1,20 @@
+"""E4: Fig. 9 + Tables 3/4 — input sizes on desktop Chrome."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import input_size_tables
+
+
+def test_bench_chrome_input_sizes(benchmark, ctx):
+    result = run_once(benchmark,
+                      lambda: input_size_tables(ctx, "chrome"))
+    print()
+    print(result["text"])
+    stats = result["exec"]
+    memory = result["memory"]
+    # Paper shapes: Wasm dominates at XS; the gap narrows with size;
+    # JS memory flat, Wasm memory grows steeply at L/XL.
+    assert stats["XS"]["all_gmean"] > 2.0
+    assert stats["XS"]["all_gmean"] > stats["L"]["all_gmean"]
+    assert stats["L"]["sd_count"] > 0
+    assert memory["XL"]["js_kb"] < 1.5 * memory["XS"]["js_kb"]
+    assert memory["XL"]["wasm_kb"] > 10 * memory["M"]["wasm_kb"]

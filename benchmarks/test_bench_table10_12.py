@@ -1,0 +1,25 @@
+"""E11: Tables 10 + 12 — real-world applications."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table10_realworld, table12_longjs_ops
+
+
+def test_bench_realworld(benchmark, ctx):
+    result = run_once(benchmark, lambda: table10_realworld())
+    print()
+    print(result["text"])
+    table12 = table12_longjs_ops(result["longjs"])
+    print()
+    print(table12["text"])
+    # Paper shapes: Wasm wins all six experiments; FFmpeg's margin is the
+    # largest (WebWorker parallelism); Hyphenopoly's the smallest
+    # (I/O-bound); Long.js JS runs far more arithmetic ops than Wasm.
+    for entry in result["longjs"].values():
+        assert entry["ratio"] < 1.0
+        assert entry["js_checksum"] == entry["wasm_checksum"]
+    for entry in result["hyphenopoly"].values():
+        assert 0.3 < entry["ratio"] < 1.25
+    assert result["ffmpeg"]["ratio"] < \
+        min(e["ratio"] for e in result["hyphenopoly"].values())
+    mul = result["longjs"]["multiplication"]
+    assert sum(mul["js_ops"].values()) > 4 * sum(mul["wasm_ops"].values())

@@ -1,0 +1,11 @@
+"""E13: Table 11 — Chrome parameters per experiment (Appendix A)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table11_chrome_flags
+
+
+def test_bench_chrome_flags(benchmark, ctx):
+    result = run_once(benchmark, lambda: table11_chrome_flags())
+    print()
+    print(result["text"])
+    assert len(result["data"]) == 8

@@ -1,0 +1,30 @@
+"""E1: Fig. 5 + Table 2 (JS/WASM columns) — optimization levels on the
+Wasm and genericjs targets, Chrome desktop."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    figure5_opt_levels, figure6_opt_levels_x86, table2_summary,
+)
+
+
+def test_bench_fig5_table2(benchmark, ctx):
+    def run():
+        fig5 = figure5_opt_levels(ctx)
+        fig6 = figure6_opt_levels_x86(ctx)
+        return table2_summary(ctx, fig5=fig5, fig6=fig6)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result["fig5"]["text"])
+    print()
+    print(result["text"])
+    data = result["data"]
+    # Paper shapes: Oz fastest for Wasm and -O2 never the winner; the x86
+    # control behaves as designed (O1 clearly slower than O2).  Wasm's
+    # O1/O2 sits at ~1.0 in this reproduction (paper: 0.88; deviation
+    # documented in EXPERIMENTS.md E1), so it is asserted as ≤ parity.
+    assert data[("Exec. Time", "Oz/O2")]["wasm"] < 1.0
+    assert data[("Exec. Time", "O1/O2")]["wasm"] <= 1.05
+    assert data[("Exec. Time", "Oz/O2")]["wasm"] <= \
+        data[("Exec. Time", "O1/O2")]["wasm"]
+    assert data[("Exec. Time", "O1/O2")]["x86"] > 1.1

@@ -1,0 +1,17 @@
+"""E7: Table 7 — Wasm tier configurations, Chrome vs Firefox."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table7_tier_comparison
+
+
+def test_bench_tier_comparison(benchmark, ctx):
+    result = run_once(benchmark, lambda: table7_tier_comparison(ctx))
+    print()
+    print(result["text"])
+    overall = result["summary"]["Overall"]
+    # Paper: default vs basic-only ≈ 1.09–1.12x; default vs opt-only
+    # slightly below 1.
+    assert overall["LiftOff"] > 1.0
+    assert overall["Baseline"] > 1.0
+    assert overall["TurboFan"] < 1.2
+    assert overall["Ion"] <= 1.05

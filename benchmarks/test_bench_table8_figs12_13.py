@@ -1,0 +1,33 @@
+"""E8: Table 8 + Figs. 12/13 — browsers × platforms."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table8_browsers_platforms
+
+
+def test_bench_browsers_platforms(benchmark, ctx):
+    result = run_once(benchmark, lambda: table8_browsers_platforms(ctx))
+    print()
+    print(result["text"])
+    data = result["data"]
+    # Paper's orderings (Table 8):
+    # desktop Wasm: Firefox < Chrome < Edge
+    assert data[("firefox", "desktop")]["wasm_ms"] < \
+        data[("chrome", "desktop")]["wasm_ms"] < \
+        data[("edge", "desktop")]["wasm_ms"]
+    # desktop JS: Chrome < Firefox < Edge (the Chrome/Firefox gap is
+    # small — 1.06x in the paper — so a near-tie tolerance is applied)
+    assert data[("chrome", "desktop")]["js_ms"] < \
+        data[("firefox", "desktop")]["js_ms"] * 1.1
+    assert data[("firefox", "desktop")]["js_ms"] < \
+        data[("edge", "desktop")]["js_ms"]
+    # mobile JS: Firefox < Edge < Chrome
+    assert data[("firefox", "mobile")]["js_ms"] < \
+        data[("edge", "mobile")]["js_ms"] < \
+        data[("chrome", "mobile")]["js_ms"]
+    # mobile Wasm: Edge < Chrome < Firefox
+    assert data[("edge", "mobile")]["wasm_ms"] < \
+        data[("chrome", "mobile")]["wasm_ms"] < \
+        data[("firefox", "mobile")]["wasm_ms"]
+    # Wasm uses several times more memory than JS everywhere.
+    for key, entry in data.items():
+        assert entry["wasm_kb"] > 2.0 * entry["js_kb"], key

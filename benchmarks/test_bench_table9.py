@@ -1,0 +1,20 @@
+"""E10: Table 9 — manually-written JavaScript programs."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table9_manual_js
+
+
+def test_bench_manual_js(benchmark, ctx):
+    result = run_once(benchmark, lambda: table9_manual_js(ctx))
+    print()
+    print(result["text"])
+    data = result["data"]
+    # Paper shapes: library JS slower than Cheerp JS on PolyBench rows;
+    # AES and SHA (W3C) are the exceptions that beat Cheerp; manual
+    # PolyBench rows use more memory (plain arrays live on the JS heap).
+    assert data["3mm"]["manual_ms"] > data["3mm"]["cheerp_ms"]
+    assert data["Heat-3d (W3C)"]["manual_ms"] > \
+        data["Heat-3d (W3C)"]["cheerp_ms"]
+    assert data["SHA (W3C)"]["manual_ms"] < data["SHA (W3C)"]["cheerp_ms"]
+    assert data["AES"]["manual_ms"] < 2.0 * data["AES"]["cheerp_ms"]
+    assert data["3mm"]["manual_kb"] > data["3mm"]["cheerp_kb"]

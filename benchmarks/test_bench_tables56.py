@@ -1,0 +1,18 @@
+"""E5: Tables 5/6 — input sizes on desktop Firefox."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import input_size_tables
+
+
+def test_bench_firefox_input_sizes(benchmark, ctx):
+    result = run_once(benchmark,
+                      lambda: input_size_tables(ctx, "firefox"))
+    print()
+    print(result["text"])
+    stats = result["exec"]
+    # Paper shape (Table 5): Wasm's advantage *grows* with input size on
+    # Firefox, and small inputs are its weakest spot.
+    assert stats["XS"]["all_gmean"] < stats["XL"]["all_gmean"] * 1.2
+    assert stats["XS"]["sd_count"] >= stats["M"]["sd_count"]
+    assert result["memory"]["XL"]["wasm_kb"] > \
+        10 * result["memory"]["M"]["wasm_kb"]

@@ -1,0 +1,49 @@
+"""§4.5 reproduced on one benchmark: the same Wasm/JS pair across the six
+browser × platform settings, showing the inversions the paper reports
+(Firefox fastest for desktop Wasm but slowest for mobile Wasm, etc.).
+
+    python examples/browser_shootout.py [benchmark]
+"""
+
+import sys
+
+from repro.compilers import CheerpCompiler
+from repro.env import (
+    DESKTOP, MOBILE, chrome_desktop, chrome_mobile, edge_desktop,
+    edge_mobile, firefox_desktop, firefox_mobile,
+)
+from repro.harness import PageRunner
+from repro.suites import get_benchmark
+
+SETTINGS = [
+    (chrome_desktop, DESKTOP), (firefox_desktop, DESKTOP),
+    (edge_desktop, DESKTOP), (chrome_mobile, MOBILE),
+    (firefox_mobile, MOBILE), (edge_mobile, MOBILE),
+]
+
+
+def main(name="gemm"):
+    benchmark = get_benchmark(name)
+    defines = benchmark.defines("M")
+    cheerp = CheerpCompiler(linear_heap_size=1024 * 1024)
+    wasm = cheerp.compile_wasm(benchmark.source, defines, "O2", name)
+    js = cheerp.compile_js(benchmark.source, defines, "O2", name)
+
+    print(f"{name}, M input, six deployment settings (Table 8 layout)\n")
+    print(f"{'setting':20s} {'wasm ms':>9s} {'js ms':>9s} "
+          f"{'wasm KB':>9s} {'js KB':>8s}")
+    for profile_fn, platform in SETTINGS:
+        profile = profile_fn()
+        runner = PageRunner(profile, platform, repetitions=2)
+        wasm_m = runner.run_wasm(wasm)
+        js_m = runner.run_js(js)
+        label = f"{profile.name} {platform.kind}"
+        print(f"{label:20s} {wasm_m.time_ms:9.3f} {js_m.time_ms:9.3f} "
+              f"{wasm_m.memory_kb:9.0f} {js_m.memory_kb:8.0f}")
+    print("\nExpected shape: desktop Wasm is fastest on Firefox; mobile "
+          "Wasm is slowest on Firefox (Cranelift on ARM64); Edge mobile "
+          "beats Chrome mobile on both targets (§4.5).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gemm")

@@ -1,0 +1,81 @@
+"""Quickstart: compile one C program to WebAssembly and JavaScript, run
+both in a modelled browser, and compare the two metrics the paper
+measures.
+
+    python examples/quickstart.py
+"""
+
+from repro.compilers import CheerpCompiler
+from repro.env import DESKTOP, chrome_desktop
+from repro.harness import PageRunner
+from repro.wasm import module_to_wat
+
+C_SOURCE = """
+#define N 32
+double A[N][N];
+double x[N];
+double y[N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = (double)(i % 7) / N;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)((i * j + 1) % N) / N;
+  }
+}
+
+void matvec() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    y[i] = 0.0;
+    for (j = 0; j < N; j++)
+      y[i] += A[i][j] * x[j];
+  }
+}
+
+double checksum() {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}
+
+int main() {
+  init();
+  matvec();
+  printf("%f", checksum());
+  return 0;
+}
+"""
+
+
+def main():
+    # 1. Compile with the Cheerp facade (the paper's §3.2 setup).
+    cheerp = CheerpCompiler(linear_heap_size=1024 * 1024)
+    wasm = cheerp.compile_wasm(C_SOURCE, opt_level="O2", name="matvec")
+    js = cheerp.compile_js(C_SOURCE, opt_level="O2", name="matvec")
+    print(f"Wasm binary: {wasm.code_size} bytes  |  "
+          f"genericjs source: {js.code_size} bytes")
+
+    # 2. Peek at the generated WebAssembly (Fig. 4 style).
+    print("\n--- WAT excerpt ---")
+    print("\n".join(module_to_wat(wasm.module).splitlines()[:12]))
+
+    # 3. Run both on modelled desktop Chrome (5 repetitions, §3.3.2).
+    runner = PageRunner(chrome_desktop(), DESKTOP)
+    wasm_result = runner.run_wasm(wasm)
+    js_result = runner.run_js(js)
+
+    print("\n--- Measurements (desktop Chrome v79) ---")
+    for result in (wasm_result, js_result):
+        print(f"{result.target:5s}: {result.time_ms:8.3f} ms   "
+              f"{result.memory_kb:10.1f} KB   output={result.output[0]:.6f}")
+    ratio = js_result.time_ms / wasm_result.time_ms
+    print(f"\nWasm is {ratio:.2f}x {'faster' if ratio > 1 else 'slower'} "
+          "than JavaScript on this workload.")
+
+
+if __name__ == "__main__":
+    main()

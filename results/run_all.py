@@ -1,0 +1,66 @@
+"""Regenerate every paper table/figure; writes text reports to results/.
+
+Deterministic engines make repetitions identical, so repetitions=2 is used
+to keep wall time reasonable (the paper averaged 5 runs of noisy hardware).
+"""
+import json, time, sys
+
+from repro.experiments import (
+    ExperimentContext, figure5_opt_levels, figure6_opt_levels_x86,
+    table2_summary, compare_cheerp_emscripten, figure9_input_sizes,
+    input_size_tables, figure10_jit_improvement, table7_tier_comparison,
+    table8_browsers_platforms, context_switch_overhead, table9_manual_js,
+    table10_realworld, table12_longjs_ops, figure11_five_number,
+    table11_chrome_flags,
+)
+from repro.env import chrome_desktop, firefox_desktop
+
+out_dir = "results"
+ctx = ExperimentContext(repetitions=2)
+summary = {}
+
+def save(name, result):
+    with open(f"{out_dir}/{name}.txt", "w") as f:
+        f.write(result["text"] + "\n")
+    print(f"[{time.strftime('%H:%M:%S')}] {name} done", flush=True)
+
+t0 = time.time()
+fig5 = figure5_opt_levels(ctx); save("fig5_opt_levels", fig5)
+fig6 = figure6_opt_levels_x86(ctx); save("fig6_opt_levels_x86", fig6)
+t2 = table2_summary(ctx, fig5=fig5, fig6=fig6); save("table2_summary", t2)
+summary["table2"] = {f"{m}|{l}": v for (m, l), v in t2["data"].items()}
+f11 = figure11_five_number(ctx, fig5=fig5, fig6=fig6); save("fig11_five_number", f11)
+
+e3 = compare_cheerp_emscripten(ctx); save("sec422_compilers", e3)
+summary["cheerp_vs_emscripten"] = e3["summary"]
+
+fig9c = figure9_input_sizes(ctx, chrome_desktop()); save("fig9_chrome", fig9c)
+t34 = input_size_tables(ctx, "chrome", fig9=fig9c); save("tables3_4_chrome", t34)
+summary["table3"] = t34["exec"]; summary["table4"] = t34["memory"]
+fig9f = figure9_input_sizes(ctx, firefox_desktop()); save("fig9_firefox", fig9f)
+t56 = input_size_tables(ctx, "firefox", fig9=fig9f); save("tables5_6_firefox", t56)
+summary["table5"] = t56["exec"]; summary["table6"] = t56["memory"]
+
+f10 = figure10_jit_improvement(ctx); save("fig10_jit", f10)
+summary["fig10"] = {f"{t}|{s}": v for (t, s), v in f10["summary"].items()}
+t7 = table7_tier_comparison(ctx); save("table7_tiers", t7)
+summary["table7"] = t7["summary"]
+t8 = table8_browsers_platforms(ctx); save("table8_browsers", t8)
+summary["table8"] = {f"{b}|{p}": {k: v for k, v in e.items() if k != "per_benchmark"}
+                     for (b, p), e in t8["data"].items()}
+cs = context_switch_overhead(); save("sec45_context_switch", cs)
+summary["context_switch"] = {k: v["vs_chrome"] for k, v in cs["data"].items()}
+t9 = table9_manual_js(ctx); save("table9_manual_js", t9)
+summary["table9"] = t9["data"]
+t10 = table10_realworld(); save("table10_realworld", t10)
+summary["table10"] = {
+    "longjs": {k: v["ratio"] for k, v in t10["longjs"].items()},
+    "hyphenopoly": {k: v["ratio"] for k, v in t10["hyphenopoly"].items()},
+    "ffmpeg": t10["ffmpeg"]["ratio"],
+}
+t12 = table12_longjs_ops(t10["longjs"]); save("table12_longjs_ops", t12)
+t11 = table11_chrome_flags(); save("table11_chrome_flags", t11)
+
+with open(f"{out_dir}/summary.json", "w") as f:
+    json.dump(summary, f, indent=2, default=str)
+print(f"ALL DONE in {time.time()-t0:.0f}s", flush=True)

@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works offline (the sandbox's
+setuptools predates PEP 660 editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Understanding the Performance of WebAssembly "
+        "Applications' (IMC '21)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Understanding the Performance of WebAssembly
+Applications" (IMC '21).
+
+The package builds every layer of the paper's measurement apparatus as a
+deterministic, executable model:
+
+- :mod:`repro.cfront` — C-subset frontend (lexer, parser, source transforms).
+- :mod:`repro.ir` — structured IR and the optimization passes whose
+  target-dependent behaviour produces the paper's counter-intuitive results.
+- :mod:`repro.wasm` — WebAssembly module format, binary encoder, validator,
+  linear memory, and a stack-machine VM with instruction counters.
+- :mod:`repro.jsengine` — a JavaScript engine model: parser, bytecode
+  interpreter, tiering JIT, and mark-sweep GC.
+- :mod:`repro.native` — the x86 register-machine model used as the
+  "optimizations behave as intended" control.
+- :mod:`repro.backends` — IR→Wasm / IR→JS / IR→x86 code generators.
+- :mod:`repro.compilers` — Cheerp, Emscripten, and LLVM-x86 toolchain
+  facades.
+- :mod:`repro.env` — browser engine profiles (Chrome/Firefox/Edge,
+  desktop/mobile), flags, and DevTools-style metric collection.
+- :mod:`repro.harness` — HTML page model, timers, and the measurement
+  runner.
+- :mod:`repro.suites` — the 41 PolyBenchC/CHStone benchmarks.
+- :mod:`repro.manualjs` — the 9 manually-written JavaScript programs.
+- :mod:`repro.apps` — Long.js, Hyphenopoly, and FFmpeg reproductions.
+- :mod:`repro.analysis` — statistics and table/figure rendering.
+- :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CompileError,
+    LinkError,
+    ParseError,
+    ReproError,
+    TrapError,
+    ValidationError,
+)
+
+__all__ = [
+    "CompileError",
+    "LinkError",
+    "ParseError",
+    "ReproError",
+    "TrapError",
+    "ValidationError",
+    "__version__",
+]

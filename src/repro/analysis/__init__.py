@@ -1,0 +1,20 @@
+"""Statistics and rendering for the experiment results."""
+
+from repro.analysis.stats import (
+    FiveNumber,
+    arithmetic_mean,
+    five_number_summary,
+    geomean,
+    speedup_slowdown_split,
+)
+from repro.analysis.tables import format_table, ratio
+
+__all__ = [
+    "FiveNumber",
+    "arithmetic_mean",
+    "five_number_summary",
+    "format_table",
+    "geomean",
+    "ratio",
+    "speedup_slowdown_split",
+]

@@ -1,0 +1,86 @@
+"""Statistics used throughout the paper's evaluation section."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def geomean(values):
+    """Geometric mean (the paper's headline aggregate for ratios)."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def speedup_slowdown_split(wasm_times, js_times):
+    """Table 3/5-style statistics.
+
+    Given paired Wasm and JS execution times, returns a dict with the
+    paper's columns: the number of benchmarks where Wasm is slower (SD #)
+    with their slowdown geomean, the number where Wasm is faster (SU #)
+    with their speedup geomean, and the overall speedup geomean (values
+    < 1 mean Wasm is slower overall)."""
+    if len(wasm_times) != len(js_times):
+        raise ValueError("paired sequences required")
+    slowdowns = []
+    speedups = []
+    overall = []
+    for wasm_t, js_t in zip(wasm_times, js_times):
+        ratio_ = js_t / wasm_t      # >1: Wasm faster
+        overall.append(ratio_)
+        if ratio_ >= 1.0:
+            speedups.append(ratio_)
+        else:
+            slowdowns.append(1.0 / ratio_)
+    return {
+        "sd_count": len(slowdowns),
+        "sd_gmean": geomean(slowdowns) if slowdowns else None,
+        "su_count": len(speedups),
+        "su_gmean": geomean(speedups) if speedups else None,
+        "all_gmean": geomean(overall),
+    }
+
+
+@dataclass
+class FiveNumber:
+    """The box-plot summary of Fig. 11."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        raise ValueError("quantile of empty sequence")
+    pos = (len(sorted_values) - 1) * q
+    low = int(math.floor(pos))
+    high = int(math.ceil(pos))
+    if low == high:
+        return sorted_values[low]
+    frac = pos - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def five_number_summary(values):
+    values = sorted(values)
+    return FiveNumber(
+        minimum=values[0],
+        q1=_quantile(values, 0.25),
+        median=_quantile(values, 0.5),
+        q3=_quantile(values, 0.75),
+        maximum=values[-1],
+    )

@@ -1,0 +1,9 @@
+"""Real-world applications with dual Wasm/JS implementations (§4.1.3,
+Tables 10 and 12): Long.js, Hyphenopoly.js, and FFmpeg."""
+
+from repro.apps.longjs import LongJsApp
+from repro.apps.hyphenopoly import HyphenopolyApp
+from repro.apps.ffmpeg import FfmpegApp
+from repro.apps.workers import WebWorkerPool
+
+__all__ = ["FfmpegApp", "HyphenopolyApp", "LongJsApp", "WebWorkerPool"]

@@ -1,0 +1,34 @@
+"""WebWorker pool model.
+
+ffmpeg.wasm parallelises frame transcoding across WebWorkers while the JS
+implementation is single-threaded — the paper's explanation for the 0.275×
+Wasm/JS ratio on the FFmpeg experiment (§4.6.2).
+
+The pool schedules independent work items over N workers: the makespan is
+computed by greedy list scheduling plus a postMessage round-trip cost per
+item (structured-clone transfers are not free)."""
+
+from __future__ import annotations
+
+
+class WebWorkerPool:
+    """Greedy list scheduler over ``num_workers`` workers."""
+
+    def __init__(self, num_workers=4, post_message_cycles=15000.0):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.post_message_cycles = post_message_cycles
+
+    def makespan_cycles(self, item_cycles):
+        """Wall-clock cycles to finish all items (each item also pays the
+        postMessage round trip on the worker it runs on)."""
+        loads = [0.0] * self.num_workers
+        for cycles in sorted(item_cycles, reverse=True):
+            index = loads.index(min(loads))
+            loads[index] += cycles + self.post_message_cycles
+        return max(loads) if loads else 0.0
+
+    def serial_cycles(self, item_cycles):
+        """The single-threaded JS equivalent (no postMessage, no overlap)."""
+        return float(sum(item_cycles))

@@ -1,0 +1,23 @@
+"""Code generators lowering the shared IR to each execution target.
+
+* :mod:`repro.backends.wasm_gen` — Wasm bytecode (stack machine, linear
+  memory).
+* :mod:`repro.backends.js_gen` — JavaScript source in Cheerp's genericjs
+  style (typed-array memory, ``|0`` integer coercions, i64 legalisation via
+  a 32-bit-pair runtime).
+* :mod:`repro.backends.x86_gen` — the register-machine x86 model where
+  LLVM's optimizations behave as designed (the paper's control experiment,
+  Fig. 6).
+"""
+
+from repro.backends.wasm_gen import WasmCodegenOptions, generate_wasm
+from repro.backends.js_gen import JsCodegenOptions, generate_js
+from repro.backends.x86_gen import generate_x86
+
+__all__ = [
+    "JsCodegenOptions",
+    "WasmCodegenOptions",
+    "generate_js",
+    "generate_wasm",
+    "generate_x86",
+]

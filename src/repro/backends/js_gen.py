@@ -1,0 +1,441 @@
+"""IR → JavaScript source generator (Cheerp "genericjs" style).
+
+The output is real JavaScript (in the engine's subset) with asm.js-era
+idioms: typed arrays as C memory, ``|0`` / ``>>>0`` integer coercions,
+``Math.imul`` for exact 32-bit multiplication, and 64-bit integers
+legalised into ``[lo, hi]`` pairs handled by the library in
+:mod:`repro.backends.js_runtime`.
+
+The generated text is then *parsed and executed by the JS engine model* —
+so the paper's JS startup costs (parse time ∝ source size) and JIT
+behaviour apply to it exactly as they would in a browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.ir.nodes import (
+    EBin, ECall, ECast, EConst, EGlobal, ELoad, ELocal, ESelect, EUn,
+    SAssign, SBreak, SContinue, SDoWhile, SExpr, SFor, SGlobalSet, SIf,
+    SReturn, SStore, SWhile, is_float, walk_all_exprs, walk_stmts,
+)
+from repro.backends.js_runtime import I64_RUNTIME_JS
+
+_TYPED_ARRAY = {"f64": "Float64Array", "i32": "Int32Array",
+                "u32": "Uint32Array", "i8": "Int32Array",
+                "u8": "Uint8Array", "i16": "Int32Array",
+                "u16": "Uint16Array"}
+
+_MATH_CALLS = {"sqrt": "Math.sqrt", "fabs": "Math.abs",
+               "floor": "Math.floor", "ceil": "Math.ceil",
+               "exp": "Math.exp", "log": "Math.log", "pow": "Math.pow",
+               "sin": "Math.sin", "cos": "Math.cos"}
+
+_I64_BIN = {"+": "__i64_add", "-": "__i64_sub", "*": "__i64_mul",
+            "&": "__i64_and", "|": "__i64_or", "^": "__i64_xor"}
+
+_I64_CMP_S = {"==": "__i64_eq", "!=": "__i64_ne", "<": "__i64_lt_s",
+              "<=": "__i64_le_s", ">": "__i64_gt_s", ">=": "__i64_ge_s"}
+_I64_CMP_U = {"==": "__i64_eq", "!=": "__i64_ne", "<": "__i64_lt_u",
+              "<=": "__i64_le_u", ">": "__i64_gt_u", ">=": "__i64_ge_u"}
+
+
+@dataclass
+class JsCodegenOptions:
+    """Backend knobs set by the toolchain facades."""
+
+    vector_overhead_stmts: int = 3   # scalarisation cost per iteration
+    meta: dict = field(default_factory=dict)
+
+
+def _is_i64(t):
+    return t in ("i64", "u64")
+
+
+def _is_unsigned(t):
+    return t in ("u32", "u8", "u16", "u64")
+
+
+class _JsGen:
+    def __init__(self, ir_module, options):
+        self.ir = ir_module
+        self.options = options
+        self.lines = []
+        self.indent = 0
+        self.uses_i64 = False
+        self.uses_vector = False
+
+    def out(self, text):
+        self.lines.append("  " * self.indent + text)
+
+    # -- expressions (value mode) -----------------------------------------
+
+    def expr(self, e):
+        if isinstance(e, EConst):
+            return self.const(e)
+        if isinstance(e, ELocal):
+            return e.name
+        if isinstance(e, EGlobal):
+            return e.name
+        if isinstance(e, ELoad):
+            return self.load(e)
+        if isinstance(e, EBin):
+            return self.binop(e)
+        if isinstance(e, EUn):
+            return self.unop(e)
+        if isinstance(e, ECast):
+            return self.cast(e)
+        if isinstance(e, ECall):
+            return self.call(e)
+        if isinstance(e, ESelect):
+            return (f"({self.cond(e.cond)} ? {self.expr(e.then)}"
+                    f" : {self.expr(e.els)})")
+        raise CompileError(f"js codegen: bad expr {type(e).__name__}")
+
+    def const(self, e):
+        if _is_i64(e.type):
+            value = int(e.value) & 0xFFFFFFFFFFFFFFFF
+            return f"[{value & 0xFFFFFFFF}, {value >> 32}]"
+        if is_float(e.type):
+            text = repr(float(e.value))
+            return text
+        return str(int(e.value))
+
+    def index_of(self, array_name, indices):
+        array = self.ir.arrays[array_name]
+        text = self.expr(indices[0])
+        for dim, index in zip(array.dims[1:], indices[1:]):
+            text = f"({text} * {dim} + {self.expr(index)})"
+        return text
+
+    def load(self, e):
+        idx = self.index_of(e.array, e.indices)
+        if _is_i64(self.ir.arrays[e.array].elem_type):
+            self.uses_i64 = True
+            return f"[{e.array}__lo[{idx}], {e.array}__hi[{idx}]]"
+        return f"{e.array}[{idx}]"
+
+    def binop(self, e):
+        op = e.op
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return f"({self.cmp(e)} ? 1 : 0)"
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        t = e.type
+        if _is_i64(t):
+            self.uses_i64 = True
+            if op in _I64_BIN:
+                return f"{_I64_BIN[op]}({left}, {right})"
+            if op == "<<":
+                return f"__i64_shl({left}, {right})"
+            if op == ">>":
+                fn = "__i64_shr_u" if _is_unsigned(t) else "__i64_shr_s"
+                return f"{fn}({left}, {right})"
+            if op == "/":
+                fn = "__i64_div_u" if _is_unsigned(t) else "__i64_div_s"
+                return f"{fn}({left}, {right})"
+            if op == "%":
+                fn = "__i64_rem_u" if _is_unsigned(t) else "__i64_rem_s"
+                return f"{fn}({left}, {right})"
+            raise CompileError(f"js codegen: bad i64 op {op!r}")
+        if is_float(t):
+            return f"({left} {op} {right})"
+        unsigned = _is_unsigned(t)
+        if op == "+":
+            return f"({left} + {right} | 0)"
+        if op == "-":
+            return f"({left} - {right} | 0)"
+        if op == "*":
+            return f"Math.imul({left}, {right})"
+        if op == "/":
+            if unsigned:
+                return f"(({left} >>> 0) / ({right} >>> 0) | 0)"
+            return f"({left} / {right} | 0)"
+        if op == "%":
+            if unsigned:
+                return f"(({left} >>> 0) % ({right} >>> 0) | 0)"
+            return f"({left} % {right} | 0)"
+        if op in ("&", "|", "^"):
+            return f"({left} {op} {right})"
+        if op == "<<":
+            return f"({left} << {right})"
+        if op == ">>":
+            if unsigned:
+                return f"({left} >>> {right} | 0)"
+            return f"({left} >> {right})"
+        raise CompileError(f"js codegen: bad int op {op!r}")
+
+    def cmp(self, e):
+        """Render a comparison as a JS boolean expression."""
+        ot = e.left.type
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        if _is_i64(ot):
+            self.uses_i64 = True
+            table = _I64_CMP_U if _is_unsigned(ot) else _I64_CMP_S
+            return f"{table[e.op]}({left}, {right})"
+        jsop = {"==": "===", "!=": "!=="}.get(e.op, e.op)
+        if _is_unsigned(ot) and e.op not in ("==", "!="):
+            return f"(({left} >>> 0) {jsop} ({right} >>> 0))"
+        return f"({left} {jsop} {right})"
+
+    def cond(self, e):
+        """Render an expression in boolean (condition) context."""
+        if isinstance(e, EBin) and e.op in ("==", "!=", "<", "<=", ">",
+                                            ">="):
+            return self.cmp(e)
+        if isinstance(e, EUn) and e.op == "!":
+            return f"(!{self.cond(e.expr)})"
+        if _is_i64(e.type):
+            return f"(__i64_eqz({self.expr(e)}) === 0)"
+        return self.expr(e)
+
+    def unop(self, e):
+        if _is_i64(e.type):
+            self.uses_i64 = True
+            inner = self.expr(e.expr)
+            if e.op == "neg":
+                return f"__i64_neg({inner})"
+            if e.op == "~":
+                return f"__i64_not({inner})"
+            if e.op == "!":
+                return f"__i64_eqz({inner})"
+        inner = self.expr(e.expr)
+        if e.op == "neg":
+            if is_float(e.type):
+                return f"(-{inner})"
+            return f"(-{inner} | 0)"
+        if e.op == "!":
+            return f"({self.cond(e.expr)} ? 0 : 1)"
+        if e.op == "~":
+            return f"(~{inner})"
+        raise CompileError(f"js codegen: bad unop {e.op!r}")
+
+    def cast(self, e):
+        src, dst = e.expr.type, e.type
+        inner = self.expr(e.expr)
+        if _is_i64(src) and _is_i64(dst):
+            return inner
+        if _is_i64(dst):
+            self.uses_i64 = True
+            if src == "f64":
+                return f"__i64_from_f64({inner})"
+            if _is_unsigned(src):
+                return f"__i64_from_u32({inner})"
+            return f"__i64_from_i32({inner})"
+        if _is_i64(src):
+            self.uses_i64 = True
+            if dst == "f64":
+                if _is_unsigned(src):
+                    return f"__u64_to_f64({inner})"
+                return f"__i64_to_f64({inner})"
+            return f"__i64_to_i32({inner})"
+        if dst == "f64":
+            if _is_unsigned(src):
+                return f"({inner} >>> 0)"
+            return inner
+        if src == "f64":
+            if _is_unsigned(dst):
+                return f"({inner} >>> 0)"
+            return f"({inner} | 0)"
+        # int ↔ int of same width: representation is shared.
+        return inner
+
+    def call(self, e):
+        args = ", ".join(self.expr(a) for a in e.args)
+        if e.name in _MATH_CALLS:
+            return f"{_MATH_CALLS[e.name]}({args})"
+        if e.name == "fmod":
+            a, b = (self.expr(x) for x in e.args)
+            return f"({a} % {b})"
+        if e.name == "abs":
+            a = self.expr(e.args[0])
+            return f"({a} < 0 ? -{a} | 0 : {a})"
+        return f"{e.name}({args})"
+
+    # -- statements --------------------------------------------------------
+
+    def stmts(self, body):
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, s):
+        if isinstance(s, SAssign):
+            self.out(f"{s.name} = {self.expr(s.expr)};")
+        elif isinstance(s, SGlobalSet):
+            self.out(f"{s.name} = {self.expr(s.expr)};")
+        elif isinstance(s, SStore):
+            array = self.ir.arrays[s.array]
+            idx = self.index_of(s.array, s.indices)
+            if _is_i64(array.elem_type):
+                self.uses_i64 = True
+                self.out(f"__s64 = {self.expr(s.expr)};")
+                self.out(f"{s.array}__lo[{idx}] = __s64[0];")
+                self.out(f"{s.array}__hi[{idx}] = __s64[1];")
+            else:
+                self.out(f"{s.array}[{idx}] = {self.expr(s.expr)};")
+        elif isinstance(s, SIf):
+            self.out(f"if ({self.cond(s.cond)}) {{")
+            self.indent += 1
+            self.stmts(s.then)
+            self.indent -= 1
+            if s.els:
+                self.out("} else {")
+                self.indent += 1
+                self.stmts(s.els)
+                self.indent -= 1
+            self.out("}")
+        elif isinstance(s, SWhile):
+            cond = ("true" if isinstance(s.cond, EConst) and s.cond.value
+                    else self.cond(s.cond))
+            self.out(f"while ({cond}) {{")
+            self.indent += 1
+            self.stmts(s.body)
+            self.indent -= 1
+            self.out("}")
+        elif isinstance(s, SDoWhile):
+            self.out("do {")
+            self.indent += 1
+            self.stmts(s.body)
+            self.indent -= 1
+            self.out(f"}} while ({self.cond(s.cond)});")
+        elif isinstance(s, SFor):
+            self.for_stmt(s)
+        elif isinstance(s, SBreak):
+            self.out("break;")
+        elif isinstance(s, SContinue):
+            self.out("continue;")
+        elif isinstance(s, SReturn):
+            if s.expr is None:
+                self.out("return;")
+            else:
+                self.out(f"return {self.expr(s.expr)};")
+        elif isinstance(s, SExpr):
+            self.out(f"{self.expr(s.expr)};")
+        else:
+            raise CompileError(f"js codegen: bad stmt {type(s).__name__}")
+
+    def for_stmt(self, s):
+        self.stmts(s.init)
+        cond = ("" if isinstance(s.cond, EConst) and s.cond.value
+                else self.cond(s.cond))
+        step_exprs = []
+        header_ok = True
+        for st in s.step:
+            if isinstance(st, SAssign):
+                step_exprs.append(f"{st.name} = {self.expr(st.expr)}")
+            elif isinstance(st, SExpr):
+                step_exprs.append(self.expr(st.expr))
+            else:
+                header_ok = False
+                break
+        if not header_ok and any(isinstance(st, SContinue)
+                                 for st in walk_stmts(s.body)):
+            raise CompileError(
+                "js codegen: continue in a for with non-expression step")
+        if header_ok:
+            self.out(f"for (; {cond}; {', '.join(step_exprs)}) {{")
+            self.indent += 1
+            self.vector_overhead(s)
+            self.stmts(s.body)
+            self.indent -= 1
+            self.out("}")
+        else:
+            self.out(f"while ({cond or 'true'}) {{")
+            self.indent += 1
+            self.vector_overhead(s)
+            self.stmts(s.body)
+            self.stmts(s.step)
+            self.indent -= 1
+            self.out("}")
+
+    def vector_overhead(self, s):
+        """Scalarised vector-loop bookkeeping (no SIMD in the JS target)."""
+        if s.vector_width:
+            self.uses_vector = True
+            for lane in range(1, 1 + self.options.vector_overhead_stmts):
+                self.out(f"__vlane = {lane};")
+
+    # -- module ------------------------------------------------------------
+
+    def generate(self):
+        ir = self.ir
+        body_lines = []
+        # Render functions first so uses_i64 is known for the preamble.
+        saved = self.lines
+        self.lines = body_lines
+        for f in ir.functions.values():
+            if not f.body:
+                continue
+            params = ", ".join(name for name, _ in f.params)
+            self.out(f"function {f.name}({params}) {{")
+            self.indent += 1
+            locals_ = [n for n in f.locals]
+            if locals_:
+                self.out("var " + ", ".join(locals_) + ";")
+            self.stmts(f.body)
+            self.indent -= 1
+            self.out("}")
+        self.lines = saved
+
+        # Detect i64 usage that rendering may have missed (e.g. arrays).
+        for f in ir.functions.values():
+            for e in walk_all_exprs(f.body):
+                if _is_i64(getattr(e, "type", None) or ""):
+                    self.uses_i64 = True
+
+        preamble = []
+        if self.uses_i64:
+            preamble.append(I64_RUNTIME_JS)
+            preamble.append("var __s64 = [0, 0];")
+        if self.uses_vector:
+            preamble.append("var __vlane = 0;")
+        for g in ir.globals.values():
+            if _is_i64(g.type):
+                value = int(g.init) & 0xFFFFFFFFFFFFFFFF
+                preamble.append(
+                    f"var {g.name} = [{value & 0xFFFFFFFF}, "
+                    f"{value >> 32}];")
+            elif is_float(g.type):
+                preamble.append(f"var {g.name} = {float(g.init)!r};")
+            else:
+                preamble.append(f"var {g.name} = {int(g.init)};")
+        for array in ir.arrays.values():
+            if _is_i64(array.elem_type):
+                preamble.append(
+                    f"var {array.name}__lo = new Uint32Array({array.count});")
+                preamble.append(
+                    f"var {array.name}__hi = new Uint32Array({array.count});")
+                if array.init:
+                    for i, v in enumerate(array.init):
+                        value = int(v) & 0xFFFFFFFFFFFFFFFF
+                        preamble.append(
+                            f"{array.name}__lo[{i}] = {value & 0xFFFFFFFF};")
+                        preamble.append(
+                            f"{array.name}__hi[{i}] = {value >> 32};")
+            else:
+                kind = _TYPED_ARRAY[array.elem_type]
+                preamble.append(
+                    f"var {array.name} = new {kind}({array.count});")
+                if array.init:
+                    chunks = _init_lines(array)
+                    preamble.extend(chunks)
+        return "\n".join(preamble + body_lines) + "\n"
+
+
+def _init_lines(array):
+    """Array initialiser statements (genericjs emits explicit stores)."""
+    out = []
+    for i, v in enumerate(array.init):
+        if is_float(array.elem_type):
+            out.append(f"{array.name}[{i}] = {float(v)!r};")
+        else:
+            out.append(f"{array.name}[{i}] = {int(v)};")
+    return out
+
+
+def generate_js(ir_module, options=None):
+    """Lower an IR module to JavaScript source text."""
+    return _JsGen(ir_module, options or JsCodegenOptions()).generate()

@@ -1,0 +1,190 @@
+"""JavaScript runtime library emitted by the genericjs backend.
+
+64-bit integers do not exist in JavaScript: like real C-to-JS compilers
+(and like Long.js, Table 10/12), the backend legalises every i64 value into
+a pair of unsigned 32-bit halves ``[lo, hi]`` and every i64 operation into a
+call to one of these library functions.  This is the mechanism behind the
+paper's Appendix D operation counts: one Wasm ``i64.mul`` becomes dozens of
+JS adds/multiplies/shifts.
+
+The library itself is written in the engine's JS subset and is executed by
+:mod:`repro.jsengine` like any other program text.
+"""
+
+I64_RUNTIME_JS = r"""
+function __i64_from_i32(v) {
+  return [v >>> 0, v < 0 ? 4294967295 : 0];
+}
+function __i64_from_u32(v) {
+  return [v >>> 0, 0];
+}
+function __i64_to_i32(a) {
+  return a[0] | 0;
+}
+function __i64_to_f64(a) {
+  return (a[1] | 0) * 4294967296 + a[0];
+}
+function __u64_to_f64(a) {
+  return a[1] * 4294967296 + a[0];
+}
+function __i64_from_f64(v) {
+  if (v < 0) {
+    var p = __i64_from_f64(-v);
+    return __i64_sub([0, 0], p);
+  }
+  var hi = Math.floor(v / 4294967296);
+  var lo = Math.floor(v - hi * 4294967296);
+  return [lo >>> 0, hi >>> 0];
+}
+function __i64_add(a, b) {
+  var lo = a[0] + b[0];
+  var hi = a[1] + b[1] + (lo > 4294967295 ? 1 : 0);
+  return [lo >>> 0, hi >>> 0];
+}
+function __i64_sub(a, b) {
+  var lo = a[0] - b[0];
+  var hi = a[1] - b[1] - (lo < 0 ? 1 : 0);
+  return [lo >>> 0, hi >>> 0];
+}
+function __i64_mul(a, b) {
+  var a0 = a[0] % 65536; var a1 = Math.floor(a[0] / 65536);
+  var a2 = a[1] % 65536; var a3 = Math.floor(a[1] / 65536);
+  var b0 = b[0] % 65536; var b1 = Math.floor(b[0] / 65536);
+  var b2 = b[1] % 65536; var b3 = Math.floor(b[1] / 65536);
+  var c0 = a0 * b0;
+  var c1 = a1 * b0 + a0 * b1 + Math.floor(c0 / 65536);
+  var c2 = a2 * b0 + a1 * b1 + a0 * b2 + Math.floor(c1 / 65536);
+  var c3 = a3 * b0 + a2 * b1 + a1 * b2 + a0 * b3 + Math.floor(c2 / 65536);
+  var lo = (c0 % 65536) + (c1 % 65536) * 65536;
+  var hi = (c2 % 65536) + (c3 % 65536) * 65536;
+  return [lo >>> 0, hi >>> 0];
+}
+function __i64_neg(a) {
+  return __i64_sub([0, 0], a);
+}
+function __i64_not(a) {
+  return [(~a[0]) >>> 0, (~a[1]) >>> 0];
+}
+function __i64_and(a, b) {
+  return [(a[0] & b[0]) >>> 0, (a[1] & b[1]) >>> 0];
+}
+function __i64_or(a, b) {
+  return [(a[0] | b[0]) >>> 0, (a[1] | b[1]) >>> 0];
+}
+function __i64_xor(a, b) {
+  return [(a[0] ^ b[0]) >>> 0, (a[1] ^ b[1]) >>> 0];
+}
+function __i64_shl(a, k) {
+  k = k & 63;
+  if (k === 0) { return [a[0], a[1]]; }
+  if (k >= 32) { return [0, (a[0] << (k - 32)) >>> 0]; }
+  return [(a[0] << k) >>> 0,
+          ((a[1] << k) | (a[0] >>> (32 - k))) >>> 0];
+}
+function __i64_shr_u(a, k) {
+  k = k & 63;
+  if (k === 0) { return [a[0], a[1]]; }
+  if (k >= 32) { return [a[1] >>> (k - 32), 0]; }
+  return [((a[0] >>> k) | (a[1] << (32 - k))) >>> 0, a[1] >>> k];
+}
+function __i64_shr_s(a, k) {
+  k = k & 63;
+  if (k === 0) { return [a[0], a[1]]; }
+  var hs = a[1] | 0;
+  if (k >= 32) {
+    return [(hs >> (k - 32)) >>> 0, hs < 0 ? 4294967295 : 0];
+  }
+  return [((a[0] >>> k) | (hs << (32 - k))) >>> 0, (hs >> k) >>> 0];
+}
+function __i64_eqz(a) {
+  return (a[0] === 0 && a[1] === 0) ? 1 : 0;
+}
+function __i64_eq(a, b) {
+  return (a[0] === b[0] && a[1] === b[1]) ? 1 : 0;
+}
+function __i64_ne(a, b) {
+  return (a[0] !== b[0] || a[1] !== b[1]) ? 1 : 0;
+}
+function __i64_lt_u(a, b) {
+  if (a[1] !== b[1]) { return a[1] < b[1] ? 1 : 0; }
+  return a[0] < b[0] ? 1 : 0;
+}
+function __i64_gt_u(a, b) {
+  return __i64_lt_u(b, a);
+}
+function __i64_le_u(a, b) {
+  return 1 - __i64_lt_u(b, a);
+}
+function __i64_ge_u(a, b) {
+  return 1 - __i64_lt_u(a, b);
+}
+function __i64_lt_s(a, b) {
+  var ah = a[1] | 0; var bh = b[1] | 0;
+  if (ah !== bh) { return ah < bh ? 1 : 0; }
+  return a[0] < b[0] ? 1 : 0;
+}
+function __i64_gt_s(a, b) {
+  return __i64_lt_s(b, a);
+}
+function __i64_le_s(a, b) {
+  return 1 - __i64_lt_s(b, a);
+}
+function __i64_ge_s(a, b) {
+  return 1 - __i64_lt_s(a, b);
+}
+function __i64_isneg(a) {
+  return (a[1] | 0) < 0 ? 1 : 0;
+}
+function __i64_bit(a, i) {
+  if (i >= 32) { return (a[1] >>> (i - 32)) & 1; }
+  return (a[0] >>> i) & 1;
+}
+function __i64_setbit(a, i) {
+  if (i >= 32) { return [a[0], (a[1] | (1 << (i - 32))) >>> 0]; }
+  return [(a[0] | (1 << i)) >>> 0, a[1]];
+}
+function __i64_div_u(a, b) {
+  if (__i64_eqz(b)) { return [0, 0]; }
+  var rem = [0, 0];
+  var quo = [0, 0];
+  var i;
+  for (i = 63; i >= 0; i--) {
+    rem = __i64_shl(rem, 1);
+    if (__i64_bit(a, i)) { rem = __i64_or(rem, [1, 0]); }
+    if (__i64_ge_u(rem, b)) {
+      rem = __i64_sub(rem, b);
+      quo = __i64_setbit(quo, i);
+    }
+  }
+  return quo;
+}
+function __i64_rem_u(a, b) {
+  if (__i64_eqz(b)) { return [0, 0]; }
+  var rem = [0, 0];
+  var i;
+  for (i = 63; i >= 0; i--) {
+    rem = __i64_shl(rem, 1);
+    if (__i64_bit(a, i)) { rem = __i64_or(rem, [1, 0]); }
+    if (__i64_ge_u(rem, b)) { rem = __i64_sub(rem, b); }
+  }
+  return rem;
+}
+function __i64_div_s(a, b) {
+  var neg = 0;
+  var x = a;
+  var y = b;
+  if (__i64_isneg(x)) { x = __i64_neg(x); neg = 1 - neg; }
+  if (__i64_isneg(y)) { y = __i64_neg(y); neg = 1 - neg; }
+  var q = __i64_div_u(x, y);
+  return neg ? __i64_neg(q) : q;
+}
+function __i64_rem_s(a, b) {
+  var x = a;
+  var y = b;
+  var neg = __i64_isneg(x);
+  if (neg) { x = __i64_neg(x); }
+  if (__i64_isneg(y)) { y = __i64_neg(y); }
+  var r = __i64_rem_u(x, y);
+  return neg ? __i64_neg(r) : r;
+}
+"""

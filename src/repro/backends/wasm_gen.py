@@ -1,0 +1,624 @@
+"""IR → WebAssembly code generator.
+
+Layout: global scalars become Wasm globals; global arrays live in linear
+memory (row-major, 8-aligned) above a small reserved page.  Initialised
+arrays are emitted as data segments inside the initially committed pages;
+zero-initialised arrays sit above them, and a generated ``__mem_init``
+routine grows the memory up to data + heap + stack at instantiation time —
+one ``memory.grow`` per *growth-granule*, which is how the Cheerp (64 KiB
+granule) vs Emscripten (16 MiB granule) performance/memory trade-off of
+§4.2.2 arises.
+
+Vectorized loops (``SFor.vector_width``) have no SIMD target in Wasm MVP:
+the generator emits the loop scalar plus per-iteration lane-bookkeeping
+instructions — the "LLVM optimizations are not designed for Wasm"
+mechanism behind Table 2's counter-intuitive execution times.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.ir.nodes import (
+    EBin, ECall, ECast, EConst, EGlobal, ELoad, ELocal, ESelect, EUn,
+    SAssign, SBreak, SContinue, SDoWhile, SExpr, SFor, SGlobalSet, SIf,
+    SReturn, SStore, SWhile, elem_size, is_float,
+)
+from repro.wasm.instructions import Op
+from repro.wasm.module import (
+    DataSegment, FuncType, Function as WFunction, GlobalVar, HostImport,
+    MemorySpec, WasmModule,
+)
+
+WASM_PAGE = 65536
+
+#: libm functions lowered to native Wasm instructions.
+_NATIVE_MATH = {"sqrt": Op.F64_SQRT, "fabs": Op.F64_ABS,
+                "floor": Op.F64_FLOOR, "ceil": Op.F64_CEIL}
+
+#: libm functions Cheerp cannot compile from libc (§3.2) — they become
+#: imports of the JS ``Math`` object, paying the Wasm↔JS boundary cost.
+_HOST_MATH = ("exp", "log", "pow", "sin", "cos", "fmod")
+
+_PRINT_IMPORTS = ("__print_i32", "__print_i64", "__print_f64")
+
+
+@dataclass
+class WasmCodegenOptions:
+    """Toolchain-dependent lowering knobs (set by the compiler facades)."""
+
+    heap_bytes: int = 8 * 1024 * 1024      # -cheerp-linear-heap-size
+    stack_bytes: int = 1 * 1024 * 1024     # -cheerp-linear-stack-size
+    growth_granule_pages: int = 1          # Cheerp: 1 page; Emscripten: 256
+    strength_reduce: bool = False          # shl instead of mul for sizes
+    peephole: bool = False                 # Binaryen-style cleanup
+    vector_overhead_ops: int = 6           # scalarisation cost per iteration
+    meta: dict = field(default_factory=dict)
+
+
+def _vt(t):
+    """IR value type → wasm value type."""
+    if t == "f64":
+        return "f64"
+    if t in ("i64", "u64"):
+        return "i64"
+    return "i32"
+
+
+def _is_unsigned(t):
+    return t in ("u32", "u64", "u8", "u16")
+
+
+_BIN_I32 = {"+": Op.I32_ADD, "-": Op.I32_SUB, "*": Op.I32_MUL,
+            "&": Op.I32_AND, "|": Op.I32_OR, "^": Op.I32_XOR,
+            "<<": Op.I32_SHL}
+_BIN_I64 = {"+": Op.I64_ADD, "-": Op.I64_SUB, "*": Op.I64_MUL,
+            "&": Op.I64_AND, "|": Op.I64_OR, "^": Op.I64_XOR,
+            "<<": Op.I64_SHL}
+_BIN_F64 = {"+": Op.F64_ADD, "-": Op.F64_SUB, "*": Op.F64_MUL,
+            "/": Op.F64_DIV}
+_CMP_F64 = {"==": Op.F64_EQ, "!=": Op.F64_NE, "<": Op.F64_LT,
+            "<=": Op.F64_LE, ">": Op.F64_GT, ">=": Op.F64_GE}
+_CMP_I32_S = {"==": Op.I32_EQ, "!=": Op.I32_NE, "<": Op.I32_LT_S,
+              "<=": Op.I32_LE_S, ">": Op.I32_GT_S, ">=": Op.I32_GE_S}
+_CMP_I32_U = {"==": Op.I32_EQ, "!=": Op.I32_NE, "<": Op.I32_LT_U,
+              "<=": Op.I32_LE_U, ">": Op.I32_GT_U, ">=": Op.I32_GE_U}
+_CMP_I64_S = {"==": Op.I64_EQ, "!=": Op.I64_NE, "<": Op.I64_LT_S,
+              "<=": Op.I64_LE_S, ">": Op.I64_GT_S, ">=": Op.I64_GE_S}
+# i64 has no le_u/ge_u in our subset; they are synthesised from gt_u/lt_u.
+_CMP_I64_U = {"==": Op.I64_EQ, "!=": Op.I64_NE, "<": Op.I64_LT_U,
+              ">": Op.I64_GT_U}
+
+_LOADS = {("f64", 8): Op.F64_LOAD, ("i64", 8): Op.I64_LOAD,
+          ("i32", 4): Op.I32_LOAD, ("i32", 1): None}
+
+
+class _FuncGen:
+    def __init__(self, codegen, func):
+        self.cg = codegen
+        self.func = func
+        self.body = []
+        self.local_index = {}
+        self.local_types = []
+        for i, (name, t) in enumerate(func.params):
+            self.local_index[name] = i
+        for name, t in func.locals.items():
+            self.local_index[name] = len(self.local_index)
+            self.local_types.append(_vt(t))
+        self.scratch = None
+        # Control stack: entries are "loop", "forcont", "block", "if".
+        self.ctrl = []
+
+    def emit(self, op, arg=None):
+        self.body.append((int(op), arg))
+
+    def get_scratch(self):
+        if self.scratch is None:
+            self.scratch = len(self.local_index) + 0
+            self.local_index["__vlane"] = self.scratch
+            self.local_types.append("i32")
+        return self.scratch
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, e):
+        if isinstance(e, EConst):
+            t = _vt(e.type)
+            if t == "f64":
+                self.emit(Op.F64_CONST, float(e.value))
+            elif t == "i64":
+                self.emit(Op.I64_CONST, _wrap(int(e.value), 64))
+            else:
+                self.emit(Op.I32_CONST, _wrap(int(e.value), 32))
+        elif isinstance(e, ELocal):
+            self.emit(Op.LOCAL_GET, self.local_index[e.name])
+        elif isinstance(e, EGlobal):
+            self.emit(Op.GLOBAL_GET, self.cg.global_index[e.name])
+        elif isinstance(e, ELoad):
+            self.load(e)
+        elif isinstance(e, EBin):
+            self.binop(e)
+        elif isinstance(e, EUn):
+            self.unop(e)
+        elif isinstance(e, ECast):
+            self.cast(e)
+        elif isinstance(e, ECall):
+            self.call(e)
+        elif isinstance(e, ESelect):
+            self.expr(e.then)
+            self.expr(e.els)
+            self.expr(e.cond)
+            self.emit(Op.SELECT)
+        else:
+            raise CompileError(f"wasm codegen: bad expr {type(e).__name__}")
+
+    def address(self, array_name, indices):
+        """Push the flattened byte offset; returns the base for the memarg
+        offset immediate."""
+        array = self.cg.ir.arrays[array_name]
+        base = self.cg.array_base[array_name]
+        esize = elem_size(array.elem_type)
+        self.expr(indices[0])
+        for dim, index in zip(array.dims[1:], indices[1:]):
+            self.emit(Op.I32_CONST, dim)
+            self.emit(Op.I32_MUL)
+            self.expr(index)
+            self.emit(Op.I32_ADD)
+        if esize > 1:
+            if self.cg.options.strength_reduce:
+                self.emit(Op.I32_CONST, esize.bit_length() - 1)
+                self.emit(Op.I32_SHL)
+            else:
+                self.emit(Op.I32_CONST, esize)
+                self.emit(Op.I32_MUL)
+        return base
+
+    def load(self, e):
+        array = self.cg.ir.arrays[e.array]
+        base = self.address(e.array, e.indices)
+        et = array.elem_type
+        if et == "f64":
+            self.emit(Op.F64_LOAD, base)
+        elif et in ("i64", "u64"):
+            self.emit(Op.I64_LOAD, base)
+        elif et in ("i32", "u32"):
+            self.emit(Op.I32_LOAD, base)
+        elif et == "u8":
+            self.emit(Op.I32_LOAD8_U, base)
+        elif et == "i8":
+            self.emit(Op.I32_LOAD8_S, base)
+        elif et == "u16":
+            self.emit(Op.I32_LOAD16_U, base)
+        else:
+            raise CompileError(f"unsupported element type {et} on wasm")
+
+    def binop(self, e):
+        t = e.type
+        op = e.op
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            ot = e.left.type
+            self.expr(e.left)
+            self.expr(e.right)
+            if is_float(ot):
+                self.emit(_CMP_F64[op])
+            elif _vt(ot) == "i64":
+                if _is_unsigned(ot) and op in ("<=", ">="):
+                    # a <=u b  ==  !(a >u b);  a >=u b  ==  !(a <u b)
+                    self.emit(Op.I64_GT_U if op == "<=" else Op.I64_LT_U)
+                    self.emit(Op.I32_EQZ)
+                    return
+                table = _CMP_I64_U if _is_unsigned(ot) else _CMP_I64_S
+                self.emit(table[op])
+            else:
+                table = _CMP_I32_U if _is_unsigned(ot) else _CMP_I32_S
+                self.emit(table[op])
+            return
+        self.expr(e.left)
+        self.expr(e.right)
+        if is_float(t):
+            self.emit(_BIN_F64[op])
+            return
+        wide = _vt(t) == "i64"
+        if wide and op in ("<<", ">>") and _vt(e.right.type) != "i64":
+            # i64 shifts take an i64 count; C shift counts are int.
+            self.emit(Op.I64_EXTEND_I32_U)
+        basic = _BIN_I64 if wide else _BIN_I32
+        if op in basic:
+            self.emit(basic[op])
+        elif op == "/":
+            if _is_unsigned(t):
+                self.emit(Op.I64_DIV_U if wide else Op.I32_DIV_U)
+            else:
+                self.emit(Op.I64_DIV_S if wide else Op.I32_DIV_S)
+        elif op == "%":
+            if _is_unsigned(t):
+                self.emit(Op.I64_REM_U if wide else Op.I32_REM_U)
+            else:
+                self.emit(Op.I64_REM_S if wide else Op.I32_REM_S)
+        elif op == ">>":
+            if _is_unsigned(t):
+                self.emit(Op.I64_SHR_U if wide else Op.I32_SHR_U)
+            else:
+                self.emit(Op.I64_SHR_S if wide else Op.I32_SHR_S)
+        elif op == "<<":
+            self.emit(Op.I64_SHL if wide else Op.I32_SHL)
+        else:
+            raise CompileError(f"wasm codegen: bad int op {op!r}")
+
+    def unop(self, e):
+        if e.op == "neg":
+            if is_float(e.type):
+                self.expr(e.expr)
+                self.emit(Op.F64_NEG)
+            elif _vt(e.type) == "i64":
+                self.emit(Op.I64_CONST, 0)
+                self.expr(e.expr)
+                self.emit(Op.I64_SUB)
+            else:
+                self.emit(Op.I32_CONST, 0)
+                self.expr(e.expr)
+                self.emit(Op.I32_SUB)
+        elif e.op == "!":
+            self.expr(e.expr)
+            self.emit(Op.I64_EQZ if _vt(e.expr.type) == "i64"
+                      else Op.I32_EQZ)
+        elif e.op == "~":
+            self.expr(e.expr)
+            if _vt(e.type) == "i64":
+                self.emit(Op.I64_CONST, -1)
+                self.emit(Op.I64_XOR)
+            else:
+                self.emit(Op.I32_CONST, -1)
+                self.emit(Op.I32_XOR)
+        else:
+            raise CompileError(f"wasm codegen: bad unop {e.op!r}")
+
+    def cast(self, e):
+        src = _vt(e.expr.type)
+        dst = _vt(e.type)
+        self.expr(e.expr)
+        if src == dst:
+            return
+        unsigned_src = _is_unsigned(e.expr.type)
+        if src == "i32" and dst == "f64":
+            self.emit(Op.F64_CONVERT_I32_U if unsigned_src
+                      else Op.F64_CONVERT_I32_S)
+        elif src == "i64" and dst == "f64":
+            self.emit(Op.F64_CONVERT_I64_S)
+        elif src == "f64" and dst == "i32":
+            self.emit(Op.I32_TRUNC_F64_S)
+        elif src == "f64" and dst == "i64":
+            self.emit(Op.I64_TRUNC_F64_S)
+        elif src == "i32" and dst == "i64":
+            self.emit(Op.I64_EXTEND_I32_U if unsigned_src
+                      else Op.I64_EXTEND_I32_S)
+        elif src == "i64" and dst == "i32":
+            self.emit(Op.I32_WRAP_I64)
+        else:
+            raise CompileError(f"wasm codegen: bad cast {src}->{dst}")
+
+    def call(self, e):
+        if e.name in _NATIVE_MATH:
+            self.expr(e.args[0])
+            self.emit(_NATIVE_MATH[e.name])
+            return
+        if e.name == "abs":
+            # |x| for i32: select(x, -x, x >= 0)
+            self.expr(e.args[0])
+            self.emit(Op.I32_CONST, 0)
+            self.expr(e.args[0])
+            self.emit(Op.I32_SUB)
+            self.expr(e.args[0])
+            self.emit(Op.I32_CONST, 0)
+            self.emit(Op.I32_GE_S)
+            self.emit(Op.SELECT)
+            return
+        for arg in e.args:
+            self.expr(arg)
+        self.emit(Op.CALL, self.cg.func_index[e.name])
+
+    # -- statements --------------------------------------------------------
+
+    def stmts(self, body):
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, s):
+        if isinstance(s, SAssign):
+            self.expr(s.expr)
+            self.emit(Op.LOCAL_SET, self.local_index[s.name])
+        elif isinstance(s, SGlobalSet):
+            self.expr(s.expr)
+            self.emit(Op.GLOBAL_SET, self.cg.global_index[s.name])
+        elif isinstance(s, SStore):
+            array = self.cg.ir.arrays[s.array]
+            base = self.address(s.array, s.indices)
+            self.expr(s.expr)
+            et = array.elem_type
+            if et == "f64":
+                self.emit(Op.F64_STORE, base)
+            elif et in ("i64", "u64"):
+                self.emit(Op.I64_STORE, base)
+            elif et in ("i32", "u32"):
+                self.emit(Op.I32_STORE, base)
+            elif et in ("i8", "u8"):
+                self.emit(Op.I32_STORE8, base)
+            elif et in ("i16", "u16"):
+                self.emit(Op.I32_STORE16, base)
+            else:
+                raise CompileError(f"unsupported element type {et}")
+        elif isinstance(s, SIf):
+            self.expr(s.cond)
+            self.emit(Op.IF)
+            self.ctrl.append("if")
+            self.stmts(s.then)
+            if s.els:
+                self.emit(Op.ELSE)
+                self.stmts(s.els)
+            self.ctrl.pop()
+            self.emit(Op.END)
+        elif isinstance(s, SWhile):
+            self.emit(Op.BLOCK)
+            self.ctrl.append("break")
+            self.emit(Op.LOOP)
+            self.ctrl.append("continue")
+            if not (isinstance(s.cond, EConst) and s.cond.value):
+                self.expr(s.cond)
+                self.emit(Op.I32_EQZ)
+                self.emit(Op.BR_IF, 1)
+            self.stmts(s.body)
+            self.emit(Op.BR, 0)
+            self.ctrl.pop()
+            self.emit(Op.END)
+            self.ctrl.pop()
+            self.emit(Op.END)
+        elif isinstance(s, SDoWhile):
+            self.emit(Op.BLOCK)
+            self.ctrl.append("break")
+            self.emit(Op.LOOP)
+            self.ctrl.append("loop0")   # back-edge target, not continue
+            self.emit(Op.BLOCK)
+            self.ctrl.append("continue")
+            self.stmts(s.body)
+            self.ctrl.pop()
+            self.emit(Op.END)
+            self.expr(s.cond)
+            self.emit(Op.BR_IF, 0)
+            self.ctrl.pop()
+            self.emit(Op.END)
+            self.ctrl.pop()
+            self.emit(Op.END)
+        elif isinstance(s, SFor):
+            self.stmts(s.init)
+            self.emit(Op.BLOCK)
+            self.ctrl.append("break")
+            self.emit(Op.LOOP)
+            self.ctrl.append("loop0")
+            if not (isinstance(s.cond, EConst) and s.cond.value):
+                self.expr(s.cond)
+                self.emit(Op.I32_EQZ)
+                self.emit(Op.BR_IF, 1)
+            if s.vector_width:
+                self.vector_overhead(s.vector_width)
+            self.emit(Op.BLOCK)
+            self.ctrl.append("continue")
+            self.stmts(s.body)
+            self.ctrl.pop()
+            self.emit(Op.END)
+            self.stmts(s.step)
+            self.emit(Op.BR, 0)
+            self.ctrl.pop()
+            self.emit(Op.END)
+            self.ctrl.pop()
+            self.emit(Op.END)
+        elif isinstance(s, SBreak):
+            self.emit(Op.BR, self.depth_to("break"))
+        elif isinstance(s, SContinue):
+            target = self.depth_to("continue")
+            self.emit(Op.BR, target)
+        elif isinstance(s, SReturn):
+            if s.expr is not None:
+                self.expr(s.expr)
+            self.emit(Op.RETURN)
+        elif isinstance(s, SExpr):
+            had_result = isinstance(s.expr, ECall) and s.expr.type
+            self.expr(s.expr)
+            if had_result:
+                self.emit(Op.DROP)
+        else:
+            raise CompileError(f"wasm codegen: bad stmt {type(s).__name__}")
+
+    def depth_to(self, kind):
+        for depth, frame in enumerate(reversed(self.ctrl)):
+            if frame == kind:
+                return depth
+        raise CompileError(f"{kind} outside loop")
+
+    def vector_overhead(self, width):
+        """Per-iteration lane bookkeeping the scalarised vector loop pays
+        (the Wasm backend has no SIMD; LLVM's vectorised IR is unrolled
+        back through the virtual stack)."""
+        scratch = self.get_scratch()
+        for lane in range(1, min(width, 1 +
+                                 self.cg.options.vector_overhead_ops // 2)):
+            self.emit(Op.I32_CONST, lane)
+            self.emit(Op.LOCAL_SET, scratch)
+
+
+def _wrap(value, bits):
+    value &= (1 << bits) - 1
+    if value >> (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+class _Codegen:
+    def __init__(self, ir_module, options):
+        self.ir = ir_module
+        self.options = options
+        self.global_index = {}
+        self.func_index = {}
+        self.array_base = {}
+
+    def generate(self):
+        opts = self.options
+        out = WasmModule(name=self.ir.name)
+        out.meta.update(opts.meta)
+
+        # Imports: print + host math.
+        for name in _PRINT_IMPORTS:
+            t = {"__print_i32": "i32", "__print_i64": "i64",
+                 "__print_f64": "f64"}[name]
+            out.imports.append(HostImport("env", name, FuncType((t,), ())))
+        for name in _HOST_MATH:
+            nparams = 2 if name in ("pow", "fmod") else 1
+            out.imports.append(HostImport(
+                "env", name, FuncType(("f64",) * nparams, ("f64",))))
+        for i, imp in enumerate(out.imports):
+            self.func_index[imp.name] = i
+
+        # Globals.
+        for i, g in enumerate(self.ir.globals.values()):
+            self.global_index[g.name] = i
+            init = float(g.init) if g.type == "f64" else int(g.init)
+            out.globals.append(GlobalVar(g.name, _vt(g.type), True, init))
+
+        # Memory layout: reserved page, then initialised arrays (data
+        # segments), then zero arrays.
+        cursor = 1024
+        data_segments = []
+        initialised = [a for a in self.ir.arrays.values() if a.init]
+        zeroed = [a for a in self.ir.arrays.values() if not a.init]
+        for array in initialised:
+            cursor = _align(cursor, 8)
+            self.array_base[array.name] = cursor
+            data_segments.append(DataSegment(cursor, _pack(array)))
+            cursor += array.byte_size
+        init_end = cursor
+        for array in zeroed:
+            cursor = _align(cursor, 8)
+            self.array_base[array.name] = cursor
+            cursor += array.byte_size
+        data_end = cursor
+
+        initial_pages = max(1, _ceil_div(init_end, WASM_PAGE))
+        granule = opts.growth_granule_pages
+        target_pages = _ceil_div(data_end + opts.heap_bytes
+                                 + opts.stack_bytes, WASM_PAGE)
+        target_pages = _ceil_div(target_pages, granule) * granule
+        target_pages = max(target_pages, initial_pages)
+        out.memory = MemorySpec(min_pages=initial_pages,
+                                max_pages=max(target_pages * 2, 32768))
+        out.data = data_segments
+
+        # Function indices (two passes for forward calls).
+        next_index = len(out.imports)
+        ir_funcs = [f for f in self.ir.functions.values() if f.body]
+        for f in ir_funcs:
+            self.func_index[f.name] = next_index
+            next_index += 1
+        self.func_index["__mem_init"] = next_index
+
+        for f in ir_funcs:
+            gen = _FuncGen(self, f)
+            gen.stmts(f.body)
+            if opts.peephole:
+                gen.body = peephole(gen.body)
+            ftype = FuncType(tuple(_vt(t) for _, t in f.params),
+                             (_vt(f.ret),) if f.ret else ())
+            out.functions.append(WFunction(
+                f.name, ftype, gen.local_types, gen.body,
+                exported=f.exported or f.name == "main"))
+
+        out.functions.append(self._mem_init(target_pages, granule))
+        out.start = "__mem_init"
+        out.meta.update({
+            "data_bytes": data_end - 1024,
+            "target_pages": target_pages,
+            "initial_pages": initial_pages,
+        })
+        return out
+
+    def _mem_init(self, target_pages, granule):
+        """Runtime memory bootstrap: grow committed memory up to the
+        data+heap+stack requirement, ``granule`` pages per grow call."""
+        body = [
+            (int(Op.BLOCK), None),
+            (int(Op.LOOP), None),
+            (int(Op.MEMORY_SIZE), None),
+            (int(Op.I32_CONST), target_pages),
+            (int(Op.I32_GE_U), None),
+            (int(Op.BR_IF), 1),
+            (int(Op.I32_CONST), granule),
+            (int(Op.MEMORY_GROW), None),
+            (int(Op.DROP), None),
+            (int(Op.BR), 0),
+            (int(Op.END), None),
+            (int(Op.END), None),
+        ]
+        return WFunction("__mem_init", FuncType((), ()), [], body)
+
+
+def _align(value, alignment):
+    return (value + alignment - 1) // alignment * alignment
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+def _pack(array):
+    et = array.elem_type
+    fmt = {"f64": "<d", "i64": "<q", "u64": "<Q", "i32": "<i", "u32": "<I",
+           "i8": "<b", "u8": "<B", "i16": "<h", "u16": "<H"}[et]
+    values = list(array.init) + [0] * (array.count - len(array.init))
+    if et == "f64":
+        return b"".join(struct.pack(fmt, float(v)) for v in values)
+    size_bits = {"i8": 8, "u8": 8, "i16": 16, "u16": 16, "i32": 32,
+                 "u32": 32, "i64": 64, "u64": 64}[et]
+    mask = (1 << size_bits) - 1
+    packed = bytearray()
+    unsigned_fmt = {"<b": "<B", "<h": "<H", "<i": "<I", "<q": "<Q"}.get(
+        fmt, fmt)
+    for v in values:
+        packed += struct.pack(unsigned_fmt, int(v) & mask)
+    return bytes(packed)
+
+
+def peephole(body):
+    """Binaryen-style cleanups Emscripten applies after codegen:
+    ``local.set x; local.get x`` → ``local.tee x``, additions of zero and
+    multiplications by one are dropped."""
+    out = []
+    i = 0
+    n = len(body)
+    while i < n:
+        op, arg = body[i]
+        nxt = body[i + 1] if i + 1 < n else (None, None)
+        if op == Op.LOCAL_SET and nxt[0] == Op.LOCAL_GET and arg == nxt[1]:
+            out.append((int(Op.LOCAL_TEE), arg))
+            i += 2
+            continue
+        if op == Op.I32_CONST and arg == 0 and nxt[0] == Op.I32_ADD:
+            i += 2
+            continue
+        if op == Op.I32_CONST and arg == 1 and nxt[0] == Op.I32_MUL:
+            i += 2
+            continue
+        if op == Op.F64_CONST and arg == 0.0 and nxt[0] == Op.F64_ADD:
+            i += 2
+            continue
+        if op == Op.F64_CONST and arg == 1.0 and nxt[0] == Op.F64_MUL:
+            i += 2
+            continue
+        out.append(body[i])
+        i += 1
+    return out
+
+
+def generate_wasm(ir_module, options=None):
+    """Lower an IR module to a :class:`WasmModule`."""
+    return _Codegen(ir_module, options or WasmCodegenOptions()).generate()

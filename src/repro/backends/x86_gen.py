@@ -1,0 +1,438 @@
+"""IR → x86-model code generator.
+
+Globals and arrays live in a flat byte memory (globals first, arrays after,
+8-aligned).  Expressions are lowered to virtual registers (the cost model is
+pre-register-allocation; MOV/MOVI are cheap, as on a modern OoO core).
+
+Vectorized loops: body instructions are emitted with the ``vector`` flag,
+charging SIMD throughput — this is where ``-O2``'s ``-vectorize-loops``
+pays off on x86 (Fig. 6) while hurting Wasm (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CompileError
+from repro.ir.nodes import (
+    EBin, ECall, ECast, EConst, EGlobal, ELoad, ELocal, ESelect, EUn,
+    SAssign, SBreak, SContinue, SDoWhile, SExpr, SFor, SGlobalSet, SIf,
+    SReturn, SStore, SWhile, elem_size, is_float,
+)
+from repro.native.machine import NativeFunction, NativeProgram, NOp
+
+_HOST_FUNCS = ("exp", "log", "pow", "sin", "cos", "fmod",
+               "__print_i32", "__print_i64", "__print_f64")
+
+_BIN32 = {"+": NOp.ADD32, "-": NOp.SUB32, "*": NOp.MUL32, "&": NOp.AND32,
+          "|": NOp.OR32, "^": NOp.XOR32, "<<": NOp.SHL32}
+_BIN64 = {"+": NOp.ADD64, "-": NOp.SUB64, "*": NOp.MUL64, "&": NOp.AND64,
+          "|": NOp.OR64, "^": NOp.XOR64, "<<": NOp.SHL64}
+_BINF = {"+": NOp.FADD, "-": NOp.FSUB, "*": NOp.FMUL, "/": NOp.FDIV}
+_CMPF = {"==": NOp.FEQ, "!=": NOp.FNE, "<": NOp.FLT, "<=": NOp.FLE,
+         ">": NOp.FGT, ">=": NOp.FGE}
+_CMP32_S = {"==": NOp.EQ32, "!=": NOp.NE32, "<": NOp.LTS32,
+            "<=": NOp.LES32, ">": NOp.GTS32, ">=": NOp.GES32}
+_CMP32_U = {"==": NOp.EQ32, "!=": NOp.NE32, "<": NOp.LTU32,
+            "<=": NOp.LEU32, ">": NOp.GTU32, ">=": NOp.GEU32}
+_CMP64_S = {"==": NOp.EQ64, "!=": NOp.NE64, "<": NOp.LTS64,
+            "<=": NOp.LES64, ">": NOp.GTS64, ">=": NOp.GES64}
+_CMP64_U = {"==": NOp.EQ64, "!=": NOp.NE64, "<": NOp.LTU64,
+            "<=": NOp.LEU64, ">": NOp.GTU64, ">=": NOp.GEU64}
+
+_LOAD = {"f64": NOp.LOADF, "i64": NOp.LOAD64, "u64": NOp.LOAD64,
+         "i32": NOp.LOAD32, "u32": NOp.LOAD32, "i8": NOp.LOAD8S,
+         "u8": NOp.LOAD8U, "u16": NOp.LOAD16U}
+_STORE = {"f64": NOp.STOREF, "i64": NOp.STORE64, "u64": NOp.STORE64,
+          "i32": NOp.STORE32, "u32": NOp.STORE32, "i8": NOp.STORE8,
+          "u8": NOp.STORE8, "i16": NOp.STORE16, "u16": NOp.STORE16}
+
+
+def _is_unsigned(t):
+    return t in ("u32", "u64", "u8", "u16")
+
+
+def _wide(t):
+    return t in ("i64", "u64")
+
+
+class _X86FuncGen:
+    def __init__(self, codegen, func):
+        self.cg = codegen
+        self.func = func
+        self.code = []
+        self.reg_of = {}
+        for i, (name, _t) in enumerate(func.params):
+            self.reg_of[name] = i
+        for name in func.locals:
+            self.reg_of[name] = len(self.reg_of)
+        self.next_reg = len(self.reg_of)
+        self.loops = []       # (break_patch_list, continue_patch_list)
+        self.vector_depth = 0
+
+    def fresh(self):
+        reg = self.next_reg
+        self.next_reg += 1
+        return reg
+
+    def emit(self, op, dst=-1, a=0, b=0):
+        self.code.append((int(op), dst, a, b,
+                          1 if self.vector_depth else 0))
+        return len(self.code) - 1
+
+    def patch(self, pc, target=None):
+        op, dst, a, b, v = self.code[pc]
+        self.code[pc] = (op, target if target is not None
+                         else len(self.code), a, b, v)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, e):
+        """Lower an expression; returns the register holding its value."""
+        if isinstance(e, EConst):
+            reg = self.fresh()
+            value = float(e.value) if is_float(e.type) else int(e.value)
+            self.emit(NOp.MOVI, reg, value)
+            return reg
+        if isinstance(e, ELocal):
+            return self.reg_of[e.name]
+        if isinstance(e, EGlobal):
+            reg = self.fresh()
+            addr = self.fresh()
+            self.emit(NOp.MOVI, addr, self.cg.global_addr[e.name])
+            op = NOp.LOADF if is_float(e.type) else (
+                NOp.LOAD64 if _wide(e.type) else NOp.LOAD32)
+            self.emit(op, reg, addr, 0)
+            return reg
+        if isinstance(e, ELoad):
+            addr = self.address(e.array, e.indices)
+            reg = self.fresh()
+            et = self.cg.ir.arrays[e.array].elem_type
+            self.emit(_LOAD[et], reg, addr, self.cg.array_addr[e.array])
+            return reg
+        if isinstance(e, EBin):
+            return self.binop(e)
+        if isinstance(e, EUn):
+            return self.unop(e)
+        if isinstance(e, ECast):
+            return self.cast(e)
+        if isinstance(e, ECall):
+            return self.call(e)
+        if isinstance(e, ESelect):
+            c = self.expr(e.cond)
+            t = self.expr(e.then)
+            f = self.expr(e.els)
+            reg = self.fresh()
+            self.emit(NOp.SELECT, reg, (c, t, f))
+            return reg
+        raise CompileError(f"x86 codegen: bad expr {type(e).__name__}")
+
+    def address(self, array_name, indices):
+        array = self.cg.ir.arrays[array_name]
+        esize = elem_size(array.elem_type)
+        reg = self.expr(indices[0])
+        for dim, index in zip(array.dims[1:], indices[1:]):
+            dim_reg = self.fresh()
+            self.emit(NOp.MOVI, dim_reg, dim)
+            tmp = self.fresh()
+            self.emit(NOp.MUL32, tmp, reg, dim_reg)
+            idx = self.expr(index)
+            reg2 = self.fresh()
+            self.emit(NOp.ADD32, reg2, tmp, idx)
+            reg = reg2
+        if esize > 1:
+            shift = self.fresh()
+            self.emit(NOp.MOVI, shift, esize.bit_length() - 1)
+            out = self.fresh()
+            self.emit(NOp.SHL32, out, reg, shift)
+            reg = out
+        return reg
+
+    def binop(self, e):
+        op = e.op
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            ot = e.left.type
+            a = self.expr(e.left)
+            b = self.expr(e.right)
+            dst = self.fresh()
+            if is_float(ot):
+                table = _CMPF
+            elif _wide(ot):
+                table = _CMP64_U if _is_unsigned(ot) else _CMP64_S
+            else:
+                table = _CMP32_U if _is_unsigned(ot) else _CMP32_S
+            self.emit(table[op], dst, a, b)
+            return dst
+        a = self.expr(e.left)
+        b = self.expr(e.right)
+        dst = self.fresh()
+        t = e.type
+        if is_float(t):
+            self.emit(_BINF[op], dst, a, b)
+            return dst
+        wide = _wide(t)
+        basic = _BIN64 if wide else _BIN32
+        if op in basic:
+            self.emit(basic[op], dst, a, b)
+        elif op == "/":
+            if _is_unsigned(t):
+                self.emit(NOp.DIVU64 if wide else NOp.DIVU32, dst, a, b)
+            else:
+                self.emit(NOp.DIVS64 if wide else NOp.DIVS32, dst, a, b)
+        elif op == "%":
+            if _is_unsigned(t):
+                self.emit(NOp.REMU64 if wide else NOp.REMU32, dst, a, b)
+            else:
+                self.emit(NOp.REMS64 if wide else NOp.REMS32, dst, a, b)
+        elif op == ">>":
+            if _is_unsigned(t):
+                self.emit(NOp.SHRU64 if wide else NOp.SHRU32, dst, a, b)
+            else:
+                self.emit(NOp.SHRS64 if wide else NOp.SHRS32, dst, a, b)
+        else:
+            raise CompileError(f"x86 codegen: bad int op {op!r}")
+        return dst
+
+    def unop(self, e):
+        a = self.expr(e.expr)
+        dst = self.fresh()
+        if e.op == "neg":
+            if is_float(e.type):
+                self.emit(NOp.FNEG, dst, a)
+            else:
+                self.emit(NOp.NEG64 if _wide(e.type) else NOp.NEG32,
+                          dst, a)
+        elif e.op == "!":
+            self.emit(NOp.NOT64 if _wide(e.expr.type) else NOp.NOT32,
+                      dst, a)
+        elif e.op == "~":
+            self.emit(NOp.BNOT64 if _wide(e.type) else NOp.BNOT32, dst, a)
+        else:
+            raise CompileError(f"x86 codegen: bad unop {e.op!r}")
+        return dst
+
+    def cast(self, e):
+        src, dst_t = e.expr.type, e.type
+        # x86 folds constant conversions into immediates (constant pool):
+        # rematerialised const+convert pairs are free here, unlike on the
+        # Wasm virtual stack (the Fig. 8 asymmetry).
+        if isinstance(e.expr, EConst) and is_float(dst_t) \
+                and not is_float(src):
+            reg = self.fresh()
+            value = float(int(e.expr.value) & 0xFFFFFFFFFFFFFFFF
+                          if _is_unsigned(src) else e.expr.value)
+            self.emit(NOp.MOVI, reg, value)
+            return reg
+        a = self.expr(e.expr)
+        if src == dst_t or (not is_float(src) and not is_float(dst_t)
+                            and _wide(src) == _wide(dst_t)):
+            return a
+        dst = self.fresh()
+        if is_float(dst_t):
+            if _wide(src):
+                self.emit(NOp.I2F_S64, dst, a)
+            elif _is_unsigned(src):
+                self.emit(NOp.I2F_U32, dst, a)
+            else:
+                self.emit(NOp.I2F_S32, dst, a)
+        elif is_float(src):
+            self.emit(NOp.F2I64 if _wide(dst_t) else NOp.F2I32, dst, a)
+        elif _wide(dst_t):
+            self.emit(NOp.ZX32TO64 if _is_unsigned(src) else NOp.SX32TO64,
+                      dst, a)
+        else:
+            self.emit(NOp.TRUNC64TO32, dst, a)
+        return dst
+
+    def call(self, e):
+        # Native libm instructions where x86 has them.
+        if e.name == "sqrt":
+            a = self.expr(e.args[0])
+            dst = self.fresh()
+            self.emit(NOp.FSQRT, dst, a)
+            return dst
+        if e.name == "fabs":
+            a = self.expr(e.args[0])
+            dst = self.fresh()
+            self.emit(NOp.FABS, dst, a)
+            return dst
+        if e.name == "floor":
+            a = self.expr(e.args[0])
+            dst = self.fresh()
+            self.emit(NOp.FFLOOR, dst, a)
+            return dst
+        if e.name == "ceil":
+            a = self.expr(e.args[0])
+            dst = self.fresh()
+            self.emit(NOp.FCEIL, dst, a)
+            return dst
+        if e.name == "abs":
+            a = self.expr(e.args[0])
+            neg = self.fresh()
+            self.emit(NOp.NEG32, neg, a)
+            zero = self.fresh()
+            self.emit(NOp.MOVI, zero, 0)
+            cond = self.fresh()
+            self.emit(NOp.GES32, cond, a, zero)
+            dst = self.fresh()
+            self.emit(NOp.SELECT, dst, (cond, a, neg))
+            return dst
+        arg_regs = [self.expr(a) for a in e.args]
+        dst = self.fresh() if e.type else -1
+        if e.name in _HOST_FUNCS:
+            self.emit(NOp.HOSTCALL, dst, (e.name, arg_regs))
+        else:
+            self.emit(NOp.CALL, dst, (e.name, arg_regs))
+        return dst
+
+    # -- statements ----------------------------------------------------------
+
+    def stmts(self, body):
+        for s in body:
+            self.stmt(s)
+
+    def stmt(self, s):
+        if isinstance(s, SAssign):
+            value = self.expr(s.expr)
+            self.emit(NOp.MOV, self.reg_of[s.name], value)
+        elif isinstance(s, SGlobalSet):
+            value = self.expr(s.expr)
+            addr = self.fresh()
+            self.emit(NOp.MOVI, addr, self.cg.global_addr[s.name])
+            g = self.cg.ir.globals[s.name]
+            op = NOp.STOREF if is_float(g.type) else (
+                NOp.STORE64 if _wide(g.type) else NOp.STORE32)
+            self.emit(op, value, addr, 0)
+        elif isinstance(s, SStore):
+            addr = self.address(s.array, s.indices)
+            value = self.expr(s.expr)
+            et = self.cg.ir.arrays[s.array].elem_type
+            self.emit(_STORE[et], value, addr,
+                      self.cg.array_addr[s.array])
+        elif isinstance(s, SIf):
+            cond = self.expr(s.cond)
+            jz = self.emit(NOp.JZ, -1, cond)
+            self.stmts(s.then)
+            if s.els:
+                jmp = self.emit(NOp.JMP)
+                self.patch(jz)
+                self.stmts(s.els)
+                self.patch(jmp)
+            else:
+                self.patch(jz)
+        elif isinstance(s, SWhile):
+            start = len(self.code)
+            exit_jump = None
+            if not (isinstance(s.cond, EConst) and s.cond.value):
+                cond = self.expr(s.cond)
+                exit_jump = self.emit(NOp.JZ, -1, cond)
+            self.loops.append(([], []))
+            self.stmts(s.body)
+            breaks, continues = self.loops.pop()
+            for pc in continues:
+                self.patch(pc, start)
+            self.emit(NOp.JMP, start)
+            if exit_jump is not None:
+                self.patch(exit_jump)
+            for pc in breaks:
+                self.patch(pc)
+        elif isinstance(s, SDoWhile):
+            start = len(self.code)
+            self.loops.append(([], []))
+            self.stmts(s.body)
+            breaks, continues = self.loops.pop()
+            cond_pc = len(self.code)
+            for pc in continues:
+                self.patch(pc, cond_pc)
+            cond = self.expr(s.cond)
+            self.emit(NOp.JNZ, start, cond)
+            for pc in breaks:
+                self.patch(pc)
+        elif isinstance(s, SFor):
+            self.stmts(s.init)
+            start = len(self.code)
+            exit_jump = None
+            if not (isinstance(s.cond, EConst) and s.cond.value):
+                cond = self.expr(s.cond)
+                exit_jump = self.emit(NOp.JZ, -1, cond)
+            self.loops.append(([], []))
+            if s.vector_width:
+                self.vector_depth += 1
+            self.stmts(s.body)
+            if s.vector_width:
+                self.vector_depth -= 1
+            breaks, continues = self.loops.pop()
+            step_pc = len(self.code)
+            for pc in continues:
+                self.patch(pc, step_pc)
+            self.stmts(s.step)
+            self.emit(NOp.JMP, start)
+            if exit_jump is not None:
+                self.patch(exit_jump)
+            for pc in breaks:
+                self.patch(pc)
+        elif isinstance(s, SBreak):
+            self.loops[-1][0].append(self.emit(NOp.JMP))
+        elif isinstance(s, SContinue):
+            self.loops[-1][1].append(self.emit(NOp.JMP))
+        elif isinstance(s, SReturn):
+            if s.expr is not None:
+                reg = self.expr(s.expr)
+                self.emit(NOp.RETV, -1, reg)
+            else:
+                self.emit(NOp.RET)
+        elif isinstance(s, SExpr):
+            self.expr(s.expr)
+        else:
+            raise CompileError(f"x86 codegen: bad stmt {type(s).__name__}")
+
+
+def generate_x86(ir_module):
+    """Lower an IR module to a :class:`NativeProgram`."""
+    program = NativeProgram(name=ir_module.name)
+    gen = _ModuleGen(ir_module, program)
+    return gen.generate()
+
+
+class _ModuleGen:
+    def __init__(self, ir_module, program):
+        self.ir = ir_module
+        self.program = program
+        self.global_addr = {}
+        self.array_addr = {}
+
+    def generate(self):
+        cursor = 64
+        data = []
+        for g in self.ir.globals.values():
+            cursor = (cursor + 7) // 8 * 8
+            self.global_addr[g.name] = cursor
+            if is_float(g.type):
+                data.append((cursor, struct.pack("<d", float(g.init))))
+            elif _wide(g.type):
+                data.append((cursor, struct.pack(
+                    "<Q", int(g.init) & 0xFFFFFFFFFFFFFFFF)))
+            else:
+                data.append((cursor, struct.pack(
+                    "<I", int(g.init) & 0xFFFFFFFF)))
+            cursor += 8
+        from repro.backends.wasm_gen import _pack
+        for array in self.ir.arrays.values():
+            cursor = (cursor + 7) // 8 * 8
+            self.array_addr[array.name] = cursor
+            if array.init:
+                data.append((cursor, _pack(array)))
+            cursor += array.byte_size
+        self.program.memory_bytes = cursor + 64
+        self.program.data = data
+
+        for f in self.ir.functions.values():
+            if not f.body:
+                continue
+            gen = _X86FuncGen(self, f)
+            gen.stmts(f.body)
+            gen.emit(NOp.RET)
+            self.program.functions[f.name] = NativeFunction(
+                f.name, len(f.params), gen.next_reg, gen.code,
+                returns_value=f.ret is not None)
+        return self.program

@@ -1,0 +1,21 @@
+"""C-subset frontend: preprocessor, lexer, parser (direct to IR), and the
+§3.1 source-to-source transformations (exception removal, union→struct).
+"""
+
+from repro.cfront.lexer import tokenize_c
+from repro.cfront.parser import parse_c
+from repro.cfront.preproc import preprocess
+from repro.cfront.transform import (
+    remove_exceptions,
+    replace_unions,
+    transform_source,
+)
+
+__all__ = [
+    "parse_c",
+    "preprocess",
+    "remove_exceptions",
+    "replace_unions",
+    "tokenize_c",
+    "transform_source",
+]

@@ -1,0 +1,140 @@
+"""Lexer for the C subset. Token kinds: ``num`` (value, is_float, is_long),
+``str``, ``char``, ``ident``, ``kw``, ``punct``, ``eof``."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+C_KEYWORDS = {
+    "int", "unsigned", "signed", "long", "short", "char", "double", "float",
+    "void", "if", "else", "for", "while", "do", "return", "break",
+    "continue", "static", "const", "struct", "union", "sizeof", "typedef",
+    "extern", "volatile", "register",
+}
+
+_PUNCTUATORS = [
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%",
+    "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"'}
+
+
+class CToken:
+    __slots__ = ("kind", "value", "line", "is_float", "is_long",
+                 "is_unsigned")
+
+    def __init__(self, kind, value, line, is_float=False, is_long=False,
+                 is_unsigned=False):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.is_float = is_float
+        self.is_long = is_long
+        self.is_unsigned = is_unsigned
+
+    def __repr__(self):
+        return f"CToken({self.kind}, {self.value!r})"
+
+
+def tokenize_c(source):
+    """Tokenize preprocessed C-subset source."""
+    tokens = []
+    i = 0
+    n = len(source)
+    line = 1
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and
+                            source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and (source[j].isdigit() or source[j] == "."):
+                    if source[j] == ".":
+                        is_float = True
+                    j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                text = source[i:j]
+                value = float(text) if is_float else int(text)
+            is_long = False
+            is_unsigned = False
+            while j < n and source[j] in "uUlLfF":
+                if source[j] in "lL":
+                    is_long = True
+                elif source[j] in "uU":
+                    is_unsigned = True
+                elif source[j] in "fF":
+                    is_float = True
+                    value = float(value)
+                j += 1
+            tokens.append(CToken("num", value, line, is_float, is_long,
+                                 is_unsigned))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(CToken("kw" if word in C_KEYWORDS else "ident",
+                                 word, line))
+            i = j
+            continue
+        if ch == "'":
+            if source[i + 1] == "\\":
+                value = _ESCAPES.get(source[i + 2], source[i + 2])
+                end = i + 3
+            else:
+                value = source[i + 1]
+                end = i + 2
+            if end >= n or source[end] != "'":
+                raise ParseError("malformed char literal", line)
+            tokens.append(CToken("char", ord(value), line))
+            i = end + 1
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(_ESCAPES.get(source[j + 1], source[j + 1]))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line)
+            tokens.append(CToken("str", "".join(buf), line))
+            i = j + 1
+            continue
+        for punct in _PUNCTUATORS:
+            if source.startswith(punct, i):
+                tokens.append(CToken("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line)
+    tokens.append(CToken("eof", None, line))
+    return tokens

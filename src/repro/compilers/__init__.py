@@ -1,0 +1,20 @@
+"""Toolchain facades: Cheerp, Emscripten, and LLVM-x86.
+
+Each facade runs the same frontend and the same pass library, but with the
+pipeline composition, runtime conventions, and memory sizing of the real
+toolchain it models — the axes §4.2 of the paper varies.
+"""
+
+from repro.compilers.base import CompiledJs, CompiledNative, CompiledWasm
+from repro.compilers.cheerp import CheerpCompiler
+from repro.compilers.emscripten import EmscriptenCompiler
+from repro.compilers.llvm_x86 import LlvmX86Compiler
+
+__all__ = [
+    "CheerpCompiler",
+    "CompiledJs",
+    "CompiledNative",
+    "CompiledWasm",
+    "EmscriptenCompiler",
+    "LlvmX86Compiler",
+]

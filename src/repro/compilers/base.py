@@ -1,0 +1,107 @@
+"""Shared toolchain plumbing: frontend invocation, artifacts, pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfront import parse_c, preprocess, transform_source
+from repro.cfront.parser import BUILTINS
+from repro.errors import LinkError
+from repro.ir.passes import run_pipeline
+
+#: Optimization levels every toolchain accepts.
+OPT_LEVELS = ("O0", "O1", "O2", "O3", "O4", "Os", "Oz", "Ofast")
+
+
+@dataclass
+class CompiledWasm:
+    """A compiled WebAssembly artifact."""
+
+    module: object            # repro.wasm.WasmModule
+    binary: bytes
+    toolchain: str
+    opt_level: str
+    name: str = "module"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def code_size(self):
+        return len(self.binary)
+
+
+@dataclass
+class CompiledJs:
+    """A compiled (genericjs) JavaScript artifact."""
+
+    source: str
+    toolchain: str
+    opt_level: str
+    name: str = "module"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def code_size(self):
+        return len(self.source.encode("utf-8"))
+
+
+@dataclass
+class CompiledNative:
+    """A compiled x86-model artifact."""
+
+    program: object           # repro.native.NativeProgram
+    toolchain: str
+    opt_level: str
+    name: str = "module"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def code_size(self):
+        from repro.native import program_byte_size
+        return program_byte_size(self.program)
+
+
+class ToolchainBase:
+    """Common frontend behaviour (preprocess → §3.1 transforms → parse →
+    pass pipeline)."""
+
+    name = "toolchain"
+
+    def __init__(self, use_precompiled_libs=False):
+        #: §3.2: Cheerp implicitly links pre-compiled libc/libc++; when a
+        #: program also defines those symbols the link fails.  The paper's
+        #: workaround (and our default) is to disable the implicit libs.
+        self.use_precompiled_libs = use_precompiled_libs
+
+    def frontend(self, source, defines=None, name="module",
+                 apply_transforms=True):
+        text = preprocess(source, defines)
+        if apply_transforms:
+            text = transform_source(text)
+        module = parse_c(text, name)
+        self._check_link(module)
+        # Frontend normalisation (mem2reg-style): the parser's hoisted
+        # temporaries (post-increment snapshots, logic temps) are cleaned
+        # up at every optimization level, as real frontends do.
+        from repro.ir.passes import dead_code_elimination
+        dead_code_elimination(module)
+        return module
+
+    def _check_link(self, module):
+        if not self.use_precompiled_libs:
+            return
+        conflicts = [fname for fname in module.functions
+                     if fname in BUILTINS and module.functions[fname].body]
+        if conflicts:
+            raise LinkError(
+                "conflicting symbol definitions between the pre-compiled "
+                f"libraries and the program: {', '.join(sorted(conflicts))} "
+                "(disable pre-compiled libs, §3.2)")
+
+    def optimize(self, module, opt_level):
+        pipeline = self.pipelines()[opt_level]
+        run_pipeline(module, pipeline)
+        module.meta["opt_level"] = opt_level
+        return module
+
+    def pipelines(self):
+        raise NotImplementedError

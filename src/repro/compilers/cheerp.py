@@ -1,0 +1,103 @@
+"""Cheerp facade (the paper's primary C → Wasm/JS compiler).
+
+Models Cheerp around LLVM 3.7:
+
+* ``-globalopt`` runs in its conservative variant, which is defeated by
+  fast-math function attributes — so ``-Ofast`` misses dead-store
+  elimination (§4.2.1, ADPCM/Fig. 7; LLVM bug 37449 is the analogue the
+  paper cites for -O3).
+* ``-O3``/``-O4`` lose the inliner (the "less inlining at O3" bug).
+* Linear memory grows in 64 KiB granules with an 8 MiB default heap and
+  1 MiB default stack (raise with ``linear_heap_size``/
+  ``linear_stack_size``, the paper's §3.2 flags).
+* The Wasm backend is the 2019-era one: no address strength reduction and
+  no Binaryen-style peephole — part of why Emscripten output runs faster
+  (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.backends import (
+    JsCodegenOptions, WasmCodegenOptions, generate_js, generate_wasm,
+)
+from repro.compilers.base import CompiledJs, CompiledWasm, ToolchainBase
+from repro.ir.passes import PASSES
+from repro.ir.passes.globalopt import global_opt_conservative
+from repro.wasm import encode_module, validate_module
+
+_GLOBALOPT_C = global_opt_conservative
+
+
+class CheerpCompiler(ToolchainBase):
+    name = "cheerp"
+
+    def __init__(self, linear_heap_size=8 * 1024 * 1024,
+                 linear_stack_size=1024 * 1024,
+                 use_precompiled_libs=False):
+        super().__init__(use_precompiled_libs)
+        self.linear_heap_size = linear_heap_size
+        self.linear_stack_size = linear_stack_size
+
+    def pipelines(self):
+        o2 = ["constfold", "inline", "licm", "gvn", "vectorize-loops",
+              "remat-consts", "libcalls-shrinkwrap", _GLOBALOPT_C, "dce"]
+        return {
+            "O0": [],
+            "O1": ["constfold", _GLOBALOPT_C, "dce"],
+            "O2": list(o2),
+            # The paper's O3/O4 behave like Ofast: the old inliner bails
+            # out at those levels (LLVM bug 37449 analogue).
+            "O3": [p for p in o2 if p != "inline"],
+            "O4": [p for p in o2 if p != "inline"],
+            "Ofast": ["constfold", "fast-math", "inline", "licm", "gvn",
+                      "vectorize-loops", "remat-consts",
+                      "libcalls-shrinkwrap", _GLOBALOPT_C, "dce"],
+            # Size levels drop the passes that grow code (§2.1.2):
+            # -Os keeps rematerialisation, -Oz drops it too.
+            "Os": ["constfold", "inline", "licm", "gvn", "remat-consts",
+                   _GLOBALOPT_C, "dce"],
+            "Oz": ["constfold", "inline", "licm", "gvn",
+                   _GLOBALOPT_C, "dce"],
+            # Extension (the paper's §5 future-work call: "tailor the
+            # optimization techniques to WebAssembly"): keep the passes
+            # that help a stack machine, drop the x86-oriented ones
+            # (vectorize/remat), and clean the emitted code up with a
+            # Binaryen-style peephole + address strength reduction.
+            "Owasm": ["constfold", "inline", "licm", "gvn", "globalopt",
+                      "dce"],
+        }
+
+    def _wasm_options(self, opt_level):
+        tailored = opt_level == "Owasm"
+        return WasmCodegenOptions(
+            heap_bytes=self.linear_heap_size,
+            stack_bytes=self.linear_stack_size,
+            growth_granule_pages=1,          # 64 KiB Cheerp granule
+            strength_reduce=tailored,
+            peephole=tailored,
+            vector_overhead_ops=6,
+            meta={"toolchain": self.name, "opt_level": opt_level},
+        )
+
+    def compile_wasm(self, source, defines=None, opt_level="O2",
+                     name="module"):
+        """C source → validated Wasm artifact."""
+        ir = self.frontend(source, defines, name)
+        self.optimize(ir, opt_level)
+        module = generate_wasm(ir, self._wasm_options(opt_level))
+        validate_module(module)
+        binary = encode_module(module)
+        return CompiledWasm(module, binary, self.name, opt_level, name,
+                            meta=dict(module.meta))
+
+    def compile_js(self, source, defines=None, opt_level="O2",
+                   name="module"):
+        """C source → genericjs artifact (standard JavaScript target)."""
+        ir = self.frontend(source, defines, name)
+        self.optimize(ir, opt_level)
+        js = generate_js(ir, JsCodegenOptions(
+            vector_overhead_stmts=3,
+            meta={"toolchain": self.name, "opt_level": opt_level}))
+        return CompiledJs(js, self.name, opt_level, name)

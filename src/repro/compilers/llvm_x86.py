@@ -1,0 +1,42 @@
+"""LLVM-x86 facade — the control toolchain of §4.2.1 (Fig. 6).
+
+Modern LLVM behaviour: -globalopt is not defeated by fast-math, the
+inliner works at every level, -Ofast unrolls.  On this target the pass
+pipelines produce exactly the textbook ordering: Ofast fastest, O1 slowest,
+Oz smallest."""
+
+from __future__ import annotations
+
+from repro.backends import generate_x86
+from repro.compilers.base import CompiledNative, ToolchainBase
+
+
+class LlvmX86Compiler(ToolchainBase):
+    name = "llvm-x86"
+
+    def pipelines(self):
+        o2 = ["constfold", "inline", "licm", "gvn", "vectorize-loops",
+              "remat-consts", "libcalls-shrinkwrap", "globalopt", "dce"]
+        return {
+            "O0": [],
+            "O1": ["constfold", "globalopt", "dce"],
+            "O2": list(o2),
+            "O3": list(o2) + ["unroll"],
+            "O4": list(o2) + ["unroll"],
+            # Modern pipeline re-runs globalopt/dce after fast-math, so no
+            # dead stores survive (unlike Cheerp's -Ofast).
+            "Ofast": (["constfold", "fast-math"] + list(o2)[1:] +
+                      ["unroll", "globalopt", "dce"]),
+            "Os": ["constfold", "inline", "licm", "gvn", "remat-consts",
+                   "globalopt", "dce"],
+            "Oz": ["constfold", "inline", "licm", "gvn", "globalopt",
+                   "dce"],
+        }
+
+    def compile(self, source, defines=None, opt_level="O2", name="module"):
+        ir = self.frontend(source, defines, name)
+        self.optimize(ir, opt_level)
+        program = generate_x86(ir)
+        program.meta.update({"toolchain": self.name,
+                             "opt_level": opt_level})
+        return CompiledNative(program, self.name, opt_level, name)

@@ -1,0 +1,38 @@
+"""Execution environments: browser engine profiles, platforms, Chrome
+flags, and DevTools/adb metric collection."""
+
+from repro.env.platformspec import DESKTOP, MOBILE, PlatformSpec
+from repro.env.browser import (
+    BrowserProfile,
+    WasmEngineConfig,
+    chrome_desktop,
+    chrome_mobile,
+    edge_desktop,
+    edge_mobile,
+    firefox_desktop,
+    firefox_mobile,
+    ALL_DESKTOP,
+    ALL_MOBILE,
+)
+from repro.env.flags import ChromeFlags
+from repro.env.devtools import DevTools
+from repro.env.adb import AdbCollector
+
+__all__ = [
+    "ALL_DESKTOP",
+    "ALL_MOBILE",
+    "AdbCollector",
+    "BrowserProfile",
+    "ChromeFlags",
+    "DESKTOP",
+    "DevTools",
+    "MOBILE",
+    "PlatformSpec",
+    "WasmEngineConfig",
+    "chrome_desktop",
+    "chrome_mobile",
+    "edge_desktop",
+    "edge_mobile",
+    "firefox_desktop",
+    "firefox_mobile",
+]

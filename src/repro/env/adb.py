@@ -1,0 +1,36 @@
+"""Android Debug Bridge facade (§4: mobile metrics were collected with
+adb).
+
+On the real testbed the paper drives mobile browsers over ``adb`` and
+scrapes the same DevTools numbers remotely; here the facade reproduces the
+interface (shell transcript included for fidelity of the methodology) and
+defers to :class:`repro.env.devtools.DevTools` for the metric definitions.
+"""
+
+from __future__ import annotations
+
+from repro.env.devtools import DevTools
+
+
+class AdbCollector:
+    """Collects metrics from a "device" (a mobile PlatformSpec + profile)."""
+
+    def __init__(self, platform, profile, serial="mi6-0001"):
+        if platform.kind != "mobile":
+            raise ValueError("adb collects from mobile platforms only")
+        self.serial = serial
+        self.devtools = DevTools(platform, profile)
+        self.transcript = []
+
+    def _log(self, command):
+        self.transcript.append(f"adb -s {self.serial} {command}")
+
+    def js_metrics(self, engine):
+        self._log("shell dumpsys meminfo <browser>")
+        self._log("forward tcp:9222 localabstract:chrome_devtools_remote")
+        return self.devtools.js_metrics(engine)
+
+    def wasm_metrics(self, cycles, instance):
+        self._log("shell dumpsys meminfo <browser>")
+        self._log("forward tcp:9222 localabstract:chrome_devtools_remote")
+        return self.devtools.wasm_metrics(cycles, instance)

@@ -1,0 +1,74 @@
+"""Chrome command-line flags (the paper's Appendix A / Table 11).
+
+:class:`ChromeFlags` parses the exact flag strings the paper used and
+produces the corresponding profile modifications:
+
+* ``--incognito`` — fresh profile per run, nothing cached (the harness
+  already creates a fresh engine per repetition; the flag documents it).
+* ``--js-flags="--no-opt"`` — JS optimizing tier disabled.
+* ``--js-flags="--liftoff --no-wasm-tier-up"`` — Wasm basic tier only.
+* ``--js-flags="--no-liftoff --no-wasm-tier-up"`` — Wasm optimizing tier
+  only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChromeFlags:
+    incognito: bool = False
+    js_flags: list = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, command_line):
+        """Parse ``chrome.exe --incognito --js-flags="--no-opt"`` style
+        command lines."""
+        flags = cls()
+        if "--incognito" in command_line or "-incognito" in command_line:
+            flags.incognito = True
+        match = re.search(r'--?js-flags="([^"]*)"', command_line)
+        if match:
+            flags.js_flags = match.group(1).split()
+        return flags
+
+    @property
+    def jit_disabled(self):
+        return "--no-opt" in self.js_flags
+
+    @property
+    def wasm_tier_up_disabled(self):
+        return "--no-wasm-tier-up" in self.js_flags
+
+    @property
+    def wasm_basic_only(self):
+        return ("--liftoff" in self.js_flags and
+                self.wasm_tier_up_disabled)
+
+    @property
+    def wasm_optimizing_only(self):
+        return ("--no-liftoff" in self.js_flags and
+                self.wasm_tier_up_disabled)
+
+    def apply(self, profile):
+        """Return a new :class:`BrowserProfile` with the flags applied."""
+        out = profile
+        if self.jit_disabled:
+            out = out.with_js(jit_enabled=False)
+        if self.wasm_basic_only:
+            out = out.with_wasm(optimizing_enabled=False)
+        elif self.wasm_optimizing_only:
+            out = out.with_wasm(basic_enabled=False)
+        return out
+
+    def command_line(self, page="bench.html"):
+        """Reconstruct the equivalent Chrome invocation (for reports)."""
+        parts = ["chrome.exe"]
+        if self.js_flags:
+            parts.append(f'--js-flags="{" ".join(self.js_flags)}"')
+        if self.incognito:
+            parts.append("--incognito")
+        parts.append(page)
+        return " ".join(parts)

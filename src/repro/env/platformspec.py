@@ -1,0 +1,25 @@
+"""Hardware platforms (§4: Intel i7 desktop vs Xiaomi Mi 6 phone)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A device: converts abstract engine cycles into wall-clock ms."""
+
+    name: str
+    kind: str                 # "desktop" | "mobile"
+    cycles_per_ms: float      # effective abstract-cycle rate
+
+    def ms(self, cycles):
+        return cycles / self.cycles_per_ms
+
+
+#: Intel Core i7 / 16 GB, Ubuntu 18.04 (the paper's desktop testbed).
+DESKTOP = PlatformSpec("i7-desktop", "desktop", 400000.0)
+
+#: Xiaomi Mi 6, 8-core Snapdragon / 6 GB, Android (the paper's phone).
+#: Roughly 4× slower per abstract cycle than the desktop testbed.
+MOBILE = PlatformSpec("xiaomi-mi6", "mobile", 100000.0)

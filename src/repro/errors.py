@@ -1,0 +1,39 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolchain."""
+
+
+class ParseError(ReproError):
+    """Raised when source text (C subset or JS subset) cannot be parsed.
+
+    Carries the offending line/column so toolchain facades can report
+    Cheerp-style diagnostics.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f":{col}" if col is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class CompileError(ReproError):
+    """Raised when a frontend/backend cannot lower an input program."""
+
+
+class LinkError(CompileError):
+    """Raised for link-stage failures (e.g. conflicting symbol definitions
+    between pre-compiled and explicitly linked libraries, §3.2)."""
+
+
+class ValidationError(ReproError):
+    """Raised when a Wasm module fails validation."""
+
+
+class TrapError(ReproError):
+    """Raised when Wasm execution traps (unreachable, OOB access, exhausted
+    linear memory, division by zero)."""

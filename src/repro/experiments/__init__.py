@@ -1,0 +1,46 @@
+"""Experiment entry points — one per table/figure of the paper.
+
+Every function returns a dict with at least ``data`` (structured results)
+and ``text`` (rendered tables in the paper's layout).  See DESIGN.md's
+per-experiment index (E1–E13) and EXPERIMENTS.md for paper-vs-measured
+records.
+"""
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.opt_levels import (
+    figure5_opt_levels,
+    figure6_opt_levels_x86,
+    table2_summary,
+)
+from repro.experiments.compiler_compare import compare_cheerp_emscripten
+from repro.experiments.input_sizes import (
+    figure9_input_sizes,
+    input_size_tables,
+)
+from repro.experiments.jit import figure10_jit_improvement
+from repro.experiments.jit_tiers import table7_tier_comparison
+from repro.experiments.browsers import table8_browsers_platforms
+from repro.experiments.context_switch import context_switch_overhead
+from repro.experiments.manual_js import table9_manual_js
+from repro.experiments.realworld import table10_realworld, table12_longjs_ops
+from repro.experiments.opt_level_stats import figure11_five_number
+from repro.experiments.chrome_flags import table11_chrome_flags
+
+__all__ = [
+    "ExperimentContext",
+    "compare_cheerp_emscripten",
+    "context_switch_overhead",
+    "figure10_jit_improvement",
+    "figure11_five_number",
+    "figure5_opt_levels",
+    "figure6_opt_levels_x86",
+    "figure9_input_sizes",
+    "input_size_tables",
+    "table10_realworld",
+    "table11_chrome_flags",
+    "table12_longjs_ops",
+    "table2_summary",
+    "table7_tier_comparison",
+    "table8_browsers_platforms",
+    "table9_manual_js",
+]

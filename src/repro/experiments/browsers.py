@@ -1,0 +1,71 @@
+"""E8 (§4.5, Figs. 12–13, Table 8): browsers × platforms.
+
+41 benchmarks at -O2, default input, in six deployment settings: desktop
+and mobile Chrome/Firefox/Edge."""
+
+from __future__ import annotations
+
+from repro.analysis import arithmetic_mean, format_table
+from repro.env import (
+    DESKTOP, MOBILE,
+    chrome_desktop, chrome_mobile, edge_desktop, edge_mobile,
+    firefox_desktop, firefox_mobile,
+)
+
+SETTINGS = (
+    ("chrome", "desktop", chrome_desktop, DESKTOP),
+    ("firefox", "desktop", firefox_desktop, DESKTOP),
+    ("edge", "desktop", edge_desktop, DESKTOP),
+    ("chrome", "mobile", chrome_mobile, MOBILE),
+    ("firefox", "mobile", firefox_mobile, MOBILE),
+    ("edge", "mobile", edge_mobile, MOBILE),
+)
+
+
+def table8_browsers_platforms(ctx, size="M"):
+    data = {}
+    for browser, platform_kind, profile_fn, platform in SETTINGS:
+        runner = ctx.runner(profile_fn(), platform)
+        js_times = []
+        wasm_times = []
+        js_mems = []
+        wasm_mems = []
+        per_benchmark = {}
+        for benchmark in ctx.benchmarks():
+            wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
+            js_m = runner.run_js(ctx.js(benchmark, size))
+            js_times.append(js_m.time_ms)
+            wasm_times.append(wasm_m.time_ms)
+            js_mems.append(js_m.memory_kb)
+            wasm_mems.append(wasm_m.memory_kb)
+            per_benchmark[benchmark.name] = {
+                "js_ms": js_m.time_ms, "wasm_ms": wasm_m.time_ms,
+                "js_kb": js_m.memory_kb, "wasm_kb": wasm_m.memory_kb}
+        data[(browser, platform_kind)] = {
+            "js_ms": arithmetic_mean(js_times),
+            "wasm_ms": arithmetic_mean(wasm_times),
+            "js_kb": arithmetic_mean(js_mems),
+            "wasm_kb": arithmetic_mean(wasm_mems),
+            "per_benchmark": per_benchmark,
+        }
+
+    def row(metric, kind):
+        return [data[(browser, kind)][metric]
+                for browser in ("chrome", "firefox", "edge")]
+
+    rows = [
+        ["D. Exec. Time (ms)"] + row("js_ms", "desktop")
+        + row("wasm_ms", "desktop"),
+        ["M. Exec. Time (ms)"] + row("js_ms", "mobile")
+        + row("wasm_ms", "mobile"),
+        ["D. Memory (KB)"] + row("js_kb", "desktop")
+        + row("wasm_kb", "desktop"),
+        ["M. Memory (KB)"] + row("js_kb", "mobile")
+        + row("wasm_kb", "mobile"),
+    ]
+    text = format_table(
+        ["", "JS Chrome", "JS Firefox", "JS Edge",
+         "WASM Chrome", "WASM Firefox", "WASM Edge"], rows,
+        title="Table 8: average execution time and memory "
+              "(Figs. 12/13 data)")
+    return {"data": data, "text": text}

@@ -1,0 +1,42 @@
+"""E13 (Appendix A, Table 11): the Chrome parameters used per experiment,
+reconstructed from :class:`repro.env.flags.ChromeFlags`."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.env import ChromeFlags
+
+_CONFIGS = [
+    ("Sec. 4.2", "Figure 5, 6 / Table 2", "chrome.exe --incognito",
+     "Prevent the browser from caching the benchmark."),
+    ("Sec. 4.3", "Figure 9 / Table 3-6", "chrome.exe --incognito",
+     "Prevent the browser from caching the benchmark."),
+    ("Sec. 4.4", "Figure 10 / Table 7", "chrome.exe --incognito",
+     "Default: both LiftOff and TurboFan enabled."),
+    ("Sec. 4.4", "Figure 10",
+     'chrome.exe --js-flags="--no-opt" --incognito',
+     "LiftOff-equivalent only for JavaScript benchmarks."),
+    ("Sec. 4.4", "Figure 10 / Table 7",
+     'chrome.exe --js-flags="--liftoff --no-wasm-tier-up" --incognito',
+     "LiftOff compiler only for WebAssembly benchmarks."),
+    ("Sec. 4.4", "Table 7",
+     'chrome.exe --js-flags="--no-liftoff --no-wasm-tier-up" --incognito',
+     "TurboFan compiler only for WebAssembly benchmarks."),
+    ("Sec. 4.5", "Figure 11, 12 / Table 8", "chrome.exe --incognito",
+     "Prevent the browser from caching the benchmark."),
+    ("Sec. 4.6", "Table 9, 10, 11", "chrome.exe --incognito",
+     "Prevent the browser from caching the benchmark."),
+]
+
+
+def table11_chrome_flags():
+    rows = []
+    parsed = []
+    for section, figures, command, impact in _CONFIGS:
+        flags = ChromeFlags.parse(command)
+        parsed.append((section, figures, flags))
+        rows.append([section, figures, command, impact])
+    text = format_table(["Section", "Figures/Tables", "Parameter",
+                         "Impact"], rows,
+                        title="Table 11: Google Chrome parameters")
+    return {"data": parsed, "text": text}

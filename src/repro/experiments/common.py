@@ -1,0 +1,84 @@
+"""Shared experiment infrastructure: compile caching, runner helpers, and
+the benchmark selections."""
+
+from __future__ import annotations
+
+import os
+
+from repro.compilers import CheerpCompiler, EmscriptenCompiler, LlvmX86Compiler
+from repro.env import DESKTOP, MOBILE, chrome_desktop
+from repro.harness import PageRunner
+from repro.suites import all_benchmarks
+
+#: Environment variable: set to run experiments on a representative subset
+#: (used for quick CI runs; the full suite is the default).
+QUICK_ENV = "REPRO_QUICK"
+
+#: Representative subset (one per kernel family) for quick runs.
+QUICK_SET = [
+    "covariance", "gemm", "3mm", "atax", "cholesky", "lu", "trisolv",
+    "floyd-warshall", "jacobi-2d", "heat-3d",
+    "ADPCM", "AES", "SHA", "DFADD", "MIPS",
+]
+
+
+class ExperimentContext:
+    """Configuration + caches shared by experiment functions.
+
+    The Cheerp heap is left at 2 MiB for the benchmark pages (the paper
+    raises Cheerp's limits with ``-cheerp-linear-heap-size`` where needed,
+    §3.2); repetitions default to the paper's five.
+    """
+
+    def __init__(self, repetitions=None, quick=None, heap_bytes=2 * 1024 * 1024):
+        if quick is None:
+            quick = bool(os.environ.get(QUICK_ENV))
+        self.quick = quick
+        self.repetitions = repetitions if repetitions is not None else \
+            (2 if quick else 5)
+        self.cheerp = CheerpCompiler(linear_heap_size=heap_bytes)
+        self.emscripten = EmscriptenCompiler()
+        self.llvm_x86 = LlvmX86Compiler()
+        self._wasm_cache = {}
+        self._js_cache = {}
+        self._x86_cache = {}
+
+    def benchmarks(self):
+        benchmarks = all_benchmarks()
+        if self.quick:
+            benchmarks = [b for b in benchmarks if b.name in QUICK_SET]
+        return benchmarks
+
+    # -- cached compiles -----------------------------------------------------
+
+    def wasm(self, benchmark, size="M", opt_level="O2", toolchain=None):
+        toolchain = toolchain or self.cheerp
+        key = (benchmark.name, size, opt_level, toolchain.name)
+        if key not in self._wasm_cache:
+            self._wasm_cache[key] = toolchain.compile_wasm(
+                benchmark.source, benchmark.defines(size), opt_level,
+                benchmark.name)
+        return self._wasm_cache[key]
+
+    def js(self, benchmark, size="M", opt_level="O2"):
+        key = (benchmark.name, size, opt_level)
+        if key not in self._js_cache:
+            self._js_cache[key] = self.cheerp.compile_js(
+                benchmark.source, benchmark.defines(size), opt_level,
+                benchmark.name)
+        return self._js_cache[key]
+
+    def x86(self, benchmark, size="M", opt_level="O2"):
+        key = (benchmark.name, size, opt_level)
+        if key not in self._x86_cache:
+            self._x86_cache[key] = self.llvm_x86.compile(
+                benchmark.source, benchmark.defines(size), opt_level,
+                benchmark.name)
+        return self._x86_cache[key]
+
+    # -- runners ---------------------------------------------------------------
+
+    def runner(self, profile=None, platform=None, flags=None):
+        return PageRunner(profile or chrome_desktop(),
+                          platform or DESKTOP, flags=flags,
+                          repetitions=self.repetitions)

@@ -1,0 +1,46 @@
+"""E3 (§4.2.2): Cheerp vs Emscripten, -O2, desktop Chrome, M inputs.
+
+The paper: Emscripten-compiled Wasm runs 2.70× faster (geomean) but uses
+6.02× more memory, because of the 64 KiB vs 16 MiB memory-growth granule
+and backend quality."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, geomean
+from repro.env import DESKTOP, chrome_desktop
+
+
+def compare_cheerp_emscripten(ctx, size="M"):
+    runner = ctx.runner(chrome_desktop(), DESKTOP)
+    rows = []
+    speedups = []
+    memory_ratios = []
+    per_benchmark = {}
+    for benchmark in ctx.benchmarks():
+        cheerp_m = runner.run_wasm(ctx.wasm(benchmark, size,
+                                            toolchain=ctx.cheerp))
+        emcc_m = runner.run_wasm(ctx.wasm(benchmark, size,
+                                          toolchain=ctx.emscripten))
+        speedup = cheerp_m.time_ms / emcc_m.time_ms
+        mem_ratio = emcc_m.memory_kb / cheerp_m.memory_kb
+        speedups.append(speedup)
+        memory_ratios.append(mem_ratio)
+        per_benchmark[benchmark.name] = {
+            "cheerp_ms": cheerp_m.time_ms, "emcc_ms": emcc_m.time_ms,
+            "cheerp_kb": cheerp_m.memory_kb, "emcc_kb": emcc_m.memory_kb,
+            "speedup": speedup, "memory_ratio": mem_ratio,
+            "cheerp_grows": cheerp_m.detail.get("memory_grows"),
+            "emcc_grows": emcc_m.detail.get("memory_grows"),
+        }
+        rows.append([benchmark.name, cheerp_m.time_ms, emcc_m.time_ms,
+                     speedup, mem_ratio])
+    summary = {"speedup_gmean": geomean(speedups),
+               "memory_gmean": geomean(memory_ratios)}
+    text = format_table(
+        ["benchmark", "cheerp ms", "emscripten ms", "emcc speedup",
+         "emcc mem ratio"], rows,
+        title="§4.2.2: Cheerp vs Emscripten (-O2, Chrome desktop)")
+    text += (f"\n\nGeomean: Emscripten {summary['speedup_gmean']:.2f}x "
+             f"faster, {summary['memory_gmean']:.2f}x more memory "
+             "(paper: 2.70x faster, 6.02x more memory)")
+    return {"data": per_benchmark, "summary": summary, "text": text}

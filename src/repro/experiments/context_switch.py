@@ -1,0 +1,63 @@
+"""E9 (§4.5): JS↔Wasm context-switch overhead micro-benchmark.
+
+A Wasm module whose hot loop calls a trivial JS import; the boundary cost
+dominates, exposing each browser's call overhead.  The paper: Firefox takes
+only 0.13× of Chrome's time."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.env import DESKTOP, chrome_desktop, edge_desktop, firefox_desktop
+from repro.wasm import FuncType, Function, HostImport, WasmModule, WasmVM
+from repro.wasm.instructions import Op, instr as I
+
+CALLS = 20000
+
+
+def _boundary_module(calls):
+    """(module (import "env" "tick") (func $pingpong ...)) — calls the JS
+    import ``calls`` times."""
+    module = WasmModule(name="context-switch")
+    module.imports.append(
+        HostImport("env", "tick", FuncType(("i32",), ("i32",))))
+    body = [
+        I(Op.I32_CONST, 0), I(Op.LOCAL_SET, 0),
+        I(Op.BLOCK), I(Op.LOOP),
+        I(Op.LOCAL_GET, 0), I(Op.I32_CONST, calls), I(Op.I32_GE_S),
+        I(Op.BR_IF, 1),
+        I(Op.LOCAL_GET, 0), I(Op.CALL, 0), I(Op.LOCAL_SET, 0),
+        I(Op.LOCAL_GET, 0), I(Op.I32_CONST, 1), I(Op.I32_ADD),
+        I(Op.LOCAL_SET, 0),
+        I(Op.BR, 0),
+        I(Op.END), I(Op.END),
+    ]
+    module.add_function(Function("pingpong", FuncType((), ()),
+                                 ["i32"], body, exported=True))
+    return module
+
+
+def context_switch_overhead(calls=CALLS):
+    module = _boundary_module(calls)
+    results = {}
+    for profile_fn in (chrome_desktop, firefox_desktop, edge_desktop):
+        profile = profile_fn()
+        vm = WasmVM(boundary_cost=profile.wasm.boundary_cost)
+        instance = vm.instantiate(
+            module, {("env", "tick"): lambda inst, v: v})
+        instance.invoke("pingpong")
+        cycles = instance.stats.cycles + instance.stats.boundary_cycles
+        results[profile.name] = {
+            "ms": DESKTOP.ms(cycles),
+            "boundary_cycles": instance.stats.boundary_cycles,
+            "host_calls": instance.stats.host_calls,
+        }
+    chrome_ms = results["chrome"]["ms"]
+    rows = []
+    for name, entry in results.items():
+        entry["vs_chrome"] = entry["ms"] / chrome_ms
+        rows.append([name, entry["ms"], entry["vs_chrome"]])
+    text = format_table(
+        ["browser", "time (ms)", "ratio vs Chrome"], rows,
+        title=f"§4.5 micro-benchmark: {calls} JS↔Wasm boundary calls "
+              "(paper: Firefox 0.13x of Chrome)")
+    return {"data": results, "text": text}

@@ -1,0 +1,82 @@
+"""E4/E5: impact of input sizes (Fig. 9, Tables 3–6).
+
+41 benchmarks × five input sizes × {Wasm, JS}, on Chrome (Table 3/4) and
+Firefox (Table 5/6), all at -O2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, speedup_slowdown_split
+from repro.env import DESKTOP, chrome_desktop, firefox_desktop
+from repro.suites import SIZE_CLASSES
+
+
+def figure9_input_sizes(ctx, profile=None, sizes=SIZE_CLASSES):
+    """Fig. 9 data: execution time and memory per benchmark per size for
+    both targets, on one browser profile (default: desktop Chrome)."""
+    profile = profile or chrome_desktop()
+    runner = ctx.runner(profile, DESKTOP)
+    data = {}
+    for benchmark in ctx.benchmarks():
+        per_size = {}
+        for size in sizes:
+            wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
+            js_m = runner.run_js(ctx.js(benchmark, size))
+            per_size[size] = {
+                "wasm_ms": wasm_m.time_ms, "js_ms": js_m.time_ms,
+                "wasm_kb": wasm_m.memory_kb, "js_kb": js_m.memory_kb,
+            }
+        data[benchmark.name] = per_size
+    return {"browser": profile.name, "data": data,
+            "text": _render_fig9(profile.name, data, sizes)}
+
+
+def input_size_tables(ctx, browser="chrome", fig9=None, sizes=SIZE_CLASSES):
+    """Tables 3+4 (Chrome) or 5+6 (Firefox): speedup/slowdown splits and
+    average memory usage per input size."""
+    profile = chrome_desktop() if browser == "chrome" else firefox_desktop()
+    fig9 = fig9 or figure9_input_sizes(ctx, profile, sizes)
+    data = fig9["data"]
+    exec_rows = []
+    exec_stats = {}
+    mem_rows = []
+    mem_stats = {}
+    for size in sizes:
+        wasm_times = [data[b][size]["wasm_ms"] for b in data]
+        js_times = [data[b][size]["js_ms"] for b in data]
+        split = speedup_slowdown_split(wasm_times, js_times)
+        exec_stats[size] = split
+        exec_rows.append([
+            size, split["sd_count"],
+            split["sd_gmean"], split["su_count"], split["su_gmean"],
+            split["all_gmean"]])
+        js_avg = sum(data[b][size]["js_kb"] for b in data) / len(data)
+        wasm_avg = sum(data[b][size]["wasm_kb"] for b in data) / len(data)
+        mem_stats[size] = {"js_kb": js_avg, "wasm_kb": wasm_avg}
+        mem_rows.append([size, js_avg, wasm_avg])
+    exec_text = format_table(
+        ["Input Size", "SD #", "SD gmean", "SU #", "SU gmean", "All gmean"],
+        exec_rows,
+        title=f"Table {'3' if browser == 'chrome' else '5'}: {browser} "
+              "execution time statistics (Wasm vs JS)")
+    mem_text = format_table(
+        ["Input Size", "JavaScript (KB)", "WebAssembly (KB)"], mem_rows,
+        title=f"Table {'4' if browser == 'chrome' else '6'}: {browser} "
+              "average memory usage")
+    return {"browser": browser, "exec": exec_stats, "memory": mem_stats,
+            "fig9": fig9, "text": exec_text + "\n\n" + mem_text}
+
+
+def _render_fig9(browser, data, sizes):
+    headers = ["benchmark"]
+    for size in sizes:
+        headers += [f"{size} wasm ms", f"{size} js ms"]
+    rows = []
+    for name, per_size in data.items():
+        row = [name]
+        for size in sizes:
+            row += [per_size[size]["wasm_ms"], per_size[size]["js_ms"]]
+        rows.append(row)
+    return format_table(headers, rows,
+                        title=f"Figure 9 ({browser}): execution time by "
+                              "input size")

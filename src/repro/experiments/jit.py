@@ -1,0 +1,62 @@
+"""E6 (§4.4.1, Fig. 10): performance improvement with JIT optimization.
+
+JS and Wasm, each measured with the default Chrome configuration and with
+the JIT disabled (``--js-flags="--no-opt"`` for JS,
+``--js-flags="--liftoff --no-wasm-tier-up"`` for Wasm, Table 11)."""
+
+from __future__ import annotations
+
+from repro.analysis import arithmetic_mean, format_table, geomean
+from repro.env import ChromeFlags, DESKTOP, chrome_desktop
+
+
+def figure10_jit_improvement(ctx, size="M"):
+    default_runner = ctx.runner(chrome_desktop(), DESKTOP)
+    nojit_js_runner = ctx.runner(
+        chrome_desktop(), DESKTOP,
+        flags=ChromeFlags.parse('chrome.exe --js-flags="--no-opt" '
+                                "--incognito"))
+    nojit_wasm_runner = ctx.runner(
+        chrome_desktop(), DESKTOP,
+        flags=ChromeFlags.parse(
+            'chrome.exe --js-flags="--liftoff --no-wasm-tier-up" '
+            "--incognito"))
+    data = {"js": {}, "wasm": {}}
+    for benchmark in ctx.benchmarks():
+        js_artifact = ctx.js(benchmark, size)
+        with_jit = default_runner.run_js(js_artifact).time_ms
+        without = nojit_js_runner.run_js(js_artifact).time_ms
+        data["js"][benchmark.name] = {
+            "improvement": without / with_jit, "suite": benchmark.suite}
+        wasm_artifact = ctx.wasm(benchmark, size)
+        with_jit = default_runner.run_wasm(wasm_artifact).time_ms
+        without = nojit_wasm_runner.run_wasm(wasm_artifact).time_ms
+        data["wasm"][benchmark.name] = {
+            "improvement": without / with_jit, "suite": benchmark.suite}
+
+    def group(target, suite):
+        return [entry["improvement"] for entry in data[target].values()
+                if entry["suite"] == suite]
+
+    summary = {}
+    for target in ("js", "wasm"):
+        for suite in ("PolyBenchC", "CHStone"):
+            values = group(target, suite)
+            if values:
+                summary[(target, suite)] = {
+                    "geomean": geomean(values),
+                    "average": arithmetic_mean(values)}
+    rows = [[name, entry["improvement"]]
+            for name, entry in data["js"].items()]
+    text = format_table(["benchmark", "JS JIT improvement"], rows,
+                        title="Figure 10 (a,b): JS improvement with JIT")
+    rows = [[name, entry["improvement"]]
+            for name, entry in data["wasm"].items()]
+    text += "\n\n" + format_table(
+        ["benchmark", "WASM JIT improvement"], rows,
+        title="Figure 10 (c,d): Wasm improvement with JIT")
+    summary_rows = [[t, s, v["geomean"], v["average"]]
+                    for (t, s), v in summary.items()]
+    text += "\n\n" + format_table(
+        ["target", "suite", "geomean", "average"], summary_rows)
+    return {"data": data, "summary": summary, "text": text}

@@ -1,0 +1,66 @@
+"""E7 (§4.4.2, Table 7): Wasm two-tier compilers on Chrome vs Firefox.
+
+Three settings per browser: basic tier only (LiftOff / Baseline),
+optimizing tier only (TurboFan / Ion), and the default (both).  Numbers are
+execution-speed ratios of the default setting to each single-tier setting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import arithmetic_mean, format_table, geomean
+from repro.env import DESKTOP, chrome_desktop, firefox_desktop
+
+
+def _ratios(ctx, profile, size):
+    default_runner = ctx.runner(profile, DESKTOP)
+    basic_runner = ctx.runner(profile.with_wasm(optimizing_enabled=False),
+                              DESKTOP)
+    opt_runner = ctx.runner(profile.with_wasm(basic_enabled=False), DESKTOP)
+    out = {}
+    for benchmark in ctx.benchmarks():
+        artifact = ctx.wasm(benchmark, size)
+        default_ms = default_runner.run_wasm(artifact).time_ms
+        basic_ms = basic_runner.run_wasm(artifact).time_ms
+        opt_ms = opt_runner.run_wasm(artifact).time_ms
+        # Speed ratio of default to single-tier: >1 means default faster.
+        out[benchmark.name] = {
+            "suite": benchmark.suite,
+            "vs_basic": basic_ms / default_ms,
+            "vs_opt": opt_ms / default_ms,
+        }
+    return out
+
+
+def table7_tier_comparison(ctx, size="M"):
+    chrome = _ratios(ctx, chrome_desktop(), size)
+    firefox = _ratios(ctx, firefox_desktop(), size)
+    data = {"chrome": chrome, "firefox": firefox}
+
+    def agg(results, suite, key):
+        values = [e[key] for e in results.values()
+                  if suite in (None, e["suite"])]
+        return geomean(values), arithmetic_mean(values)
+
+    rows = []
+    summary = {}
+    for suite_label, suite in (("PolyBenchC", "PolyBenchC"),
+                               ("CHStone", "CHStone"),
+                               ("Overall", None)):
+        liftoff_g, liftoff_a = agg(chrome, suite, "vs_basic")
+        baseline_g, baseline_a = agg(firefox, suite, "vs_basic")
+        turbofan_g, turbofan_a = agg(chrome, suite, "vs_opt")
+        ion_g, ion_a = agg(firefox, suite, "vs_opt")
+        summary[suite_label] = {
+            "LiftOff": liftoff_g, "Baseline": baseline_g,
+            "TurboFan": turbofan_g, "Ion": ion_g}
+        rows.append([suite_label, "Geo. mean", liftoff_g, baseline_g,
+                     turbofan_g, ion_g])
+        rows.append([suite_label, "Average", liftoff_a, baseline_a,
+                     turbofan_a, ion_a])
+    text = format_table(
+        ["Benchmark", "Metric", "LiftOff", "Baseline", "TurboFan", "Ion"],
+        rows,
+        title="Table 7: Wasm speed ratio of default setting to "
+              "basic-only (LiftOff/Baseline) and optimizing-only "
+              "(TurboFan/Ion)")
+    return {"data": data, "summary": summary, "text": text}

@@ -1,0 +1,33 @@
+"""E12 (Appendix B, Fig. 11): five-number summaries of the optimization-
+level results."""
+
+from __future__ import annotations
+
+from repro.analysis import five_number_summary, format_table
+from repro.experiments.opt_levels import (
+    RATIO_LEVELS, figure5_opt_levels, figure6_opt_levels_x86,
+)
+
+
+def figure11_five_number(ctx, size="M", fig5=None, fig6=None):
+    fig5 = fig5 or figure5_opt_levels(ctx, size)
+    fig6 = fig6 or figure6_opt_levels_x86(ctx, size)
+    summaries = {}
+    rows = []
+    for target, source, metrics in (
+            ("JS", fig5["data"]["js"], ("time", "code_size", "memory")),
+            ("WASM", fig5["data"]["wasm"], ("time", "code_size", "memory")),
+            ("x86", fig6["data"], ("time", "code_size"))):
+        for metric in metrics:
+            for level in RATIO_LEVELS:
+                label = f"{level}/O2"
+                values = [entry[metric][label] for entry in source.values()]
+                summary = five_number_summary(values)
+                summaries[(target, metric, label)] = summary
+                rows.append([target, metric, label, summary.minimum,
+                             summary.q1, summary.median, summary.q3,
+                             summary.maximum])
+    text = format_table(
+        ["target", "metric", "ratio", "min", "q1", "median", "q3", "max"],
+        rows, title="Figure 11: five-number summaries vs -O2")
+    return {"data": summaries, "text": text, "fig5": fig5, "fig6": fig6}

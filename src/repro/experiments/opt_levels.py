@@ -1,0 +1,139 @@
+"""E1/E2: impact of compiler optimization levels (Fig. 5, Fig. 6, Table 2).
+
+41 benchmarks × {-O1, -O2, -Ofast, -Oz}, measured as ratios to the -O2
+baseline, for the Wasm and genericjs targets on desktop Chrome and for the
+x86 control toolchain.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, geomean
+from repro.env import DESKTOP, chrome_desktop
+from repro.native import execute_program
+
+LEVELS = ("O1", "O2", "Ofast", "Oz")
+RATIO_LEVELS = ("O1", "Ofast", "Oz")
+
+
+def _ratios(per_level):
+    """{level: value} → {f"{lvl}/O2": ratio} against the O2 baseline."""
+    base = per_level["O2"]
+    return {f"{lvl}/O2": per_level[lvl] / base for lvl in RATIO_LEVELS}
+
+
+def figure5_opt_levels(ctx, size="M"):
+    """Fig. 5: per-benchmark execution time and code size across levels,
+    Wasm and JS targets, Chrome v79 desktop, default (M) input."""
+    runner = ctx.runner(chrome_desktop(), DESKTOP)
+    data = {"wasm": {}, "js": {}}
+    for benchmark in ctx.benchmarks():
+        for target in ("wasm", "js"):
+            times = {}
+            sizes = {}
+            memories = {}
+            for level in LEVELS:
+                if target == "wasm":
+                    artifact = ctx.wasm(benchmark, size, level)
+                    measurement = runner.run_wasm(artifact)
+                else:
+                    artifact = ctx.js(benchmark, size, level)
+                    measurement = runner.run_js(artifact)
+                times[level] = measurement.time_ms
+                sizes[level] = artifact.code_size
+                memories[level] = measurement.memory_kb
+            data[target][benchmark.name] = {
+                "time": _ratios(times),
+                "code_size": _ratios(sizes),
+                "memory": _ratios(memories),
+                "raw_time_ms": times,
+            }
+    return {"data": data, "text": _render_fig5(data)}
+
+
+def figure6_opt_levels_x86(ctx, size="M"):
+    """Fig. 6: the same sweep for the LLVM-x86 control toolchain."""
+    data = {}
+    for benchmark in ctx.benchmarks():
+        times = {}
+        sizes = {}
+        for level in LEVELS:
+            artifact = ctx.x86(benchmark, size, level)
+            _, stats = execute_program(artifact.program, "main")
+            times[level] = stats.cycles
+            sizes[level] = artifact.code_size
+        data[benchmark.name] = {"time": _ratios(times),
+                                "code_size": _ratios(sizes),
+                                "raw_cycles": times}
+    return {"data": data, "text": _render_fig6(data)}
+
+
+def table2_summary(ctx, size="M", fig5=None, fig6=None):
+    """Table 2: geometric means of the level/O2 ratios for JS, Wasm, x86."""
+    fig5 = fig5 or figure5_opt_levels(ctx, size)
+    fig6 = fig6 or figure6_opt_levels_x86(ctx, size)
+    rows = []
+    summary = {}
+    for metric, key in (("Exec. Time", "time"), ("Code Size", "code_size"),
+                        ("Memory", "memory")):
+        for level in RATIO_LEVELS:
+            label = f"{level}/O2"
+            js_values = [entry[key][label]
+                         for entry in fig5["data"]["js"].values()
+                         if key in entry]
+            wasm_values = [entry[key][label]
+                           for entry in fig5["data"]["wasm"].values()
+                           if key in entry]
+            if key != "memory":
+                x86_values = [entry[key][label]
+                              for entry in fig6["data"].values()]
+                x86_g = geomean(x86_values)
+            else:
+                x86_g = None
+            js_g = geomean(js_values)
+            wasm_g = geomean(wasm_values)
+            summary[(metric, label)] = {"js": js_g, "wasm": wasm_g,
+                                        "x86": x86_g}
+            rows.append([metric, label, js_g, wasm_g, x86_g])
+    text = format_table(["Metrics", "Targets", "JS", "WASM", "x86"], rows,
+                        title="Table 2: geometric means of compiler "
+                              "optimization results (vs -O2)")
+    return {"data": summary, "text": text,
+            "fig5": fig5, "fig6": fig6}
+
+
+def _render_fig5(data):
+    lines = ["Figure 5: exec time / code size vs -O2 (Wasm & JS, Chrome)"]
+    headers = ["benchmark",
+               "wasm t O1", "wasm t Ofast", "wasm t Oz",
+               "js t O1", "js t Ofast", "js t Oz",
+               "wasm cs Oz", "js cs Oz"]
+    rows = []
+    for name in data["wasm"]:
+        wasm_entry = data["wasm"][name]
+        js_entry = data["js"][name]
+        rows.append([
+            name,
+            wasm_entry["time"]["O1/O2"], wasm_entry["time"]["Ofast/O2"],
+            wasm_entry["time"]["Oz/O2"],
+            js_entry["time"]["O1/O2"], js_entry["time"]["Ofast/O2"],
+            js_entry["time"]["Oz/O2"],
+            wasm_entry["code_size"]["Oz/O2"],
+            js_entry["code_size"]["Oz/O2"],
+        ])
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)
+
+
+def _render_fig6(data):
+    headers = ["benchmark", "t O1/O2", "t Ofast/O2", "t Oz/O2",
+               "cs O1/O2", "cs Ofast/O2", "cs Oz/O2"]
+    rows = []
+    for name, entry in data.items():
+        rows.append([name,
+                     entry["time"]["O1/O2"], entry["time"]["Ofast/O2"],
+                     entry["time"]["Oz/O2"],
+                     entry["code_size"]["O1/O2"],
+                     entry["code_size"]["Ofast/O2"],
+                     entry["code_size"]["Oz/O2"]])
+    return format_table(headers, rows,
+                        title="Figure 6: x86 exec time / code size vs -O2")

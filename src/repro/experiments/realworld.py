@@ -1,0 +1,51 @@
+"""E11 (§4.6.2, Tables 10 and 12): real-world applications — Long.js,
+Hyphenopoly.js, FFmpeg."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.apps import FfmpegApp, HyphenopolyApp, LongJsApp
+
+
+def table10_realworld(ctx=None):
+    """Table 10: the six experiments across the three applications."""
+    longjs = LongJsApp().run()
+    hyphenopoly = HyphenopolyApp().run()
+    ffmpeg = FfmpegApp().run()
+    rows = []
+    for label, entry in longjs.items():
+        rows.append([f"Long.js {label}",
+                     f"10,000 ops", entry["wasm_ms"], entry["js_ms"],
+                     entry["ratio"]])
+    for language, entry in hyphenopoly.items():
+        rows.append([f"Hyphenopoly {language}",
+                     "synthetic text", entry["wasm_ms"], entry["js_ms"],
+                     entry["ratio"]])
+    rows.append(["FFmpeg mp4→avi", f"{ffmpeg['frames']} frames",
+                 ffmpeg["wasm_ms"], ffmpeg["js_ms"], ffmpeg["ratio"]])
+    text = format_table(
+        ["Benchmark", "Input", "WA Time (ms)", "JS Time (ms)", "Ratio"],
+        rows, title="Table 10: real-world applications "
+                    "(paper ratios: 0.73 / 0.52 / 0.58 / 0.94 / 0.96 / "
+                    "0.275)")
+    return {"longjs": longjs, "hyphenopoly": hyphenopoly, "ffmpeg": ffmpeg,
+            "text": text}
+
+
+def table12_longjs_ops(longjs=None):
+    """Table 12 (Appendix D): arithmetic operation counts for Long.js."""
+    longjs = longjs or LongJsApp().run()
+    headers = ["Benchmark", "impl", "ADD", "MUL", "DIV", "REM", "SHIFT",
+               "AND", "OR", "Total"]
+    rows = []
+    for label, entry in longjs.items():
+        for impl in ("js", "wasm"):
+            ops = entry[f"{impl}_ops"]
+            total = sum(ops.values())
+            rows.append([label.capitalize(), impl.upper(),
+                         ops["ADD"], ops["MUL"], ops["DIV"], ops["REM"],
+                         ops["SHIFT"], ops["AND"], ops["OR"], total])
+    text = format_table(headers, rows,
+                        title="Table 12: Long.js arithmetic operation "
+                              "counts")
+    return {"data": longjs, "text": text}

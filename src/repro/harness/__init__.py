@@ -1,0 +1,9 @@
+"""Measurement harness: HTML page construction, timer instrumentation,
+and the page runner that executes compiled artifacts under a browser
+profile + platform and collects DevTools metrics (§3.3–3.4)."""
+
+from repro.harness.page import HtmlPage
+from repro.harness.measurement import Measurement
+from repro.harness.runner import PageRunner, install_c_host
+
+__all__ = ["HtmlPage", "Measurement", "PageRunner", "install_c_host"]

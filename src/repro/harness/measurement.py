@@ -1,0 +1,30 @@
+"""Measurement records produced by the runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Measurement:
+    """One benchmark configuration, measured over N repetitions (§3.3.2:
+    five runs, averaged)."""
+
+    name: str
+    target: str                       # "js" | "wasm" | "x86"
+    browser: str = ""
+    platform: str = ""
+    times_ms: list = field(default_factory=list)
+    memory_kb: float = 0.0
+    code_size: int = 0
+    output: list = field(default_factory=list)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def time_ms(self):
+        """Mean execution time over the repetitions."""
+        return sum(self.times_ms) / len(self.times_ms)
+
+    def __repr__(self):
+        return (f"Measurement({self.name}/{self.target}"
+                f" {self.time_ms:.3f}ms {self.memory_kb:.0f}KB)")

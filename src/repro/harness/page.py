@@ -1,0 +1,67 @@
+"""Minimal HTML pages (§3.3.1) and timer instrumentation (§3.3.2).
+
+The page is deliberately minimal — one ``<script>`` tag — so renderer
+overhead stays a small fixed cost (modelled by the profile's
+``page_overhead_cycles``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: performance.now() instrumentation wrapped around the program entry
+#: (§3.3.2): inserted before the target program starts and after it ends.
+_TIMER_SUFFIX = """
+var __t0 = performance.now();
+{entry}();
+var __t1 = performance.now();
+__report_time(__t1 - __t0);
+"""
+
+#: JS loader that instantiates a Wasm module (§2.2.2: at minimum, Wasm
+#: requires JavaScript to instantiate the module).  The runner charges its
+#: parse cost and models the instantiate/tier pipeline.
+WASM_LOADER_JS = """
+var __t0 = performance.now();
+WebAssembly.instantiate(__module_bytes, { env: __env }).then(
+  function (result) {
+    var instance = result.instance;
+    instance.exports.{entry}();
+    var __t1 = performance.now();
+    __report_time(__t1 - __t0);
+  });
+"""
+
+
+@dataclass
+class HtmlPage:
+    """A benchmark page: minimal HTML + one inline script."""
+
+    title: str
+    script: str
+    kind: str                 # "js" | "wasm-loader"
+
+    @classmethod
+    def for_js(cls, compiled_js, entry="main"):
+        script = compiled_js.source + _TIMER_SUFFIX.replace(
+            "{entry}", entry)
+        return cls(title=compiled_js.name, script=script, kind="js")
+
+    @classmethod
+    def for_wasm(cls, compiled_wasm, entry="main"):
+        script = WASM_LOADER_JS.replace("{entry}", entry)
+        return cls(title=compiled_wasm.name, script=script,
+                   kind="wasm-loader")
+
+    @property
+    def html(self):
+        return (
+            "<!DOCTYPE html>\n"
+            f"<html><head><title>{self.title}</title></head>\n"
+            "<body>\n"
+            f"<script>\n{self.script}\n</script>\n"
+            "</body></html>\n"
+        )
+
+    @property
+    def byte_size(self):
+        return len(self.html.encode("utf-8"))

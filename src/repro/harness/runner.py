@@ -1,0 +1,208 @@
+"""The page runner: executes compiled Wasm/JS artifacts under a browser
+profile on a platform, reproducing the paper's measurement protocol:
+
+* one page per benchmark, fresh browser state per run (``--incognito``);
+* five repetitions, averaged (§3.3.2);
+* DevTools metrics (execution time, memory) — via adb on mobile (§4).
+
+Wasm execution-time composition models the two-tier pipeline: decode +
+basic-tier compile up front, optimizing-tier compile charged when the
+dynamic instruction count crosses the tier-up threshold, and per-tier code
+quality factors applied to the executed cycles (§4.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.env.adb import AdbCollector
+from repro.env.devtools import DevTools
+from repro.harness.measurement import Measurement
+from repro.harness.page import HtmlPage
+from repro.jsengine import JsEngine
+from repro.jsengine.values import (
+    JSArray, NativeFunction, UNDEFINED, to_int32,
+)
+from repro.wasm import WasmVM
+
+
+def install_c_host(engine, output):
+    """Install the host shims Cheerp-generated JS expects: ``__print_*``,
+    ``Math.imul``, and the timer report hook."""
+
+    def print_num(e, this, args):
+        output.append(args[0])
+        return UNDEFINED
+
+    def print_i64(e, this, args):
+        pair = args[0]
+        lo = int(pair.items[0]) & 0xFFFFFFFF
+        hi = int(pair.items[1]) & 0xFFFFFFFF
+        value = (hi << 32) | lo
+        if value >= 1 << 63:
+            value -= 1 << 64
+        output.append(value)
+        return UNDEFINED
+
+    engine.globals["__print_i32"] = NativeFunction(
+        "__print_i32", lambda e, t, a: print_num(e, t, [float(to_int32(a[0]))]),
+        150.0)
+    engine.globals["__print_f64"] = NativeFunction(
+        "__print_f64", print_num, 150.0)
+    engine.globals["__print_i64"] = NativeFunction(
+        "__print_i64", print_i64, 150.0)
+    engine.globals["Math"].props["imul"] = NativeFunction(
+        "imul", lambda e, t, a: float(to_int32(to_int32(a[0]) *
+                                               to_int32(a[1]))), 4.0)
+    timings = []
+    engine.globals["__report_time"] = NativeFunction(
+        "__report_time", lambda e, t, a: timings.append(a[0]) or UNDEFINED,
+        30.0)
+    return timings
+
+
+def wasm_host_imports(output, instance_box):
+    """Host imports for Cheerp-generated Wasm: prints and the libm
+    functions Cheerp routes through JS ``Math`` (§3.2)."""
+
+    def mk_print(name):
+        def shim(inst, value):
+            output.append(value)
+        return shim
+
+    imports = {("env", name): mk_print(name)
+               for name in ("__print_i32", "__print_i64", "__print_f64")}
+
+    def math1(fn):
+        def shim(inst, x):
+            inst.stats.cycles += 25.0     # native Math.* body
+            return fn(x)
+        return shim
+
+    def math2(fn):
+        def shim(inst, x, y):
+            inst.stats.cycles += 30.0
+            return fn(x, y)
+        return shim
+
+    imports[("env", "exp")] = math1(lambda x: math.exp(min(x, 700.0)))
+    imports[("env", "log")] = math1(
+        lambda x: math.log(x) if x > 0 else
+        (-math.inf if x == 0 else math.nan))
+    imports[("env", "sin")] = math1(math.sin)
+    imports[("env", "cos")] = math1(math.cos)
+    imports[("env", "pow")] = math2(
+        lambda x, y: math.pow(x, y) if not (x < 0 and y != int(y))
+        else math.nan)
+    imports[("env", "fmod")] = math2(
+        lambda x, y: math.fmod(x, y) if y else math.nan)
+    return imports
+
+
+class PageRunner:
+    """Runs compiled artifacts the way the paper runs benchmark pages."""
+
+    def __init__(self, profile, platform, flags=None, repetitions=5):
+        if flags is not None:
+            profile = flags.apply(profile)
+        self.profile = profile
+        self.platform = platform
+        self.repetitions = repetitions
+        if platform.kind == "mobile":
+            self.collector = AdbCollector(platform, profile)
+        else:
+            self.collector = DevTools(platform, profile)
+
+    # -- JavaScript ---------------------------------------------------------
+
+    def run_js(self, compiled_js, entry="main", name=None):
+        name = name or compiled_js.name
+        page = HtmlPage.for_js(compiled_js, entry)
+        result = Measurement(name=name, target="js",
+                             browser=f"{self.profile.name} "
+                                     f"v{self.profile.version}",
+                             platform=self.platform.name,
+                             code_size=compiled_js.code_size)
+        for _ in range(self.repetitions):
+            output = []
+            engine = JsEngine(self.profile.js,
+                              cycles_per_ms=self.platform.cycles_per_ms)
+            timings = install_c_host(engine, output)
+            engine.load_script(page.script)
+            metrics = self.collector.js_metrics(engine)
+            result.times_ms.append(metrics.execution_time_ms)
+            result.memory_kb = metrics.memory_kb
+            result.output = output
+            result.detail = metrics.detail
+            result.detail["timer_ms"] = timings[0] if timings else None
+        return result
+
+    # -- WebAssembly ----------------------------------------------------------
+
+    def run_wasm(self, compiled_wasm, entry="main", name=None):
+        name = name or compiled_wasm.name
+        wasm_cfg = self.profile.wasm
+        page = HtmlPage.for_wasm(compiled_wasm, entry)
+        result = Measurement(name=name, target="wasm",
+                             browser=f"{self.profile.name} "
+                                     f"v{self.profile.version}",
+                             platform=self.platform.name,
+                             code_size=compiled_wasm.code_size)
+        module = compiled_wasm.module
+        static_instrs = module.static_instruction_count
+        for _ in range(self.repetitions):
+            output = []
+            vm = WasmVM(boundary_cost=wasm_cfg.boundary_cost)
+            instance = vm.instantiate(module,
+                                      wasm_host_imports(output, None))
+            instance.invoke(entry)
+            cycles = self._wasm_total_cycles(instance, page, static_instrs,
+                                             len(compiled_wasm.binary))
+            metrics = self.collector.wasm_metrics(cycles, instance)
+            result.times_ms.append(metrics.execution_time_ms)
+            result.memory_kb = metrics.memory_kb
+            result.output = output
+            result.detail = metrics.detail
+        return result
+
+    def _wasm_total_cycles(self, instance, page, static_instrs,
+                           binary_size):
+        """Compose the Wasm pipeline cost (§2.2.2 / §4.4)."""
+        cfg = self.profile.wasm
+        stats = instance.stats
+        raw_exec = stats.cycles
+        instret = stats.instructions
+
+        # JS glue: the loader script is real JS that must be parsed.
+        glue = len(page.script) // 4 * self.profile.js.parse_cycles_per_token
+        total = glue + cfg.instantiate_cycles
+        total += binary_size * cfg.decode_cycles_per_byte
+
+        if cfg.basic_enabled and cfg.optimizing_enabled \
+                and cfg.eager_opt_compile:
+            # SpiderMonkey-style: baseline compile for fast startup plus a
+            # full Ion compile at instantiate; execution runs on Ion code.
+            total += static_instrs * (cfg.basic_compile_cycles_per_instr
+                                      + cfg.opt_compile_cycles_per_instr)
+            factor = cfg.opt_exec_factor
+        elif cfg.basic_enabled and cfg.optimizing_enabled:
+            total += static_instrs * cfg.basic_compile_cycles_per_instr
+            if instret > cfg.tier_up_instructions:
+                # Hot module: optimizing compile happened concurrently;
+                # early instructions ran on the basic tier.
+                total += static_instrs * cfg.opt_compile_cycles_per_instr
+                frac_basic = cfg.tier_up_instructions / max(instret, 1)
+            else:
+                frac_basic = 1.0
+            factor = (cfg.basic_exec_factor * frac_basic +
+                      cfg.opt_exec_factor * (1.0 - frac_basic))
+        elif cfg.basic_enabled:
+            total += static_instrs * cfg.basic_compile_cycles_per_instr
+            factor = cfg.basic_exec_factor
+        else:
+            total += static_instrs * cfg.opt_compile_cycles_per_instr
+            factor = cfg.opt_exec_factor
+
+        total += raw_exec * factor
+        total += stats.boundary_cycles
+        return total

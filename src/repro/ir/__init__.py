@@ -1,0 +1,50 @@
+"""Structured intermediate representation shared by all backends.
+
+The IR deliberately keeps *structured* control flow (for/while/if trees, not
+a basic-block CFG): WebAssembly is itself structured, Cheerp's genericjs
+output is structured JavaScript, and the optimization passes the paper
+discusses (``-globalopt``, ``-vectorize-loops``, ``-argpromotion``,
+``-libcalls-shrinkwrap``, fast-math) all act at this level.
+
+Target-dependent *lowering* of the same optimized IR is what produces the
+paper's counter-intuitive results: a transformation profitable on x86 can be
+a pessimisation on a stack VM.
+"""
+
+from repro.ir.nodes import (
+    EBin,
+    ECall,
+    ECast,
+    EConst,
+    EGlobal,
+    ELoad,
+    ELocal,
+    ESelect,
+    EUn,
+    Function,
+    GArray,
+    GScalar,
+    Module,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDoWhile,
+    SExpr,
+    SFor,
+    SGlobalSet,
+    SIf,
+    SReturn,
+    SStore,
+    SWhile,
+    elem_size,
+    is_float,
+    is_signed,
+)
+
+__all__ = [
+    "EBin", "ECall", "ECast", "EConst", "EGlobal", "ELoad", "ELocal",
+    "ESelect", "EUn", "Function", "GArray", "GScalar", "Module",
+    "SAssign", "SBreak", "SContinue", "SDoWhile", "SExpr", "SFor",
+    "SGlobalSet", "SIf", "SReturn", "SStore", "SWhile",
+    "elem_size", "is_float", "is_signed",
+]

@@ -1,0 +1,65 @@
+"""Optimization passes.
+
+Each pass is a callable ``pass_fn(module) -> None`` mutating the IR.
+The toolchain facades (:mod:`repro.compilers`) assemble them into the
+``-O1``/``-O2``/``-Ofast``/``-Os``/``-Oz`` pipelines whose target-dependent
+behaviour Section 4.2 of the paper measures.
+"""
+
+from repro.ir.passes.constfold import constant_fold
+from repro.ir.passes.cse import common_subexpression_elimination
+from repro.ir.passes.dce import dead_code_elimination
+from repro.ir.passes.fastmath import fast_math
+from repro.ir.passes.globalopt import global_opt
+from repro.ir.passes.inliner import inline_functions
+from repro.ir.passes.licm import loop_invariant_code_motion
+from repro.ir.passes.remat import rematerialize_constants
+from repro.ir.passes.shrinkwrap import libcalls_shrinkwrap
+from repro.ir.passes.unroll import unroll_loops
+from repro.ir.passes.vectorize import vectorize_loops
+
+#: Registry by LLVM-style pass name (used in reports and ablations).
+PASSES = {
+    "constfold": constant_fold,
+    "dce": dead_code_elimination,
+    "globalopt": global_opt,
+    "licm": loop_invariant_code_motion,
+    "gvn": common_subexpression_elimination,
+    "inline": inline_functions,
+    "vectorize-loops": vectorize_loops,
+    "remat-consts": rematerialize_constants,
+    "fast-math": fast_math,
+    "libcalls-shrinkwrap": libcalls_shrinkwrap,
+    "unroll": unroll_loops,
+}
+
+
+def run_pipeline(module, passes):
+    """Run a pass pipeline over a module; returns the pass names applied."""
+    applied = []
+    for entry in passes:
+        if callable(entry):
+            entry(module)
+            applied.append(getattr(entry, "__name__", str(entry)))
+        else:
+            PASSES[entry](module)
+            applied.append(entry)
+    module.meta.setdefault("passes", []).extend(applied)
+    return applied
+
+
+__all__ = [
+    "PASSES",
+    "common_subexpression_elimination",
+    "constant_fold",
+    "dead_code_elimination",
+    "fast_math",
+    "global_opt",
+    "inline_functions",
+    "libcalls_shrinkwrap",
+    "loop_invariant_code_motion",
+    "rematerialize_constants",
+    "run_pipeline",
+    "unroll_loops",
+    "vectorize_loops",
+]

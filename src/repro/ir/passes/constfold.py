@@ -1,0 +1,148 @@
+"""Constant folding and algebraic simplification (LLVM's instcombine-lite).
+
+Respects the ``no_fold`` flag that :mod:`repro.ir.passes.remat` sets — the
+paper's -O2 covariance case depends on rematerialised constants surviving
+to codegen as const+convert sequences.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.nodes import (
+    EBin, ECast, EConst, EUn, SIf, SWhile, is_float, child_bodies,
+    walk_stmts,
+)
+from repro.ir.passes.common import map_stmt_exprs
+
+
+def _mask(value, type_):
+    if type_ == "f64":
+        return float(value)
+    bits = 64 if type_ in ("i64", "u64") else 32
+    value = int(value) & ((1 << bits) - 1)
+    if type_ in ("i32", "i64") and value >> (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _as_unsigned(value, type_):
+    bits = 64 if type_ in ("i64", "u64") else 32
+    return int(value) & ((1 << bits) - 1)
+
+
+def _fold_bin(e):
+    a, b = e.left, e.right
+    both_const = (isinstance(a, EConst) and not a.no_fold and
+                  isinstance(b, EConst) and not b.no_fold)
+    if both_const:
+        return _eval_bin(e, a.value, b.value)
+    # Algebraic identities (integer only — x+0.0 must keep -0.0 semantics
+    # unless fast-math marked the op relaxed).
+    relaxed_ok = not is_float(e.type) or e.relaxed
+    if isinstance(b, EConst) and not b.no_fold and relaxed_ok:
+        if e.op == "+" and b.value == 0:
+            return a
+        if e.op == "-" and b.value == 0:
+            return a
+        if e.op == "*" and b.value == 1:
+            return a
+        if e.op == "/" and b.value == 1:
+            return a
+        if e.op in ("<<", ">>") and b.value == 0:
+            return a
+    if isinstance(a, EConst) and not a.no_fold and relaxed_ok:
+        if e.op == "+" and a.value == 0:
+            return b
+        if e.op == "*" and a.value == 1:
+            return b
+    return e
+
+
+def _eval_bin(e, x, y):
+    op = e.op
+    t = e.type
+    try:
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            ot = e.left.type
+            if ot in ("u32", "u64"):
+                x, y = _as_unsigned(x, ot), _as_unsigned(y, ot)
+            result = {"==": x == y, "!=": x != y, "<": x < y,
+                      "<=": x <= y, ">": x > y, ">=": x >= y}[op]
+            return EConst(1 if result else 0, "i32")
+        if t == "f64":
+            value = {"+": x + y, "-": x - y, "*": x * y,
+                     "/": (x / y) if y else math.copysign(math.inf, x)
+                     if x else math.nan}[op]
+            return EConst(float(value), "f64")
+        if op == "/":
+            if y == 0:
+                return e
+            if t in ("u32", "u64"):
+                value = _as_unsigned(x, t) // _as_unsigned(y, t)
+            else:
+                q = abs(x) // abs(y)
+                value = q if (x < 0) == (y < 0) else -q
+        elif op == "%":
+            if y == 0:
+                return e
+            if t in ("u32", "u64"):
+                value = _as_unsigned(x, t) % _as_unsigned(y, t)
+            else:
+                r = abs(x) % abs(y)
+                value = -r if x < 0 else r
+        elif op == ">>":
+            if t in ("u32", "u64"):
+                value = _as_unsigned(x, t) >> (y & (63 if "64" in t
+                                                    else 31))
+            else:
+                value = x >> (y & (63 if "64" in t else 31))
+        elif op == "<<":
+            value = x << (y & (63 if "64" in t else 31))
+        else:
+            value = {"+": x + y, "-": x - y, "*": x * y, "&": x & y,
+                     "|": x | y, "^": x ^ y}[op]
+        return EConst(_mask(value, t), t)
+    except (OverflowError, ValueError, ZeroDivisionError):
+        return e
+
+
+def _fold(e):
+    if isinstance(e, EBin):
+        return _fold_bin(e)
+    if isinstance(e, EUn) and isinstance(e.expr, EConst) \
+            and not e.expr.no_fold:
+        v = e.expr.value
+        if e.op == "neg":
+            return EConst(_mask(-v, e.type), e.type)
+        if e.op == "!":
+            return EConst(0 if v else 1, "i32")
+        if e.op == "~":
+            return EConst(_mask(~int(v), e.type), e.type)
+    if isinstance(e, ECast) and isinstance(e.expr, EConst) \
+            and not e.no_fold and not e.expr.no_fold:
+        return EConst(_mask(e.expr.value, e.type), e.type)
+    return e
+
+
+def _prune_body(body):
+    """Remove if-branches with constant conditions."""
+    out = []
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            sub[:] = _prune_body(sub)
+        if isinstance(stmt, SIf) and isinstance(stmt.cond, EConst):
+            out.extend(stmt.then if stmt.cond.value else stmt.els)
+        elif isinstance(stmt, SWhile) and isinstance(stmt.cond, EConst) \
+                and not stmt.cond.value:
+            continue
+        else:
+            out.append(stmt)
+    return out
+
+
+def constant_fold(module):
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            map_stmt_exprs(stmt, _fold)
+        func.body[:] = _prune_body(func.body)

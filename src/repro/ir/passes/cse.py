@@ -1,0 +1,184 @@
+"""-gvn (block-local flavour): common subexpression elimination over
+straight-line statement runs.
+
+Repeated pure subexpressions (including array loads) are computed once into
+a temporary.  Invalidation is conservative: assigning a local kills every
+expression reading it; storing to an array kills that array's loads; any
+call kills all loads and global reads.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    EBin, ECall, ECast, EConst, EGlobal, ELoad, ELocal, ESelect, EUn,
+    SAssign, SExpr, SGlobalSet, SIf, SReturn, SStore, child_bodies,
+    walk_exprs,
+)
+from repro.ir.passes.common import expr_key, expr_size, map_expr
+
+_MIN_SIZE = 2
+
+
+class _BlockState:
+    def __init__(self, func):
+        self.func = func
+        self.available = {}   # key -> (temp_name, type)
+        self.out = []
+
+    def kill_local(self, name):
+        self.available = {k: v for k, v in self.available.items()
+                          if ("l", name) not in _flatten(k)}
+
+    def kill_array(self, array):
+        self.available = {k: v for k, v in self.available.items()
+                          if not _mentions_array(k, array)}
+
+    def kill_global(self, name):
+        self.available = {k: v for k, v in self.available.items()
+                          if ("g", name) not in _flatten(k)}
+
+    def kill_all_memory(self):
+        self.available = {k: v for k, v in self.available.items()
+                          if not _mentions_any_load(k)}
+
+    def number(self, expr):
+        """Rewrite expr bottom-up replacing repeated subtrees."""
+        def visit(e):
+            if isinstance(e, (EConst, ELocal, EGlobal)):
+                return e
+            if isinstance(e, ECall):
+                return e
+            if expr_size(e) < _MIN_SIZE:
+                return e
+            key = expr_key(e)
+            hit = self.available.get(key)
+            if hit is not None:
+                return ELocal(hit[0], hit[1])
+            if _has_call(e):
+                return e
+            temp = self.func.new_temp(e.type, "cse")
+            self.out.append(SAssign(temp, e))
+            self.available[key] = (temp, e.type)
+            return ELocal(temp, e.type)
+        return map_expr(expr, visit)
+
+
+def _flatten(key, acc=None):
+    if acc is None:
+        acc = set()
+    if isinstance(key, tuple):
+        if len(key) == 2 and key[0] in ("l", "g"):
+            acc.add(key)
+        for part in key:
+            _flatten(part, acc)
+    return acc
+
+
+def _mentions_array(key, array):
+    if isinstance(key, tuple):
+        if key and key[0] == "ld" and len(key) > 1 and key[1] == array:
+            return True
+        return any(_mentions_array(part, array) for part in key)
+    return False
+
+
+def _mentions_any_load(key):
+    if isinstance(key, tuple):
+        if key and key[0] in ("ld", "g"):
+            return True
+        return any(_mentions_any_load(part) for part in key)
+    return False
+
+
+def _has_call(expr):
+    return any(isinstance(e, ECall) for e in walk_exprs(expr))
+
+
+def _process_block(func, body):
+    state = _BlockState(func)
+    for stmt in body:
+        if isinstance(stmt, SAssign):
+            stmt.expr = state.number(stmt.expr)
+            state.kill_local(stmt.name)
+            state.out.append(stmt)
+            if _has_call(stmt.expr):
+                state.kill_all_memory()
+        elif isinstance(stmt, SStore):
+            stmt.indices = [state.number(i) for i in stmt.indices]
+            stmt.expr = state.number(stmt.expr)
+            state.out.append(stmt)
+            state.kill_array(stmt.array)
+            if _has_call(stmt.expr):
+                state.kill_all_memory()
+        elif isinstance(stmt, SGlobalSet):
+            stmt.expr = state.number(stmt.expr)
+            state.out.append(stmt)
+            state.kill_global(stmt.name)
+            if _has_call(stmt.expr):
+                state.kill_all_memory()
+        elif isinstance(stmt, SReturn):
+            if stmt.expr is not None:
+                stmt.expr = state.number(stmt.expr)
+            state.out.append(stmt)
+        elif isinstance(stmt, SExpr):
+            state.out.append(stmt)
+            state.kill_all_memory()
+        else:
+            # Control statement: recurse into its bodies, reset numbering.
+            for sub in child_bodies(stmt):
+                sub[:] = _process_block(func, sub)
+            state.out.append(stmt)
+            state.available = {}
+    return state.out
+
+
+def _cleanup_single_use(func):
+    """Value numbering is eager (every candidate subtree gets a temp); this
+    cleanup inlines temps that were never actually reused, restoring the
+    original expression at the single use site (safe: a use site was only
+    rewritten while the value was still available)."""
+    from repro.ir.nodes import stmt_exprs, walk_stmts
+    reads = {}
+    for stmt in walk_stmts(func.body):
+        for root in stmt_exprs(stmt):
+            for e in walk_exprs(root):
+                if isinstance(e, ELocal) and e.name.startswith("__cse"):
+                    reads[e.name] = reads.get(e.name, 0) + 1
+    defs = {}
+    for stmt in walk_stmts(func.body):
+        if isinstance(stmt, SAssign) and stmt.name.startswith("__cse") \
+                and reads.get(stmt.name, 0) <= 1:
+            defs[stmt.name] = stmt.expr
+
+    if not defs:
+        return
+
+    from repro.ir.passes.common import map_expr
+
+    def visit(e):
+        if isinstance(e, ELocal) and e.name in defs:
+            # Resolve chains: a temp's definition may reference other
+            # single-use temps created for its subtrees.
+            return map_expr(defs[e.name], visit)
+        return e
+
+    def rewrite(body):
+        out = []
+        for stmt in body:
+            for sub in child_bodies(stmt):
+                sub[:] = rewrite(sub)
+            if isinstance(stmt, SAssign) and stmt.name in defs:
+                del func.locals[stmt.name]
+                continue
+            from repro.ir.passes.common import map_stmt_exprs
+            map_stmt_exprs(stmt, visit)
+            out.append(stmt)
+        return out
+
+    func.body[:] = rewrite(func.body)
+
+
+def common_subexpression_elimination(module):
+    for func in module.functions.values():
+        func.body[:] = _process_block(func, func.body)
+        _cleanup_single_use(func)

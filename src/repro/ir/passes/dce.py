@@ -1,0 +1,70 @@
+"""Dead code elimination: unread local assignments, unreachable statements
+after return/break/continue, and empty ifs."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    SAssign, SBreak, SContinue, SIf, SReturn, child_bodies,
+)
+from repro.ir.passes.common import collect_reads, expr_is_pure
+
+
+def _strip_unreachable(body):
+    out = []
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            sub[:] = _strip_unreachable(sub)
+        out.append(stmt)
+        if isinstance(stmt, (SReturn, SBreak, SContinue)):
+            break
+    return out
+
+
+def _remove_dead_assigns(body, live):
+    out = []
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            sub[:] = _remove_dead_assigns(sub, live)
+        if isinstance(stmt, SAssign) and stmt.name not in live \
+                and expr_is_pure(stmt.expr):
+            continue
+        if isinstance(stmt, SIf) and not stmt.then and not stmt.els \
+                and expr_is_pure(stmt.cond):
+            continue
+        out.append(stmt)
+    return out
+
+
+def dead_code_elimination(module):
+    for func in module.functions.values():
+        func.body[:] = _strip_unreachable(func.body)
+        # Iterate: removing one dead assignment can kill another's only use.
+        for _ in range(8):
+            live = collect_reads(func.body)
+            before = _count(func.body)
+            func.body[:] = _remove_dead_assigns(func.body, live)
+            if _count(func.body) == before:
+                break
+        live = collect_reads(func.body)
+        for name in [n for n in func.locals if n not in live]:
+            # Keep the declaration only if something still assigns it.
+            if not _still_assigned(func.body, name):
+                del func.locals[name]
+
+
+def _count(body):
+    total = len(body)
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            total += _count(sub)
+    return total
+
+
+def _still_assigned(body, name):
+    for stmt in body:
+        if isinstance(stmt, SAssign) and stmt.name == name:
+            return True
+        for sub in child_bodies(stmt):
+            if _still_assigned(sub, name):
+                return True
+    return False

@@ -1,0 +1,34 @@
+"""-Ofast's fast-math bundle (-ffast-math, -fno-signed-zeros, ...).
+
+Two effects:
+
+* **Reciprocal strength reduction**: ``x / C`` → ``x * (1/C)`` — the real
+  win -Ofast delivers (division is ~7× a multiply on every target).
+* The module is marked ``meta['fastmath']`` — relaxed-FP function
+  attributes.  Cheerp's old-LLVM -globalopt becomes conservative under this
+  flag (see :mod:`repro.ir.passes.globalopt`), which is how -Ofast *misses*
+  the dead-store elimination -O2 performs (the paper's ADPCM case, Fig. 7).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import EBin, EConst, is_float, walk_stmts
+from repro.ir.passes.common import map_stmt_exprs
+
+
+def _relax(e):
+    if isinstance(e, EBin) and is_float(e.type):
+        e.relaxed = True
+        if e.op == "/" and isinstance(e.right, EConst) \
+                and not e.right.no_fold and e.right.value not in (0.0, None):
+            recip = 1.0 / float(e.right.value)
+            return EBin("*", e.left, EConst(recip, "f64"), "f64",
+                        relaxed=True)
+    return e
+
+
+def fast_math(module):
+    module.meta["fastmath"] = True
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            map_stmt_exprs(stmt, _relax)

@@ -1,0 +1,77 @@
+"""-globalopt: remove globals (scalars and arrays) that are never read,
+together with every store to them — the pass whose absence from Cheerp's
+-Ofast pipeline explains the ADPCM anomaly (§4.2.1, Fig. 7).
+
+When the module has been marked by fast-math (``module.meta['fastmath']``)
+and ``conservative_with_fastmath`` is set, the pass refuses to remove array
+stores — modelling the LLVM 3.7-era interaction (cf. LLVM bug 37449 cited
+by the paper) where relaxed-FP function attributes defeat the dead-global
+analysis.  Cheerp's pipelines run the conservative variant; the newer
+LLVM-x86 pipeline does not.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.ir.nodes import (
+    EGlobal, ELoad, SGlobalSet, SStore, child_bodies, stmt_exprs,
+    walk_exprs, walk_stmts,
+)
+
+
+def _collect_reads(module):
+    scalar_reads = set()
+    array_reads = set()
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            for root in stmt_exprs(stmt):
+                for e in walk_exprs(root):
+                    if isinstance(e, EGlobal):
+                        scalar_reads.add(e.name)
+                    elif isinstance(e, ELoad):
+                        array_reads.add(e.array)
+            # Store *indices* also read (they are exprs of the stmt —
+            # already covered by stmt_exprs).
+    return scalar_reads, array_reads
+
+
+def _remove_stores(body, dead_scalars, dead_arrays):
+    out = []
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            sub[:] = _remove_stores(sub, dead_scalars, dead_arrays)
+        if isinstance(stmt, SGlobalSet) and stmt.name in dead_scalars:
+            from repro.ir.passes.common import expr_is_pure
+            if expr_is_pure(stmt.expr):
+                continue
+        if isinstance(stmt, SStore) and stmt.array in dead_arrays:
+            from repro.ir.passes.common import expr_is_pure
+            if expr_is_pure(stmt.expr) and \
+                    all(expr_is_pure(i) for i in stmt.indices):
+                continue
+        out.append(stmt)
+    return out
+
+
+def global_opt(module, conservative_with_fastmath=False):
+    scalar_reads, array_reads = _collect_reads(module)
+    dead_scalars = set(module.globals) - scalar_reads
+    dead_arrays = set(module.arrays) - array_reads
+    if conservative_with_fastmath and module.meta.get("fastmath"):
+        # The relaxed-FP attribute poisons the array analysis (old-LLVM
+        # behaviour): keep every array and its stores.
+        dead_arrays = set()
+    if not dead_scalars and not dead_arrays:
+        return
+    for func in module.functions.values():
+        func.body[:] = _remove_stores(func.body, dead_scalars, dead_arrays)
+    for name in dead_scalars:
+        del module.globals[name]
+    for name in dead_arrays:
+        del module.arrays[name]
+
+
+def global_opt_conservative(module):
+    """Cheerp-pipeline variant of -globalopt (see module docstring)."""
+    global_opt(module, conservative_with_fastmath=True)

@@ -1,0 +1,100 @@
+"""-inline: inline small expression functions at their call sites.
+
+A function is inlinable when its body is exactly ``return <expr>;`` with a
+pure expression and no recursion — exactly the helper shape CHStone's
+softfloat kernels use heavily.  The arguments are substituted for the
+parameters (arguments at call sites are pure after the frontend's
+normalisation, so duplication is safe)."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    EBin, ECall, ECast, EConst, EGlobal, ELoad, ELocal, ESelect, EUn,
+    SReturn, walk_exprs, walk_stmts,
+)
+from repro.ir.passes.common import expr_is_pure, expr_size, map_stmt_exprs
+
+#: Cost threshold: expression size an inlined body may have.
+_MAX_INLINE_SIZE = 24
+
+
+def _substitute(expr, env):
+    if isinstance(expr, ELocal):
+        replacement = env.get(expr.name)
+        return _copy(replacement) if replacement is not None else \
+            ELocal(expr.name, expr.type)
+    if isinstance(expr, EConst):
+        return EConst(expr.value, expr.type, expr.no_fold)
+    if isinstance(expr, EGlobal):
+        return EGlobal(expr.name, expr.type)
+    if isinstance(expr, ELoad):
+        return ELoad(expr.array, [_substitute(i, env) for i in expr.indices],
+                     expr.type)
+    if isinstance(expr, EBin):
+        return EBin(expr.op, _substitute(expr.left, env),
+                    _substitute(expr.right, env), expr.type, expr.relaxed)
+    if isinstance(expr, EUn):
+        return EUn(expr.op, _substitute(expr.expr, env), expr.type)
+    if isinstance(expr, ECast):
+        return ECast(_substitute(expr.expr, env), expr.type, expr.no_fold)
+    if isinstance(expr, ESelect):
+        return ESelect(_substitute(expr.cond, env),
+                       _substitute(expr.then, env),
+                       _substitute(expr.els, env), expr.type)
+    if isinstance(expr, ECall):
+        return ECall(expr.name,
+                     [_substitute(a, env) for a in expr.args], expr.type)
+    raise TypeError(type(expr))
+
+
+def _copy(expr):
+    return _substitute(expr, {})
+
+
+def _inlinable(func):
+    if len(func.body) != 1 or not isinstance(func.body[0], SReturn):
+        return False
+    expr = func.body[0].expr
+    if expr is None or not expr_is_pure(expr):
+        return False
+    if expr_size(expr) > _MAX_INLINE_SIZE:
+        return False
+    # No self-reference (pure exprs have no calls at all, but keep the
+    # check in case purity is relaxed later).
+    return all(not isinstance(e, ECall) for e in walk_exprs(expr))
+
+
+def inline_functions(module):
+    candidates = {}
+    for func in module.functions.values():
+        if func.body and _inlinable(func) and func.name != "main":
+            candidates[func.name] = func
+
+    if not candidates:
+        return
+
+    def visit(e):
+        if isinstance(e, ECall) and e.name in candidates:
+            callee = candidates[e.name]
+            if all(expr_is_pure(a) for a in e.args):
+                env = {pname: arg
+                       for (pname, _t), arg in zip(callee.params, e.args)}
+                return _substitute(callee.body[0].expr, env)
+        return e
+
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            map_stmt_exprs(stmt, visit)
+
+    # Remove inlined functions that are now uncalled.
+    still_called = set()
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            from repro.ir.nodes import stmt_exprs
+            for root in stmt_exprs(stmt):
+                for e in walk_exprs(root):
+                    if isinstance(e, ECall):
+                        still_called.add(e.name)
+    for name in list(candidates):
+        if name not in still_called:
+            del module.functions[name]

@@ -1,0 +1,97 @@
+"""-licm: hoist loop-invariant pure subexpressions to temporaries computed
+before the loop."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    EBin, ECast, EConst, ELoad, ELocal, EGlobal, ESelect, EUn, SAssign,
+    SDoWhile, SFor, SWhile, child_exprs, walk_exprs,
+)
+from repro.ir.passes.common import (
+    collect_writes, expr_key, expr_size, map_stmt_exprs,
+)
+
+_MIN_HOIST_SIZE = 2
+
+
+def _invariant(expr, locals_w, arrays_w, globals_w):
+    for e in walk_exprs(expr):
+        if isinstance(e, ELocal) and e.name in locals_w:
+            return False
+        if isinstance(e, EGlobal) and e.name in globals_w:
+            return False
+        if isinstance(e, ELoad) and (e.array in arrays_w or arrays_w):
+            # Conservative: any store in the loop kills load hoisting
+            # (no alias analysis across arrays was needed for the suites).
+            return False
+        from repro.ir.nodes import ECall
+        if isinstance(e, ECall):
+            return False
+    return True
+
+
+def _hoist_in_loop(func, loop, body, cond_exprs):
+    locals_w, arrays_w, globals_w = collect_writes(body)
+    # For-loops also write their step variables.
+    if isinstance(loop, SFor):
+        extra_w = collect_writes(loop.step)
+        locals_w |= extra_w[0]
+        arrays_w |= extra_w[1]
+        globals_w |= extra_w[2]
+    hoisted = {}
+    prelude = []
+
+    def visit(e):
+        if isinstance(e, (EConst, ELocal, EGlobal)):
+            return e
+        if isinstance(e, (EBin, EUn, ECast, ESelect)) and \
+                expr_size(e) >= _MIN_HOIST_SIZE and \
+                _invariant(e, locals_w, arrays_w, globals_w):
+            key = expr_key(e)
+            if key not in hoisted:
+                temp = func.new_temp(e.type, "licm")
+                hoisted[key] = (temp, e.type)
+                prelude.append(SAssign(temp, e))
+            name, t = hoisted[key]
+            return ELocal(name, t)
+        return e
+
+    from repro.ir.passes.common import map_expr
+
+    def rewrite_stmt(stmt):
+        map_stmt_exprs(stmt, visit)
+
+    from repro.ir.nodes import child_bodies, walk_stmts
+    for stmt in body:
+        rewrite_stmt(stmt)
+        for sub in child_bodies(stmt):
+            for inner in walk_stmts(sub):
+                rewrite_stmt(inner)
+    # The loop condition is evaluated every iteration too.
+    if isinstance(loop, (SWhile, SDoWhile, SFor)) and loop.cond is not None:
+        loop.cond = map_expr(loop.cond, visit)
+    return prelude
+
+
+def _process(func, body):
+    out = []
+    for stmt in body:
+        if isinstance(stmt, (SWhile, SDoWhile, SFor)):
+            # Innermost-first: process nested loops before this one.
+            stmt.body[:] = _process(func, stmt.body)
+            prelude = _hoist_in_loop(func, stmt, stmt.body,
+                                     [stmt.cond] if stmt.cond else [])
+            out.extend(prelude)
+            out.append(stmt)
+        else:
+            from repro.ir.nodes import SIf
+            if isinstance(stmt, SIf):
+                stmt.then[:] = _process(func, stmt.then)
+                stmt.els[:] = _process(func, stmt.els)
+            out.append(stmt)
+    return out
+
+
+def loop_invariant_code_motion(module):
+    for func in module.functions.values():
+        func.body[:] = _process(func, func.body)

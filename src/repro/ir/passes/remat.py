@@ -1,0 +1,62 @@
+"""Constant rematerialisation (-O2 and above).
+
+Locals that are assigned exactly once, to a constant (possibly via an
+int→float conversion), are removed: every use is replaced by the constant
+materialisation itself, marked ``no_fold`` so later folding keeps the
+conversion visible to codegen.
+
+This reproduces the paper's covariance case (Fig. 8): -O2 output computes
+``i32.const`` + ``f64.convert_i32_s`` at each use inside the hot loop,
+where -O1 kept the value in a local (one ``local.get``).  On x86 the same
+decision is free (immediates fold into instructions, and a register is
+saved); on the Wasm virtual stack it costs an extra push per use."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ECast, EConst, ELocal, SAssign, walk_stmts,
+)
+from repro.ir.passes.common import map_stmt_exprs
+
+
+def _remat_candidates(func):
+    """name -> defining EConst/ECast(EConst) for single-assignment locals."""
+    assigns = {}
+    for stmt in walk_stmts(func.body):
+        if isinstance(stmt, SAssign):
+            assigns.setdefault(stmt.name, []).append(stmt)
+    out = {}
+    for name, sites in assigns.items():
+        if len(sites) != 1:
+            continue
+        expr = sites[0].expr
+        if isinstance(expr, EConst):
+            out[name] = expr
+        elif isinstance(expr, ECast) and isinstance(expr.expr, EConst):
+            out[name] = expr
+    return out
+
+
+def _materialise(expr):
+    if isinstance(expr, EConst):
+        return EConst(expr.value, expr.type, no_fold=True)
+    # int→float conversion kept explicit: const + convert at every use.
+    inner = expr.expr
+    return ECast(EConst(inner.value, inner.type, no_fold=True),
+                 expr.type, no_fold=True)
+
+
+def rematerialize_constants(module):
+    for func in module.functions.values():
+        candidates = _remat_candidates(func)
+        if not candidates:
+            continue
+
+        def visit(e):
+            if isinstance(e, ELocal) and e.name in candidates:
+                return _materialise(candidates[e.name])
+            return e
+
+        for stmt in walk_stmts(func.body):
+            map_stmt_exprs(stmt, visit)
+        # The defining assignments are now dead; leave them for -dce.

@@ -1,0 +1,36 @@
+"""-libcalls-shrinkwrap (present at -O2, removed at -Os/-Oz).
+
+Wraps library calls whose result is unused in a domain guard so the call is
+skipped when the argument is already in the fast-path domain.  The guard is
+extra code (hence its removal at size-optimising levels, §2.1.2)."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    EBin, ECall, EConst, SExpr, SIf, child_bodies,
+)
+
+#: Library calls with a cheap domain guard: name -> guard bound.
+_GUARDED = {"exp": 700.0, "log": 0.0, "sin": 1e308, "cos": 1e308}
+
+
+def _wrap_body(body):
+    out = []
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            sub[:] = _wrap_body(sub)
+        if isinstance(stmt, SExpr) and isinstance(stmt.expr, ECall) \
+                and stmt.expr.name in _GUARDED \
+                and len(stmt.expr.args) == 1:
+            bound = _GUARDED[stmt.expr.name]
+            guard = EBin("<", stmt.expr.args[0], EConst(bound, "f64"),
+                         "i32")
+            out.append(SIf(guard, [stmt], []))
+        else:
+            out.append(stmt)
+    return out
+
+
+def libcalls_shrinkwrap(module):
+    for func in module.functions.values():
+        func.body[:] = _wrap_body(func.body)

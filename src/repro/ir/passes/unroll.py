@@ -1,0 +1,58 @@
+"""-unroll: 2× unrolling of innermost counted loops (LLVM-x86 -Ofast/-O3
+pipelines only; Cheerp's LLVM 3.7 did not runtime-unroll).
+
+Transformation (semantics-preserving for pure conditions)::
+
+    for (init; c; s) B     →    for (init; c; s) { B; s; if (!c) break; B }
+
+Code size grows with the duplicated body — the Fig. 6 x86 -Ofast code-size
+increase."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.ir.nodes import (
+    EUn, SAssign, SBreak, SDoWhile, SFor, SIf, SStore, SWhile,
+    child_bodies, stmt_exprs, walk_exprs,
+)
+from repro.ir.passes.common import expr_is_pure
+from repro.ir.passes.vectorize import _has_loop, _unit_step
+
+
+def _clone_body(body):
+    return copy.deepcopy(body)
+
+
+def _qualifies(loop):
+    if not isinstance(loop, SFor):
+        return False
+    if _has_loop(loop.body):
+        return False
+    if _unit_step(loop) is None:
+        return False
+    if loop.cond is None or not expr_is_pure(loop.cond):
+        return False
+    for stmt in loop.body:
+        if not isinstance(stmt, (SAssign, SStore)):
+            return False
+    return True
+
+
+def _visit(body):
+    for stmt in body:
+        if _qualifies(stmt):
+            first = stmt.body
+            second = _clone_body(stmt.body)
+            cond = copy.deepcopy(stmt.cond)
+            stmt.body = (list(first) + list(copy.deepcopy(stmt.step)) +
+                         [SIf(EUn("!", cond, "i32"), [SBreak()], [])] +
+                         second)
+        else:
+            for sub in child_bodies(stmt):
+                _visit(sub)
+
+
+def unroll_loops(module):
+    for func in module.functions.values():
+        _visit(func.body)

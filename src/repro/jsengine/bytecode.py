@@ -1,0 +1,154 @@
+"""Bytecode definition for the JS engine.
+
+Like the Wasm substrate, instructions are ``(op, arg)`` tuples, each charged
+an abstract cycle cost and attributed to an operation class; the per-class
+counters feed the paper's Table 12 operation-count comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.wasm.instructions import OpClass
+
+
+class JsOp(enum.IntEnum):
+    CONST = 0        # arg: constant value
+    LOADL = 1        # arg: local slot
+    STOREL = 2       # arg: local slot (pops)
+    LOADG = 3        # arg: global name
+    STOREG = 4       # arg: global name (pops)
+    ADD = 5
+    SUB = 6
+    MUL = 7
+    DIV = 8
+    MOD = 9
+    NEG = 10
+    NOT = 11
+    BNOT = 12
+    BAND = 13
+    BOR = 14
+    BXOR = 15
+    SHL = 16
+    SHR = 17
+    USHR = 18
+    LT = 19
+    LE = 20
+    GT = 21
+    GE = 22
+    EQ = 23
+    NE = 24
+    SEQ = 25
+    SNE = 26
+    JMP = 27         # arg: target pc
+    JF = 28          # arg: target pc (pop; jump if falsy)
+    JT = 29          # arg: target pc (pop; jump if truthy)
+    JBACK = 30       # arg: target pc (loop back-edge; bumps JIT counter)
+    CALL = 31        # arg: nargs; stack: [callee, a1..an]
+    METHOD = 32      # arg: (name, nargs); stack: [obj, a1..an]
+    RET = 33
+    RETU = 34
+    NEWARR = 35      # arg: n elements popped
+    NEWOBJ = 36      # arg: tuple of keys; n values popped
+    GETIDX = 37
+    SETIDX = 38      # stack: [obj, idx, val] -> val
+    GETMEM = 39      # arg: name
+    SETMEM = 40      # arg: name; stack: [obj, val] -> val
+    DUP = 41
+    POP = 42
+    TYPEOF = 43
+    NEWCALL = 44     # arg: nargs; stack: [ctor, a1..an]
+    DUP2 = 45        # duplicate top two entries
+    INCIDX = 46      # arg: (delta, is_post); stack: [obj, idx] -> value
+    INCMEM = 47      # arg: (name, delta, is_post); stack: [obj] -> value
+    COMMA = 48       # pop-below: [a, b] -> b
+    IMUL = 49        # Math.imul intrinsic (engines compile it to one mul)
+
+
+def _costs():
+    """Abstract cycle costs in the *optimized* tier; the entry-tier factor
+    multiplies these at run time.
+
+    Property/index access is pricier than arithmetic (shape checks, bounds
+    checks); calls carry frame setup; allocation carries heap work.
+    """
+    cost = [1.0] * (max(JsOp) + 1)
+    expensive = {
+        JsOp.MUL: 3.0, JsOp.IMUL: 3.0, JsOp.DIV: 20.0, JsOp.MOD: 22.0,
+        JsOp.LOADG: 3.0, JsOp.STOREG: 3.0,
+        JsOp.GETIDX: 3.5, JsOp.SETIDX: 4.0,
+        JsOp.GETMEM: 3.0, JsOp.SETMEM: 3.5,
+        JsOp.INCIDX: 6.0, JsOp.INCMEM: 5.0,
+        JsOp.CALL: 14.0, JsOp.METHOD: 16.0, JsOp.NEWCALL: 30.0,
+        JsOp.NEWARR: 25.0, JsOp.NEWOBJ: 30.0,
+        JsOp.JMP: 1.0, JsOp.JF: 1.5, JsOp.JT: 1.5, JsOp.JBACK: 1.5,
+        JsOp.RET: 4.0, JsOp.RETU: 4.0,
+        JsOp.CONST: 0.5, JsOp.POP: 0.25, JsOp.DUP: 0.5, JsOp.DUP2: 0.75,
+    }
+    for op, value in expensive.items():
+        cost[op] = value
+    return cost
+
+
+JS_OP_COST = _costs()
+
+
+def _opt_costs():
+    """Optimized-tier costs: TurboFan/Ion inline hot callees, elide frames,
+    scalar-replace short-lived objects (escape analysis), and specialise
+    property/element access through inline caches.  This is why
+    JIT-compiled object-heavy JavaScript (e.g. Long.js) approaches native
+    cost per operation (§4.6.2)."""
+    cost = list(JS_OP_COST)
+    cost[JsOp.CALL] = 4.0        # inlined frames
+    cost[JsOp.METHOD] = 5.0
+    cost[JsOp.NEWCALL] = 12.0
+    cost[JsOp.NEWARR] = 8.0      # escape analysis / cheap young alloc
+    cost[JsOp.NEWOBJ] = 8.0
+    cost[JsOp.GETMEM] = 1.0      # monomorphic inline cache hit
+    cost[JsOp.SETMEM] = 1.2
+    cost[JsOp.GETIDX] = 1.8
+    cost[JsOp.SETIDX] = 2.2
+    cost[JsOp.INCIDX] = 3.0
+    cost[JsOp.INCMEM] = 2.5
+    cost[JsOp.LOADG] = 1.0
+    cost[JsOp.STOREG] = 1.2
+    return cost
+
+
+#: Per-op costs once a function runs in the optimizing tier (multiplied by
+#: the profile's ``tier1_factor``).
+JS_OP_COST_OPT = _opt_costs()
+
+
+def _classes():
+    table = [OpClass.OTHER] * (max(JsOp) + 1)
+    mapping = {
+        OpClass.ADD: (JsOp.ADD, JsOp.SUB, JsOp.NEG),
+        OpClass.MUL: (JsOp.MUL, JsOp.IMUL),
+        OpClass.DIV: (JsOp.DIV,),
+        OpClass.REM: (JsOp.MOD,),
+        OpClass.SHIFT: (JsOp.SHL, JsOp.SHR, JsOp.USHR),
+        OpClass.AND: (JsOp.BAND,),
+        OpClass.OR: (JsOp.BOR,),
+        OpClass.XOR: (JsOp.BXOR,),
+        OpClass.CMP: (JsOp.LT, JsOp.LE, JsOp.GT, JsOp.GE, JsOp.EQ,
+                      JsOp.NE, JsOp.SEQ, JsOp.SNE, JsOp.NOT),
+        OpClass.CONST: (JsOp.CONST,),
+        OpClass.LOCAL: (JsOp.LOADL, JsOp.STOREL),
+        OpClass.GLOBAL: (JsOp.LOADG, JsOp.STOREG),
+        OpClass.LOAD: (JsOp.GETIDX, JsOp.GETMEM),
+        OpClass.STORE: (JsOp.SETIDX, JsOp.SETMEM, JsOp.INCIDX, JsOp.INCMEM),
+        OpClass.CONTROL: (JsOp.JMP, JsOp.JF, JsOp.JT, JsOp.JBACK, JsOp.RET,
+                          JsOp.RETU, JsOp.POP, JsOp.DUP, JsOp.DUP2,
+                          JsOp.COMMA),
+        OpClass.CALL: (JsOp.CALL, JsOp.METHOD, JsOp.NEWCALL),
+        OpClass.MEMORY: (JsOp.NEWARR, JsOp.NEWOBJ),
+    }
+    for cls, ops in mapping.items():
+        for op in ops:
+            table[op] = cls
+    return table
+
+
+JS_OP_CLASS = _classes()

@@ -1,0 +1,55 @@
+"""Engine configuration: the tunable constants that distinguish V8,
+SpiderMonkey, and Chakra/Blink-fork engines in the reproduction.
+
+Every constant here is a *mechanism parameter*, not a result: the paper's
+tables emerge from executing real programs under these cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JsEngineConfig:
+    """Parameters of the JS execution pipeline.
+
+    Tier factors multiply per-bytecode-op cost: ``tier0_factor`` is the
+    entry tier (V8's Ignition interpreter, SpiderMonkey's Baseline),
+    ``tier1_factor`` the optimizing JIT (TurboFan / Ion).
+    """
+
+    name: str = "generic"
+    # Startup pipeline.
+    parse_cycles_per_token: float = 18.0
+    compile_cycles_per_op: float = 6.0
+    tier1_compile_cycles_per_op: float = 80.0
+    startup_cycles: float = 50000.0
+    # Tiering.
+    jit_enabled: bool = True
+    tier0_factor: float = 9.0
+    tier1_factor: float = 1.0
+    call_threshold: int = 8
+    backedge_threshold: int = 500
+    # Host-call overhead (JS → native builtins).
+    native_call_cycles: float = 12.0
+    # GC parameters.
+    gc_baseline_bytes: int = 262144
+    gc_trigger_bytes: int = 2 * 1024 * 1024
+    gc_pause_base_cycles: float = 8000.0
+    gc_pause_per_live_byte: float = 0.02
+    # Free-form notes rendered in reports.
+    notes: dict = field(default_factory=dict)
+
+    def without_jit(self):
+        """The `--no-opt` configuration (Table 11): entry tier only."""
+        cfg = JsEngineConfig(**{f: getattr(self, f) for f in (
+            "name", "parse_cycles_per_token", "compile_cycles_per_op",
+            "tier1_compile_cycles_per_op", "startup_cycles", "jit_enabled",
+            "tier0_factor", "tier1_factor", "call_threshold",
+            "backedge_threshold", "native_call_cycles",
+            "gc_baseline_bytes", "gc_trigger_bytes",
+            "gc_pause_base_cycles", "gc_pause_per_live_byte")})
+        cfg.jit_enabled = False
+        cfg.name = self.name + "-no-opt"
+        return cfg

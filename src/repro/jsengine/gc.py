@@ -1,0 +1,109 @@
+"""Mark-sweep garbage collector model.
+
+Reachability is delegated to Python's own object graph: every JS heap object
+is registered with a weak reference, so an object is *live* exactly while
+something in the interpreter (stack slot, local, global, array element)
+still references it.  A collection sweeps dead registrations and charges a
+pause cost proportional to the surviving live set.
+
+This is the mechanism behind the paper's memory findings: JS heap usage
+stays flat as input grows (Tables 4/6) because temporaries die and are
+reclaimed, while Wasm's linear memory only ever grows.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+
+class GcHeap:
+    """Allocation tracker + collection cost model for one engine instance."""
+
+    def __init__(self, baseline_bytes=262144, trigger_bytes=2 * 1024 * 1024,
+                 pause_base_cycles=8000.0, pause_per_live_byte=0.02):
+        #: Fixed engine overhead (contexts, builtins, parsed code metadata).
+        self.baseline_bytes = baseline_bytes
+        self.trigger_bytes = trigger_bytes
+        self.pause_base_cycles = pause_base_cycles
+        self.pause_per_live_byte = pause_per_live_byte
+        self._registry = []          # list of (weakref, size_fn_snapshot)
+        self._ephemeral_bytes = 0    # short-lived garbage (strings, temps)
+        self.allocated_since_gc = 0
+        self.total_allocated = 0
+        self.gc_runs = 0
+        self.gc_pause_cycles = 0.0
+        self.peak_heap_bytes = baseline_bytes
+
+    def register(self, obj):
+        """Track a weak-referenceable heap object (array/object/function).
+
+        Typed arrays account only their wrapper: the backing store is
+        external (ArrayBuffer) memory, outside the GC'd JS heap — exactly
+        how V8/SpiderMonkey treat it, and the reason Cheerp-generated JS
+        keeps a flat heap at every input size (Tables 4/6)."""
+        size = getattr(obj, "devtools_bytes", obj.heap_bytes)
+        self._registry.append(weakref.ref(obj))
+        self._bump(size)
+
+    def note_ephemeral(self, nbytes):
+        """Account short-lived garbage that cannot hold a weakref (strings,
+        boxed temporaries)."""
+        self._ephemeral_bytes += nbytes
+        self._bump(nbytes)
+
+    def _bump(self, size):
+        self.allocated_since_gc += size
+        self.total_allocated += size
+        used = self.used_bytes()
+        if used > self.peak_heap_bytes:
+            self.peak_heap_bytes = used
+
+    def needs_collection(self):
+        return self.allocated_since_gc >= self.trigger_bytes
+
+    def live_bytes(self):
+        """GC-heap bytes held by still-reachable registered objects
+        (typed-array backings are external and excluded)."""
+        total = 0
+        alive = []
+        for ref in self._registry:
+            obj = ref()
+            if obj is not None:
+                total += getattr(obj, "devtools_bytes", obj.heap_bytes)
+                alive.append(ref)
+        self._registry = alive
+        return total
+
+    def used_bytes(self):
+        """Current heap usage as DevTools would report it: baseline +
+        allocations not yet collected."""
+        return self.baseline_bytes + self.allocated_since_gc \
+            + self._ephemeral_bytes // 4
+
+    def collect(self):
+        """Run a full collection; returns the pause cost in cycles."""
+        live = self.live_bytes()
+        pause = self.pause_base_cycles + self.pause_per_live_byte * live
+        self.gc_runs += 1
+        self.gc_pause_cycles += pause
+        self.allocated_since_gc = 0
+        self._ephemeral_bytes = 0
+        return pause
+
+    def steady_state_bytes(self):
+        """Heap usage after a final full collection — the paper's reported
+        JS memory metric (live set + engine baseline)."""
+        return self.baseline_bytes + self.live_bytes()
+
+    def devtools_bytes(self):
+        """DevTools JS-heap snapshot: live objects, with typed-array
+        backing stores counted as external (wrapper header only)."""
+        total = 0
+        alive = []
+        for ref in self._registry:
+            obj = ref()
+            if obj is not None:
+                total += getattr(obj, "devtools_bytes", obj.heap_bytes)
+                alive.append(ref)
+        self._registry = alive
+        return self.baseline_bytes + total

@@ -1,0 +1,218 @@
+"""Host environment: the Web/ECMAScript builtins the subject programs use.
+
+Native functions execute at native cost (a small constant plus, for bulk
+APIs like WebCrypto, a low per-byte cost) — the mechanism behind Table 9's
+result that the W3C-API SHA implementation beats both Cheerp-generated code
+and library JavaScript.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.jsengine.values import (
+    JSArray,
+    JSObject,
+    JSTypedArray,
+    NativeFunction,
+    UNDEFINED,
+    js_to_str,
+)
+
+
+def _num(args, i, default=0.0):
+    if i < len(args):
+        value = args[i]
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, float):
+            return value
+        try:
+            return float(js_to_str(value))
+        except ValueError:
+            return math.nan
+    return default
+
+
+def _nf(name, fn, cycles=10.0):
+    return NativeFunction(name, fn, cycles)
+
+
+def make_math(engine):
+    def _sqrt(e, this, a):
+        v = _num(a, 0)
+        return math.nan if v < 0 else math.sqrt(v)
+
+    def _pow(e, this, a):
+        try:
+            return float(math.pow(_num(a, 0), _num(a, 1)))
+        except (ValueError, OverflowError):
+            return math.nan
+
+    def _log(e, this, a):
+        v = _num(a, 0)
+        if v < 0:
+            return math.nan
+        if v == 0:
+            return -math.inf
+        return math.log(v)
+
+    def _random(e, this, a):
+        # Deterministic LCG: reproducible experiments need a seeded source.
+        e._rng_state = (e._rng_state * 6364136223846793005 +
+                        1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        return (e._rng_state >> 11) / float(1 << 53)
+
+    props = {
+        "sqrt": _nf("sqrt", _sqrt, 15.0),
+        "abs": _nf("abs", lambda e, t, a: abs(_num(a, 0)), 4.0),
+        "floor": _nf("floor", lambda e, t, a: float(math.floor(_num(a, 0))),
+                     5.0),
+        "ceil": _nf("ceil", lambda e, t, a: float(math.ceil(_num(a, 0))),
+                    5.0),
+        "round": _nf("round", lambda e, t, a: float(math.floor(_num(a, 0)
+                                                               + 0.5)), 5.0),
+        "min": _nf("min", lambda e, t, a: min(_num(a, i)
+                                              for i in range(len(a))), 5.0),
+        "max": _nf("max", lambda e, t, a: max(_num(a, i)
+                                              for i in range(len(a))), 5.0),
+        "pow": _nf("pow", _pow, 30.0),
+        "exp": _nf("exp", lambda e, t, a: math.exp(min(_num(a, 0), 700.0)),
+                   25.0),
+        "log": _nf("log", _log, 25.0),
+        "sin": _nf("sin", lambda e, t, a: math.sin(_num(a, 0)), 25.0),
+        "cos": _nf("cos", lambda e, t, a: math.cos(_num(a, 0)), 25.0),
+        "atan": _nf("atan", lambda e, t, a: math.atan(_num(a, 0)), 25.0),
+        "random": _nf("random", _random, 12.0),
+        "PI": math.pi,
+        "E": math.e,
+    }
+    return JSObject(props)
+
+
+def make_console(engine):
+    def _log(e, this, args):
+        e.console_output.append(" ".join(js_to_str(v) for v in args))
+        return UNDEFINED
+
+    return JSObject({"log": _nf("log", _log, 200.0),
+                     "error": _nf("error", _log, 200.0)})
+
+
+def make_performance(engine):
+    def _now(e, this, args):
+        return e.virtual_now_ms()
+
+    return JSObject({"now": _nf("now", _now, 30.0)})
+
+
+def _digest_bytes(algorithm, data):
+    algo = js_to_str(algorithm).lower().replace("-", "")
+    if algo in ("sha1",):
+        h = hashlib.sha1(data)
+    elif algo in ("sha256",):
+        h = hashlib.sha256(data)
+    elif algo in ("sha512",):
+        h = hashlib.sha512(data)
+    else:
+        raise ValueError(f"unsupported digest {algorithm!r}")
+    return h.digest()
+
+
+def make_crypto(engine):
+    def _digest(e, this, args):
+        algorithm = args[0]
+        buf = args[1]
+        if isinstance(buf, (JSArray, JSTypedArray)):
+            data = bytes(int(v) & 0xFF for v in buf.items)
+        else:
+            data = js_to_str(buf).encode("utf-8")
+        # Native hashing: ~1.5 cycles/byte, charged on top of the base cost.
+        e.stats.cycles += 1.5 * len(data)
+        out = JSTypedArray("Uint8Array", len(_digest_bytes(algorithm, data)))
+        out.items = [float(b) for b in _digest_bytes(algorithm, data)]
+        e.heap.register(out)
+        return out
+
+    subtle = JSObject({"digest": _nf("digest", _digest, 400.0)})
+    return JSObject({"subtle": subtle})
+
+
+def make_global_env(engine):
+    """The global object contents for a fresh engine realm."""
+
+    def _parse_int(e, this, args):
+        text = js_to_str(args[0]).strip()
+        base = int(_num(args, 1, 10.0)) or 10
+        try:
+            return float(int(text, base))
+        except ValueError:
+            digits = ""
+            for ch in text:
+                if ch.isdigit() or (digits in ("", "-") and ch == "-"):
+                    digits += ch
+                else:
+                    break
+            try:
+                return float(int(digits, base))
+            except ValueError:
+                return math.nan
+
+    def _parse_float(e, this, args):
+        try:
+            return float(js_to_str(args[0]).strip())
+        except ValueError:
+            return math.nan
+
+    def _array_ctor(e, this, args):
+        if len(args) == 1 and isinstance(args[0], float):
+            arr = JSArray([UNDEFINED] * int(args[0]))
+        else:
+            arr = JSArray(list(args))
+        e.heap.register(arr)
+        return arr
+
+    def _typed_ctor(kind):
+        def make(e, this, args):
+            length = int(_num(args, 0)) if args else 0
+            arr = JSTypedArray(kind, length)
+            e.heap.register(arr)
+            return arr
+        return _nf(kind, make, 40.0)
+
+    env = {
+        "Float64Array": _typed_ctor("Float64Array"),
+        "Int32Array": _typed_ctor("Int32Array"),
+        "Uint8Array": _typed_ctor("Uint8Array"),
+        "Uint16Array": _typed_ctor("Uint16Array"),
+        "Uint32Array": _typed_ctor("Uint32Array"),
+        "Math": make_math(engine),
+        "console": make_console(engine),
+        "performance": make_performance(engine),
+        "crypto": make_crypto(engine),
+        "Date": JSObject({"now": _nf(
+            "now", lambda e, t, a: e.virtual_now_ms(), 30.0)}),
+        "Number": JSObject({
+            "MAX_SAFE_INTEGER": 9007199254740991.0,
+            "isInteger": _nf("isInteger", lambda e, t, a: isinstance(
+                a[0], float) and a[0] == int(a[0]), 5.0),
+        }),
+        "Array": JSObject({
+            "isArray": _nf("isArray",
+                           lambda e, t, a: isinstance(a[0], JSArray), 5.0),
+            "__call__": _nf("Array", _array_ctor, 30.0),
+        }),
+        "String": JSObject({
+            "fromCharCode": _nf(
+                "fromCharCode",
+                lambda e, t, a: "".join(chr(int(v)) for v in a), 8.0),
+        }),
+        "parseInt": _nf("parseInt", _parse_int, 20.0),
+        "parseFloat": _nf("parseFloat", _parse_float, 20.0),
+        "isNaN": _nf("isNaN", lambda e, t, a: _num(a, 0) != _num(a, 0), 5.0),
+        "NaN": math.nan,
+        "Infinity": math.inf,
+        "undefined": UNDEFINED,
+    }
+    return env

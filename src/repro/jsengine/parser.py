@@ -1,0 +1,377 @@
+"""Recursive-descent parser for the JavaScript subset.
+
+Produces a lightweight tagged-tuple AST:
+
+Expressions::
+
+    ('num', value)               ('str', value)        ('ident', name)
+    ('bool', value)              ('null',)             ('undefined',)
+    ('bin', op, left, right)     ('logical', op, l, r) ('un', op, expr)
+    ('assign', op, target, val)  ('cond', c, t, f)     ('call', callee, args)
+    ('new', callee, args)        ('member', obj, name) ('index', obj, expr)
+    ('array', elems)             ('object', pairs)
+    ('pre', op, target)          ('post', op, target)
+
+Statements::
+
+    ('var', [(name, init_or_None), ...])   ('expr', expr)
+    ('if', cond, then, else_or_None)       ('while', cond, body)
+    ('dowhile', body, cond)                ('for', init, cond, update, body)
+    ('return', expr_or_None)               ('break',)  ('continue',)
+    ('block', stmts)                       ('func', name, params, body)
+    ('empty',)
+
+The subset covers what Cheerp's genericjs output and our manually-written
+benchmark programs need; unsupported constructs raise :class:`ParseError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.jsengine.lexer import tokenize_js
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=", ">>>="}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, ahead=0):
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind, value=None):
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def eat(self, kind, value=None):
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind, value=None):
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, got {tok.value!r}",
+                             tok.line, tok.col)
+        return tok
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self):
+        stmts = []
+        while not self.at("eof"):
+            stmts.append(self.parse_statement())
+        return ("block", stmts)
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value == "{":
+            return self.parse_block()
+        if tok.kind == "punct" and tok.value == ";":
+            self.next()
+            return ("empty",)
+        if tok.kind == "kw":
+            handler = {
+                "var": self._parse_var, "let": self._parse_var,
+                "const": self._parse_var,
+                "function": self._parse_function,
+                "if": self._parse_if, "while": self._parse_while,
+                "do": self._parse_dowhile, "for": self._parse_for,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+            }.get(tok.value)
+            if handler:
+                return handler()
+        expr = self.parse_expression()
+        self.eat("punct", ";")
+        return ("expr", expr)
+
+    def parse_block(self):
+        self.expect("punct", "{")
+        stmts = []
+        while not self.at("punct", "}"):
+            if self.at("eof"):
+                raise ParseError("unterminated block", self.peek().line)
+            stmts.append(self.parse_statement())
+        self.next()
+        return ("block", stmts)
+
+    def _parse_var(self):
+        self.next()  # var/let/const
+        decls = []
+        while True:
+            name = self.expect("ident").value
+            init = None
+            if self.eat("punct", "="):
+                init = self.parse_assignment()
+            decls.append((name, init))
+            if not self.eat("punct", ","):
+                break
+        self.eat("punct", ";")
+        return ("var", decls)
+
+    def _parse_function(self):
+        self.next()
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        params = []
+        while not self.at("punct", ")"):
+            params.append(self.expect("ident").value)
+            if not self.eat("punct", ","):
+                break
+        self.expect("punct", ")")
+        body = self.parse_block()
+        return ("func", name, params, body)
+
+    def _parse_if(self):
+        self.next()
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        then = self.parse_statement()
+        els = None
+        if self.eat("kw", "else"):
+            els = self.parse_statement()
+        return ("if", cond, then, els)
+
+    def _parse_while(self):
+        self.next()
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        return ("while", cond, self.parse_statement())
+
+    def _parse_dowhile(self):
+        self.next()
+        body = self.parse_statement()
+        self.expect("kw", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        self.eat("punct", ";")
+        return ("dowhile", body, cond)
+
+    def _parse_for(self):
+        self.next()
+        self.expect("punct", "(")
+        init = None
+        if not self.at("punct", ";"):
+            if self.at("kw", "var") or self.at("kw", "let"):
+                init = self._parse_var()
+            else:
+                init = ("expr", self.parse_expression())
+                self.eat("punct", ";")
+        else:
+            self.next()
+        cond = None
+        if not self.at("punct", ";"):
+            cond = self.parse_expression()
+        self.expect("punct", ";")
+        update = None
+        if not self.at("punct", ")"):
+            update = self.parse_expression()
+        self.expect("punct", ")")
+        return ("for", init, cond, update, self.parse_statement())
+
+    def _parse_return(self):
+        tok = self.next()
+        if self.at("punct", ";") or self.at("punct", "}") or \
+                self.peek().line != tok.line:
+            self.eat("punct", ";")
+            return ("return", None)
+        expr = self.parse_expression()
+        self.eat("punct", ";")
+        return ("return", expr)
+
+    def _parse_break(self):
+        self.next()
+        self.eat("punct", ";")
+        return ("break",)
+
+    def _parse_continue(self):
+        self.next()
+        self.eat("punct", ";")
+        return ("continue",)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expression(self):
+        expr = self.parse_assignment()
+        while self.at("punct", ","):
+            self.next()
+            expr = ("bin", ",", expr, self.parse_assignment())
+        return expr
+
+    def parse_assignment(self):
+        left = self.parse_conditional()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in _ASSIGN_OPS:
+            self.next()
+            if left[0] not in ("ident", "member", "index"):
+                raise ParseError("invalid assignment target",
+                                 tok.line, tok.col)
+            return ("assign", tok.value, left, self.parse_assignment())
+        return left
+
+    def parse_conditional(self):
+        cond = self.parse_binary(1)
+        if self.eat("punct", "?"):
+            then = self.parse_assignment()
+            self.expect("punct", ":")
+            return ("cond", cond, then, self.parse_assignment())
+        return cond
+
+    def parse_binary(self, min_prec):
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "punct":
+                return left
+            prec = _PRECEDENCE.get(tok.value)
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            kind = "logical" if tok.value in ("&&", "||") else "bin"
+            left = (kind, tok.value, left, right)
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in ("-", "+", "!", "~"):
+            self.next()
+            return ("un", tok.value, self.parse_unary())
+        if tok.kind == "punct" and tok.value in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            return ("pre", tok.value, target)
+        if tok.kind == "kw" and tok.value == "typeof":
+            self.next()
+            return ("un", "typeof", self.parse_unary())
+        if tok.kind == "kw" and tok.value == "new":
+            self.next()
+            callee = self.parse_postfix(allow_call=False)
+            args = []
+            if self.eat("punct", "("):
+                while not self.at("punct", ")"):
+                    args.append(self.parse_assignment())
+                    if not self.eat("punct", ","):
+                        break
+                self.expect("punct", ")")
+            return self._postfix_chain(("new", callee, args))
+        return self.parse_postfix()
+
+    def parse_postfix(self, allow_call=True):
+        expr = self.parse_primary()
+        expr = self._postfix_chain(expr, allow_call)
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in ("++", "--"):
+            self.next()
+            return ("post", tok.value, expr)
+        return expr
+
+    def _postfix_chain(self, expr, allow_call=True):
+        while True:
+            if self.eat("punct", "."):
+                name = self.next()
+                if name.kind not in ("ident", "kw"):
+                    raise ParseError("expected property name",
+                                     name.line, name.col)
+                expr = ("member", expr, name.value)
+            elif self.at("punct", "["):
+                self.next()
+                index = self.parse_expression()
+                self.expect("punct", "]")
+                expr = ("index", expr, index)
+            elif allow_call and self.at("punct", "("):
+                self.next()
+                args = []
+                while not self.at("punct", ")"):
+                    args.append(self.parse_assignment())
+                    if not self.eat("punct", ","):
+                        break
+                self.expect("punct", ")")
+                expr = ("call", expr, args)
+            else:
+                return expr
+
+    def parse_primary(self):
+        tok = self.next()
+        if tok.kind == "num":
+            return ("num", tok.value)
+        if tok.kind == "str":
+            return ("str", tok.value)
+        if tok.kind == "ident":
+            return ("ident", tok.value)
+        if tok.kind == "kw":
+            if tok.value == "true":
+                return ("bool", True)
+            if tok.value == "false":
+                return ("bool", False)
+            if tok.value == "null":
+                return ("null",)
+            if tok.value == "undefined":
+                return ("undefined",)
+            raise ParseError(f"unexpected keyword {tok.value!r}",
+                             tok.line, tok.col)
+        if tok.kind == "punct":
+            if tok.value == "(":
+                expr = self.parse_expression()
+                self.expect("punct", ")")
+                return expr
+            if tok.value == "[":
+                elems = []
+                while not self.at("punct", "]"):
+                    elems.append(self.parse_assignment())
+                    if not self.eat("punct", ","):
+                        break
+                self.expect("punct", "]")
+                return ("array", elems)
+            if tok.value == "{":
+                pairs = []
+                while not self.at("punct", "}"):
+                    key = self.next()
+                    if key.kind not in ("ident", "str", "kw", "num"):
+                        raise ParseError("bad object key", key.line, key.col)
+                    self.expect("punct", ":")
+                    pairs.append((str(key.value), self.parse_assignment()))
+                    if not self.eat("punct", ","):
+                        break
+                self.expect("punct", "}")
+                return ("object", pairs)
+        raise ParseError(f"unexpected token {tok.value!r}", tok.line, tok.col)
+
+
+def parse_js(source):
+    """Parse JS-subset source into (program_ast, token_count).
+
+    The token count drives the engine's parse-cost model."""
+    tokens = tokenize_js(source)
+    parser = _Parser(tokens)
+    program = parser.parse_program()
+    return program, len(tokens)

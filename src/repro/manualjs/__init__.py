@@ -1,0 +1,17 @@
+"""Manually-written JavaScript benchmark programs (§4.1.2, Table 9).
+
+Nine benchmarks re-implemented by hand in idiomatic JavaScript, leveraging
+the library styles the paper used: a math.js-like matrix library, a
+jsSHA-like pure-JS hasher, and the W3C Web Cryptography API.  Hand-written
+code uses plain (boxed) JS arrays and library calls — the mechanisms behind
+Table 9's "manual is usually slower and uses more memory, except AES and
+SHA (W3C)" result.
+"""
+
+from repro.manualjs.programs import (
+    ManualProgram,
+    manual_programs,
+    get_manual_program,
+)
+
+__all__ = ["ManualProgram", "get_manual_program", "manual_programs"]

@@ -1,0 +1,87 @@
+"""A miniature jsSHA: pure-JavaScript SHA-1 in library style (the paper
+used jsSHA, 2k GitHub stars).  Object-free but allocation-happy — each
+update round builds fresh word arrays, the classic pure-JS hashing cost."""
+
+JSSHA_LIB = r"""
+function jssha_rotl(x, n) {
+  return ((x << n) | (x >>> (32 - n))) | 0;
+}
+
+function jssha_process_block(H, words) {
+  var W = [];
+  var t, a, b, c, d, e, f, k, temp;
+  for (t = 0; t < 16; t++) {
+    W.push(words[t] | 0);
+  }
+  for (t = 16; t < 80; t++) {
+    W.push(jssha_rotl(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1));
+  }
+  a = H[0]; b = H[1]; c = H[2]; d = H[3]; e = H[4];
+  for (t = 0; t < 80; t++) {
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 1518500249;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 1859775393;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = -1894007588;
+    } else {
+      f = b ^ c ^ d;
+      k = -899497514;
+    }
+    temp = (jssha_rotl(a, 5) + f + e + k + W[t]) | 0;
+    e = d;
+    d = c;
+    c = jssha_rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  H[0] = (H[0] + a) | 0;
+  H[1] = (H[1] + b) | 0;
+  H[2] = (H[2] + c) | 0;
+  H[3] = (H[3] + d) | 0;
+  H[4] = (H[4] + e) | 0;
+  return H;
+}
+
+function jssha_pad(bytes) {
+  var padded = [];
+  var i, bitlen;
+  for (i = 0; i < bytes.length; i++) {
+    padded.push(bytes[i]);
+  }
+  padded.push(128);
+  while (padded.length % 64 !== 56) {
+    padded.push(0);
+  }
+  bitlen = bytes.length * 8;
+  var high = Math.floor(bitlen / 4294967296);
+  var low = bitlen >>> 0;
+  for (i = 3; i >= 0; i--) {
+    padded.push((high >>> (i * 8)) & 255);
+  }
+  for (i = 3; i >= 0; i--) {
+    padded.push((low >>> (i * 8)) & 255);
+  }
+  return padded;
+}
+
+function jssha_digest_bytes(bytes) {
+  var H = [1732584193, -271733879, -1732584194, 271733878, -1009589776];
+  var padded = jssha_pad(bytes);
+  var offset, t, words;
+  for (offset = 0; offset + 64 <= padded.length; offset += 64) {
+    words = [];
+    for (t = 0; t < 16; t++) {
+      words.push(((padded[offset + 4 * t] << 24)
+                  | (padded[offset + 4 * t + 1] << 16)
+                  | (padded[offset + 4 * t + 2] << 8)
+                  | padded[offset + 4 * t + 3]) | 0);
+    }
+    H = jssha_process_block(H, words);
+  }
+  return H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4];
+}
+"""

@@ -1,0 +1,195 @@
+"""A miniature math.js: the generic, dynamically-typed matrix library the
+manual PolyBench implementations lean on (the paper used math.js, 11.1k
+GitHub stars).
+
+Everything is nested plain arrays with per-call type dispatch and fresh
+result allocation — exactly the overheads that make library JavaScript
+slower and more memory-hungry than compiler-generated typed-array code
+(Table 9)."""
+
+MATHJS_LIB = r"""
+function math_isMatrix(a) {
+  return typeof a === "object" && a !== null;
+}
+
+function math_zeros(rows, cols) {
+  var m = [];
+  var i, j, row;
+  for (i = 0; i < rows; i++) {
+    row = [];
+    for (j = 0; j < cols; j++) {
+      row.push(0);
+    }
+    m.push(row);
+  }
+  return m;
+}
+
+function math_size(a) {
+  return [a.length, a[0].length];
+}
+
+function math_clone(a) {
+  var rows = a.length, cols = a[0].length;
+  var out = math_zeros(rows, cols);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      math_set(out, i, j, math_get(a, i, j));
+    }
+  }
+  return out;
+}
+
+function math_get(a, i, j) {
+  /* math.js-style generic element access: every read goes through the
+     library's accessor (DenseMatrix.get), not a raw index. */
+  return a[i][j];
+}
+
+function math_set(a, i, j, value) {
+  a[i][j] = value;
+  return value;
+}
+
+function math_multiply(a, b) {
+  if (!math_isMatrix(a)) {
+    return math_scale(b, a);
+  }
+  if (!math_isMatrix(b)) {
+    return math_scale(a, b);
+  }
+  var n = a.length, m = b[0].length, k = b.length;
+  var out = math_zeros(n, m);
+  var i, j, p, sum;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < m; j++) {
+      sum = 0;
+      for (p = 0; p < k; p++) {
+        sum += math_get(a, i, p) * math_get(b, p, j);
+      }
+      math_set(out, i, j, sum);
+    }
+  }
+  return out;
+}
+
+function math_scale(a, s) {
+  var rows = a.length, cols = a[0].length;
+  var out = math_zeros(rows, cols);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      math_set(out, i, j, math_get(a, i, j) * s);
+    }
+  }
+  return out;
+}
+
+function math_add(a, b) {
+  var rows = a.length, cols = a[0].length;
+  var out = math_zeros(rows, cols);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      math_set(out, i, j, math_get(a, i, j) + math_get(b, i, j));
+    }
+  }
+  return out;
+}
+
+function math_subtract(a, b) {
+  var rows = a.length, cols = a[0].length;
+  var out = math_zeros(rows, cols);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      math_set(out, i, j, math_get(a, i, j) - math_get(b, i, j));
+    }
+  }
+  return out;
+}
+
+function math_transpose(a) {
+  var rows = a.length, cols = a[0].length;
+  var out = math_zeros(cols, rows);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      math_set(out, j, i, math_get(a, i, j));
+    }
+  }
+  return out;
+}
+
+function math_mean_col(a, j) {
+  var i, sum;
+  sum = 0;
+  for (i = 0; i < a.length; i++) {
+    sum += a[i][j];
+  }
+  return sum / a.length;
+}
+
+function math_sum(a) {
+  var i, j, total;
+  total = 0;
+  for (i = 0; i < a.length; i++) {
+    for (j = 0; j < a[0].length; j++) {
+      total += a[i][j];
+    }
+  }
+  return total;
+}
+
+function math_lup(a) {
+  /* In-place LU without pivoting (the benchmarks use diagonally
+     dominant matrices), math.js lup-style. */
+  var n = a.length;
+  var lu = math_clone(a);
+  var i, j, k, w;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i; j++) {
+      w = lu[i][j];
+      for (k = 0; k < j; k++) {
+        w -= lu[i][k] * lu[k][j];
+      }
+      lu[i][j] = w / lu[j][j];
+    }
+    for (j = i; j < n; j++) {
+      w = lu[i][j];
+      for (k = 0; k < i; k++) {
+        w -= lu[i][k] * lu[k][j];
+      }
+      lu[i][j] = w;
+    }
+  }
+  return lu;
+}
+
+function math_lusolve(lu, b) {
+  var n = lu.length;
+  var y = [];
+  var x = [];
+  var i, j, w;
+  for (i = 0; i < n; i++) {
+    y.push(0);
+    x.push(0);
+  }
+  for (i = 0; i < n; i++) {
+    w = b[i];
+    for (j = 0; j < i; j++) {
+      w -= lu[i][j] * y[j];
+    }
+    y[i] = w;
+  }
+  for (i = n - 1; i >= 0; i--) {
+    w = y[i];
+    for (j = i + 1; j < n; j++) {
+      w -= lu[i][j] * x[j];
+    }
+    x[i] = w / lu[i][i];
+  }
+  return x;
+}
+"""

@@ -1,0 +1,468 @@
+"""The nine manually-written JavaScript benchmarks (11 Table 9 rows —
+Heat-3d and SHA each have two variants).
+
+Workload sizes match the suite benchmarks' default (M) scaled inputs so
+the comparison against Cheerp-generated JS/Wasm is like-for-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.manualjs.lib_jssha import JSSHA_LIB
+from repro.manualjs.lib_mathjs import MATHJS_LIB
+
+
+@dataclass(frozen=True)
+class ManualProgram:
+    name: str                # Table 9 row label
+    benchmark: str           # matching suite benchmark name
+    suite: str               # PolyBenchC | CHStone
+    library: str             # "math.js" | "jsSHA" | "W3C" | "plain"
+    source: str
+    entry: str = "main"
+
+
+_FILL = r"""
+function fill_matrix(rows, cols, seed) {
+  var m = math_zeros(rows, cols);
+  var i, j;
+  for (i = 0; i < rows; i++) {
+    for (j = 0; j < cols; j++) {
+      m[i][j] = ((i * j + seed) % rows) / rows;
+    }
+  }
+  return m;
+}
+"""
+
+_PROGRAMS = []
+
+
+def _add(name, benchmark, suite, library, source):
+    _PROGRAMS.append(ManualProgram(name, benchmark, suite, library, source))
+
+
+_add("3mm", "3mm", "PolyBenchC", "math.js", MATHJS_LIB + _FILL + r"""
+var N = 18;
+function main() {
+  var A = fill_matrix(N, N, 1);
+  var B = fill_matrix(N, N, 2);
+  var C = fill_matrix(N, N, 3);
+  var D = fill_matrix(N, N, 4);
+  var E = math_multiply(A, B);
+  var F = math_multiply(C, D);
+  var G = math_multiply(E, F);
+  return math_sum(G);
+}
+""")
+
+_add("Covariance", "covariance", "PolyBenchC", "math.js",
+     MATHJS_LIB + _FILL + r"""
+var N = 18;
+function main() {
+  var data = fill_matrix(N, N, 3);
+  var i, j, k, mean, fn;
+  fn = data.length;
+  for (j = 0; j < N; j++) {
+    mean = math_mean_col(data, j);
+    for (i = 0; i < fn; i++) {
+      data[i][j] -= mean;
+    }
+  }
+  var centered = math_clone(data);
+  var cov = math_multiply(math_transpose(centered), centered);
+  cov = math_scale(cov, 1 / (fn - 1));
+  return math_sum(cov);
+}
+""")
+
+_add("Syr2k", "syr2k", "PolyBenchC", "math.js", MATHJS_LIB + _FILL + r"""
+var N = 18;
+var M = 18;
+function main() {
+  var A = fill_matrix(N, M, 1);
+  var B = fill_matrix(N, M, 2);
+  var C = fill_matrix(N, N, 3);
+  var alpha = 1.5, beta = 1.2;
+  var term1 = math_multiply(A, math_transpose(B));
+  var term2 = math_multiply(B, math_transpose(A));
+  var update = math_scale(math_add(term1, term2), alpha);
+  C = math_add(math_scale(C, beta), update);
+  return math_sum(C);
+}
+""")
+
+_add("Ludcmp", "ludcmp", "PolyBenchC", "math.js", MATHJS_LIB + _FILL + r"""
+var N = 18;
+function main() {
+  var A = math_zeros(N, N);
+  var b = [];
+  var i, j;
+  for (i = 0; i < N; i++) {
+    b.push((i + 1) / N / 2.0 + 4);
+    for (j = 0; j <= i; j++) {
+      A[i][j] = (-(j % N)) / N + 1;
+    }
+    A[i][i] = 1 + N;
+  }
+  var lu = math_lup(A);
+  var x = math_lusolve(lu, b);
+  var s = 0;
+  for (i = 0; i < N; i++) {
+    s += x[i];
+  }
+  return s;
+}
+""")
+
+_add("Floyd-warshall", "floyd-warshall", "PolyBenchC", "plain", r"""
+var N = 18;
+function main() {
+  var path = [];
+  var i, j, k, row, alt;
+  for (i = 0; i < N; i++) {
+    row = [];
+    for (j = 0; j < N; j++) {
+      if ((i + j) % 13 === 0 || (i + j) % 7 === 0 || (i + j) % 11 === 0) {
+        row.push(999);
+      } else {
+        row.push(i * j % 7 + 1);
+      }
+    }
+    path.push(row);
+  }
+  for (k = 0; k < N; k++) {
+    for (i = 0; i < N; i++) {
+      for (j = 0; j < N; j++) {
+        alt = path[i][k] + path[k][j];
+        path[i][j] = Math.min(path[i][j], alt);
+      }
+    }
+  }
+  var s = 0;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      s += path[i][j];
+    }
+  }
+  return s;
+}
+""")
+
+
+_HEAT3D_BODY = r"""
+var N = 10;
+var TSTEPS = 4;
+
+function make_grid() {
+  var g = [];
+  var i, j, k, plane, row;
+  for (i = 0; i < N; i++) {
+    plane = [];
+    for (j = 0; j < N; j++) {
+      row = [];
+      for (k = 0; k < N; k++) {
+        row.push((i + j + (N - k)) * 10 / N);
+      }
+      plane.push(row);
+    }
+    g.push(plane);
+  }
+  return g;
+}
+
+function step(dst, src) {
+  var i, j, k;
+  for (i = 1; i < N - 1; i++) {
+    for (j = 1; j < N - 1; j++) {
+      for (k = 1; k < N - 1; k++) {
+        dst[i][j][k] = 0.125 * (src[i + 1][j][k] - 2 * src[i][j][k]
+                                + src[i - 1][j][k])
+                     + 0.125 * (src[i][j + 1][k] - 2 * src[i][j][k]
+                                + src[i][j - 1][k])
+                     + 0.125 * (src[i][j][k + 1] - 2 * src[i][j][k]
+                                + src[i][j][k - 1])
+                     + src[i][j][k];
+      }
+    }
+  }
+}
+
+function main() {
+  var A = make_grid();
+  var B = make_grid();
+  var t, i, j, k, s;
+  for (t = 1; t <= TSTEPS; t++) {
+    step(B, A);
+    step(A, B);
+  }
+  s = 0;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      for (k = 0; k < N; k++) {
+        s += A[i][j][k];
+      }
+    }
+  }
+  return s;
+}
+"""
+
+_add("Heat-3d (W3C)", "heat-3d", "PolyBenchC", "W3C", _HEAT3D_BODY)
+_add("Heat-3d (math.js)", "heat-3d", "PolyBenchC", "math.js",
+     MATHJS_LIB + _HEAT3D_BODY)
+
+_add("AES", "AES", "CHStone", "plain", r"""
+var BLOCKS = 5;
+var sbox = new Uint8Array(256);
+var mul2 = new Uint8Array(256);
+var mul3 = new Uint8Array(256);
+var rk = new Uint8Array(176);
+var state = new Uint8Array(16);
+
+function gmul(a, b) {
+  var p = 0, i, hi;
+  for (i = 0; i < 8; i++) {
+    if (b & 1) {
+      p = p ^ a;
+    }
+    hi = a & 128;
+    a = (a << 1) & 255;
+    if (hi) {
+      a = a ^ 27;
+    }
+    b = b >> 1;
+  }
+  return p;
+}
+
+function gpow(a, e) {
+  var r = 1;
+  while (e) {
+    if (e & 1) {
+      r = gmul(r, a);
+    }
+    a = gmul(a, a);
+    e = e >> 1;
+  }
+  return r;
+}
+
+function build_tables() {
+  var x, b, r, i, inv;
+  sbox[0] = 99;
+  for (x = 1; x < 256; x++) {
+    inv = gpow(x, 254);
+    b = inv;
+    r = inv;
+    for (i = 0; i < 4; i++) {
+      b = ((b << 1) | (b >> 7)) & 255;
+      r = r ^ b;
+    }
+    sbox[x] = (r ^ 99) & 255;
+  }
+  for (x = 0; x < 256; x++) {
+    mul2[x] = gmul(x, 2);
+    mul3[x] = gmul(x, 3);
+  }
+}
+
+function expand_key(key) {
+  var i, k, t0, t1, t2, t3, tmp, rcon;
+  for (i = 0; i < 16; i++) {
+    rk[i] = key[i];
+  }
+  rcon = 1;
+  for (k = 16; k < 176; k += 4) {
+    t0 = rk[k - 4]; t1 = rk[k - 3]; t2 = rk[k - 2]; t3 = rk[k - 1];
+    if (k % 16 === 0) {
+      tmp = t0;
+      t0 = sbox[t1] ^ rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = gmul(rcon, 2);
+    }
+    rk[k] = rk[k - 16] ^ t0;
+    rk[k + 1] = rk[k - 15] ^ t1;
+    rk[k + 2] = rk[k - 14] ^ t2;
+    rk[k + 3] = rk[k - 13] ^ t3;
+  }
+}
+
+function encrypt_block() {
+  var round, i, c, a0, a1, a2, a3, t;
+  for (i = 0; i < 16; i++) {
+    state[i] = state[i] ^ rk[i];
+  }
+  for (round = 1; round <= 10; round++) {
+    for (i = 0; i < 16; i++) {
+      state[i] = sbox[state[i]];
+    }
+    t = state[1]; state[1] = state[5]; state[5] = state[9];
+    state[9] = state[13]; state[13] = t;
+    t = state[2]; state[2] = state[10]; state[10] = t;
+    t = state[6]; state[6] = state[14]; state[14] = t;
+    t = state[3]; state[3] = state[15]; state[15] = state[11];
+    state[11] = state[7]; state[7] = t;
+    if (round < 10) {
+      for (c = 0; c < 4; c++) {
+        a0 = state[4 * c]; a1 = state[4 * c + 1];
+        a2 = state[4 * c + 2]; a3 = state[4 * c + 3];
+        state[4 * c] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3;
+        state[4 * c + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3;
+        state[4 * c + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3];
+        state[4 * c + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3];
+      }
+    }
+    for (i = 0; i < 16; i++) {
+      state[i] = state[i] ^ rk[round * 16 + i];
+    }
+  }
+}
+
+function main() {
+  var key = new Uint8Array(16);
+  var i, b, seed, out;
+  build_tables();
+  for (i = 0; i < 16; i++) {
+    key[i] = (i * 17 + 5) & 255;
+  }
+  expand_key(key);
+  out = 0;
+  seed = 7;
+  for (b = 0; b < BLOCKS; b++) {
+    for (i = 0; i < 16; i++) {
+      seed = (Math.imul(seed, 1103515245) + 12345) & 2147483647;
+      state[i] = seed & 255;
+    }
+    encrypt_block();
+    for (i = 0; i < 16; i++) {
+      out = out ^ (state[i] << (i % 4) * 8);
+    }
+  }
+  return out;
+}
+""")
+
+_add("BLOWFISH", "BLOWFISH", "CHStone", "plain", r"""
+var BLOCKS = 40;
+var boxes = {p: [], s: []};
+
+function keystream(st) {
+  return (Math.imul(st, 1664525) + 1013904223) >>> 0;
+}
+
+function init_boxes() {
+  var i, j, st, box;
+  st = 305419896;
+  boxes.p = [];
+  boxes.s = [];
+  for (i = 0; i < 18; i++) {
+    st = keystream(st);
+    boxes.p.push(st);
+  }
+  for (i = 0; i < 4; i++) {
+    box = [];
+    for (j = 0; j < 256; j++) {
+      st = keystream(st);
+      box.push(st);
+    }
+    boxes.s.push(box);
+  }
+  return st;
+}
+
+function bf_f(x) {
+  var a = (x >>> 24) & 255;
+  var b = (x >>> 16) & 255;
+  var c = (x >>> 8) & 255;
+  var d = x & 255;
+  return ((((boxes.s[0][a] + boxes.s[1][b]) >>> 0) ^ boxes.s[2][c])
+          + boxes.s[3][d]) >>> 0;
+}
+
+function encrypt(pair) {
+  var i, temp, xl, xr;
+  xl = pair[0];
+  xr = pair[1];
+  for (i = 0; i < 16; i++) {
+    xl = (xl ^ boxes.p[i]) >>> 0;
+    xr = (bf_f(xl) ^ xr) >>> 0;
+    temp = xl;
+    xl = xr;
+    xr = temp;
+  }
+  temp = xl;
+  xl = xr;
+  xr = temp;
+  xr = (xr ^ boxes.p[16]) >>> 0;
+  xl = (xl ^ boxes.p[17]) >>> 0;
+  return [xl, xr];
+}
+
+function main() {
+  var b, st, out, pair;
+  init_boxes();
+  st = 2463534242;
+  out = 0;
+  pair = [0, 0];
+  for (b = 0; b < BLOCKS; b++) {
+    st = keystream(st);
+    pair = [pair[0] ^ st, pair[1]];
+    st = keystream(st);
+    pair = [pair[0], pair[1] ^ st];
+    pair = encrypt(pair);
+    out = out ^ (pair[0] ^ pair[1]);
+  }
+  return out | 0;
+}
+""")
+
+_SHA_MESSAGE = r"""
+var NBYTES = 1280;
+
+function make_message() {
+  var bytes = new Uint8Array(NBYTES);
+  var i, v;
+  v = 19088743;
+  for (i = 0; i < NBYTES; i++) {
+    v = (Math.imul(v, 69069) + 1234567) >>> 0;
+    bytes[i] = (v >>> 16) & 255;
+  }
+  return bytes;
+}
+"""
+
+_add("SHA (W3C)", "SHA", "CHStone", "W3C", _SHA_MESSAGE + r"""
+function main() {
+  var bytes = make_message();
+  var digest = crypto.subtle.digest("SHA-1", bytes);
+  var i, out;
+  out = 0;
+  for (i = 0; i < digest.length; i++) {
+    out = out ^ (digest[i] << (i % 4) * 8);
+  }
+  return out;
+}
+""")
+
+_add("SHA (jsSHA)", "SHA", "CHStone", "jsSHA",
+     JSSHA_LIB + _SHA_MESSAGE + r"""
+function main() {
+  var bytes = make_message();
+  return jssha_digest_bytes(bytes);
+}
+""")
+
+
+def manual_programs():
+    return list(_PROGRAMS)
+
+
+def get_manual_program(name):
+    for program in _PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)

@@ -1,0 +1,25 @@
+"""x86 model: a register-machine ISA, executor, and cost/size model.
+
+This is the paper's control experiment (Fig. 6, Table 2 'x86' column): the
+same IR and the same pass pipelines, lowered to a target where LLVM's
+optimizations behave as designed — ``-vectorize-loops`` maps to real SIMD,
+``-Ofast`` produces the fastest code, ``-Oz`` the smallest.
+"""
+
+from repro.native.machine import (
+    NativeFunction,
+    NativeProgram,
+    NativeStats,
+    NOp,
+    execute_program,
+    program_byte_size,
+)
+
+__all__ = [
+    "NOp",
+    "NativeFunction",
+    "NativeProgram",
+    "NativeStats",
+    "execute_program",
+    "program_byte_size",
+]

@@ -1,0 +1,33 @@
+"""Subject programs: the 41 C benchmarks (30 PolyBenchC + 11 CHStone) of
+§4.1.1, authored in the frontend's C subset.
+
+Every benchmark carries two families of ``-D`` defines per input-size
+class (§3.2: "macros are used to specify the input size"):
+
+* **array dims** (``P*`` macros) follow the PolyBench/CHStone dataset
+  sizes, so linear-memory commitments reproduce the paper's memory
+  magnitudes (Tables 4/6: ~27 MB at L, ~100 MB at XL);
+* **loop bounds** (plain macros) are scaled down so a Python-level VM can
+  execute the kernels — trip-count ratios across size classes are
+  preserved, which is what the execution-time results depend on.
+"""
+
+from repro.suites.registry import (
+    Benchmark,
+    all_benchmarks,
+    benchmark_names,
+    chstone_benchmarks,
+    get_benchmark,
+    polybench_benchmarks,
+)
+from repro.suites.inputs import SIZE_CLASSES
+
+__all__ = [
+    "Benchmark",
+    "SIZE_CLASSES",
+    "all_benchmarks",
+    "benchmark_names",
+    "chstone_benchmarks",
+    "get_benchmark",
+    "polybench_benchmarks",
+]

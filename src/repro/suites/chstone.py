@@ -1,0 +1,995 @@
+"""CHStone 1.11 benchmarks (the paper's Table 1, lower half).
+
+Authored in the frontend's C subset with CHStone's program structure:
+self-contained kernels with embedded test data.  Notable fidelity points:
+
+* **ADPCM** keeps CHStone's stores into a never-read ``result`` array —
+  the exact dead-store pattern behind the paper's Fig. 7 -Ofast anomaly.
+* **DFADD/DFDIV/DFMUL/DFSIN** are software IEEE-754 double kernels over
+  64-bit integers (CHStone's SoftFloat port): the workloads that stress
+  i64 legalisation in the JavaScript target (Appendix D's mechanism).
+* **AES** computes its S-box from GF(2^8) arithmetic at init (instead of
+  shipping the table) and runs real AES-128 rounds; **BLOWFISH** runs the
+  16-round Feistel network with LCG-seeded boxes (CHStone seeds from π
+  digits; an LCG keystream preserves the computation shape).
+* **MIPS** is CHStone's simplified MIPS CPU executing an embedded
+  bubble-sort program.
+
+Input-size classes scale the amount of data processed (blocks/samples/
+cycles), matching how the paper drove CHStone with five input sets.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.suites.inputs import size_table
+from repro.suites.registry import Benchmark, register
+
+
+def _chstone(name, category, description, source, sizes):
+    register(Benchmark(name=name, suite="CHStone", category=category,
+                       description=description, source=source, sizes=sizes))
+
+
+def dbits(value):
+    """Bit pattern of a Python float as a u64 C literal."""
+    return str(struct.unpack("<Q", struct.pack("<d", float(value)))[0]) + "UL"
+
+
+# ---------------------------------------------------------------------------
+# ADPCM — adaptive differential PCM encode/decode
+# ---------------------------------------------------------------------------
+
+_chstone("ADPCM", "2c", "Speech signal processing (IMA ADPCM)", r"""
+int stepsize[89];
+int indexmap[16];
+int pcm[PSAMPLES];
+int compressed[PSAMPLES];
+int decoded[PSAMPLES];
+int result[PSAMPLES];
+int enc_pred = 0;
+int enc_index = 0;
+int dec_pred = 0;
+int dec_index = 0;
+
+void init_tables() {
+  int i;
+  int step = 7;
+  for (i = 0; i < 89; i++) {
+    stepsize[i] = step;
+    step = step + (step / 10) + 1;
+  }
+  indexmap[0] = -1; indexmap[1] = -1; indexmap[2] = -1; indexmap[3] = -1;
+  indexmap[4] = 2; indexmap[5] = 4; indexmap[6] = 6; indexmap[7] = 8;
+  indexmap[8] = -1; indexmap[9] = -1; indexmap[10] = -1;
+  indexmap[11] = -1; indexmap[12] = 2; indexmap[13] = 4;
+  indexmap[14] = 6; indexmap[15] = 8;
+}
+
+void init_input() {
+  int i;
+  int value = 0;
+  for (i = 0; i < SAMPLES; i++) {
+    value = (value * 37 + 111) % 16384;
+    pcm[i] = value - 8192;
+  }
+}
+
+int encode_sample(int sample) {
+  int diff, step, code, diffq;
+  step = stepsize[enc_index];
+  diff = sample - enc_pred;
+  code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  if (diff >= step) {
+    code = code | 4;
+    diff -= step;
+  }
+  if (diff >= step / 2) {
+    code = code | 2;
+    diff -= step / 2;
+  }
+  if (diff >= step / 4)
+    code = code | 1;
+  diffq = step / 8;
+  if (code & 4)
+    diffq += step;
+  if (code & 2)
+    diffq += step / 2;
+  if (code & 1)
+    diffq += step / 4;
+  if (code & 8)
+    enc_pred -= diffq;
+  else
+    enc_pred += diffq;
+  if (enc_pred > 8191)
+    enc_pred = 8191;
+  else if (enc_pred < -8192)
+    enc_pred = -8192;
+  enc_index += indexmap[code];
+  if (enc_index < 0)
+    enc_index = 0;
+  if (enc_index > 88)
+    enc_index = 88;
+  return code;
+}
+
+int decode_sample(int code) {
+  int step, diffq;
+  step = stepsize[dec_index];
+  diffq = step / 8;
+  if (code & 4)
+    diffq += step;
+  if (code & 2)
+    diffq += step / 2;
+  if (code & 1)
+    diffq += step / 4;
+  if (code & 8)
+    dec_pred -= diffq;
+  else
+    dec_pred += diffq;
+  if (dec_pred > 8191)
+    dec_pred = 8191;
+  else if (dec_pred < -8192)
+    dec_pred = -8192;
+  dec_index += indexmap[code];
+  if (dec_index < 0)
+    dec_index = 0;
+  if (dec_index > 88)
+    dec_index = 88;
+  return dec_pred;
+}
+
+void adpcm_main() {
+  int i, xout1, xout2;
+  for (i = 0; i < SAMPLES; i++)
+    compressed[i] = encode_sample(pcm[i]);
+  for (i = 0; i + 1 < SAMPLES; i += 2) {
+    xout1 = decode_sample(compressed[i]);
+    xout2 = decode_sample(compressed[i + 1]);
+    decoded[i] = xout1;
+    decoded[i + 1] = xout2;
+    result[i] = xout1;
+    result[i + 1] = xout2;
+  }
+}
+
+int checksum() {
+  int i;
+  int s = 0;
+  for (i = 0; i < SAMPLES; i++)
+    s = (s + decoded[i] + compressed[i]) % 1000000007;
+  return s;
+}
+
+int main() {
+  init_tables();
+  init_input();
+  adpcm_main();
+  printf("%d", checksum());
+  return 0;
+}
+""", size_table(PSAMPLES=(4096, 4096, 4096, 8192, 16384),
+                SAMPLES=(48, 96, 320, 768, 1536)))
+
+# ---------------------------------------------------------------------------
+# AES — AES-128 block encryption
+# ---------------------------------------------------------------------------
+
+_chstone("AES", "2a", "AES-128 block cipher", r"""
+unsigned char sbox[256];
+unsigned char rk[176];
+unsigned char state[16];
+unsigned char key[16];
+unsigned char block[16];
+int out_xor = 0;
+
+int gmul(int a, int b) {
+  int p, i, hi;
+  p = 0;
+  for (i = 0; i < 8; i++) {
+    if (b & 1)
+      p = p ^ a;
+    hi = a & 128;
+    a = (a << 1) & 255;
+    if (hi)
+      a = a ^ 27;
+    b = b >> 1;
+  }
+  return p;
+}
+
+int gpow(int a, int e) {
+  int r;
+  r = 1;
+  while (e) {
+    if (e & 1)
+      r = gmul(r, a);
+    a = gmul(a, a);
+    e = e >> 1;
+  }
+  return r;
+}
+
+void build_sbox() {
+  int x, inv, b, r, i;
+  sbox[0] = 99;
+  for (x = 1; x < 256; x++) {
+    inv = gpow(x, 254);
+    b = inv;
+    r = inv;
+    for (i = 0; i < 4; i++) {
+      b = ((b << 1) | (b >> 7)) & 255;
+      r = r ^ b;
+    }
+    sbox[x] = (r ^ 99) & 255;
+  }
+}
+
+void expand_key() {
+  int i, k, t0, t1, t2, t3, tmp, rcon;
+  for (i = 0; i < 16; i++)
+    rk[i] = key[i];
+  rcon = 1;
+  for (k = 16; k < 176; k += 4) {
+    t0 = rk[k - 4];
+    t1 = rk[k - 3];
+    t2 = rk[k - 2];
+    t3 = rk[k - 1];
+    if (k % 16 == 0) {
+      tmp = t0;
+      t0 = sbox[t1] ^ rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = gmul(rcon, 2);
+    }
+    rk[k] = rk[k - 16] ^ t0;
+    rk[k + 1] = rk[k - 15] ^ t1;
+    rk[k + 2] = rk[k - 14] ^ t2;
+    rk[k + 3] = rk[k - 13] ^ t3;
+  }
+}
+
+void add_round_key(int round) {
+  int i;
+  for (i = 0; i < 16; i++)
+    state[i] = state[i] ^ rk[round * 16 + i];
+}
+
+void sub_bytes() {
+  int i;
+  for (i = 0; i < 16; i++)
+    state[i] = sbox[state[i]];
+}
+
+void shift_rows() {
+  int t;
+  t = state[1]; state[1] = state[5]; state[5] = state[9];
+  state[9] = state[13]; state[13] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[3]; state[3] = state[15]; state[15] = state[11];
+  state[11] = state[7]; state[7] = t;
+}
+
+void mix_columns() {
+  int c, a0, a1, a2, a3;
+  for (c = 0; c < 4; c++) {
+    a0 = state[4 * c];
+    a1 = state[4 * c + 1];
+    a2 = state[4 * c + 2];
+    a3 = state[4 * c + 3];
+    state[4 * c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+    state[4 * c + 1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+    state[4 * c + 2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+    state[4 * c + 3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+  }
+}
+
+void encrypt_block() {
+  int round, i;
+  for (i = 0; i < 16; i++)
+    state[i] = block[i];
+  add_round_key(0);
+  for (round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+int main() {
+  int b, i, seed;
+  build_sbox();
+  for (i = 0; i < 16; i++)
+    key[i] = (i * 17 + 5) & 255;
+  expand_key();
+  seed = 7;
+  for (b = 0; b < BLOCKS; b++) {
+    for (i = 0; i < 16; i++) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      block[i] = seed & 255;
+    }
+    encrypt_block();
+    for (i = 0; i < 16; i++)
+      out_xor = out_xor ^ (state[i] << (i % 4) * 8);
+  }
+  printf("%d", out_xor);
+  return 0;
+}
+""", size_table(BLOCKS=(1, 2, 5, 10, 18)))
+
+# ---------------------------------------------------------------------------
+# BLOWFISH — Feistel block cipher
+# ---------------------------------------------------------------------------
+
+_chstone("BLOWFISH", "2a", "Blowfish data encryption", r"""
+unsigned P[18];
+unsigned S[1024];
+unsigned xl = 0;
+unsigned xr = 0;
+int out_xor = 0;
+
+unsigned keystream(unsigned st) {
+  return st * 1664525U + 1013904223U;
+}
+
+void init_boxes() {
+  int i;
+  unsigned st = 305419896U;
+  for (i = 0; i < 18; i++) {
+    st = keystream(st);
+    P[i] = st;
+  }
+  for (i = 0; i < 1024; i++) {
+    st = keystream(st);
+    S[i] = st;
+  }
+}
+
+unsigned bf_f(unsigned x) {
+  unsigned a, b, c, d;
+  a = (x >> 24) & 255U;
+  b = (x >> 16) & 255U;
+  c = (x >> 8) & 255U;
+  d = x & 255U;
+  return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+void bf_encrypt() {
+  int i;
+  unsigned temp;
+  for (i = 0; i < 16; i++) {
+    xl = xl ^ P[i];
+    xr = bf_f(xl) ^ xr;
+    temp = xl;
+    xl = xr;
+    xr = temp;
+  }
+  temp = xl;
+  xl = xr;
+  xr = temp;
+  xr = xr ^ P[16];
+  xl = xl ^ P[17];
+}
+
+int main() {
+  int b;
+  unsigned st = 2463534242U;
+  init_boxes();
+  for (b = 0; b < BLOCKS; b++) {
+    st = keystream(st);
+    xl = xl ^ st;
+    st = keystream(st);
+    xr = xr ^ st;
+    bf_encrypt();
+    out_xor = out_xor ^ (int)(xl ^ xr);
+  }
+  printf("%d", out_xor);
+  return 0;
+}
+""", size_table(BLOCKS=(4, 12, 40, 96, 192)))
+
+# ---------------------------------------------------------------------------
+# Soft-float kernels (DFADD / DFDIV / DFMUL / DFSIN)
+# ---------------------------------------------------------------------------
+
+_SOFTFLOAT = r"""
+unsigned long sf_sign(unsigned long a) {
+  return a >> 63;
+}
+
+unsigned long sf_exp(unsigned long a) {
+  return (a >> 52) & 2047UL;
+}
+
+unsigned long sf_frac(unsigned long a) {
+  return a & 4503599627370495UL;
+}
+
+unsigned long sf_pack(unsigned long s, unsigned long e, unsigned long f) {
+  return (s << 63) | (e << 52) | (f & 4503599627370495UL);
+}
+
+unsigned long float64_add(unsigned long a, unsigned long b) {
+  unsigned long asign, aexp, afrac, bsign, bexp, bfrac;
+  unsigned long t, frac, exp;
+  int shift;
+  asign = sf_sign(a); aexp = sf_exp(a); afrac = sf_frac(a);
+  bsign = sf_sign(b); bexp = sf_exp(b); bfrac = sf_frac(b);
+  if (aexp == 0UL)
+    return b;
+  if (bexp == 0UL)
+    return a;
+  if (aexp < bexp || (aexp == bexp && afrac < bfrac)) {
+    t = a; a = b; b = t;
+    asign = sf_sign(a); aexp = sf_exp(a); afrac = sf_frac(a);
+    bsign = sf_sign(b); bexp = sf_exp(b); bfrac = sf_frac(b);
+  }
+  afrac = afrac | 4503599627370496UL;
+  bfrac = bfrac | 4503599627370496UL;
+  shift = (int)(aexp - bexp);
+  if (shift > 60)
+    bfrac = 0UL;
+  else
+    bfrac = bfrac >> shift;
+  if (asign == bsign) {
+    frac = afrac + bfrac;
+    exp = aexp;
+    if (frac >> 53) {
+      frac = frac >> 1;
+      exp = exp + 1UL;
+    }
+  } else {
+    frac = afrac - bfrac;
+    exp = aexp;
+    if (frac == 0UL)
+      return 0UL;
+    while ((frac >> 52) == 0UL) {
+      frac = frac << 1;
+      exp = exp - 1UL;
+    }
+  }
+  return sf_pack(asign, exp, frac);
+}
+
+unsigned long float64_neg(unsigned long a) {
+  return a ^ 9223372036854775808UL;
+}
+
+unsigned long float64_sub(unsigned long a, unsigned long b) {
+  return float64_add(a, float64_neg(b));
+}
+
+unsigned long float64_mul(unsigned long a, unsigned long b) {
+  unsigned long asign, aexp, afrac, bsign, bexp, bfrac;
+  unsigned long al, ah, bl, bh, lo, mid1, mid2, hi, lo2, carry, z;
+  unsigned long sign, exp;
+  asign = sf_sign(a); aexp = sf_exp(a); afrac = sf_frac(a);
+  bsign = sf_sign(b); bexp = sf_exp(b); bfrac = sf_frac(b);
+  sign = asign ^ bsign;
+  if (aexp == 0UL || bexp == 0UL)
+    return sign << 63;
+  afrac = afrac | 4503599627370496UL;
+  bfrac = bfrac | 4503599627370496UL;
+  al = afrac & 4294967295UL; ah = afrac >> 32;
+  bl = bfrac & 4294967295UL; bh = bfrac >> 32;
+  lo = al * bl;
+  mid1 = ah * bl;
+  mid2 = al * bh;
+  hi = ah * bh;
+  lo2 = lo + ((mid1 & 4294967295UL) << 32);
+  carry = 0UL;
+  if (lo2 < lo)
+    carry = 1UL;
+  hi = hi + (mid1 >> 32) + carry;
+  lo = lo2;
+  lo2 = lo + ((mid2 & 4294967295UL) << 32);
+  carry = 0UL;
+  if (lo2 < lo)
+    carry = 1UL;
+  hi = hi + (mid2 >> 32) + carry;
+  z = (hi << 12) | (lo2 >> 52);
+  exp = aexp + bexp;
+  if (z >> 53) {
+    z = z >> 1;
+    exp = exp - 1022UL;
+  } else {
+    exp = exp - 1023UL;
+  }
+  return sf_pack(sign, exp, z);
+}
+
+unsigned long float64_div(unsigned long a, unsigned long b) {
+  unsigned long asign, aexp, afrac, bsign, bexp, bfrac;
+  unsigned long q, rem, sign, exp;
+  int i;
+  asign = sf_sign(a); aexp = sf_exp(a); afrac = sf_frac(a);
+  bsign = sf_sign(b); bexp = sf_exp(b); bfrac = sf_frac(b);
+  sign = asign ^ bsign;
+  if (aexp == 0UL)
+    return sign << 63;
+  afrac = afrac | 4503599627370496UL;
+  bfrac = bfrac | 4503599627370496UL;
+  q = 0UL;
+  rem = afrac;
+  for (i = 0; i < 55; i++) {
+    q = q << 1;
+    rem = rem << 1;
+    if (rem >= bfrac) {
+      rem = rem - bfrac;
+      q = q | 1UL;
+    }
+  }
+  if (q >> 54) {
+    q = q >> 2;
+    exp = aexp - bexp + 1023UL;
+  } else {
+    q = q >> 1;
+    exp = aexp - bexp + 1022UL;
+  }
+  return sf_pack(sign, exp, q);
+}
+"""
+
+
+_DF_MAIN_TEMPLATE = r"""
+unsigned long inputs_a[32];
+unsigned long inputs_b[32];
+long acc = 0;
+
+void init_inputs() {
+  int i;
+  unsigned long bits;
+  bits = %(seed)s;
+  for (i = 0; i < 32; i++) {
+    bits = bits * 2862933555777941757UL + 3037000493UL;
+    inputs_a[i] = sf_pack(bits >> 63, 1013UL + (bits %% 21UL),
+                          bits >> 11);
+    bits = bits * 2862933555777941757UL + 3037000493UL;
+    inputs_b[i] = sf_pack((bits >> 62) & 1UL, 1015UL + (bits %% 17UL),
+                          bits >> 11);
+  }
+}
+
+int main() {
+  int r, i;
+  unsigned long x;
+  init_inputs();
+  for (r = 0; r < REPEAT; r++) {
+    for (i = 0; i < 32; i++) {
+      x = %(op)s(inputs_a[i], inputs_b[i]);
+      acc = acc ^ (long)(x >> 1);
+    }
+  }
+  printf("%%ld", acc);
+  return 0;
+}
+"""
+
+
+def _df_benchmark(name, op, description):
+    body = _DF_MAIN_TEMPLATE % {"op": op, "seed": "88172645463325252UL"}
+    _chstone(name, "2e", description, _SOFTFLOAT + body,
+             size_table(REPEAT=(1, 2, 6, 12, 20)))
+
+
+_df_benchmark("DFADD", "float64_add", "Soft-float double addition")
+_df_benchmark("DFDIV", "float64_div", "Soft-float double division")
+_df_benchmark("DFMUL", "float64_mul", "Soft-float double multiplication")
+
+_chstone("DFSIN", "2e", "Soft-float double sine (Taylor series)",
+         _SOFTFLOAT + r"""
+unsigned long angles[16];
+long acc = 0;
+
+unsigned long float64_sin(unsigned long x) {
+  unsigned long term, total, x2, fact;
+  int k;
+  total = x;
+  term = x;
+  x2 = float64_mul(x, x);
+  for (k = 1; k <= 6; k++) {
+    term = float64_mul(term, x2);
+    if (k == 1)
+      fact = %(f3)s;
+    else if (k == 2)
+      fact = %(f5)s;
+    else if (k == 3)
+      fact = %(f7)s;
+    else if (k == 4)
+      fact = %(f9)s;
+    else if (k == 5)
+      fact = %(f11)s;
+    else
+      fact = %(f13)s;
+    if (k %% 2 == 1)
+      total = float64_sub(total, float64_div(term, fact));
+    else
+      total = float64_add(total, float64_div(term, fact));
+  }
+  return total;
+}
+
+void init_angles() {
+  int i;
+  for (i = 0; i < 16; i++)
+    angles[i] = sf_pack(0UL, 1021UL + (unsigned long)(i %% 3),
+                        (unsigned long)(i * 281474976710655) %% 4503599627370495UL);
+}
+
+int main() {
+  int r, i;
+  unsigned long s;
+  init_angles();
+  for (r = 0; r < REPEAT; r++) {
+    for (i = 0; i < 16; i++) {
+      s = float64_sin(angles[i]);
+      acc = acc ^ (long)(s >> 1);
+    }
+  }
+  printf("%%ld", acc);
+  return 0;
+}
+""" % {"f3": dbits(6.0), "f5": dbits(120.0), "f7": dbits(5040.0),
+       "f9": dbits(362880.0), "f11": dbits(39916800.0),
+       "f13": dbits(6227020800.0)},
+         size_table(REPEAT=(1, 2, 6, 12, 20)))
+
+# ---------------------------------------------------------------------------
+# GSM — LPC analysis
+# ---------------------------------------------------------------------------
+
+_chstone("GSM", "2c", "GSM 06.10 LPC analysis (autocorrelation + Schur)", r"""
+int samples[PSAMPLES];
+long L_ACF[9];
+int reflection[8];
+long PP[9];
+long KK[9];
+
+void init_samples() {
+  int i, v;
+  v = 0;
+  for (i = 0; i < NSAMPLES; i++) {
+    v = (v * 41 + 23) % 8192;
+    samples[i] = v - 4096;
+  }
+}
+
+void autocorrelation() {
+  int k, i, smax, scale, sv;
+  smax = 0;
+  for (i = 0; i < NSAMPLES; i++) {
+    sv = samples[i];
+    if (sv < 0)
+      sv = -sv;
+    if (sv > smax)
+      smax = sv;
+  }
+  scale = 0;
+  while (smax > 4095) {
+    smax = smax >> 1;
+    scale = scale + 1;
+  }
+  if (scale > 0)
+    for (i = 0; i < NSAMPLES; i++)
+      samples[i] = samples[i] >> scale;
+  for (k = 0; k <= 8; k++) {
+    L_ACF[k] = 0L;
+    for (i = k; i < NSAMPLES; i++)
+      L_ACF[k] += (long)samples[i] * (long)samples[i - k];
+  }
+}
+
+void schur() {
+  int i, m;
+  long ltmp;
+  for (i = 0; i <= 8; i++) {
+    PP[i] = L_ACF[i];
+    KK[i] = 0L;
+  }
+  for (i = 1; i <= 8; i++)
+    KK[i] = L_ACF[i];
+  for (m = 1; m <= 8; m++) {
+    if (PP[0] == 0L)
+      reflection[m - 1] = 0;
+    else
+      reflection[m - 1] = (int)((KK[m] * 32767L) / (PP[0] + 1L));
+    for (i = 0; i + m <= 8; i++)
+      PP[i] = PP[i] + (KK[i + m] * (long)reflection[m - 1]) / 32768L;
+  }
+}
+
+int main() {
+  int i, s;
+  init_samples();
+  autocorrelation();
+  schur();
+  s = 0;
+  for (i = 0; i < 8; i++)
+    s = (s + reflection[i]) % 1000000007;
+  printf("%d", s);
+  return 0;
+}
+""", size_table(PSAMPLES=(4096, 4096, 4096, 8192, 16384),
+                NSAMPLES=(64, 128, 400, 960, 1920)))
+
+# ---------------------------------------------------------------------------
+# MIPS — simplified processor executing an embedded program
+# ---------------------------------------------------------------------------
+
+_chstone("MIPS", "2d", "Simplified MIPS processor (bubble sort program)", r"""
+int imem[64];
+int regs[32];
+int dmem[PDATA];
+
+void load_program() {
+  /* Hand-assembled bubble sort over dmem[0..r4):
+     opcodes: 1=ADDI d,s,imm  2=ADD d,s,t  3=SUB d,s,t  4=LW d,s,imm
+              5=SW t,s,imm    6=BEQ s,t,off  7=SLT d,s,t  8=BNE s,t,off
+              9=J addr        0=HALT
+     encoding: op*16777216 + a*65536 + b*256 + c (c is signed byte).  */
+  imem[0] = 1 * 16777216 + 1 * 65536 + 0 * 256 + 0;     /*  0: i = 0       */
+  imem[1] = 7 * 16777216 + 6 * 65536 + 1 * 256 + 4;     /*  1: t = i < n   */
+  imem[2] = 6 * 16777216 + 6 * 65536 + 0 * 256 + 18;    /*  2: beq t,0 →18 */
+  imem[3] = 1 * 16777216 + 2 * 65536 + 0 * 256 + 0;     /*  3: j = 0       */
+  imem[4] = 3 * 16777216 + 7 * 65536 + 4 * 256 + 1;     /*  4: m = n - i   */
+  imem[5] = 1 * 16777216 + 7 * 65536 + 7 * 256 + 255;   /*  5: m = m - 1   */
+  imem[6] = 7 * 16777216 + 10 * 65536 + 2 * 256 + 7;    /*  6: t = j < m   */
+  imem[7] = 6 * 16777216 + 10 * 65536 + 0 * 256 + 16;   /*  7: beq t,0 →16 */
+  imem[8] = 4 * 16777216 + 8 * 65536 + 2 * 256 + 0;     /*  8: a = dmem[j] */
+  imem[9] = 4 * 16777216 + 9 * 65536 + 2 * 256 + 1;     /*  9: b=dmem[j+1] */
+  imem[10] = 7 * 16777216 + 10 * 65536 + 9 * 256 + 8;   /* 10: t = b < a   */
+  imem[11] = 6 * 16777216 + 10 * 65536 + 0 * 256 + 14;  /* 11: beq t,0 →14 */
+  imem[12] = 5 * 16777216 + 9 * 65536 + 2 * 256 + 0;    /* 12: dmem[j]=b   */
+  imem[13] = 5 * 16777216 + 8 * 65536 + 2 * 256 + 1;    /* 13: dmem[j+1]=a */
+  imem[14] = 1 * 16777216 + 2 * 65536 + 2 * 256 + 1;    /* 14: j++         */
+  imem[15] = 9 * 16777216 + 0 * 65536 + 0 * 256 + 6;    /* 15: j →6        */
+  imem[16] = 1 * 16777216 + 1 * 65536 + 1 * 256 + 1;    /* 16: i++         */
+  imem[17] = 9 * 16777216 + 0 * 65536 + 0 * 256 + 1;    /* 17: j →1        */
+  imem[18] = 0;                                         /* 18: halt        */
+}
+
+void init_data() {
+  int i, v;
+  v = 0;
+  for (i = 0; i < NDATA; i++) {
+    v = (v * 97 + 31) % 1000;
+    dmem[i] = v;
+  }
+}
+
+void run_cpu() {
+  int pc, inst, op, a, b, c, running, steps;
+  pc = 0;
+  running = 1;
+  steps = 0;
+  while (running && steps < 1000000) {
+    inst = imem[pc];
+    op = inst / 16777216;
+    a = (inst / 65536) % 256;
+    b = (inst / 256) % 256;
+    c = inst % 256;
+    if (c > 127)
+      c = c - 256;
+    pc = pc + 1;
+    if (op == 0)
+      running = 0;
+    else if (op == 1)
+      regs[a] = regs[b] + c;
+    else if (op == 2)
+      regs[a] = regs[b] + regs[c];
+    else if (op == 3)
+      regs[a] = regs[b] - regs[c];
+    else if (op == 4)
+      regs[a] = dmem[regs[b] + c];
+    else if (op == 5)
+      dmem[regs[b] + c] = regs[a];
+    else if (op == 6) {
+      if (regs[a] == regs[b])
+        pc = c;
+    } else if (op == 7) {
+      if (regs[b] < regs[c])
+        regs[a] = 1;
+      else
+        regs[a] = 0;
+    } else if (op == 8) {
+      if (regs[a] != regs[b])
+        pc = c;
+    } else if (op == 9)
+      pc = c;
+    steps = steps + 1;
+  }
+}
+
+int main() {
+  int i, s;
+  load_program();
+  init_data();
+  for (i = 0; i < 32; i++)
+    regs[i] = 0;
+  regs[4] = NDATA;                 /* n */
+  run_cpu();
+  s = 0;
+  for (i = 0; i < NDATA; i++)
+    s = (s * 31 + dmem[i]) % 1000000007;
+  printf("%d", s);
+  return 0;
+}
+""", size_table(PDATA=(256, 256, 256, 512, 1024),
+                NDATA=(6, 10, 20, 30, 40)))
+
+# ---------------------------------------------------------------------------
+# MOTION — MPEG-2 motion vector decoding
+# ---------------------------------------------------------------------------
+
+_chstone("MOTION", "2b", "MPEG-2 motion vector decoding", r"""
+unsigned char bitstream[PBYTES];
+int bitpos = 0;
+int mv_sum = 0;
+
+void init_stream() {
+  int i;
+  unsigned v = 305419896U;
+  for (i = 0; i < NBYTES; i++) {
+    v = v * 1664525U + 1013904223U;
+    bitstream[i] = (v >> 24) & 255U;
+  }
+}
+
+int getbit() {
+  int byte_index, bit_index, bit;
+  byte_index = bitpos / 8;
+  bit_index = 7 - bitpos % 8;
+  bit = (bitstream[byte_index] >> bit_index) & 1;
+  bitpos = bitpos + 1;
+  return bit;
+}
+
+int getbits(int n) {
+  int i, v;
+  v = 0;
+  for (i = 0; i < n; i++)
+    v = (v << 1) | getbit();
+  return v;
+}
+
+int decode_motion_code() {
+  int zeros, value;
+  zeros = 0;
+  while (getbit() == 0 && zeros < 10)
+    zeros = zeros + 1;
+  if (zeros == 0)
+    return 0;
+  value = getbits(zeros > 4 ? 4 : zeros);
+  value = value + (1 << (zeros > 4 ? 4 : zeros));
+  if (getbit())
+    return -value;
+  return value;
+}
+
+void decode_vectors() {
+  int f, code, residual, pmv;
+  pmv = 0;
+  for (f = 0; f < NVECTORS; f++) {
+    if (bitpos + 64 >= NBYTES * 8)
+      bitpos = 0;
+    code = decode_motion_code();
+    residual = getbits(3);
+    pmv = pmv + code * 8 + residual;
+    if (pmv > 2047)
+      pmv = pmv - 4096;
+    if (pmv < -2048)
+      pmv = pmv + 4096;
+    mv_sum = (mv_sum + pmv) % 1000000007;
+  }
+}
+
+int main() {
+  init_stream();
+  decode_vectors();
+  printf("%d", mv_sum);
+  return 0;
+}
+""", size_table(PBYTES=(4096, 4096, 4096, 8192, 16384),
+                NBYTES=(512, 1024, 2048, 4096, 8192),
+                NVECTORS=(32, 96, 320, 768, 1536)))
+
+# ---------------------------------------------------------------------------
+# SHA — SHA-1 hashing
+# ---------------------------------------------------------------------------
+
+_chstone("SHA", "2a", "SHA-1 secure hash", r"""
+unsigned char message[PBYTES];
+unsigned W[80];
+unsigned h0 = 1732584193U;
+unsigned h1 = 4023233417U;
+unsigned h2 = 2562383102U;
+unsigned h3 = 271733878U;
+unsigned h4 = 3285377520U;
+
+void init_message() {
+  int i;
+  unsigned v = 19088743U;
+  for (i = 0; i < NBYTES; i++) {
+    v = v * 69069U + 1234567U;
+    message[i] = (v >> 16) & 255U;
+  }
+}
+
+unsigned rotl(unsigned x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void process_block(int offset) {
+  unsigned a, b, c, d, e, f, k, temp;
+  int t;
+  for (t = 0; t < 16; t++)
+    W[t] = ((unsigned)message[offset + 4 * t] << 24)
+         | ((unsigned)message[offset + 4 * t + 1] << 16)
+         | ((unsigned)message[offset + 4 * t + 2] << 8)
+         | (unsigned)message[offset + 4 * t + 3];
+  for (t = 16; t < 80; t++)
+    W[t] = rotl(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+  a = h0; b = h1; c = h2; d = h3; e = h4;
+  for (t = 0; t < 80; t++) {
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 1518500249U;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 1859775393U;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 2400959708U;
+    } else {
+      f = b ^ c ^ d;
+      k = 3395469782U;
+    }
+    temp = rotl(a, 5) + f + e + k + W[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h0 = h0 + a;
+  h1 = h1 + b;
+  h2 = h2 + c;
+  h3 = h3 + d;
+  h4 = h4 + e;
+}
+
+void pad_message() {
+  /* NBYTES is a multiple of 64, so the padding is exactly one block:
+     0x80, zeros, then the 64-bit big-endian bit length. */
+  int i;
+  long bitlen;
+  message[NBYTES] = 128;
+  for (i = NBYTES + 1; i < NBYTES + 56; i++)
+    message[i] = 0;
+  bitlen = (long)NBYTES * 8L;
+  for (i = 0; i < 8; i++)
+    message[NBYTES + 56 + i] = (int)((bitlen >> (56 - 8 * i)) & 255L);
+}
+
+int main() {
+  int offset;
+  init_message();
+  pad_message();
+  for (offset = 0; offset + 64 <= NBYTES + 64; offset += 64)
+    process_block(offset);
+  printf("%d", (int)(h0 ^ h1 ^ h2 ^ h3 ^ h4));
+  return 0;
+}
+""", size_table(PBYTES=(16384, 16384, 16384, 32768, 65536),
+                NBYTES=(128, 384, 1280, 2560, 5120)))

@@ -1,0 +1,42 @@
+"""Input-size classes (§3.2): Extra Small, Small, Medium, Large, Extra
+Large — the PolyBench MINI/SMALL/MEDIUM/LARGE/EXTRALARGE datasets and the
+iteration scaling we apply to CHStone."""
+
+from __future__ import annotations
+
+SIZE_CLASSES = ("XS", "S", "M", "L", "XL")
+
+#: Default run-dimension ladder for triple-nested kernels.  The ladder is
+#: deliberately wide (M/XS trip-count ratio ~90×) so the JIT-warmup
+#: crossover the paper observes between S and M inputs (§4.3) falls in the
+#: same place on the scaled dims.
+RUN3 = {"XS": 4, "S": 8, "M": 18, "L": 26, "XL": 34}
+#: For double-nested kernels.
+RUN2 = {"XS": 6, "S": 12, "M": 28, "L": 44, "XL": 60}
+#: For single loops / 1-D stencils.
+RUN1 = {"XS": 20, "S": 60, "M": 200, "L": 420, "XL": 700}
+#: Time steps for stencils.
+TSTEPS = {"XS": 2, "S": 3, "M": 4, "L": 5, "XL": 6}
+
+
+def size_table(**macros):
+    """Build the per-size defines table.
+
+    Each keyword maps a macro name to a 5-tuple (XS, S, M, L, XL) or to a
+    dict keyed by size class.  Returns ``{size: {macro: value}}``."""
+    table = {size: {} for size in SIZE_CLASSES}
+    for macro, values in macros.items():
+        if isinstance(values, dict):
+            for size in SIZE_CLASSES:
+                table[size][macro] = values[size]
+        else:
+            for size, value in zip(SIZE_CLASSES, values):
+                table[size][macro] = value
+    return table
+
+
+def capped(paper_values, run_values):
+    """Run dims never exceed the paper dims (tiny datasets run in full)."""
+    return {size: min(p, r) for size, p, r in
+            zip(SIZE_CLASSES, paper_values,
+                [run_values[s] for s in SIZE_CLASSES])}

@@ -1,0 +1,1599 @@
+"""PolyBenchC 4.2.1 benchmarks (the paper's Table 1, upper half).
+
+Authored in the frontend's C subset with the standard PolyBench kernel
+semantics.  Array dimensions use the ``P*`` dataset macros (MINI…
+EXTRALARGE, so memory magnitudes match the paper); loop bounds use the
+scaled plain macros (see :mod:`repro.suites.inputs`).  Initialisation and
+checksums only touch the loop region, mirroring how the scaled kernels
+execute inside paper-sized buffers.
+"""
+
+from __future__ import annotations
+
+from repro.suites.inputs import RUN1, RUN2, RUN3, TSTEPS, size_table
+from repro.suites.registry import Benchmark, register
+
+
+def _polybench(name, category, description, source, sizes):
+    register(Benchmark(name=name, suite="PolyBenchC", category=category,
+                       description=description, source=source, sizes=sizes))
+
+
+_R3 = tuple(RUN3[s] for s in ("XS", "S", "M", "L", "XL"))
+_R2 = tuple(RUN2[s] for s in ("XS", "S", "M", "L", "XL"))
+_R1 = tuple(RUN1[s] for s in ("XS", "S", "M", "L", "XL"))
+_TS = tuple(TSTEPS[s] for s in ("XS", "S", "M", "L", "XL"))
+
+# ---------------------------------------------------------------------------
+# Data mining
+# ---------------------------------------------------------------------------
+
+_polybench("covariance", "1d", "Covariance computation", r"""
+double data[PN][PM];
+double cov[PM][PM];
+double mean[PM];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] = (double)((i * j + 3) % N) / M + 1.0;
+}
+
+void kernel_covariance() {
+  int i, j, k;
+  double float_n = (double)N;
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / float_n;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] -= mean[j];
+  for (i = 0; i < M; i++)
+    for (j = i; j < M; j++) {
+      cov[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] = cov[i][j] / (float_n - 1.0);
+      cov[j][i] = cov[i][j];
+    }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < M; j++)
+      s += cov[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_covariance();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(32, 100, 260, 1400, 3000), PM=(28, 80, 240, 1200, 2600),
+                N=_R3, M=_R3))
+
+_polybench("correlation", "1d", "Normalized covariance computation", r"""
+double data[PN][PM];
+double corr[PM][PM];
+double mean[PM];
+double stddev[PM];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] = (double)((i * j + 7) % N) / M + (double)i / N + 0.5;
+}
+
+void kernel_correlation() {
+  int i, j, k;
+  double float_n = (double)N;
+  double eps = 0.1;
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / float_n;
+  }
+  for (j = 0; j < M; j++) {
+    stddev[j] = 0.0;
+    for (i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] = stddev[j] / float_n;
+    stddev[j] = sqrt(stddev[j]);
+    if (stddev[j] <= eps)
+      stddev[j] = 1.0;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] = data[i][j] / (sqrt(float_n) * stddev[j]);
+    }
+  for (i = 0; i < M - 1; i++) {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < M; j++) {
+      corr[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[M - 1][M - 1] = 1.0;
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < M; j++)
+      s += corr[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_correlation();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(32, 100, 260, 1400, 3000), PM=(28, 80, 240, 1200, 2600),
+                N=_R3, M=_R3))
+
+# ---------------------------------------------------------------------------
+# BLAS routines
+# ---------------------------------------------------------------------------
+
+_polybench("gemm", "1c", "Generalized matrix multiplication", r"""
+double C[PNI][PNJ];
+double A[PNI][PNK];
+double B[PNK][PNJ];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++)
+      C[i][j] = (double)((i * j + 1) % NI) / NI;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)(i * (j + 1) % NK) / NK;
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 2) % NJ) / NJ;
+}
+
+void kernel_gemm() {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < NK; k++)
+      for (j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++)
+      s += C[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_gemm();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PNI=(20, 60, 200, 1000, 2000), PNJ=(25, 70, 220, 1100, 2300),
+                PNK=(30, 80, 240, 1200, 2600), NI=_R3, NJ=_R3, NK=_R3))
+
+_polybench("gemver", "1c", "Multiple matrix-vector multiplication", r"""
+double A[PN][PN];
+double u1[PN]; double v1[PN]; double u2[PN]; double v2[PN];
+double w[PN]; double x[PN]; double y[PN]; double z[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    u1[i] = (double)i / N;
+    u2[i] = (double)((i + 1) % N) / N / 2.0;
+    v1[i] = (double)((i + 2) % N) / N / 4.0;
+    v2[i] = (double)((i + 3) % N) / N / 6.0;
+    y[i] = (double)((i + 4) % N) / N / 8.0;
+    z[i] = (double)((i + 5) % N) / N / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)((i * j) % N) / N;
+  }
+}
+
+void kernel_gemver() {
+  int i, j;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += w[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_gemver();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R2))
+
+_polybench("gesummv", "1c", "Summed matrix-vector multiplication", r"""
+double A[PN][PN];
+double B[PN][PN];
+double x[PN]; double y[PN]; double tmp[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = (double)(i % N) / N;
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % N) / N;
+    }
+  }
+}
+
+void kernel_gesummv() {
+  int i, j;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_gesummv();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(30, 90, 250, 1300, 2800), N=_R2))
+
+_polybench("symm", "1c", "Symmetric matrix multiplication", r"""
+double C[PM][PN];
+double A[PM][PM];
+double B[PM][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < M; i++) {
+    for (j = 0; j < N; j++) {
+      C[i][j] = (double)((i + j) % 100) / M;
+      B[i][j] = (double)((N + i - j) % 100) / M;
+    }
+    for (j = 0; j < M; j++)
+      A[i][j] = (double)((i * j + 1) % 100) / M;
+  }
+}
+
+void kernel_symm() {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  double temp2;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++) {
+      temp2 = 0.0;
+      for (k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i]
+                + alpha * temp2;
+    }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_symm();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PM=(20, 60, 200, 1000, 2000), PN=(30, 80, 240, 1200, 2600),
+                M=_R3, N=_R3))
+
+_polybench("syrk", "1c", "Symmetric rank k update", r"""
+double C[PN][PN];
+double A[PN][PM];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++)
+      A[i][j] = (double)((i * j + 1) % N) / N;
+    for (j = 0; j < N; j++)
+      C[i][j] = (double)((i * j + 2) % M) / M;
+  }
+}
+
+void kernel_syrk() {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_syrk();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(30, 80, 240, 1200, 2600), PM=(20, 60, 200, 1000, 2000),
+                N=_R3, M=_R3))
+
+_polybench("syr2k", "1c", "Symmetric rank 2k update", r"""
+double C[PN][PN];
+double A[PN][PM];
+double B[PN][PM];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % M) / M;
+    }
+    for (j = 0; j < N; j++)
+      C[i][j] = (double)((i * j + 3) % N) / M;
+  }
+}
+
+void kernel_syr2k() {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_syr2k();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(30, 80, 240, 1200, 2600), PM=(20, 60, 200, 1000, 2000),
+                N=_R3, M=_R3))
+
+_polybench("trmm", "1c", "Triangular matrix multiplication", r"""
+double A[PM][PM];
+double B[PM][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < M; i++) {
+    for (j = 0; j < M; j++)
+      A[i][j] = (double)((i * j) % M) / M;
+    for (j = 0; j < N; j++)
+      B[i][j] = (double)((N + i - j) % N) / N;
+  }
+}
+
+void kernel_trmm() {
+  int i, j, k;
+  double alpha = 1.5;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++) {
+      for (k = i + 1; k < M; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++)
+      s += B[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_trmm();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PM=(20, 60, 200, 1000, 2000), PN=(30, 80, 240, 1200, 2600),
+                M=_R3, N=_R3))
+
+# ---------------------------------------------------------------------------
+# Linear algebra kernels
+# ---------------------------------------------------------------------------
+
+_polybench("2mm", "1c", "Two matrix multiplications", r"""
+double tmp[PNI][PNJ];
+double A[PNI][PNK];
+double B[PNK][PNJ];
+double C[PNJ][PNL];
+double D[PNI][PNL];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)((i * j + 1) % NI) / NI;
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 1) % NJ) / NJ;
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++)
+      C[i][j] = (double)((i * (j + 3) + 1) % NL) / NL;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      D[i][j] = (double)(i * (j + 2) % NK) / NK;
+}
+
+void kernel_2mm() {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      D[i][j] *= beta;
+      for (k = 0; k < NJ; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      s += D[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_2mm();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PNI=(16, 40, 180, 800, 1600), PNJ=(18, 50, 190, 900, 1800),
+                PNK=(22, 70, 210, 1100, 2200), PNL=(24, 80, 220, 1200, 2400),
+                NI=_R3, NJ=_R3, NK=_R3, NL=_R3))
+
+_polybench("3mm", "1c", "Three matrix multiplications", r"""
+double E[PNI][PNJ];
+double A[PNI][PNK];
+double B[PNK][PNJ];
+double F[PNJ][PNL];
+double C[PNJ][PNM];
+double D[PNM][PNL];
+double G[PNI][PNL];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)((i * j + 1) % NI) / (5.0 * NI);
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)((i * (j + 1) + 2) % NJ) / (5.0 * NJ);
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NM; j++)
+      C[i][j] = (double)(i * (j + 3) % NL) / (5.0 * NL);
+  for (i = 0; i < NM; i++)
+    for (j = 0; j < NL; j++)
+      D[i][j] = (double)((i * (j + 2) + 2) % NK) / (5.0 * NK);
+}
+
+void kernel_3mm() {
+  int i, j, k;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < NM; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < NJ; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      s += G[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_3mm();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PNI=(16, 40, 180, 800, 1600), PNJ=(18, 50, 190, 900, 1800),
+                PNK=(20, 60, 200, 1000, 2000), PNL=(22, 70, 210, 1100, 2100),
+                PNM=(24, 80, 220, 1200, 2200),
+                NI=_R3, NJ=_R3, NK=_R3, NL=_R3, NM=_R3))
+
+_polybench("atax", "1c", "A transposed times Ax", r"""
+double A[PM][PN];
+double x[PN];
+double y[PN];
+double tmp[PM];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    x[i] = 1.0 + (double)i / N;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)((i + j) % N) / (5.0 * M);
+}
+
+void kernel_atax() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_atax();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PM=(38, 116, 390, 1900, 3800), PN=(42, 124, 410, 2100, 4200),
+                M=_R2, N=_R2))
+
+_polybench("bicg", "1c", "Biconjugate gradient stabilization", r"""
+double A[PN][PM];
+double s[PM];
+double q[PN];
+double p[PM];
+double r[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < M; i++)
+    p[i] = (double)(i % M) / M;
+  for (i = 0; i < N; i++) {
+    r[i] = (double)(i % N) / N;
+    for (j = 0; j < M; j++)
+      A[i][j] = (double)((i * (j + 1)) % N) / N;
+  }
+}
+
+void kernel_bicg() {
+  int i, j;
+  for (i = 0; i < M; i++)
+    s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < M; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+
+double checksum() {
+  int i;
+  double total = 0.0;
+  for (i = 0; i < M; i++)
+    total += s[i];
+  for (i = 0; i < N; i++)
+    total += q[i];
+  return total;
+}
+
+int main() {
+  init_array();
+  kernel_bicg();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(42, 124, 410, 2100, 4200), PM=(38, 116, 390, 1900, 3800),
+                N=_R2, M=_R2))
+
+_polybench("doitgen", "1b", "Multi-resolution analysis kernel", r"""
+double A[PR][PQ][PP];
+double sum[PP];
+double C4[PP][PP];
+
+void init_array() {
+  int r, q, p;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++)
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = (double)((r * q + p) % NP) / NP;
+  for (r = 0; r < NP; r++)
+    for (p = 0; p < NP; p++)
+      C4[r][p] = (double)(r * p % NP) / NP;
+}
+
+void kernel_doitgen() {
+  int r, q, p, s;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (s = 0; s < NP; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = sum[p];
+    }
+}
+
+double checksum() {
+  int r, q, p;
+  double total = 0.0;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++)
+      for (p = 0; p < NP; p++)
+        total += A[r][q][p];
+  return total;
+}
+
+int main() {
+  init_array();
+  kernel_doitgen();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PR=(8, 20, 40, 110, 220), PQ=(10, 25, 50, 125, 250),
+                PP=(12, 30, 60, 128, 270),
+                NR=(4, 6, 8, 12, 16), NQ=(4, 6, 10, 12, 16),
+                NP=(6, 8, 12, 16, 20)))
+
+_polybench("mvt", "1c", "Matrix vector product and transpose", r"""
+double A[PN][PN];
+double x1[PN]; double x2[PN];
+double y_1[PN]; double y_2[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x1[i] = (double)(i % N) / N;
+    x2[i] = (double)((i + 1) % N) / N;
+    y_1[i] = (double)((i + 3) % N) / N;
+    y_2[i] = (double)((i + 4) % N) / N;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+}
+
+void kernel_mvt() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y_1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y_2[j];
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += x1[i] + x2[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_mvt();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R2))
+
+# ---------------------------------------------------------------------------
+# Linear algebra solvers
+# ---------------------------------------------------------------------------
+
+_polybench("cholesky", "1c", "Cholesky matrix decomposition", r"""
+double A[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0 + (double)N;
+  }
+}
+
+void kernel_cholesky() {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j <= i; j++)
+      s += A[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_cholesky();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R3))
+
+_polybench("durbin", "1d", "Toeplitz system solver (Yule-Walker)", r"""
+double r[PN];
+double y[PN];
+double z[PN];
+
+void init_array() {
+  int i;
+  for (i = 0; i < N; i++)
+    r[i] = (double)(N + 1 - i) / (2.0 * N);
+}
+
+void kernel_durbin() {
+  int i, k;
+  double alpha, beta, sum;
+  y[0] = -r[0];
+  beta = 1.0;
+  alpha = -r[0];
+  for (k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    sum = 0.0;
+    for (i = 0; i < k; i++)
+      sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k - i - 1];
+    for (i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_durbin();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R2))
+
+_polybench("gramschmidt", "1d", "QR decomposition (Gram-Schmidt)", r"""
+double A[PM][PN];
+double R[PN][PN];
+double Q[PM][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((double)((i * j + 1) % M) / M) * 100.0 + 10.0;
+      Q[i][j] = 0.0;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      R[i][j] = 0.0;
+}
+
+void kernel_gramschmidt() {
+  int i, j, k;
+  double nrm;
+  for (k = 0; k < N; k++) {
+    nrm = 0.0;
+    for (i = 0; i < M; i++)
+      nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (i = 0; i < M; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (i = 0; i < M; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (i = 0; i < M; i++)
+        A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += R[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_gramschmidt();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PM=(20, 60, 200, 1000, 2000), PN=(30, 80, 240, 1200, 2600),
+                M=_R3, N=_R3))
+
+_polybench("lu", "1c", "LU matrix decomposition", r"""
+double A[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0 + (double)N;
+  }
+}
+
+void kernel_lu() {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (j = i; j < N; j++)
+      for (k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_lu();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R3))
+
+_polybench("ludcmp", "1d", "LU decomposition linear equation solver", r"""
+double A[PN][PN];
+double b[PN];
+double x[PN];
+double y[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = 0.0;
+    y[i] = 0.0;
+    b[i] = (double)(i + 1) / N / 2.0 + 4.0;
+    for (j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0 + (double)N;
+  }
+}
+
+void kernel_ludcmp() {
+  int i, j, k;
+  double w;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      w = A[i][j];
+      for (k = 0; k < j; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (j = i; j < N; j++) {
+      w = A[i][j];
+      for (k = 0; k < i; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    w = b[i];
+    for (j = 0; j < i; j++)
+      w -= A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (i = N - 1; i >= 0; i--) {
+    w = y[i];
+    for (j = i + 1; j < N; j++)
+      w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += x[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_ludcmp();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R3))
+
+_polybench("trisolv", "1c", "Triangular matrix solver", r"""
+double L[PN][PN];
+double x[PN];
+double b[PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = -999.0;
+    b[i] = (double)i / N;
+    for (j = 0; j <= i; j++)
+      L[i][j] = (double)(i + N - j + 1) * 2.0 / N;
+  }
+}
+
+void kernel_trisolv() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += x[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_trisolv();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R2))
+
+# ---------------------------------------------------------------------------
+# Medley
+# ---------------------------------------------------------------------------
+
+_polybench("deriche", "1b", "Edge detection and smoothing filter", r"""
+double imgIn[PW][PH];
+double imgOut[PW][PH];
+double ya[PW][PH];
+double yb[PW][PH];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < W; i++)
+    for (j = 0; j < H; j++)
+      imgIn[i][j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+}
+
+void kernel_deriche() {
+  int i, j;
+  double alpha = 0.25;
+  double k, a1, a2, a3, a4, b1, b2, c1;
+  double ym1, ym2, xm1, tm1, tm2, tp1, tp2, yp1, yp2;
+  k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha))
+      / (1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+  a1 = k;
+  a2 = k * exp(-alpha) * (alpha - 1.0);
+  a3 = k * exp(-alpha) * (alpha + 1.0);
+  a4 = -k * exp(-2.0 * alpha);
+  b1 = pow(2.0, -alpha);
+  b2 = -exp(-2.0 * alpha);
+  c1 = 1.0;
+  for (i = 0; i < W; i++) {
+    ym1 = 0.0;
+    ym2 = 0.0;
+    xm1 = 0.0;
+    for (j = 0; j < H; j++) {
+      ya[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = ya[i][j];
+    }
+  }
+  for (i = 0; i < W; i++) {
+    yp1 = 0.0;
+    yp2 = 0.0;
+    tp1 = 0.0;
+    tp2 = 0.0;
+    for (j = H - 1; j >= 0; j--) {
+      yb[i][j] = a3 * tp1 + a4 * tp2 + b1 * yp1 + b2 * yp2;
+      tp2 = tp1;
+      tp1 = imgIn[i][j];
+      yp2 = yp1;
+      yp1 = yb[i][j];
+    }
+  }
+  for (i = 0; i < W; i++)
+    for (j = 0; j < H; j++)
+      imgOut[i][j] = c1 * (ya[i][j] + yb[i][j]);
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < W; i++)
+    for (j = 0; j < H; j++)
+      s += imgOut[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_deriche();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PW=(64, 192, 720, 1280, 1920), PH=(64, 128, 480, 720, 1080),
+                W=(8, 12, 16, 24, 32), H=(8, 10, 16, 20, 24)))
+
+_polybench("floyd-warshall", "1a", "All-pairs shortest paths", r"""
+int path[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      path[i][j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+        path[i][j] = 999;
+    }
+}
+
+void kernel_floyd_warshall() {
+  int i, j, k;
+  for (k = 0; k < N; k++)
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+            ? path[i][j] : path[i][k] + path[k][j];
+}
+
+int checksum() {
+  int i, j;
+  int s = 0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += path[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_floyd_warshall();
+  printf("%d", checksum());
+  return 0;
+}
+""", size_table(PN=(60, 180, 500, 2800, 5600), N=_R3))
+
+_polybench("nussinov", "1a", "RNA folding prediction (dynamic programming)", r"""
+int seq[PN];
+int table[PN][PN];
+
+int match(int b1, int b2) {
+  return b1 + b2 == 3 ? 1 : 0;
+}
+
+int max_score(int s1, int s2) {
+  return s1 >= s2 ? s1 : s2;
+}
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    seq[i] = (i + 1) % 4;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      table[i][j] = 0;
+}
+
+void kernel_nussinov() {
+  int i, j, k;
+  for (i = N - 1; i >= 0; i--) {
+    for (j = i + 1; j < N; j++) {
+      if (j - 1 >= 0)
+        table[i][j] = max_score(table[i][j], table[i][j - 1]);
+      if (i + 1 < N)
+        table[i][j] = max_score(table[i][j], table[i + 1][j]);
+      if (j - 1 >= 0 && i + 1 < N) {
+        if (i < j - 1)
+          table[i][j] = max_score(table[i][j],
+              table[i + 1][j - 1] + match(seq[i], seq[j]));
+        else
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1]);
+      }
+      for (k = i + 1; k < j; k++)
+        table[i][j] = max_score(table[i][j],
+            table[i][k] + table[k + 1][j]);
+    }
+  }
+}
+
+int main() {
+  init_array();
+  kernel_nussinov();
+  printf("%d", table[0][N - 1]);
+  return 0;
+}
+""", size_table(PN=(60, 180, 500, 2500, 5500), N=_R3))
+
+# ---------------------------------------------------------------------------
+# Stencils
+# ---------------------------------------------------------------------------
+
+_polybench("adi", "1a", "Alternating-direction implicit 2D heat solver", r"""
+double u[PN][PN];
+double v[PN][PN];
+double p[PN][PN];
+double q[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      u[i][j] = (double)(i + N - j) / N;
+}
+
+void kernel_adi() {
+  int t, i, j;
+  double DX, DY, DT, B1, B2, mul1, mul2, a, b, c, d, e, f;
+  DX = 1.0 / (double)N;
+  DY = 1.0 / (double)N;
+  DT = 1.0 / (double)TSTEPS;
+  B1 = 2.0;
+  B2 = 1.0;
+  mul1 = B1 * DT / (DX * DX);
+  mul2 = B2 * DT / (DY * DY);
+  a = -mul1 / 2.0;
+  b = 1.0 + mul1;
+  c = a;
+  d = -mul2 / 2.0;
+  e = 1.0 + mul2;
+  f = d;
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = -c / (a * p[i][j - 1] + b);
+        q[i][j] = (-d * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i]
+                   - f * u[j][i + 1] - a * q[i][j - 1])
+                  / (a * p[i][j - 1] + b);
+      }
+      v[N - 1][i] = 1.0;
+      for (j = N - 2; j >= 1; j--)
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+    }
+    for (i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = -f / (d * p[i][j - 1] + e);
+        q[i][j] = (-a * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j]
+                   - c * v[i + 1][j] - d * q[i][j - 1])
+                  / (d * p[i][j - 1] + e);
+      }
+      u[i][N - 1] = 1.0;
+      for (j = N - 2; j >= 1; j--)
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+    }
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += u[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_adi();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(20, 60, 200, 1000, 2000), N=_R2, TSTEPS=_TS))
+
+_polybench("fdtd-2d", "1a", "2D finite-difference time-domain kernel", r"""
+double ex[PNX][PNY];
+double ey[PNX][PNY];
+double hz[PNX][PNY];
+double fict[PTMAX];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < TMAX; i++)
+    fict[i] = (double)i;
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++) {
+      ex[i][j] = (double)(i * (j + 1)) / NX;
+      ey[i][j] = (double)(i * (j + 2)) / NY;
+      hz[i][j] = (double)(i * (j + 3)) / NX;
+    }
+}
+
+void kernel_fdtd_2d() {
+  int t, i, j;
+  for (t = 0; t < TMAX; t++) {
+    for (j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (i = 1; i < NX; i++)
+      for (j = 0; j < NY; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (i = 0; i < NX; i++)
+      for (j = 1; j < NY; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (i = 0; i < NX - 1; i++)
+      for (j = 0; j < NY - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j]
+                                     + ey[i + 1][j] - ey[i][j]);
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++)
+      s += hz[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_fdtd_2d();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PNX=(20, 60, 200, 1000, 2000), PNY=(30, 80, 240, 1200, 2600),
+                PTMAX=(20, 40, 100, 500, 1000),
+                NX=_R2, NY=_R2, TMAX=_TS))
+
+_polybench("heat-3d", "1a", "Heat equation over 3D space", r"""
+double A[PN][PN][PN];
+double B[PN][PN][PN];
+
+void init_array() {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) {
+        A[i][j][k] = (double)(i + j + (N - k)) * 10.0 / N;
+        B[i][j][k] = A[i][j][k];
+      }
+}
+
+void kernel_heat_3d() {
+  int t, i, j, k;
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k]
+                                + A[i - 1][j][k])
+                     + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k]
+                                + A[i][j - 1][k])
+                     + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k]
+                                + A[i][j][k - 1])
+                     + A[i][j][k];
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k]
+                                + B[i - 1][j][k])
+                     + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k]
+                                + B[i][j - 1][k])
+                     + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k]
+                                + B[i][j][k - 1])
+                     + B[i][j][k];
+  }
+}
+
+double checksum() {
+  int i, j, k;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++)
+        s += A[i][j][k];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_heat_3d();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(10, 20, 40, 120, 200),
+                N=(6, 8, 10, 12, 14), TSTEPS=_TS))
+
+_polybench("jacobi-1d", "1a", "1D Jacobi stencil", r"""
+double A[PN];
+double B[PN];
+
+void init_array() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = ((double)i + 2.0) / N;
+    B[i] = ((double)i + 3.0) / N;
+  }
+}
+
+void kernel_jacobi_1d() {
+  int t, i;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+}
+
+double checksum() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s += A[i];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_jacobi_1d();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(30, 120, 400, 2000, 4000), N=_R1,
+                TSTEPS=(4, 8, 16, 24, 32)))
+
+_polybench("jacobi-2d", "1a", "2D Jacobi stencil", r"""
+double A[PN][PN];
+double B[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)i * (j + 2) / N;
+      B[i][j] = (double)i * (j + 3) / N;
+    }
+}
+
+void kernel_jacobi_2d() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j]
+                         + A[1 + i][j] + A[i - 1][j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j]
+                         + B[1 + i][j] + B[i - 1][j]);
+  }
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_jacobi_2d();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(30, 90, 250, 1300, 2800), N=_R2, TSTEPS=_TS))
+
+_polybench("seidel-2d", "1a", "2D Gauss-Seidel stencil", r"""
+double A[PN][PN];
+
+void init_array() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = ((double)i * (j + 2) + 2.0) / N;
+}
+
+void kernel_seidel_2d() {
+  int t, i, j;
+  for (t = 0; t <= TSTEPS - 1; t++)
+    for (i = 1; i <= N - 2; i++)
+      for (j = 1; j <= N - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                   + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                   + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1])
+                  / 9.0;
+}
+
+double checksum() {
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}
+
+int main() {
+  init_array();
+  kernel_seidel_2d();
+  printf("%f", checksum());
+  return 0;
+}
+""", size_table(PN=(40, 120, 400, 2000, 4000), N=_R2, TSTEPS=_TS))

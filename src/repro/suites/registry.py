@@ -1,0 +1,65 @@
+"""Benchmark registry for the 41 subject programs (§4.1, Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One subject program.
+
+    ``sizes[size_class]`` is the dict of ``-D`` defines for that input
+    size; paper-dataset macros carry a ``P`` prefix (array dims), plain
+    macros are the scaled loop bounds."""
+
+    name: str
+    suite: str               # "PolyBenchC" | "CHStone"
+    category: str            # the paper's use-case attribution (§4.1.1)
+    description: str
+    source: str
+    sizes: dict = field(hash=False)
+
+    def defines(self, size="M"):
+        return dict(self.sizes[size])
+
+
+_REGISTRY = {}
+
+
+def register(benchmark):
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def _load():
+    if _REGISTRY:
+        return
+    from repro.suites import chstone, polybench  # noqa: F401 (registers)
+
+
+def get_benchmark(name):
+    _load()
+    return _REGISTRY[name]
+
+
+def all_benchmarks():
+    _load()
+    return list(_REGISTRY.values())
+
+
+def polybench_benchmarks():
+    _load()
+    return [b for b in _REGISTRY.values() if b.suite == "PolyBenchC"]
+
+
+def chstone_benchmarks():
+    _load()
+    return [b for b in _REGISTRY.values() if b.suite == "CHStone"]
+
+
+def benchmark_names():
+    _load()
+    return list(_REGISTRY)

@@ -1,0 +1,48 @@
+"""WebAssembly substrate: module format, binary encoder, validator, linear
+memory, and a stack-machine virtual machine with instruction accounting.
+
+The VM is the measurement workhorse of the reproduction: every executed
+instruction is attributed to an operation class (ADD/MUL/DIV/...), which is
+how the paper's Table 12 operation counts and all execution-time cycle
+budgets are produced.
+"""
+
+from repro.wasm.instructions import Op, OpClass, instr, op_name
+from repro.wasm.memory import LinearMemory, WASM_PAGE_SIZE
+from repro.wasm.module import (
+    DataSegment,
+    FuncType,
+    Function,
+    GlobalVar,
+    HostImport,
+    MemorySpec,
+    WasmModule,
+)
+from repro.wasm.encoder import encode_module, encode_sleb128, encode_uleb128
+from repro.wasm.validator import validate_module
+from repro.wasm.vm import ExecutionStats, WasmInstance, WasmVM
+from repro.wasm.wat import module_to_wat
+
+__all__ = [
+    "DataSegment",
+    "ExecutionStats",
+    "FuncType",
+    "Function",
+    "GlobalVar",
+    "HostImport",
+    "LinearMemory",
+    "MemorySpec",
+    "Op",
+    "OpClass",
+    "WASM_PAGE_SIZE",
+    "WasmInstance",
+    "WasmModule",
+    "WasmVM",
+    "encode_module",
+    "encode_sleb128",
+    "encode_uleb128",
+    "instr",
+    "module_to_wat",
+    "op_name",
+    "validate_module",
+]

@@ -1,0 +1,225 @@
+"""Binary encoder for the Wasm substrate.
+
+Produces a binary in the layout of the real WebAssembly format (magic,
+version, LEB128-encoded sections).  The byte length of the encoding is the
+"resulting code size" metric of the paper's Table 2 and Figures 5/6.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wasm.instructions import BINARY_OPCODE, Op
+from repro.wasm.module import VALTYPES
+
+_VALTYPE_BYTE = {"i32": 0x7F, "i64": 0x7E, "f32": 0x7D, "f64": 0x7C}
+
+
+def encode_uleb128(value):
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ValueError("uleb128 requires a non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uleb128(data, offset=0):
+    """Decode unsigned LEB128; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def encode_sleb128(value):
+    """Signed LEB128."""
+    out = bytearray()
+    more = True
+    while more:
+        byte = value & 0x7F
+        value >>= 7
+        sign = byte & 0x40
+        if (value == 0 and not sign) or (value == -1 and sign):
+            more = False
+        else:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)
+
+
+def decode_sleb128(data, offset=0):
+    """Decode signed LEB128; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40:
+                result -= 1 << shift
+            return result, offset
+
+
+def _encode_instr(op, arg, out):
+    out.append(BINARY_OPCODE[Op(op)])
+    if op in (Op.BLOCK, Op.LOOP, Op.IF):
+        out.append(0x40)  # void block type
+    elif op in (Op.BR, Op.BR_IF, Op.CALL, Op.LOCAL_GET, Op.LOCAL_SET,
+                Op.LOCAL_TEE, Op.GLOBAL_GET, Op.GLOBAL_SET):
+        out.extend(encode_uleb128(arg))
+    elif op == Op.I32_CONST:
+        out.extend(encode_sleb128(int(arg)))
+    elif op == Op.I64_CONST:
+        out.extend(encode_sleb128(int(arg)))
+    elif op == Op.F64_CONST:
+        out.extend(struct.pack("<d", float(arg)))
+    elif Op.I32_LOAD <= op <= Op.I32_STORE16:
+        # memarg: alignment hint + offset immediate.
+        out.extend(encode_uleb128(2))
+        out.extend(encode_uleb128(arg or 0))
+    elif op in (Op.MEMORY_SIZE, Op.MEMORY_GROW):
+        out.append(0x00)
+
+
+def _section(section_id, payload):
+    return bytes([section_id]) + encode_uleb128(len(payload)) + payload
+
+
+def _name(text):
+    data = text.encode("utf-8")
+    return encode_uleb128(len(data)) + data
+
+
+def encode_module(module):
+    """Encode a :class:`WasmModule` to bytes.
+
+    Branch/call immediates must be index-based (the raw body emitted by the
+    code generators, not the VM-prepared form).
+    """
+    # Collect distinct function types.
+    types = []
+    type_index = {}
+
+    def intern(ftype):
+        if ftype not in type_index:
+            type_index[ftype] = len(types)
+            types.append(ftype)
+        return type_index[ftype]
+
+    import_types = [intern(imp.type) for imp in module.imports]
+    func_types = [intern(fn.type) for fn in module.functions]
+
+    out = bytearray(b"\x00asm")
+    out += struct.pack("<I", 1)
+
+    # Type section (1).
+    payload = bytearray(encode_uleb128(len(types)))
+    for ftype in types:
+        payload.append(0x60)
+        payload += encode_uleb128(len(ftype.params))
+        payload.extend(_VALTYPE_BYTE[t] for t in ftype.params)
+        payload += encode_uleb128(len(ftype.results))
+        payload.extend(_VALTYPE_BYTE[t] for t in ftype.results)
+    out += _section(1, bytes(payload))
+
+    # Import section (2).
+    if module.imports:
+        payload = bytearray(encode_uleb128(len(module.imports)))
+        for imp, tidx in zip(module.imports, import_types):
+            payload += _name(imp.module) + _name(imp.name)
+            payload.append(0x00)
+            payload += encode_uleb128(tidx)
+        out += _section(2, bytes(payload))
+
+    # Function section (3).
+    payload = bytearray(encode_uleb128(len(module.functions)))
+    for tidx in func_types:
+        payload += encode_uleb128(tidx)
+    out += _section(3, bytes(payload))
+
+    # Memory section (5).
+    payload = bytearray(encode_uleb128(1))
+    payload.append(0x01)
+    payload += encode_uleb128(module.memory.min_pages)
+    payload += encode_uleb128(module.memory.max_pages)
+    out += _section(5, bytes(payload))
+
+    # Global section (6).
+    if module.globals:
+        payload = bytearray(encode_uleb128(len(module.globals)))
+        for g in module.globals:
+            payload.append(_VALTYPE_BYTE[g.valtype])
+            payload.append(0x01 if g.mutable else 0x00)
+            if g.valtype == "f64":
+                payload.append(BINARY_OPCODE[Op.F64_CONST])
+                payload += struct.pack("<d", float(g.init))
+            elif g.valtype == "i64":
+                payload.append(BINARY_OPCODE[Op.I64_CONST])
+                payload += encode_sleb128(int(g.init))
+            else:
+                payload.append(BINARY_OPCODE[Op.I32_CONST])
+                payload += encode_sleb128(int(g.init))
+            payload.append(BINARY_OPCODE[Op.END])
+        out += _section(6, bytes(payload))
+
+    # Export section (7).
+    exported = [fn for fn in module.functions if fn.exported]
+    payload = bytearray(encode_uleb128(len(exported) + 1))
+    for fn in exported:
+        payload += _name(fn.name)
+        payload.append(0x00)
+        payload += encode_uleb128(module.func_index(fn.name))
+    payload += _name("memory")
+    payload.append(0x02)
+    payload += encode_uleb128(0)
+    out += _section(7, bytes(payload))
+
+    # Code section (10).
+    payload = bytearray(encode_uleb128(len(module.functions)))
+    for fn in module.functions:
+        body = bytearray()
+        # Compress runs of identical local types, as the format requires.
+        runs = []
+        for t in fn.locals:
+            if runs and runs[-1][1] == t:
+                runs[-1][0] += 1
+            else:
+                runs.append([1, t])
+        body += encode_uleb128(len(runs))
+        for count, t in runs:
+            body += encode_uleb128(count)
+            body.append(_VALTYPE_BYTE[t])
+        for op, arg in fn.body:
+            _encode_instr(op, arg, body)
+        body.append(BINARY_OPCODE[Op.END])
+        payload += encode_uleb128(len(body))
+        payload += body
+    out += _section(10, bytes(payload))
+
+    # Data section (11).
+    if module.data:
+        payload = bytearray(encode_uleb128(len(module.data)))
+        for seg in module.data:
+            payload.append(0x00)
+            payload.append(BINARY_OPCODE[Op.I32_CONST])
+            payload += encode_sleb128(seg.offset)
+            payload.append(BINARY_OPCODE[Op.END])
+            payload += encode_uleb128(len(seg.data))
+            payload += seg.data
+        out += _section(11, bytes(payload))
+
+    return bytes(out)

@@ -1,0 +1,358 @@
+"""WebAssembly instruction set used by the reproduction.
+
+Instructions are represented as plain tuples ``(opcode, operand)`` for
+interpreter speed; this module defines the opcode constants, their names,
+binary encodings, abstract cycle costs, and operation-class attribution
+(the classes the paper's Table 12 counts: ADD/MUL/DIV/REM/SHIFT/AND/OR).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes used for instruction accounting.
+
+    The first seven entries match the arithmetic classes the paper counts in
+    Table 12 (Long.js operation counts); the remainder cover the rest of the
+    instruction set so every executed instruction is attributed somewhere.
+    """
+
+    ADD = 0
+    MUL = 1
+    DIV = 2
+    REM = 3
+    SHIFT = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    CMP = 8
+    CONST = 9
+    LOCAL = 10
+    GLOBAL = 11
+    LOAD = 12
+    STORE = 13
+    CONTROL = 14
+    CALL = 15
+    CONVERT = 16
+    MEMORY = 17
+    OTHER = 18
+
+
+class Op(enum.IntEnum):
+    """Opcodes. Values are dense so the VM can index dispatch tables."""
+
+    # Control.
+    UNREACHABLE = 0
+    NOP = 1
+    BLOCK = 2
+    LOOP = 3
+    IF = 4
+    ELSE = 5
+    END = 6
+    BR = 7
+    BR_IF = 8
+    RETURN = 9
+    CALL = 10
+    DROP = 11
+    SELECT = 12
+    # Variable access.
+    LOCAL_GET = 13
+    LOCAL_SET = 14
+    LOCAL_TEE = 15
+    GLOBAL_GET = 16
+    GLOBAL_SET = 17
+    # Memory.
+    I32_LOAD = 18
+    I64_LOAD = 19
+    F64_LOAD = 20
+    I32_LOAD8_U = 21
+    I32_LOAD8_S = 22
+    I32_LOAD16_U = 23
+    I32_STORE = 24
+    I64_STORE = 25
+    F64_STORE = 26
+    I32_STORE8 = 27
+    I32_STORE16 = 28
+    MEMORY_SIZE = 29
+    MEMORY_GROW = 30
+    # Constants.
+    I32_CONST = 31
+    I64_CONST = 32
+    F64_CONST = 33
+    # i32 arithmetic.
+    I32_ADD = 34
+    I32_SUB = 35
+    I32_MUL = 36
+    I32_DIV_S = 37
+    I32_DIV_U = 38
+    I32_REM_S = 39
+    I32_REM_U = 40
+    I32_AND = 41
+    I32_OR = 42
+    I32_XOR = 43
+    I32_SHL = 44
+    I32_SHR_S = 45
+    I32_SHR_U = 46
+    I32_ROTL = 47
+    I32_CLZ = 48
+    I32_CTZ = 49
+    I32_POPCNT = 50
+    # i32 comparisons.
+    I32_EQZ = 51
+    I32_EQ = 52
+    I32_NE = 53
+    I32_LT_S = 54
+    I32_LT_U = 55
+    I32_GT_S = 56
+    I32_GT_U = 57
+    I32_LE_S = 58
+    I32_LE_U = 59
+    I32_GE_S = 60
+    I32_GE_U = 61
+    # i64 arithmetic.
+    I64_ADD = 62
+    I64_SUB = 63
+    I64_MUL = 64
+    I64_DIV_S = 65
+    I64_DIV_U = 66
+    I64_REM_S = 67
+    I64_REM_U = 68
+    I64_AND = 69
+    I64_OR = 70
+    I64_XOR = 71
+    I64_SHL = 72
+    I64_SHR_S = 73
+    I64_SHR_U = 74
+    # i64 comparisons.
+    I64_EQZ = 75
+    I64_EQ = 76
+    I64_NE = 77
+    I64_LT_S = 78
+    I64_LT_U = 79
+    I64_GT_S = 80
+    I64_GT_U = 81
+    I64_LE_S = 82
+    I64_GE_S = 83
+    # f64 arithmetic.
+    F64_ADD = 84
+    F64_SUB = 85
+    F64_MUL = 86
+    F64_DIV = 87
+    F64_SQRT = 88
+    F64_ABS = 89
+    F64_NEG = 90
+    F64_MIN = 91
+    F64_MAX = 92
+    F64_FLOOR = 93
+    F64_CEIL = 94
+    # f64 comparisons.
+    F64_EQ = 95
+    F64_NE = 96
+    F64_LT = 97
+    F64_GT = 98
+    F64_LE = 99
+    F64_GE = 100
+    # Conversions.
+    I32_WRAP_I64 = 101
+    I64_EXTEND_I32_S = 102
+    I64_EXTEND_I32_U = 103
+    F64_CONVERT_I32_S = 104
+    F64_CONVERT_I32_U = 105
+    F64_CONVERT_I64_S = 106
+    I32_TRUNC_F64_S = 107
+    I64_TRUNC_F64_S = 108
+    I64_REINTERPRET_F64 = 109
+    F64_REINTERPRET_I64 = 110
+
+
+def instr(op, arg=None):
+    """Build an instruction tuple. Kept trivial on purpose: codegen emits
+    many millions of these during large experiment sweeps."""
+    return (int(op), arg)
+
+
+_NAMES = {
+    Op.UNREACHABLE: "unreachable",
+    Op.NOP: "nop",
+    Op.BLOCK: "block",
+    Op.LOOP: "loop",
+    Op.IF: "if",
+    Op.ELSE: "else",
+    Op.END: "end",
+    Op.BR: "br",
+    Op.BR_IF: "br_if",
+    Op.RETURN: "return",
+    Op.CALL: "call",
+    Op.DROP: "drop",
+    Op.SELECT: "select",
+    Op.LOCAL_GET: "local.get",
+    Op.LOCAL_SET: "local.set",
+    Op.LOCAL_TEE: "local.tee",
+    Op.GLOBAL_GET: "global.get",
+    Op.GLOBAL_SET: "global.set",
+    Op.I32_LOAD: "i32.load",
+    Op.I64_LOAD: "i64.load",
+    Op.F64_LOAD: "f64.load",
+    Op.I32_LOAD8_U: "i32.load8_u",
+    Op.I32_LOAD8_S: "i32.load8_s",
+    Op.I32_LOAD16_U: "i32.load16_u",
+    Op.I32_STORE: "i32.store",
+    Op.I64_STORE: "i64.store",
+    Op.F64_STORE: "f64.store",
+    Op.I32_STORE8: "i32.store8",
+    Op.I32_STORE16: "i32.store16",
+    Op.MEMORY_SIZE: "memory.size",
+    Op.MEMORY_GROW: "memory.grow",
+    Op.I32_CONST: "i32.const",
+    Op.I64_CONST: "i64.const",
+    Op.F64_CONST: "f64.const",
+}
+
+
+def op_name(op):
+    """Human-readable mnemonic for an opcode (used by the WAT printer)."""
+    op = Op(op)
+    if op in _NAMES:
+        return _NAMES[op]
+    text = op.name.lower()
+    for prefix in ("i32_", "i64_", "f64_"):
+        if text.startswith(prefix):
+            return prefix[:-1] + "." + text[len(prefix):]
+    return text
+
+
+def _classify():
+    table = [OpClass.OTHER] * (max(Op) + 1)
+
+    def put(cls, *ops):
+        for op in ops:
+            table[op] = cls
+
+    put(OpClass.CONTROL, Op.UNREACHABLE, Op.NOP, Op.BLOCK, Op.LOOP, Op.IF,
+        Op.ELSE, Op.END, Op.BR, Op.BR_IF, Op.RETURN, Op.DROP, Op.SELECT)
+    put(OpClass.CALL, Op.CALL)
+    put(OpClass.LOCAL, Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE)
+    put(OpClass.GLOBAL, Op.GLOBAL_GET, Op.GLOBAL_SET)
+    put(OpClass.LOAD, Op.I32_LOAD, Op.I64_LOAD, Op.F64_LOAD, Op.I32_LOAD8_U,
+        Op.I32_LOAD8_S, Op.I32_LOAD16_U)
+    put(OpClass.STORE, Op.I32_STORE, Op.I64_STORE, Op.F64_STORE,
+        Op.I32_STORE8, Op.I32_STORE16)
+    put(OpClass.MEMORY, Op.MEMORY_SIZE, Op.MEMORY_GROW)
+    put(OpClass.CONST, Op.I32_CONST, Op.I64_CONST, Op.F64_CONST)
+    put(OpClass.ADD, Op.I32_ADD, Op.I32_SUB, Op.I64_ADD, Op.I64_SUB,
+        Op.F64_ADD, Op.F64_SUB, Op.F64_NEG, Op.F64_ABS)
+    put(OpClass.MUL, Op.I32_MUL, Op.I64_MUL, Op.F64_MUL)
+    put(OpClass.DIV, Op.I32_DIV_S, Op.I32_DIV_U, Op.I64_DIV_S, Op.I64_DIV_U,
+        Op.F64_DIV, Op.F64_SQRT)
+    put(OpClass.REM, Op.I32_REM_S, Op.I32_REM_U, Op.I64_REM_S, Op.I64_REM_U)
+    put(OpClass.SHIFT, Op.I32_SHL, Op.I32_SHR_S, Op.I32_SHR_U, Op.I32_ROTL,
+        Op.I64_SHL, Op.I64_SHR_S, Op.I64_SHR_U)
+    put(OpClass.AND, Op.I32_AND, Op.I64_AND)
+    put(OpClass.OR, Op.I32_OR, Op.I64_OR)
+    put(OpClass.XOR, Op.I32_XOR, Op.I64_XOR)
+    put(OpClass.CMP, Op.I32_EQZ, Op.I32_EQ, Op.I32_NE, Op.I32_LT_S,
+        Op.I32_LT_U, Op.I32_GT_S, Op.I32_GT_U, Op.I32_LE_S, Op.I32_LE_U,
+        Op.I32_GE_S, Op.I32_GE_U, Op.I64_EQZ, Op.I64_EQ, Op.I64_NE,
+        Op.I64_LT_S, Op.I64_LT_U, Op.I64_GT_S, Op.I64_GT_U, Op.I64_LE_S,
+        Op.I64_GE_S, Op.F64_EQ, Op.F64_NE, Op.F64_LT, Op.F64_GT, Op.F64_LE,
+        Op.F64_GE)
+    put(OpClass.CONVERT, Op.I32_WRAP_I64, Op.I64_EXTEND_I32_S,
+        Op.I64_EXTEND_I32_U, Op.F64_CONVERT_I32_S, Op.F64_CONVERT_I32_U,
+        Op.F64_CONVERT_I64_S, Op.I32_TRUNC_F64_S, Op.I64_TRUNC_F64_S,
+        Op.I64_REINTERPRET_F64, Op.F64_REINTERPRET_I64)
+    put(OpClass.OTHER, Op.I32_CLZ, Op.I32_CTZ, Op.I32_POPCNT, Op.F64_MIN,
+        Op.F64_MAX, Op.F64_FLOOR, Op.F64_CEIL)
+    return table
+
+
+#: ``OP_CLASS[opcode]`` — operation class of each opcode.
+OP_CLASS = _classify()
+
+
+def _costs():
+    """Abstract cycle cost per opcode.
+
+    Calibrated to rough x86-class latencies: cheap ALU ops cost 1, multiplies
+    3, divides ~20, memory 2–3, calls 8, ``memory.grow`` is very expensive
+    (it re-commits the linear memory — this is the mechanism behind
+    §4.2.2's Cheerp-vs-Emscripten result).
+    """
+    cost = [1.0] * (max(Op) + 1)
+    for op in Op:
+        cls = OP_CLASS[op]
+        if cls in (OpClass.LOAD, OpClass.STORE):
+            cost[op] = 2.5
+        elif cls is OpClass.MUL:
+            cost[op] = 3.0
+        elif cls is OpClass.DIV:
+            cost[op] = 20.0
+        elif cls is OpClass.REM:
+            cost[op] = 22.0
+        elif cls is OpClass.CALL:
+            cost[op] = 8.0
+        elif cls is OpClass.GLOBAL:
+            cost[op] = 2.0
+        elif cls is OpClass.CONVERT:
+            cost[op] = 2.0
+    cost[Op.F64_SQRT] = 15.0
+    # One grow = one ArrayBuffer re-commit round-trip through the embedder.
+    # Cheerp pays this per 64 KiB granule, Emscripten per 16 MiB (§4.2.2).
+    cost[Op.MEMORY_GROW] = 600.0
+    cost[Op.MEMORY_SIZE] = 2.0
+    cost[Op.UNREACHABLE] = 0.0
+    cost[Op.NOP] = 0.25
+    # Structured-control markers are nearly free once compiled.
+    for op in (Op.BLOCK, Op.LOOP, Op.END, Op.ELSE):
+        cost[op] = 0.25
+    for op in (Op.BR, Op.BR_IF, Op.IF):
+        cost[op] = 1.5
+    return cost
+
+
+#: ``OP_COST[opcode]`` — abstract cycles charged per executed instruction.
+OP_COST = _costs()
+
+#: Binary encoding of each opcode (real wasm opcode bytes where they exist).
+BINARY_OPCODE = {
+    Op.UNREACHABLE: 0x00, Op.NOP: 0x01, Op.BLOCK: 0x02, Op.LOOP: 0x03,
+    Op.IF: 0x04, Op.ELSE: 0x05, Op.END: 0x0B, Op.BR: 0x0C, Op.BR_IF: 0x0D,
+    Op.RETURN: 0x0F, Op.CALL: 0x10, Op.DROP: 0x1A, Op.SELECT: 0x1B,
+    Op.LOCAL_GET: 0x20, Op.LOCAL_SET: 0x21, Op.LOCAL_TEE: 0x22,
+    Op.GLOBAL_GET: 0x23, Op.GLOBAL_SET: 0x24,
+    Op.I32_LOAD: 0x28, Op.I64_LOAD: 0x29, Op.F64_LOAD: 0x2B,
+    Op.I32_LOAD8_S: 0x2C, Op.I32_LOAD8_U: 0x2D, Op.I32_LOAD16_U: 0x2F,
+    Op.I32_STORE: 0x36, Op.I64_STORE: 0x37, Op.F64_STORE: 0x39,
+    Op.I32_STORE8: 0x3A, Op.I32_STORE16: 0x3B,
+    Op.MEMORY_SIZE: 0x3F, Op.MEMORY_GROW: 0x40,
+    Op.I32_CONST: 0x41, Op.I64_CONST: 0x42, Op.F64_CONST: 0x44,
+    Op.I32_EQZ: 0x45, Op.I32_EQ: 0x46, Op.I32_NE: 0x47, Op.I32_LT_S: 0x48,
+    Op.I32_LT_U: 0x49, Op.I32_GT_S: 0x4A, Op.I32_GT_U: 0x4B,
+    Op.I32_LE_S: 0x4C, Op.I32_LE_U: 0x4D, Op.I32_GE_S: 0x4E,
+    Op.I32_GE_U: 0x4F,
+    Op.I64_EQZ: 0x50, Op.I64_EQ: 0x51, Op.I64_NE: 0x52, Op.I64_LT_S: 0x53,
+    Op.I64_LT_U: 0x54, Op.I64_GT_S: 0x55, Op.I64_GT_U: 0x56,
+    Op.I64_LE_S: 0x57, Op.I64_GE_S: 0x59,
+    Op.F64_EQ: 0x61, Op.F64_NE: 0x62, Op.F64_LT: 0x63, Op.F64_GT: 0x64,
+    Op.F64_LE: 0x65, Op.F64_GE: 0x66,
+    Op.I32_CLZ: 0x67, Op.I32_CTZ: 0x68, Op.I32_POPCNT: 0x69,
+    Op.I32_ADD: 0x6A, Op.I32_SUB: 0x6B, Op.I32_MUL: 0x6C,
+    Op.I32_DIV_S: 0x6D, Op.I32_DIV_U: 0x6E, Op.I32_REM_S: 0x6F,
+    Op.I32_REM_U: 0x70, Op.I32_AND: 0x71, Op.I32_OR: 0x72, Op.I32_XOR: 0x73,
+    Op.I32_SHL: 0x74, Op.I32_SHR_S: 0x75, Op.I32_SHR_U: 0x76,
+    Op.I32_ROTL: 0x77,
+    Op.I64_ADD: 0x7C, Op.I64_SUB: 0x7D, Op.I64_MUL: 0x7E,
+    Op.I64_DIV_S: 0x7F, Op.I64_DIV_U: 0x80, Op.I64_REM_S: 0x81,
+    Op.I64_REM_U: 0x82, Op.I64_AND: 0x83, Op.I64_OR: 0x84, Op.I64_XOR: 0x85,
+    Op.I64_SHL: 0x86, Op.I64_SHR_S: 0x87, Op.I64_SHR_U: 0x88,
+    Op.F64_ABS: 0x99, Op.F64_NEG: 0x9A, Op.F64_CEIL: 0x9B,
+    Op.F64_FLOOR: 0x9C, Op.F64_SQRT: 0x9F,
+    Op.F64_ADD: 0xA0, Op.F64_SUB: 0xA1, Op.F64_MUL: 0xA2, Op.F64_DIV: 0xA3,
+    Op.F64_MIN: 0xA4, Op.F64_MAX: 0xA5,
+    Op.I32_WRAP_I64: 0xA7, Op.I32_TRUNC_F64_S: 0xAA,
+    Op.I64_EXTEND_I32_S: 0xAC, Op.I64_EXTEND_I32_U: 0xAD,
+    Op.I64_TRUNC_F64_S: 0xB0, Op.F64_CONVERT_I32_S: 0xB7,
+    Op.F64_CONVERT_I32_U: 0xB8, Op.F64_CONVERT_I64_S: 0xB9,
+    Op.I64_REINTERPRET_F64: 0xBD, Op.F64_REINTERPRET_I64: 0xBF,
+}

@@ -1,0 +1,197 @@
+"""Type-checking validator for the Wasm substrate.
+
+Implements the standard structured-control validation algorithm (control
+frames with polymorphic unreachable handling), restricted to the subset this
+reproduction emits: blocks, loops and ifs always have empty result types,
+and branches only occur where the operand stack matches the frame base (our
+code generators branch at statement boundaries only).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.wasm.instructions import Op
+
+I32, I64, F64 = "i32", "i64", "f64"
+
+# Static operand signatures: op -> (pops, pushes). Ops with context-dependent
+# signatures (locals, globals, calls, control) are handled explicitly.
+_SIGS = {}
+
+
+def _sig(ops, pops, pushes):
+    for op in ops:
+        _SIGS[int(op)] = (pops, pushes)
+
+
+_sig([Op.I32_CONST], (), (I32,))
+_sig([Op.I64_CONST], (), (I64,))
+_sig([Op.F64_CONST], (), (F64,))
+_sig([Op.I32_ADD, Op.I32_SUB, Op.I32_MUL, Op.I32_DIV_S, Op.I32_DIV_U,
+      Op.I32_REM_S, Op.I32_REM_U, Op.I32_AND, Op.I32_OR, Op.I32_XOR,
+      Op.I32_SHL, Op.I32_SHR_S, Op.I32_SHR_U, Op.I32_ROTL],
+     (I32, I32), (I32,))
+_sig([Op.I32_CLZ, Op.I32_CTZ, Op.I32_POPCNT, Op.I32_EQZ], (I32,), (I32,))
+_sig([Op.I32_EQ, Op.I32_NE, Op.I32_LT_S, Op.I32_LT_U, Op.I32_GT_S,
+      Op.I32_GT_U, Op.I32_LE_S, Op.I32_LE_U, Op.I32_GE_S, Op.I32_GE_U],
+     (I32, I32), (I32,))
+_sig([Op.I64_ADD, Op.I64_SUB, Op.I64_MUL, Op.I64_DIV_S, Op.I64_DIV_U,
+      Op.I64_REM_S, Op.I64_REM_U, Op.I64_AND, Op.I64_OR, Op.I64_XOR,
+      Op.I64_SHL, Op.I64_SHR_S, Op.I64_SHR_U], (I64, I64), (I64,))
+_sig([Op.I64_EQZ], (I64,), (I32,))
+_sig([Op.I64_EQ, Op.I64_NE, Op.I64_LT_S, Op.I64_LT_U, Op.I64_GT_S,
+      Op.I64_GT_U, Op.I64_LE_S, Op.I64_GE_S], (I64, I64), (I32,))
+_sig([Op.F64_ADD, Op.F64_SUB, Op.F64_MUL, Op.F64_DIV, Op.F64_MIN,
+      Op.F64_MAX], (F64, F64), (F64,))
+_sig([Op.F64_SQRT, Op.F64_ABS, Op.F64_NEG, Op.F64_FLOOR, Op.F64_CEIL],
+     (F64,), (F64,))
+_sig([Op.F64_EQ, Op.F64_NE, Op.F64_LT, Op.F64_GT, Op.F64_LE, Op.F64_GE],
+     (F64, F64), (I32,))
+_sig([Op.I32_LOAD, Op.I32_LOAD8_U, Op.I32_LOAD8_S, Op.I32_LOAD16_U],
+     (I32,), (I32,))
+_sig([Op.I64_LOAD], (I32,), (I64,))
+_sig([Op.F64_LOAD], (I32,), (F64,))
+_sig([Op.I32_STORE, Op.I32_STORE8, Op.I32_STORE16], (I32, I32), ())
+_sig([Op.I64_STORE], (I32, I64), ())
+_sig([Op.F64_STORE], (I32, F64), ())
+_sig([Op.MEMORY_SIZE], (), (I32,))
+_sig([Op.MEMORY_GROW], (I32,), (I32,))
+_sig([Op.I32_WRAP_I64], (I64,), (I32,))
+_sig([Op.I64_EXTEND_I32_S, Op.I64_EXTEND_I32_U], (I32,), (I64,))
+_sig([Op.F64_CONVERT_I32_S, Op.F64_CONVERT_I32_U], (I32,), (F64,))
+_sig([Op.F64_CONVERT_I64_S], (I64,), (F64,))
+_sig([Op.I32_TRUNC_F64_S], (F64,), (I32,))
+_sig([Op.I64_TRUNC_F64_S], (F64,), (I64,))
+_sig([Op.I64_REINTERPRET_F64], (F64,), (I64,))
+_sig([Op.F64_REINTERPRET_I64], (I64,), (F64,))
+_sig([Op.NOP, Op.UNREACHABLE], (), ())
+
+
+class _Frame:
+    __slots__ = ("opcode", "base", "unreachable")
+
+    def __init__(self, opcode, base):
+        self.opcode = opcode
+        self.base = base
+        self.unreachable = False
+
+
+def _validate_function(module, func, func_sigs):
+    local_types = list(func.type.params) + list(func.locals)
+    globals_ = module.globals
+    stack = []
+    frames = [_Frame("func", 0)]
+
+    def fail(pc, message):
+        raise ValidationError(f"{func.name}@{pc}: {message}")
+
+    def pop_expect(pc, expected):
+        frame = frames[-1]
+        if len(stack) == frame.base:
+            if frame.unreachable:
+                return expected
+            fail(pc, f"stack underflow, expected {expected}")
+        got = stack.pop()
+        if got != expected:
+            fail(pc, f"type mismatch: expected {expected}, got {got}")
+        return got
+
+    for pc, (op, arg) in enumerate(func.body):
+        frame = frames[-1]
+        if op in _SIGS:
+            pops, pushes = _SIGS[int(op)]
+            for expected in reversed(pops):
+                pop_expect(pc, expected)
+            stack.extend(pushes)
+        elif op == Op.LOCAL_GET:
+            if arg >= len(local_types):
+                fail(pc, f"unknown local {arg}")
+            stack.append(local_types[arg])
+        elif op in (Op.LOCAL_SET, Op.LOCAL_TEE):
+            if arg >= len(local_types):
+                fail(pc, f"unknown local {arg}")
+            pop_expect(pc, local_types[arg])
+            if op == Op.LOCAL_TEE:
+                stack.append(local_types[arg])
+        elif op == Op.GLOBAL_GET:
+            stack.append(globals_[arg].valtype)
+        elif op == Op.GLOBAL_SET:
+            if not globals_[arg].mutable:
+                fail(pc, f"global {arg} is immutable")
+            pop_expect(pc, globals_[arg].valtype)
+        elif op == Op.CALL:
+            ftype = func_sigs[arg]
+            for expected in reversed(ftype.params):
+                pop_expect(pc, expected)
+            stack.extend(ftype.results)
+        elif op in (Op.BLOCK, Op.LOOP):
+            frames.append(_Frame(op, len(stack)))
+        elif op == Op.IF:
+            pop_expect(pc, I32)
+            frames.append(_Frame(op, len(stack)))
+        elif op == Op.ELSE:
+            if frame.opcode != Op.IF:
+                fail(pc, "else outside if")
+            if len(stack) != frame.base and not frame.unreachable:
+                fail(pc, "if arm leaves values on the stack")
+            del stack[frame.base:]
+            frame.unreachable = False
+        elif op == Op.END:
+            if len(frames) == 1:
+                fail(pc, "end without block")
+            if len(stack) != frame.base and not frame.unreachable:
+                fail(pc, "block leaves values on the stack "
+                         "(void result types required)")
+            del stack[frame.base:]
+            frames.pop()
+        elif op in (Op.BR, Op.BR_IF):
+            if op == Op.BR_IF:
+                pop_expect(pc, I32)
+            if arg >= len(frames) - 1:
+                fail(pc, f"branch depth {arg} exceeds nesting")
+            if len(stack) != frames[-1].base and not frame.unreachable:
+                fail(pc, "branch with non-empty operand stack")
+            if op == Op.BR:
+                frame.unreachable = True
+        elif op == Op.RETURN:
+            for expected in reversed(func.type.results):
+                pop_expect(pc, expected)
+            frame.unreachable = True
+        elif op == Op.DROP:
+            if stack and len(stack) > frame.base:
+                stack.pop()
+            elif not frame.unreachable:
+                fail(pc, "drop on empty stack")
+        elif op == Op.SELECT:
+            pop_expect(pc, I32)
+            if len(stack) - frame.base >= 2:
+                t = stack.pop()
+                pop_expect(pc, t)
+                stack.append(t)
+            elif not frame.unreachable:
+                fail(pc, "select needs two operands")
+        else:
+            fail(pc, f"unknown opcode {op}")
+
+    if len(frames) != 1:
+        raise ValidationError(f"{func.name}: unterminated block at end")
+    if not frames[0].unreachable:
+        expected = list(func.type.results)
+        if [t for t in stack] != expected:
+            raise ValidationError(
+                f"{func.name}: body leaves {stack}, expected {expected}")
+
+
+def validate_module(module):
+    """Validate every function; raises :class:`ValidationError` on the first
+    problem, returns the module for chaining."""
+    func_sigs = [imp.type for imp in module.imports]
+    func_sigs += [fn.type for fn in module.functions]
+    for seg in module.data:
+        end = seg.offset + len(seg.data)
+        if end > module.memory.min_pages * module.memory.page_size:
+            raise ValidationError(
+                f"data segment [{seg.offset}, {end}) exceeds initial memory")
+    for fn in module.functions:
+        _validate_function(module, fn, func_sigs)
+    return module

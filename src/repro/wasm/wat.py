@@ -1,0 +1,69 @@
+"""WAT (WebAssembly text) printer, for debugging and examples.
+
+Prints the folded-less, linear WAT style used by the paper's Figures 4/7/8.
+"""
+
+from __future__ import annotations
+
+from repro.wasm.instructions import Op, op_name
+
+
+def _fmt_instr(op, arg, indent):
+    pad = "  " * indent
+    name = op_name(op)
+    if arg is None:
+        return f"{pad}{name}"
+    if op == Op.F64_CONST:
+        return f"{pad}{name} {arg!r}"
+    if Op.I32_LOAD <= op <= Op.I32_STORE16 and arg:
+        return f"{pad}{name} offset={arg}"
+    return f"{pad}{name} {arg}"
+
+
+def function_to_wat(module, func, indent=1):
+    """Render one function as WAT lines."""
+    pad = "  " * indent
+    header = f"{pad}(func ${func.name}"
+    for i, t in enumerate(func.type.params):
+        header += f" (param $p{i} {t})"
+    for t in func.type.results:
+        header += f" (result {t})"
+    lines = [header]
+    if func.locals:
+        decls = " ".join(
+            f"(local $l{i + func.num_params} {t})"
+            for i, t in enumerate(func.locals))
+        lines.append(f"{pad}  {decls}")
+    depth = indent + 1
+    for op, arg in func.body:
+        if op in (Op.END, Op.ELSE):
+            depth = max(indent + 1, depth - 1)
+        lines.append(_fmt_instr(op, arg, depth))
+        if op in (Op.BLOCK, Op.LOOP, Op.IF, Op.ELSE):
+            depth += 1
+    lines.append(f"{pad})")
+    return lines
+
+
+def module_to_wat(module):
+    """Render a whole module as WAT text."""
+    lines = ["(module"]
+    for imp in module.imports:
+        sig = " ".join(f"(param {t})" for t in imp.type.params)
+        res = " ".join(f"(result {t})" for t in imp.type.results)
+        lines.append(
+            f'  (import "{imp.module}" "{imp.name}" '
+            f"(func ${imp.name} {sig} {res}))".replace("  )", ")"))
+    lines.append(
+        f"  (memory {module.memory.min_pages} {module.memory.max_pages})")
+    for g in module.globals:
+        mut = f"(mut {g.valtype})" if g.mutable else g.valtype
+        lines.append(f"  (global ${g.name} {mut} ({g.valtype}.const {g.init}))")
+    for func in module.functions:
+        lines.extend(function_to_wat(module, func))
+        if func.exported:
+            lines.append(f'  (export "{func.name}" (func ${func.name}))')
+    for seg in module.data:
+        lines.append(f'  (data (i32.const {seg.offset}) "<{len(seg.data)} bytes>")')
+    lines.append(")")
+    return "\n".join(lines)

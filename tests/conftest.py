@@ -1,0 +1,81 @@
+"""Shared fixtures: compilers, runners, and a tiny C program."""
+
+import math
+
+import pytest
+
+from repro.compilers import CheerpCompiler, EmscriptenCompiler, LlvmX86Compiler
+from repro.env import DESKTOP, chrome_desktop
+from repro.harness import PageRunner
+from repro.harness.runner import wasm_host_imports
+from repro.wasm import WasmVM
+
+
+TINY_C = """
+#define N 8
+double A[N][N]; double x[N]; double y[N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = (double)(i % 7) / N;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)((i * j + 1) % N) / N;
+  }
+}
+
+void kernel() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      y[i] = y[i] + A[i][j] * x[j];
+}
+
+double checksum() {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < N; i++) s += y[i];
+  return s;
+}
+
+int main() {
+  init();
+  kernel();
+  printf("%f", checksum());
+  return 0;
+}
+"""
+
+#: Reference value of TINY_C's checksum, computed independently.
+TINY_C_CHECKSUM = 9.4375
+
+
+@pytest.fixture(scope="session")
+def cheerp():
+    return CheerpCompiler(linear_heap_size=1024 * 1024)
+
+
+@pytest.fixture(scope="session")
+def emscripten():
+    return EmscriptenCompiler()
+
+
+@pytest.fixture(scope="session")
+def llvm_x86():
+    return LlvmX86Compiler()
+
+
+@pytest.fixture()
+def runner():
+    return PageRunner(chrome_desktop(), DESKTOP, repetitions=1)
+
+
+def run_wasm_main(module, entry="main"):
+    """Instantiate with standard C host imports and run; returns
+    (outputs, instance)."""
+    output = []
+    vm = WasmVM()
+    instance = vm.instantiate(module, wasm_host_imports(output, None))
+    instance.invoke(entry)
+    return output, instance

@@ -1,0 +1,103 @@
+"""Statistics helpers and table rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    arithmetic_mean, five_number_summary, format_table, geomean,
+    speedup_slowdown_split,
+)
+
+POSITIVE = st.floats(min_value=1e-3, max_value=1e6)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=30))
+    @settings(max_examples=80)
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=20), POSITIVE)
+    @settings(max_examples=60)
+    def test_scale_invariance(self, values, scale):
+        scaled = geomean([v * scale for v in values])
+        assert scaled == pytest.approx(geomean(values) * scale, rel=1e-6)
+
+
+class TestSplit:
+    def test_counts_and_gmeans(self):
+        # Wasm twice as fast on two, half speed on one.
+        stats = speedup_slowdown_split([1.0, 1.0, 4.0], [2.0, 2.0, 2.0])
+        assert stats["su_count"] == 2
+        assert stats["sd_count"] == 1
+        assert stats["su_gmean"] == pytest.approx(2.0)
+        assert stats["sd_gmean"] == pytest.approx(2.0)
+        assert stats["all_gmean"] == pytest.approx((2 * 2 * 0.5) ** (1 / 3))
+
+    def test_all_speedups(self):
+        stats = speedup_slowdown_split([1.0], [3.0])
+        assert stats["sd_count"] == 0 and stats["sd_gmean"] is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_slowdown_split([1.0], [1.0, 2.0])
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=20),
+           st.lists(POSITIVE, min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_counts_partition(self, wasm, js):
+        n = min(len(wasm), len(js))
+        stats = speedup_slowdown_split(wasm[:n], js[:n])
+        assert stats["su_count"] + stats["sd_count"] == n
+
+
+class TestFiveNumber:
+    def test_known_quartiles(self):
+        summary = five_number_summary([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.q1 == 2 and summary.q3 == 4
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    @settings(max_examples=80)
+    def test_ordering_invariant(self, values):
+        s = five_number_summary(values)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+
+    def test_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.234567], ["bbbb", None]],
+                            title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "1.23" in text
+        assert "-" in lines[-1]   # None renders as '-'
+
+    def test_all_rows_present(self):
+        rows = [[f"r{i}", i] for i in range(10)]
+        text = format_table(["n", "v"], rows)
+        assert all(f"r{i}" in text for i in range(10))

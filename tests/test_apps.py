@@ -1,0 +1,116 @@
+"""Real-world applications: Long.js, Hyphenopoly, FFmpeg, WebWorker pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import FfmpegApp, HyphenopolyApp, LongJsApp, WebWorkerPool
+from repro.apps.hyphenopoly import PATTERNS, make_text
+
+
+class TestWorkerPool:
+    def test_serial_is_sum(self):
+        pool = WebWorkerPool(4)
+        assert pool.serial_cycles([10, 20, 30]) == 60
+
+    def test_makespan_single_worker(self):
+        pool = WebWorkerPool(1, post_message_cycles=5)
+        assert pool.makespan_cycles([10, 20]) == 40
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WebWorkerPool(0)
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e6), min_size=1,
+                    max_size=40),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_makespan_bounds(self, items, workers):
+        pool = WebWorkerPool(workers, post_message_cycles=0.0)
+        makespan = pool.makespan_cycles(items)
+        serial = pool.serial_cycles(items)
+        assert serial / workers - 1e-6 <= makespan <= serial + 1e-6
+        assert makespan >= max(items) - 1e-6
+
+
+class TestLongJs:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return LongJsApp(iterations=300).run()
+
+    def test_three_experiments(self, results):
+        assert set(results) == {"multiplication", "division", "remainder"}
+
+    def test_checksums_match(self, results):
+        for label, entry in results.items():
+            assert entry["js_checksum"] == entry["wasm_checksum"], label
+
+    def test_wasm_faster(self, results):
+        # Table 10: every Long.js ratio < 1 (Wasm wins).
+        for entry in results.values():
+            assert entry["ratio"] < 1.0
+
+    def test_op_count_asymmetry(self, results):
+        # Table 12: JS runs far more arithmetic than Wasm.
+        mul = results["multiplication"]
+        js_total = sum(mul["js_ops"].values())
+        wasm_total = sum(mul["wasm_ops"].values())
+        assert js_total > 4 * wasm_total
+
+    def test_wasm_one_mul_per_operation(self, results):
+        mul = results["multiplication"]
+        assert mul["wasm_ops"]["MUL"] == mul["iterations"]
+
+    def test_js_mul_uses_16bit_chunks(self, results):
+        # Long.js splits into 16-bit chunks: ≥10 multiplies per long mul.
+        mul = results["multiplication"]
+        assert mul["js_ops"]["MUL"] >= 10 * mul["iterations"]
+
+    def test_division_heaviest_for_js(self, results):
+        assert results["division"]["js_ms"] > \
+            results["multiplication"]["js_ms"]
+
+
+class TestHyphenopoly:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return HyphenopolyApp(text_bytes=1024).run()
+
+    def test_both_languages(self, results):
+        assert set(results) == {"en-us", "fr"}
+
+    def test_implementations_agree(self, results):
+        for language, entry in results.items():
+            assert entry["wasm_points"] == entry["js_points"], language
+            assert entry["wasm_points"] > 0
+
+    def test_wasm_marginally_faster(self, results):
+        # Table 10: ratios just below 1 (I/O-bound workload).
+        for entry in results.values():
+            assert 0.3 < entry["ratio"] < 1.25
+
+    def test_text_generator_deterministic(self):
+        assert make_text(512, seed=1) == make_text(512, seed=1)
+        assert make_text(512, seed=1) != make_text(512, seed=2)
+
+    def test_pattern_sets_differ(self):
+        assert PATTERNS["en-us"] != PATTERNS["fr"]
+
+
+class TestFfmpeg:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return FfmpegApp(frames=8).run()
+
+    def test_checksums_match(self, results):
+        assert results["wasm_checksum"] == results["js_checksum"]
+        assert results["wasm_checksum"] > 0
+
+    def test_parallel_wasm_wins_big(self, results):
+        # Table 10: 0.275 ratio from WebWorker parallelism.
+        assert results["ratio"] < 0.6
+
+    def test_worker_count_matters(self):
+        two = FfmpegApp(frames=8, workers=2).run()
+        eight = FfmpegApp(frames=8, workers=8).run()
+        assert eight["wasm_ms"] < two["wasm_ms"]
+        assert eight["js_ms"] == pytest.approx(two["js_ms"], rel=0.01)

@@ -1,0 +1,111 @@
+"""Extension features and failure-injection robustness tests."""
+
+import pytest
+
+from repro.compilers import CheerpCompiler
+from repro.errors import CompileError, ParseError, TrapError
+from repro.wasm import WasmVM
+
+from tests.conftest import TINY_C, TINY_C_CHECKSUM, run_wasm_main
+
+
+class TestTailoredPipeline:
+    """The §5 future-work extension: a Wasm-tailored -Owasm level."""
+
+    def test_owasm_level_exists(self, cheerp):
+        assert "Owasm" in cheerp.pipelines()
+
+    def test_owasm_preserves_semantics(self, cheerp):
+        artifact = cheerp.compile_wasm(TINY_C, opt_level="Owasm")
+        outputs, _ = run_wasm_main(artifact.module)
+        assert outputs[0] == pytest.approx(TINY_C_CHECKSUM)
+
+    def test_owasm_avoids_vectorize_overhead(self, cheerp):
+        o2 = cheerp.compile_wasm(TINY_C, opt_level="O2")
+        owasm = cheerp.compile_wasm(TINY_C, opt_level="Owasm")
+        _, o2_inst = run_wasm_main(o2.module)
+        _, ow_inst = run_wasm_main(owasm.module)
+        assert ow_inst.stats.instructions <= o2_inst.stats.instructions
+
+    def test_owasm_enables_backend_cleanups(self, cheerp):
+        artifact = cheerp.compile_wasm(TINY_C, opt_level="Owasm")
+        assert artifact.meta["opt_level"] == "Owasm"
+
+
+class TestFailureInjection:
+    """Programs that go wrong must fail loudly, not silently."""
+
+    def test_runtime_division_by_zero_traps(self, cheerp):
+        source = """
+        int main() {
+          int zero = 0;
+          int i;
+          for (i = 0; i < 3; i++)
+            zero = zero * 2;
+          printf("%d", 7 / zero);
+          return 0;
+        }
+        """
+        artifact = cheerp.compile_wasm(source)
+        with pytest.raises(TrapError, match="divide by zero"):
+            run_wasm_main(artifact.module)
+
+    def test_out_of_bounds_store_traps(self):
+        # Past the committed linear memory (heap limit, §3.2).
+        source = """
+        int a[4];
+        int main() {
+          int i = 100000000;
+          a[i] = 1;
+          printf("%d", a[0]);
+          return 0;
+        }
+        """
+        cheerp = CheerpCompiler(linear_heap_size=65536)
+        artifact = cheerp.compile_wasm(source)
+        with pytest.raises(TrapError, match="out-of-bounds"):
+            run_wasm_main(artifact.module)
+
+    def test_malformed_source_is_parse_error(self, cheerp):
+        with pytest.raises(ParseError):
+            cheerp.compile_wasm("int main( { return 0; }")
+
+    def test_unsupported_construct_reported(self, cheerp):
+        with pytest.raises(ParseError):
+            cheerp.compile_wasm("int main() { goto out; out: return 0; }")
+
+    def test_unknown_opt_level_rejected(self, cheerp):
+        with pytest.raises(KeyError):
+            cheerp.compile_wasm(TINY_C, opt_level="O9")
+
+    def test_infinite_loop_bounded_by_budget(self, cheerp):
+        source = "int main() { while (1) { } return 0; }"
+        artifact = cheerp.compile_wasm(source)
+        vm = WasmVM(max_instructions=50000)
+        from repro.harness.runner import wasm_host_imports
+        instance = vm.instantiate(artifact.module,
+                                  wasm_host_imports([], None))
+        with pytest.raises(TrapError, match="budget"):
+            instance.invoke("main")
+
+    def test_js_engine_type_error_is_loud(self):
+        from repro.jsengine import JsEngine
+        from repro.jsengine.interpreter import JsRuntimeError
+        engine = JsEngine()
+        engine.load_script("function f() { return missing.prop; }")
+        with pytest.raises(JsRuntimeError):
+            engine.call_global("f")
+
+    def test_heap_exhaustion_fails_grow(self):
+        # memory.grow beyond max_pages returns -1 rather than trapping.
+        from repro.wasm import (
+            FuncType, Function, MemorySpec, WasmModule,
+        )
+        from repro.wasm.instructions import Op, instr as I
+        module = WasmModule()
+        module.memory = MemorySpec(min_pages=1, max_pages=2)
+        body = [I(Op.I32_CONST, 100), I(Op.MEMORY_GROW)]
+        module.add_function(Function("f", FuncType((), ("i32",)), [],
+                                     body, exported=True))
+        instance = WasmVM().instantiate(module)
+        assert instance.invoke("f") == -1

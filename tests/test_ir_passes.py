@@ -1,0 +1,309 @@
+"""Optimization passes: each pass's transformation and, crucially,
+semantic preservation (every pass is re-validated by executing the
+optimized module on the Wasm VM and comparing outputs)."""
+
+import pytest
+
+from repro.backends import generate_wasm
+from repro.cfront import parse_c, preprocess
+from repro.ir.nodes import (
+    EBin, ECast, EConst, ELocal, SAssign, SFor, SStore, walk_all_exprs,
+    walk_stmts,
+)
+from repro.ir.passes import (
+    PASSES, common_subexpression_elimination, constant_fold,
+    dead_code_elimination, fast_math, global_opt, inline_functions,
+    libcalls_shrinkwrap, loop_invariant_code_motion,
+    rematerialize_constants, run_pipeline, unroll_loops, vectorize_loops,
+)
+from repro.ir.passes.globalopt import global_opt_conservative
+from repro.wasm import validate_module
+
+from tests.conftest import TINY_C, TINY_C_CHECKSUM, run_wasm_main
+
+
+def compile_ir(source, defines=None):
+    module = parse_c(preprocess(source, defines))
+    # Frontend normalisation, as the toolchains apply it (mem2reg-style).
+    dead_code_elimination(module)
+    return module
+
+
+def run_ir(module):
+    wasm = generate_wasm(module)
+    validate_module(wasm)
+    outputs, _ = run_wasm_main(wasm)
+    return outputs
+
+
+class TestConstantFold:
+    def test_folds_arithmetic(self):
+        module = compile_ir("int f() { return 2 * 3 + 4; }")
+        constant_fold(module)
+        expr = module.functions["f"].body[-1].expr
+        assert isinstance(expr, EConst) and expr.value == 10
+
+    def test_respects_no_fold(self):
+        module = compile_ir("double f() { double x; x = 4.0;"
+                            " return x; }")
+        rematerialize_constants(module)
+        dead_code_elimination(module)   # drop the now-dead definition
+        constant_fold(module)
+        # The rematerialised constant survives folding (Fig. 8 mechanism).
+        consts = [e for e in walk_all_exprs(module.functions["f"].body)
+                  if isinstance(e, EConst) and e.value == 4.0]
+        assert consts and all(c.no_fold for c in consts)
+
+    def test_prunes_constant_if(self):
+        module = compile_ir("int f() { if (0) return 1; return 2; }")
+        constant_fold(module)
+        assert len(module.functions["f"].body) == 1
+
+    def test_identity_simplification(self):
+        module = compile_ir("int f(int a) { return a * 1 + 0; }")
+        constant_fold(module)
+        expr = module.functions["f"].body[-1].expr
+        assert isinstance(expr, ELocal)
+
+    def test_preserves_float_identity_without_fastmath(self):
+        # x + 0.0 is not a no-op for -0.0; only relaxed ops may fold it.
+        module = compile_ir("double f(double x) { return x + 0.0; }")
+        constant_fold(module)
+        assert isinstance(module.functions["f"].body[-1].expr, EBin)
+
+
+class TestDce:
+    def test_removes_dead_assignment(self):
+        module = compile_ir(
+            "int f() { int a, b; a = 1; b = 2; return b; }")
+        dead_code_elimination(module)
+        assigns = [s for s in module.functions["f"].body
+                   if isinstance(s, SAssign)]
+        assert all(s.name != "a" for s in assigns)
+
+    def test_keeps_impure_assignment(self):
+        module = compile_ir("""
+        int g = 0;
+        int bump() { g = g + 1; return g; }
+        int f() { int dead; dead = bump(); return 7; }
+        """)
+        dead_code_elimination(module)
+        body = module.functions["f"].body
+        assert any(isinstance(s, SAssign) and s.name == "dead"
+                   for s in body)
+
+    def test_removes_unreachable_after_return(self):
+        module = compile_ir("int g = 0;"
+                            "int f() { return 1; g = 5; return 2; }")
+        dead_code_elimination(module)
+        assert len(module.functions["f"].body) == 1
+
+
+class TestGlobalOpt:
+    DEAD_STORE = """
+    int result[16];
+    int out = 0;
+    void work() {
+      int i;
+      for (i = 0; i < 16; i++) {
+        result[i] = i * 2;
+        out = out + i;
+      }
+    }
+    int main() { work(); printf("%d", out); return 0; }
+    """
+
+    def test_removes_never_read_array(self):
+        module = compile_ir(self.DEAD_STORE)
+        global_opt(module)
+        assert "result" not in module.arrays
+        assert not any(isinstance(s, SStore)
+                       for s in walk_stmts(module.functions["work"].body))
+
+    def test_conservative_keeps_stores_under_fastmath(self):
+        # The Cheerp -Ofast / ADPCM mechanism (Fig. 7).
+        module = compile_ir(self.DEAD_STORE)
+        fast_math(module)
+        global_opt_conservative(module)
+        assert "result" in module.arrays
+
+    def test_nonconservative_removes_even_with_fastmath(self):
+        module = compile_ir(self.DEAD_STORE)
+        fast_math(module)
+        global_opt(module)
+        assert "result" not in module.arrays
+
+    def test_semantics_preserved(self):
+        module = compile_ir(self.DEAD_STORE)
+        reference = run_ir(compile_ir(self.DEAD_STORE))
+        global_opt(module)
+        assert run_ir(module) == reference
+
+
+class TestLicmCse:
+    HOISTABLE = """
+    double a[64];
+    double out = 0.0;
+    void f(int n, double s) {
+      int i;
+      for (i = 0; i < n; i++)
+        a[i] = s * 2.0 + s * 2.0;
+    }
+    int main() {
+      int i;
+      f(8, 1.5);
+      for (i = 0; i < 8; i++) out += a[i];
+      printf("%f", out);
+      return 0;
+    }
+    """
+
+    def test_licm_hoists_invariant(self):
+        module = compile_ir(self.HOISTABLE)
+        loop_invariant_code_motion(module)
+        body = module.functions["f"].body
+        # A temp assignment now precedes the loop.
+        loop_index = next(i for i, s in enumerate(body)
+                          if isinstance(s, SFor))
+        assert any(isinstance(s, SAssign) and s.name.startswith("__licm")
+                   for s in body[:loop_index])
+
+    def test_licm_preserves_semantics(self):
+        reference = run_ir(compile_ir(self.HOISTABLE))
+        module = compile_ir(self.HOISTABLE)
+        loop_invariant_code_motion(module)
+        assert run_ir(module) == reference
+
+    def test_cse_dedups_repeated_subexpr(self):
+        module = compile_ir(self.HOISTABLE)
+        common_subexpression_elimination(module)
+        body = module.functions["f"].body
+        cse_temps = [s for s in walk_stmts(body)
+                     if isinstance(s, SAssign)
+                     and s.name.startswith("__cse")]
+        assert cse_temps
+
+    def test_cse_single_use_inlined_back(self):
+        module = compile_ir("int f(int a) { return a + a * 2; }")
+        common_subexpression_elimination(module)
+        temps = [s for s in walk_stmts(module.functions["f"].body)
+                 if isinstance(s, SAssign)]
+        assert not temps   # nothing repeated → nothing introduced
+
+    def test_cse_preserves_semantics(self):
+        reference = run_ir(compile_ir(self.HOISTABLE))
+        module = compile_ir(self.HOISTABLE)
+        common_subexpression_elimination(module)
+        assert run_ir(module) == reference
+
+
+class TestInline:
+    SRC = """
+    int sq(int x) { return x * x; }
+    int main() { printf("%d", sq(3) + sq(4)); return 0; }
+    """
+
+    def test_expression_function_inlined(self):
+        module = compile_ir(self.SRC)
+        inline_functions(module)
+        assert "sq" not in module.functions
+
+    def test_semantics_preserved(self):
+        reference = run_ir(compile_ir(self.SRC))
+        module = compile_ir(self.SRC)
+        inline_functions(module)
+        assert run_ir(module) == reference
+
+    def test_main_never_inlined_away(self):
+        module = compile_ir("int main() { return 1; }")
+        inline_functions(module)
+        assert "main" in module.functions
+
+
+class TestVectorize:
+    def test_marks_innermost_f64_loop(self):
+        module = compile_ir(TINY_C, {"N": 8})
+        vectorize_loops(module)
+        marked = [s for s in walk_stmts(module.functions["kernel"].body)
+                  if isinstance(s, SFor) and s.vector_width]
+        assert marked and marked[0].vector_width == 4
+
+    def test_skips_loops_with_calls(self):
+        module = compile_ir("""
+        double a[8];
+        double g(double x) { return x; }
+        void f() { int i; for (i = 0; i < 8; i++) a[i] = g(1.0); }
+        """)
+        vectorize_loops(module)
+        assert not any(s.vector_width
+                       for s in walk_stmts(module.functions["f"].body)
+                       if isinstance(s, SFor))
+
+    def test_skips_integer_only_loops(self):
+        module = compile_ir(
+            "int a[8]; void f() { int i;"
+            " for (i = 0; i < 8; i++) a[i] = i; }")
+        vectorize_loops(module)
+        assert not any(s.vector_width
+                       for s in walk_stmts(module.functions["f"].body)
+                       if isinstance(s, SFor))
+
+
+class TestFastMathShrinkwrapUnroll:
+    def test_fastmath_reciprocal(self):
+        module = compile_ir("double f(double x) { return x / 4.0; }")
+        fast_math(module)
+        expr = module.functions["f"].body[-1].expr
+        assert expr.op == "*" and expr.right.value == 0.25
+        assert module.meta["fastmath"]
+
+    def test_fastmath_skips_nonconst_divisor(self):
+        module = compile_ir("double f(double x, double y)"
+                            " { return x / y; }")
+        fast_math(module)
+        assert module.functions["f"].body[-1].expr.op == "/"
+
+    def test_shrinkwrap_wraps_unused_libcall(self):
+        module = compile_ir("void f(double x) { exp(x); }")
+        libcalls_shrinkwrap(module)
+        from repro.ir.nodes import SIf
+        assert isinstance(module.functions["f"].body[0], SIf)
+
+    def test_unroll_doubles_body(self):
+        module = compile_ir(TINY_C, {"N": 8})
+        before = _stmt_count(module.functions["kernel"].body)
+        unroll_loops(module)
+        after = _stmt_count(module.functions["kernel"].body)
+        assert after > before
+
+    def test_unroll_preserves_semantics_odd_trip(self):
+        src = TINY_C.replace("#define N 8", "#define N 7")
+        reference = run_ir(compile_ir(src))
+        module = compile_ir(src)
+        unroll_loops(module)
+        assert run_ir(module) == reference
+
+
+class TestPipelines:
+    def test_registry_complete(self):
+        for name in ("constfold", "dce", "globalopt", "licm", "gvn",
+                     "inline", "vectorize-loops", "remat-consts",
+                     "fast-math", "libcalls-shrinkwrap", "unroll"):
+            assert name in PASSES
+
+    def test_run_pipeline_records_passes(self):
+        module = compile_ir("int f() { return 1 + 1; }")
+        applied = run_pipeline(module, ["constfold", "dce"])
+        assert applied == ["constfold", "dce"]
+        assert module.meta["passes"] == applied
+
+    @pytest.mark.parametrize("level", ["O0", "O1", "O2", "O3", "Ofast",
+                                       "Os", "Oz"])
+    def test_all_cheerp_levels_preserve_tiny_c(self, level, cheerp):
+        artifact = cheerp.compile_wasm(TINY_C, opt_level=level)
+        outputs, _ = run_wasm_main(artifact.module)
+        assert outputs[0] == pytest.approx(TINY_C_CHECKSUM)
+
+
+def _stmt_count(body):
+    return sum(1 for _ in walk_stmts(body))

@@ -1,0 +1,159 @@
+"""Linear memory: growth semantics, bounds, typed access, sparse frames."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrapError
+from repro.wasm import LinearMemory, WASM_PAGE_SIZE
+
+
+class TestLimits:
+    def test_initial_pages(self):
+        mem = LinearMemory(min_pages=3)
+        assert mem.pages == 3
+        assert mem.byte_size == 3 * WASM_PAGE_SIZE
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            LinearMemory(min_pages=5, max_pages=2)
+        with pytest.raises(ValueError):
+            LinearMemory(min_pages=-1)
+
+    def test_grow_returns_old_size(self):
+        mem = LinearMemory(min_pages=1, max_pages=10)
+        assert mem.grow(3) == 1
+        assert mem.pages == 4
+
+    def test_grow_beyond_max_fails(self):
+        mem = LinearMemory(min_pages=1, max_pages=2)
+        assert mem.grow(5) == -1
+        assert mem.pages == 1
+
+    def test_grow_negative_fails(self):
+        mem = LinearMemory(min_pages=1)
+        assert mem.grow(-1) == -1
+
+    def test_grow_zero_succeeds(self):
+        mem = LinearMemory(min_pages=2)
+        assert mem.grow(0) == 2
+
+    def test_memory_never_shrinks(self):
+        # The linear-memory property behind the paper's memory findings.
+        mem = LinearMemory(min_pages=1, max_pages=100)
+        mem.grow(50)
+        assert mem.peak_pages == 51
+        assert mem.byte_size == 51 * WASM_PAGE_SIZE
+
+    def test_grow_count_starts_zero(self):
+        # grow_count is bumped by the VM, not by grow() itself.
+        mem = LinearMemory(min_pages=1)
+        assert mem.grow_count == 0
+
+
+class TestAccess:
+    def test_zero_initialised(self):
+        mem = LinearMemory(min_pages=1)
+        assert mem.load_i32(1000) == 0
+        assert mem.load_f64(2000) == 0.0
+
+    def test_i32_roundtrip_signed(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_i32(4, -123456)
+        assert mem.load_i32(4) == -123456
+
+    def test_i64_roundtrip(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_i64(8, -(1 << 62))
+        assert mem.load_i64(8) == -(1 << 62)
+
+    def test_f64_roundtrip(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_f64(16, 3.14159)
+        assert mem.load_f64(16) == 3.14159
+
+    def test_u8_wraps(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_u8(0, 300)
+        assert mem.load_u8(0) == 300 & 0xFF
+
+    def test_s8_sign_extends(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_u8(0, 0xFF)
+        assert mem.load_s8(0) == -1
+
+    def test_u16_roundtrip(self):
+        mem = LinearMemory(min_pages=1)
+        mem.store_u16(2, 0xBEEF)
+        assert mem.load_u16(2) == 0xBEEF
+
+    def test_oob_load_traps(self):
+        mem = LinearMemory(min_pages=1)
+        with pytest.raises(TrapError):
+            mem.load_i32(WASM_PAGE_SIZE - 2)
+
+    def test_oob_store_traps(self):
+        mem = LinearMemory(min_pages=1)
+        with pytest.raises(TrapError):
+            mem.store_f64(WASM_PAGE_SIZE, 1.0)
+
+    def test_negative_address_traps(self):
+        mem = LinearMemory(min_pages=1)
+        with pytest.raises(TrapError):
+            mem.load_u8(-1)
+
+    def test_access_after_grow(self):
+        mem = LinearMemory(min_pages=1, max_pages=4)
+        with pytest.raises(TrapError):
+            mem.store_i32(WASM_PAGE_SIZE + 4, 7)
+        mem.grow(1)
+        mem.store_i32(WASM_PAGE_SIZE + 4, 7)
+        assert mem.load_i32(WASM_PAGE_SIZE + 4) == 7
+
+
+class TestSparseFrames:
+    def test_large_commit_small_resident(self):
+        # Paper-scale memories must not materialise untouched pages.
+        mem = LinearMemory(min_pages=2000)       # 131 MB committed
+        mem.store_f64(8, 1.0)
+        mem.store_f64(100 * 1024 * 1024, 2.0)
+        assert mem.byte_size == 2000 * WASM_PAGE_SIZE
+        assert mem.resident_bytes <= 4 * 65536
+
+    def test_write_read_bytes_roundtrip(self):
+        mem = LinearMemory(min_pages=3)
+        data = bytes(range(256)) * 4
+        mem.write_bytes(100, data)
+        assert mem.read_bytes(100, len(data)) == data
+
+    def test_write_bytes_across_frame_boundary(self):
+        mem = LinearMemory(min_pages=3)
+        data = b"\xAB" * 300
+        addr = 65536 - 150
+        mem.write_bytes(addr, data)
+        assert mem.read_bytes(addr, 300) == data
+
+
+@given(addr=st.integers(min_value=0, max_value=65528),
+       value=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+@settings(max_examples=60)
+def test_i32_roundtrip_property(addr, value):
+    mem = LinearMemory(min_pages=1)
+    mem.store_i32(addr, value)
+    assert mem.load_i32(addr) == value
+
+
+@given(addr=st.integers(min_value=0, max_value=65528),
+       value=st.floats(allow_nan=False))
+@settings(max_examples=60)
+def test_f64_roundtrip_property(addr, value):
+    mem = LinearMemory(min_pages=1)
+    mem.store_f64(addr, value)
+    assert mem.load_f64(addr) == value
+
+
+@given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+@settings(max_examples=60)
+def test_i64_roundtrip_property(value):
+    mem = LinearMemory(min_pages=1)
+    mem.store_i64(64, value)
+    assert mem.load_i64(64) == value

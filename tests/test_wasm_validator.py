@@ -1,0 +1,123 @@
+"""Validator: accept well-typed modules, reject ill-typed ones."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.wasm import FuncType, Function, GlobalVar, WasmModule, \
+    validate_module
+from repro.wasm.instructions import Op, instr as I
+from repro.wasm.module import DataSegment, MemorySpec
+
+
+def _module(body, params=(), results=(), locals_=None, globals_=None):
+    module = WasmModule()
+    for g in globals_ or []:
+        module.globals.append(g)
+    module.add_function(Function("f", FuncType(tuple(params),
+                                               tuple(results)),
+                                 list(locals_ or []), body, exported=True))
+    return module
+
+
+class TestAccepts:
+    def test_empty_void_function(self):
+        validate_module(_module([]))
+
+    def test_balanced_arithmetic(self):
+        validate_module(_module(
+            [I(Op.I32_CONST, 1), I(Op.I32_CONST, 2), I(Op.I32_ADD)],
+            results=("i32",)))
+
+    def test_if_else_balanced(self):
+        validate_module(_module([
+            I(Op.LOCAL_GET, 0), I(Op.IF),
+            I(Op.I32_CONST, 1), I(Op.RETURN),
+            I(Op.ELSE), I(Op.I32_CONST, 2), I(Op.RETURN),
+            I(Op.END),
+            I(Op.I32_CONST, 0),
+        ], params=("i32",), results=("i32",)))
+
+    def test_loop_branches(self):
+        validate_module(_module([
+            I(Op.BLOCK), I(Op.LOOP),
+            I(Op.LOCAL_GET, 0), I(Op.BR_IF, 1),
+            I(Op.BR, 0),
+            I(Op.END), I(Op.END),
+        ], params=("i32",)))
+
+    def test_mixed_types(self):
+        validate_module(_module([
+            I(Op.LOCAL_GET, 0), I(Op.F64_CONVERT_I32_S),
+            I(Op.F64_CONST, 2.0), I(Op.F64_MUL),
+            I(Op.I32_TRUNC_F64_S),
+        ], params=("i32",), results=("i32",)))
+
+
+class TestRejects:
+    def test_stack_underflow(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.I32_ADD)], results=("i32",)))
+
+    def test_type_mismatch(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module(
+                [I(Op.I32_CONST, 1), I(Op.F64_CONST, 2.0), I(Op.I32_ADD)],
+                results=("i32",)))
+
+    def test_wrong_result_type(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.F64_CONST, 1.0)],
+                                    results=("i32",)))
+
+    def test_leftover_values(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module(
+                [I(Op.I32_CONST, 1), I(Op.I32_CONST, 2)],
+                results=("i32",)))
+
+    def test_unknown_local(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.LOCAL_GET, 3), I(Op.DROP)]))
+
+    def test_branch_too_deep(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.BLOCK), I(Op.BR, 5),
+                                     I(Op.END)]))
+
+    def test_unterminated_block(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.BLOCK)]))
+
+    def test_else_outside_if(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([I(Op.BLOCK), I(Op.ELSE),
+                                     I(Op.END)]))
+
+    def test_block_leaving_values(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module([
+                I(Op.BLOCK), I(Op.I32_CONST, 1), I(Op.END)]))
+
+    def test_immutable_global_set(self):
+        with pytest.raises(ValidationError):
+            validate_module(_module(
+                [I(Op.I32_CONST, 1), I(Op.GLOBAL_SET, 0)],
+                globals_=[GlobalVar("g", "i32", mutable=False)]))
+
+    def test_data_segment_exceeding_memory(self):
+        module = _module([])
+        module.memory = MemorySpec(min_pages=1)
+        module.data.append(DataSegment(65530, b"\x00" * 100))
+        with pytest.raises(ValidationError):
+            validate_module(module)
+
+    def test_call_argument_type_checked(self):
+        module = WasmModule()
+        module.add_function(Function(
+            "callee", FuncType(("f64",), ("f64",)), [],
+            [I(Op.LOCAL_GET, 0)], exported=False))
+        module.add_function(Function(
+            "caller", FuncType((), ("f64",)), [],
+            [I(Op.I32_CONST, 1), I(Op.CALL, 0)], exported=True))
+        with pytest.raises(ValidationError):
+            validate_module(module)

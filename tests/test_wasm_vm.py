@@ -1,0 +1,300 @@
+"""Wasm VM semantics: arithmetic vs reference semantics (hypothesis),
+control flow, traps, host calls, and accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrapError, ValidationError
+from repro.wasm import (
+    FuncType, Function, GlobalVar, HostImport, WasmModule, WasmVM,
+    validate_module, module_to_wat,
+)
+from repro.wasm.instructions import Op, OpClass, instr as I
+
+I32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+I64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+def run_binop(op, a, b, types=("i32", "i32"), result="i32"):
+    module = WasmModule()
+    body = [I(Op.LOCAL_GET, 0), I(Op.LOCAL_GET, 1), I(op)]
+    module.add_function(Function("f", FuncType(types, (result,)), [],
+                                 body, exported=True))
+    validate_module(module)
+    instance = WasmVM().instantiate(module)
+    return instance.invoke("f", a, b)
+
+
+def _wrap(v, bits):
+    v &= (1 << bits) - 1
+    return v - (1 << bits) if v >> (bits - 1) else v
+
+
+class TestI32Arithmetic:
+    @given(I32, I32)
+    @settings(max_examples=80)
+    def test_add_wraps(self, a, b):
+        assert run_binop(Op.I32_ADD, a, b) == _wrap(a + b, 32)
+
+    @given(I32, I32)
+    @settings(max_examples=80)
+    def test_mul_wraps(self, a, b):
+        assert run_binop(Op.I32_MUL, a, b) == _wrap(a * b, 32)
+
+    @given(I32, I32.filter(lambda v: v != 0))
+    @settings(max_examples=80)
+    def test_div_s_truncates(self, a, b):
+        if a == -(1 << 31) and b == -1:
+            return  # overflow trap case, checked separately
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert run_binop(Op.I32_DIV_S, a, b) == expected
+
+    @given(I32, I32.filter(lambda v: v != 0))
+    @settings(max_examples=80)
+    def test_rem_s_sign_of_dividend(self, a, b):
+        result = run_binop(Op.I32_REM_S, a, b)
+        expected = abs(a) % abs(b)
+        assert result == (-expected if a < 0 else expected)
+
+    @given(I32, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=80)
+    def test_shl_masks_count(self, a, count):
+        assert run_binop(Op.I32_SHL, a, count) == _wrap(a << (count & 31),
+                                                        32)
+
+    @given(I32, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=80)
+    def test_shr_u_logical(self, a, count):
+        assert run_binop(Op.I32_SHR_U, a, count) == \
+            (a & 0xFFFFFFFF) >> count
+
+    @given(I32, I32)
+    @settings(max_examples=60)
+    def test_lt_u_unsigned(self, a, b):
+        assert run_binop(Op.I32_LT_U, a, b) == \
+            (1 if (a & 0xFFFFFFFF) < (b & 0xFFFFFFFF) else 0)
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            run_binop(Op.I32_DIV_S, 1, 0)
+
+    def test_rem_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            run_binop(Op.I32_REM_U, 1, 0)
+
+
+class TestI64Arithmetic:
+    @given(I64, I64)
+    @settings(max_examples=60)
+    def test_add_wraps(self, a, b):
+        assert run_binop(Op.I64_ADD, a, b, ("i64", "i64"), "i64") == \
+            _wrap(a + b, 64)
+
+    @given(I64, I64)
+    @settings(max_examples=60)
+    def test_mul_wraps(self, a, b):
+        assert run_binop(Op.I64_MUL, a, b, ("i64", "i64"), "i64") == \
+            _wrap(a * b, 64)
+
+    @given(I64, I64.filter(lambda v: v != 0))
+    @settings(max_examples=60)
+    def test_div_u_unsigned(self, a, b):
+        mask = (1 << 64) - 1
+        expected = _wrap((a & mask) // (b & mask), 64)
+        assert run_binop(Op.I64_DIV_U, a, b, ("i64", "i64"), "i64") == \
+            expected
+
+    @given(I64, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=60)
+    def test_shr_s_arithmetic(self, a, count):
+        assert run_binop(Op.I64_SHR_S, a, count, ("i64", "i64"),
+                         "i64") == a >> count
+
+
+class TestF64:
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=60)
+    def test_add_matches_ieee(self, a, b):
+        assert run_binop(Op.F64_ADD, a, b, ("f64", "f64"), "f64") == a + b
+
+    def test_div_by_zero_gives_inf(self):
+        assert run_binop(Op.F64_DIV, 1.0, 0.0, ("f64", "f64"),
+                         "f64") == float("inf")
+        assert run_binop(Op.F64_DIV, -1.0, 0.0, ("f64", "f64"),
+                         "f64") == float("-inf")
+
+    def test_zero_over_zero_is_nan(self):
+        result = run_binop(Op.F64_DIV, 0.0, 0.0, ("f64", "f64"), "f64")
+        assert result != result
+
+    def test_sqrt_negative_is_nan(self):
+        module = WasmModule()
+        body = [I(Op.LOCAL_GET, 0), I(Op.F64_SQRT)]
+        module.add_function(Function("f", FuncType(("f64",), ("f64",)),
+                                     [], body, exported=True))
+        result = WasmVM().instantiate(module).invoke("f", -4.0)
+        assert result != result
+
+
+class TestControlFlow:
+    def _fib_module(self):
+        module = WasmModule()
+        body = [
+            I(Op.LOCAL_GET, 0), I(Op.I32_CONST, 3), I(Op.I32_LT_S),
+            I(Op.IF), I(Op.I32_CONST, 1), I(Op.RETURN), I(Op.END),
+            I(Op.LOCAL_GET, 0), I(Op.I32_CONST, 1), I(Op.I32_SUB),
+            I(Op.CALL, 0),
+            I(Op.LOCAL_GET, 0), I(Op.I32_CONST, 2), I(Op.I32_SUB),
+            I(Op.CALL, 0),
+            I(Op.I32_ADD),
+        ]
+        module.add_function(Function("fib", FuncType(("i32",), ("i32",)),
+                                     [], body, exported=True))
+        return module
+
+    def test_recursion(self):
+        instance = WasmVM().instantiate(self._fib_module())
+        assert instance.invoke("fib", 15) == 610
+
+    def test_loop_with_branches(self):
+        module = WasmModule()
+        # sum of odd numbers below n, skipping evens via continue-style br
+        body = [
+            I(Op.I32_CONST, 0), I(Op.LOCAL_SET, 1),
+            I(Op.I32_CONST, 0), I(Op.LOCAL_SET, 2),
+            I(Op.BLOCK), I(Op.LOOP),
+            I(Op.LOCAL_GET, 2), I(Op.LOCAL_GET, 0), I(Op.I32_GE_S),
+            I(Op.BR_IF, 1),
+            I(Op.LOCAL_GET, 2), I(Op.I32_CONST, 1), I(Op.I32_ADD),
+            I(Op.LOCAL_SET, 2),
+            I(Op.LOCAL_GET, 2), I(Op.I32_CONST, 2), I(Op.I32_REM_S),
+            I(Op.I32_EQZ), I(Op.IF), I(Op.BR, 1), I(Op.END),
+            I(Op.LOCAL_GET, 1), I(Op.LOCAL_GET, 2), I(Op.I32_ADD),
+            I(Op.LOCAL_SET, 1),
+            I(Op.BR, 0), I(Op.END), I(Op.END),
+            I(Op.LOCAL_GET, 1),
+        ]
+        module.add_function(Function("f", FuncType(("i32",), ("i32",)),
+                                     ["i32", "i32"], body, exported=True))
+        validate_module(module)
+        assert WasmVM().instantiate(module).invoke("f", 10) == 25
+
+    def test_unreachable_traps(self):
+        module = WasmModule()
+        module.add_function(Function("f", FuncType((), ()), [],
+                                     [I(Op.UNREACHABLE)], exported=True))
+        with pytest.raises(TrapError):
+            WasmVM().instantiate(module).invoke("f")
+
+    def test_select(self):
+        module = WasmModule()
+        body = [I(Op.I32_CONST, 10), I(Op.I32_CONST, 20),
+                I(Op.LOCAL_GET, 0), I(Op.SELECT)]
+        module.add_function(Function("f", FuncType(("i32",), ("i32",)),
+                                     [], body, exported=True))
+        instance = WasmVM().instantiate(module)
+        assert instance.invoke("f", 1) == 10
+        assert instance.invoke("f", 0) == 20
+
+    def test_instruction_budget(self):
+        module = WasmModule()
+        body = [I(Op.BLOCK), I(Op.LOOP), I(Op.BR, 0), I(Op.END),
+                I(Op.END)]
+        module.add_function(Function("spin", FuncType((), ()), [], body,
+                                     exported=True))
+        vm = WasmVM(max_instructions=10000)
+        with pytest.raises(TrapError):
+            vm.instantiate(module).invoke("spin")
+
+
+class TestHostCallsAndStats:
+    def _module_with_import(self):
+        module = WasmModule()
+        module.imports.append(HostImport("env", "twice",
+                                         FuncType(("i32",), ("i32",))))
+        body = [I(Op.LOCAL_GET, 0), I(Op.CALL, 0), I(Op.CALL, 0)]
+        module.add_function(Function("f", FuncType(("i32",), ("i32",)),
+                                     [], body, exported=True))
+        return module
+
+    def test_host_import_called(self):
+        module = self._module_with_import()
+        instance = WasmVM().instantiate(
+            module, {("env", "twice"): lambda inst, v: v * 2})
+        assert instance.invoke("f", 3) == 12
+        assert instance.stats.host_calls == 2
+
+    def test_boundary_cost_charged(self):
+        module = self._module_with_import()
+        vm = WasmVM(boundary_cost=500.0)
+        instance = vm.instantiate(
+            module, {("env", "twice"): lambda inst, v: v})
+        instance.invoke("f", 1)
+        # One host→wasm entry + two wasm→host calls.
+        assert instance.stats.boundary_cycles == 3 * 500.0
+
+    def test_unresolved_import_rejected(self):
+        module = self._module_with_import()
+        with pytest.raises(ValidationError):
+            WasmVM().instantiate(module)
+
+    def test_op_class_counting(self):
+        assert run_binop(Op.I32_ADD, 1, 2) == 3
+        module = WasmModule()
+        body = [I(Op.LOCAL_GET, 0), I(Op.LOCAL_GET, 1), I(Op.I32_MUL)]
+        module.add_function(Function("f", FuncType(("i32", "i32"),
+                                                   ("i32",)), [], body,
+                                     exported=True))
+        instance = WasmVM().instantiate(module)
+        instance.invoke("f", 3, 4)
+        assert instance.stats.count(OpClass.MUL) == 1
+        assert instance.stats.arithmetic_profile()["MUL"] == 1
+        assert instance.stats.instructions == 3
+
+    def test_cycles_accumulate(self):
+        module = WasmModule()
+        body = [I(Op.LOCAL_GET, 0), I(Op.LOCAL_GET, 1), I(Op.I32_DIV_S)]
+        module.add_function(Function("f", FuncType(("i32", "i32"),
+                                                   ("i32",)), [], body,
+                                     exported=True))
+        instance = WasmVM().instantiate(module)
+        instance.invoke("f", 10, 2)
+        assert instance.stats.cycles >= 20.0   # division is expensive
+
+
+class TestGlobalsAndWat:
+    def test_global_get_set(self):
+        module = WasmModule()
+        module.globals.append(GlobalVar("counter", "i32", True, 5))
+        body = [I(Op.GLOBAL_GET, 0), I(Op.I32_CONST, 1), I(Op.I32_ADD),
+                I(Op.GLOBAL_SET, 0), I(Op.GLOBAL_GET, 0)]
+        module.add_function(Function("bump", FuncType((), ("i32",)), [],
+                                     body, exported=True))
+        instance = WasmVM().instantiate(module)
+        assert instance.invoke("bump") == 6
+        assert instance.invoke("bump") == 7
+        assert instance.global_value("counter") == 7
+
+    def test_wat_printer_mentions_mnemonics(self):
+        module = WasmModule()
+        body = [I(Op.I32_CONST, 42), I(Op.DROP), I(Op.I32_CONST, 7)]
+        module.add_function(Function("f", FuncType((), ("i32",)), [],
+                                     body, exported=True))
+        text = module_to_wat(module)
+        assert "(module" in text
+        assert "i32.const 42" in text
+        assert "(func $f" in text
+        assert '(export "f"' in text
+
+    def test_memory_grow_instruction(self):
+        module = WasmModule()
+        body = [I(Op.I32_CONST, 2), I(Op.MEMORY_GROW), I(Op.DROP),
+                I(Op.MEMORY_SIZE)]
+        module.add_function(Function("f", FuncType((), ("i32",)), [],
+                                     body, exported=True))
+        instance = WasmVM().instantiate(module)
+        assert instance.invoke("f") == 3
+        assert instance.stats.memory_grows == 1
