@@ -5,6 +5,16 @@ and prints it.  By default the representative QUICK_SET (15 of the 41
 benchmarks) is swept so `pytest benchmarks/ --benchmark-only` finishes in
 minutes; set ``REPRO_FULL=1`` to sweep all 41 (as ``results/run_all.py``
 does — its full-suite outputs are committed under ``results/``).
+``REPRO_QUICK=1`` wins over ``REPRO_FULL`` (the CI fast path), and the
+persistent compile cache (``REPRO_CACHE_DIR``) makes warm re-runs skip
+every compile.
+
+These suites assert *shape properties* of deterministic experiment
+results, so measurement memoization is sound here: result caching is
+enabled (like ``results/run_all.py`` does for itself) and a warm cache
+skips the measurement runs too.  The unit tests under ``tests/`` keep it
+off — they monkeypatch collectors and host imports.  Export
+``REPRO_RESULT_CACHE=0`` to force live measurement.
 """
 
 import os
@@ -14,7 +24,17 @@ import pytest
 from repro.experiments import ExperimentContext
 
 
+@pytest.fixture(autouse=True)
+def _result_cache(monkeypatch):
+    """Turn on measurement memoization for this directory only (an env
+    default would leak into ``tests/``, which relies on live runs)."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE",
+                       os.environ.get("REPRO_RESULT_CACHE", "1"))
+
+
 def _quick():
+    if os.environ.get("REPRO_QUICK"):
+        return True
     return not os.environ.get("REPRO_FULL")
 
 

@@ -1,0 +1,45 @@
+"""Persistent content-addressed compile cache (see DESIGN.md).
+
+Every toolchain facade routes its ``compile_*`` entry points through the
+process-global :class:`ArtifactCache`: a key derived from the preprocessed
+source, defines, opt level, toolchain configuration, and pass pipeline
+addresses a pickled artifact under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``; disable the disk layer with ``REPRO_CACHE=0``).
+Repeat runs of the whole experiment apparatus then skip the frontend →
+IR-pass → backend pipeline entirely.
+"""
+
+from repro.cache.keys import cache_key, code_fingerprint
+from repro.cache.memo import (
+    RESULT_CACHE_ENV,
+    cached_result,
+    result_key,
+    results_enabled,
+)
+from repro.cache.store import (
+    ArtifactCache,
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    CACHE_VERSION,
+    CacheStats,
+    configure,
+    default_cache_root,
+    get_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "CACHE_VERSION",
+    "CacheStats",
+    "RESULT_CACHE_ENV",
+    "cache_key",
+    "cached_result",
+    "code_fingerprint",
+    "configure",
+    "default_cache_root",
+    "get_cache",
+    "result_key",
+    "results_enabled",
+]

@@ -1,0 +1,69 @@
+"""Content-addressed cache keys for compiled artifacts.
+
+A key is derived from everything that can change the bits of an artifact:
+
+* the **preprocessed source** (what the frontend actually parses, so
+  edits the preprocessor strips away — e.g. an inline comment — share
+  the cached artifact),
+* the ``-D`` **defines** (input-size selection, §3.2),
+* the **opt level**,
+* the **toolchain** name and its configuration fingerprint (heap/stack
+  sizes, precompiled-lib linkage, memory-growth granule — anything held in
+  instance state),
+* the **pass-pipeline fingerprint** for that level (pass names, including
+  the module path of callable passes such as the conservative globalopt),
+* the artifact **name** (it is baked into the artifact), and
+* a **code fingerprint** over the ``repro`` package sources, so editing
+  the compiler itself invalidates every artifact it ever produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+_CODE_FINGERPRINT = None
+
+
+def code_fingerprint():
+    """Hash of every ``.py`` file in the ``repro`` package (content, not
+    mtime, so it is stable across checkouts), computed once per process."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                digest.update(b"\0")
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+                digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+def _stable_defines(defines):
+    if not defines:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in dict(defines).items()))
+
+
+def cache_key(kind, preprocessed, defines, opt_level, toolchain,
+              config_fingerprint, pipeline_fingerprint, name):
+    """Derive the content-addressed key (a hex digest) for one artifact."""
+    digest = hashlib.sha256()
+    for part in (
+        "repro-artifact", code_fingerprint(), kind, name, opt_level,
+        toolchain, repr(_stable_defines(defines)),
+        repr(tuple(config_fingerprint)), repr(tuple(pipeline_fingerprint)),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    digest.update(preprocessed.encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,184 @@
+"""Disk-backed, content-addressed artifact store.
+
+Layout (versioned, safe to delete at any time)::
+
+    <root>/                 REPRO_CACHE_DIR or ~/.cache/repro
+      v1/                   bumped when the on-disk schema changes
+        ab/abcdef....pkl    pickled artifact, sharded by key prefix
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers of
+the parallel scheduler can share one cache directory without locking: the
+worst case is two workers compiling the same artifact and one replace
+winning — both writes carry identical bytes.
+
+A process-local memory layer sits in front of the disk so repeated lookups
+inside one run never re-unpickle (this replaces the ad-hoc per-context
+dict caches the experiments used to carry).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk layer (``0``/``off``/``false``);
+#: the memory layer stays on — compiles are deterministic, so an in-process
+#: cache is always sound.
+CACHE_ENV = "REPRO_CACHE"
+
+#: On-disk schema version; bump when the artifact dataclasses change shape.
+CACHE_VERSION = "v1"
+
+
+def default_cache_root():
+    return os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro")
+
+
+def disk_enabled_from_env():
+    return os.environ.get(CACHE_ENV, "").strip().lower() not in (
+        "0", "off", "false", "no")
+
+
+@dataclass
+class CacheStats:
+    """Observability counters: every ``get`` is a hit or a miss; ``stale``
+    counts the misses caused by an unusable on-disk entry (truncated file,
+    schema drift) that was evicted and recompiled."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    puts: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def as_dict(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "stale": self.stale, "puts": self.puts,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits}
+
+    def __str__(self):
+        return (f"{self.hits} hits ({self.memory_hits} memory / "
+                f"{self.disk_hits} disk), {self.misses} misses "
+                f"({self.stale} stale), {self.puts} writes")
+
+
+class ArtifactCache:
+    """Two-layer (memory over disk) store for compiled artifacts."""
+
+    def __init__(self, root=None, disk=None):
+        if disk is None:
+            disk = disk_enabled_from_env()
+        self.disk = disk
+        self.root = os.path.join(root or default_cache_root(),
+                                 CACHE_VERSION)
+        self.stats = CacheStats()
+        self._memory = {}
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key):
+        """Return the cached artifact or ``None`` (a miss)."""
+        artifact = self._memory.get(key)
+        if artifact is not None:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return artifact
+        if self.disk:
+            artifact = self._disk_get(key)
+            if artifact is not None:
+                self._memory[key] = artifact
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return artifact
+        self.stats.misses += 1
+        return None
+
+    def _disk_get(self, key):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, schema drift, unreadable pickle: the entry
+            # is stale — evict it and let the caller recompile.
+            self.stats.stale += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    # -- store ----------------------------------------------------------------
+
+    def put(self, key, artifact):
+        self._memory[key] = artifact
+        self.stats.puts += 1
+        if not self.disk:
+            return
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(artifact, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # The cache is best-effort: a full or read-only disk must not
+            # fail the compile that produced the artifact.
+            pass
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self):
+        """Drop both layers; the versioned directory is removed wholesale
+        (it only ever holds cache entries, so this is always safe)."""
+        self._memory.clear()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def entry_count(self):
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(len([f for f in files if f.endswith(".pkl")])
+                   for _dir, _sub, files in os.walk(self.root))
+
+
+_GLOBAL = None
+
+
+def get_cache():
+    """The process-global cache used by the toolchain facades."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = ArtifactCache()
+    return _GLOBAL
+
+
+def configure(root=None, disk=None):
+    """Replace the process-global cache (tests, or picking up changed
+    ``REPRO_CACHE_DIR``/``REPRO_CACHE`` environment variables)."""
+    global _GLOBAL
+    _GLOBAL = ArtifactCache(root=root, disk=disk)
+    return _GLOBAL

@@ -1,0 +1,90 @@
+"""C99-conformant libm edge-case semantics (Annex F.9) for host shims.
+
+Python's :mod:`math` raises where C's libm returns a value: ``math.pow``
+raises ``ValueError`` on ``pow(0.0, -1.0)`` (C99: +inf) and on a negative
+base with a fractional exponent (C99: NaN), and raises ``OverflowError``
+where C99 returns ±HUGE_VAL; ``math.fmod`` raises on an infinite dividend
+(C99: NaN); ``math.log`` raises on zero or negative inputs (C99: -inf /
+NaN).  Every host shim that stands in for C's libm — the Wasm ``env``
+imports, the x86 model's HOSTCALLs, and the JS engine's ``Math`` object
+that Cheerp's genericjs output calls into — must route through these
+helpers so benchmark kernels see library semantics, not Python exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _is_odd_integer(y):
+    """True when ``y`` is a finite integral float with an odd value."""
+    if not math.isfinite(y) or y != math.floor(y):
+        return False
+    return math.fmod(abs(y), 2.0) == 1.0
+
+
+def c_pow(x, y):
+    """C99 ``pow`` (F.9.4.4), including the zero/negative/overflow edge
+    cases Python's ``math.pow`` raises on."""
+    if y == 0.0:
+        return 1.0                      # pow(x, ±0) = 1, even for NaN x
+    if x == 1.0:
+        return 1.0                      # pow(+1, y) = 1, even for NaN y
+    if math.isnan(x) or math.isnan(y):
+        return math.nan
+    if x == 0.0:
+        odd = _is_odd_integer(y)
+        if y < 0:
+            # pow(±0, y<0): ±HUGE_VAL (divide-by-zero); the result is
+            # negative only for a -0 base raised to an odd integer.
+            if odd and math.copysign(1.0, x) < 0:
+                return -math.inf
+            return math.inf
+        return math.copysign(0.0, x) if odd else 0.0
+    try:
+        return math.pow(x, y)
+    except OverflowError:
+        negative = x < 0 and _is_odd_integer(y)
+        return -math.inf if negative else math.inf
+    except ValueError:
+        return math.nan                 # negative base, non-integer power
+
+
+def js_pow(x, y):
+    """ECMAScript ``Math.pow``: IEEE-754 ``pow`` except that a NaN
+    exponent and ``(±1) ** ±Infinity`` yield NaN (Number::exponentiate)."""
+    if math.isnan(y):
+        return math.nan
+    if abs(x) == 1.0 and math.isinf(y):
+        return math.nan
+    return c_pow(x, y)
+
+
+def c_log(x):
+    """C99 ``log``: -inf at zero, NaN below it, no exceptions."""
+    if math.isnan(x):
+        return math.nan
+    if x == 0.0:
+        return -math.inf
+    if x < 0.0:
+        return math.nan
+    return math.log(x)
+
+
+def c_fmod(x, y):
+    """C99 ``fmod``: NaN for an infinite dividend or zero divisor."""
+    if math.isnan(x) or math.isnan(y):
+        return math.nan
+    if math.isinf(x) or y == 0.0:
+        return math.nan
+    return math.fmod(x, y)
+
+
+def c_exp(x):
+    """C99 ``exp``: saturates to +inf instead of raising on overflow."""
+    if math.isnan(x):
+        return math.nan
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf

@@ -62,7 +62,8 @@ class CompiledNative:
 
 class ToolchainBase:
     """Common frontend behaviour (preprocess → §3.1 transforms → parse →
-    pass pipeline)."""
+    pass pipeline) and the content-addressed compile cache every facade's
+    ``compile_*`` entry point routes through."""
 
     name = "toolchain"
 
@@ -71,6 +72,51 @@ class ToolchainBase:
         #: program also defines those symbols the link fails.  The paper's
         #: workaround (and our default) is to disable the implicit libs.
         self.use_precompiled_libs = use_precompiled_libs
+
+    # -- content-addressed caching --------------------------------------------
+
+    def config_fingerprint(self):
+        """Stable fingerprint of the toolchain configuration: every piece
+        of instance state (heap/stack sizes, linkage mode, granules)
+        participates in the cache key."""
+        return tuple(sorted(
+            (key, repr(value)) for key, value in vars(self).items()))
+
+    def pipeline_fingerprint(self, opt_level):
+        """Pass-pipeline fingerprint for one level: pass names, with
+        callable passes identified by their qualified name."""
+        names = []
+        for entry in self.pipelines().get(opt_level, ()):
+            if isinstance(entry, str):
+                names.append(entry)
+            else:
+                names.append(f"{entry.__module__}.{entry.__qualname__}")
+        return tuple(names)
+
+    def _cached_compile(self, kind, build, source, defines, opt_level,
+                        name):
+        """Serve ``build(...)``'s artifact from the content-addressed
+        cache, keyed on the preprocessed source + configuration."""
+        from repro.cache import cache_key, get_cache
+        cache = get_cache()
+        key = cache_key(
+            kind=kind,
+            preprocessed=preprocess(source, defines),
+            defines=defines,
+            opt_level=opt_level,
+            toolchain=self.name,
+            config_fingerprint=self.config_fingerprint(),
+            pipeline_fingerprint=self.pipeline_fingerprint(opt_level),
+            name=name,
+        )
+        artifact = cache.get(key)
+        if artifact is None:
+            artifact = build(source, defines, opt_level, name)
+            cache.put(key, artifact)
+        # Tag the artifact with its own address so downstream layers (the
+        # measurement memoizer) can key results on it without re-hashing.
+        artifact.cache_key = key
+        return artifact
 
     def frontend(self, source, defines=None, name="module",
                  apply_transforms=True):

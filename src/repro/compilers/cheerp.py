@@ -83,7 +83,17 @@ class CheerpCompiler(ToolchainBase):
 
     def compile_wasm(self, source, defines=None, opt_level="O2",
                      name="module"):
-        """C source → validated Wasm artifact."""
+        """C source → validated Wasm artifact (content-addressed cached)."""
+        return self._cached_compile("wasm", self._build_wasm, source,
+                                    defines, opt_level, name)
+
+    def compile_js(self, source, defines=None, opt_level="O2",
+                   name="module"):
+        """C source → genericjs artifact (content-addressed cached)."""
+        return self._cached_compile("js", self._build_js, source,
+                                    defines, opt_level, name)
+
+    def _build_wasm(self, source, defines, opt_level, name):
         ir = self.frontend(source, defines, name)
         self.optimize(ir, opt_level)
         module = generate_wasm(ir, self._wasm_options(opt_level))
@@ -92,9 +102,7 @@ class CheerpCompiler(ToolchainBase):
         return CompiledWasm(module, binary, self.name, opt_level, name,
                             meta=dict(module.meta))
 
-    def compile_js(self, source, defines=None, opt_level="O2",
-                   name="module"):
-        """C source → genericjs artifact (standard JavaScript target)."""
+    def _build_js(self, source, defines, opt_level, name):
         ir = self.frontend(source, defines, name)
         self.optimize(ir, opt_level)
         js = generate_js(ir, JsCodegenOptions(

@@ -54,6 +54,10 @@ class EmscriptenCompiler(ToolchainBase):
 
     def compile_wasm(self, source, defines=None, opt_level="O2",
                      name="module"):
+        return self._cached_compile("wasm", self._build_wasm, source,
+                                    defines, opt_level, name)
+
+    def _build_wasm(self, source, defines, opt_level, name):
         ir = self.frontend(source, defines, name)
         self.optimize(ir, opt_level)
         options = WasmCodegenOptions(

@@ -34,6 +34,10 @@ class LlvmX86Compiler(ToolchainBase):
         }
 
     def compile(self, source, defines=None, opt_level="O2", name="module"):
+        return self._cached_compile("x86", self._build_native, source,
+                                    defines, opt_level, name)
+
+    def _build_native(self, source, defines, opt_level, name):
         ir = self.frontend(source, defines, name)
         self.optimize(ir, opt_level)
         program = generate_x86(ir)

@@ -37,3 +37,16 @@ class ValidationError(ReproError):
 class TrapError(ReproError):
     """Raised when Wasm execution traps (unreachable, OOB access, exhausted
     linear memory, division by zero)."""
+
+
+class MeasurementError(ReproError):
+    """Raised when the harness detects an invalid measurement, e.g. a
+    benchmark whose output differs between repetitions (§3.3.2 averages
+    repetitions, which is only sound when every run computes the same
+    result)."""
+
+
+class CacheError(ReproError):
+    """Raised for unrecoverable artifact-cache misconfiguration (an
+    unusable cache *entry* is never an error — it is treated as stale and
+    recompiled)."""

@@ -22,30 +22,34 @@ SETTINGS = (
 )
 
 
-def table8_browsers_platforms(ctx, size="M"):
-    data = {}
+def _settings_benchmark(ctx, benchmark, size):
+    """Per-benchmark worker: measure all six deployment settings."""
+    out = {}
     for browser, platform_kind, profile_fn, platform in SETTINGS:
         runner = ctx.runner(profile_fn(), platform)
-        js_times = []
-        wasm_times = []
-        js_mems = []
-        wasm_mems = []
-        per_benchmark = {}
-        for benchmark in ctx.benchmarks():
-            wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
-            js_m = runner.run_js(ctx.js(benchmark, size))
-            js_times.append(js_m.time_ms)
-            wasm_times.append(wasm_m.time_ms)
-            js_mems.append(js_m.memory_kb)
-            wasm_mems.append(wasm_m.memory_kb)
-            per_benchmark[benchmark.name] = {
-                "js_ms": js_m.time_ms, "wasm_ms": wasm_m.time_ms,
-                "js_kb": js_m.memory_kb, "wasm_kb": wasm_m.memory_kb}
-        data[(browser, platform_kind)] = {
-            "js_ms": arithmetic_mean(js_times),
-            "wasm_ms": arithmetic_mean(wasm_times),
-            "js_kb": arithmetic_mean(js_mems),
-            "wasm_kb": arithmetic_mean(wasm_mems),
+        wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
+        js_m = runner.run_js(ctx.js(benchmark, size))
+        out[(browser, platform_kind)] = {
+            "js_ms": js_m.time_ms, "wasm_ms": wasm_m.time_ms,
+            "js_kb": js_m.memory_kb, "wasm_kb": wasm_m.memory_kb}
+    return out
+
+
+def table8_browsers_platforms(ctx, size="M"):
+    per_benchmark_settings = ctx.map_benchmarks(_settings_benchmark,
+                                                size=size)
+    data = {}
+    for browser, platform_kind, _profile_fn, _platform in SETTINGS:
+        setting = (browser, platform_kind)
+        per_benchmark = {
+            benchmark.name: cells[setting]
+            for benchmark, cells in per_benchmark_settings}
+        entries = list(per_benchmark.values())
+        data[setting] = {
+            "js_ms": arithmetic_mean([e["js_ms"] for e in entries]),
+            "wasm_ms": arithmetic_mean([e["wasm_ms"] for e in entries]),
+            "js_kb": arithmetic_mean([e["js_kb"] for e in entries]),
+            "wasm_kb": arithmetic_mean([e["wasm_kb"] for e in entries]),
             "per_benchmark": per_benchmark,
         }
 

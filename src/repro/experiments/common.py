@@ -1,13 +1,21 @@
-"""Shared experiment infrastructure: compile caching, runner helpers, and
-the benchmark selections."""
+"""Shared experiment infrastructure: cached compiles, runner helpers, the
+parallel scheduler wiring, and the benchmark selections.
+
+Compiles are served by the persistent content-addressed cache
+(:mod:`repro.cache`) — the context no longer carries ad-hoc per-kind dict
+caches; the cache's memory layer covers the in-process case and its disk
+layer makes repeat runs of the whole apparatus near-instant.
+"""
 
 from __future__ import annotations
 
 import os
+from functools import partial
 
 from repro.compilers import CheerpCompiler, EmscriptenCompiler, LlvmX86Compiler
 from repro.env import DESKTOP, MOBILE, chrome_desktop
 from repro.harness import PageRunner
+from repro.harness.parallel import default_jobs, parallel_map
 from repro.suites import all_benchmarks
 
 #: Environment variable: set to run experiments on a representative subset
@@ -21,27 +29,45 @@ QUICK_SET = [
     "ADPCM", "AES", "SHA", "DFADD", "MIPS",
 ]
 
+#: Worker-process context registry: one reconstructed context per spec, so
+#: a pool worker builds its compilers once and reuses them across tasks.
+_WORKER_CONTEXTS = {}
+
+
+def _run_benchmark_task(worker, spec, params, benchmark):
+    """Pool entry point: reconstruct the context (once per worker per
+    spec) and apply ``worker(ctx, benchmark, **params)``."""
+    ctx = _WORKER_CONTEXTS.get(spec)
+    if ctx is None:
+        quick, repetitions, heap_bytes = spec
+        ctx = ExperimentContext(repetitions=repetitions, quick=quick,
+                                heap_bytes=heap_bytes, jobs=1)
+        _WORKER_CONTEXTS[spec] = ctx
+    return worker(ctx, benchmark, **dict(params))
+
 
 class ExperimentContext:
-    """Configuration + caches shared by experiment functions.
+    """Configuration shared by experiment functions.
 
     The Cheerp heap is left at 2 MiB for the benchmark pages (the paper
     raises Cheerp's limits with ``-cheerp-linear-heap-size`` where needed,
-    §3.2); repetitions default to the paper's five.
+    §3.2); repetitions default to the paper's five.  ``jobs`` selects the
+    parallel scheduler's worker count (default: ``REPRO_JOBS`` or the CPU
+    count; 1 = serial).
     """
 
-    def __init__(self, repetitions=None, quick=None, heap_bytes=2 * 1024 * 1024):
+    def __init__(self, repetitions=None, quick=None,
+                 heap_bytes=2 * 1024 * 1024, jobs=None):
         if quick is None:
             quick = bool(os.environ.get(QUICK_ENV))
         self.quick = quick
         self.repetitions = repetitions if repetitions is not None else \
             (2 if quick else 5)
+        self.heap_bytes = heap_bytes
+        self.jobs = jobs if jobs is not None else default_jobs()
         self.cheerp = CheerpCompiler(linear_heap_size=heap_bytes)
         self.emscripten = EmscriptenCompiler()
         self.llvm_x86 = LlvmX86Compiler()
-        self._wasm_cache = {}
-        self._js_cache = {}
-        self._x86_cache = {}
 
     def benchmarks(self):
         benchmarks = all_benchmarks()
@@ -49,32 +75,44 @@ class ExperimentContext:
             benchmarks = [b for b in benchmarks if b.name in QUICK_SET]
         return benchmarks
 
-    # -- cached compiles -----------------------------------------------------
+    # -- cached compiles (served by repro.cache) ------------------------------
 
     def wasm(self, benchmark, size="M", opt_level="O2", toolchain=None):
         toolchain = toolchain or self.cheerp
-        key = (benchmark.name, size, opt_level, toolchain.name)
-        if key not in self._wasm_cache:
-            self._wasm_cache[key] = toolchain.compile_wasm(
-                benchmark.source, benchmark.defines(size), opt_level,
-                benchmark.name)
-        return self._wasm_cache[key]
+        return toolchain.compile_wasm(benchmark.source,
+                                      benchmark.defines(size), opt_level,
+                                      benchmark.name)
 
     def js(self, benchmark, size="M", opt_level="O2"):
-        key = (benchmark.name, size, opt_level)
-        if key not in self._js_cache:
-            self._js_cache[key] = self.cheerp.compile_js(
-                benchmark.source, benchmark.defines(size), opt_level,
-                benchmark.name)
-        return self._js_cache[key]
+        return self.cheerp.compile_js(benchmark.source,
+                                      benchmark.defines(size), opt_level,
+                                      benchmark.name)
 
     def x86(self, benchmark, size="M", opt_level="O2"):
-        key = (benchmark.name, size, opt_level)
-        if key not in self._x86_cache:
-            self._x86_cache[key] = self.llvm_x86.compile(
-                benchmark.source, benchmark.defines(size), opt_level,
-                benchmark.name)
-        return self._x86_cache[key]
+        return self.llvm_x86.compile(benchmark.source,
+                                     benchmark.defines(size), opt_level,
+                                     benchmark.name)
+
+    # -- parallel scheduling --------------------------------------------------
+
+    def map_benchmarks(self, worker, **params):
+        """Apply ``worker(ctx, benchmark, **params)`` to every benchmark,
+        fanned out across ``self.jobs`` processes, and return
+        ``[(benchmark, result), ...]`` in benchmark order — identical to
+        what a serial loop would produce.
+
+        ``worker`` must be a module-level function and ``params`` values
+        picklable.  The worker receives an equivalent context (same quick /
+        repetitions / heap configuration) reconstructed in its process; the
+        benchmark list itself is always taken from *this* context, so
+        subset overrides made by callers are honored.
+        """
+        benchmarks = list(self.benchmarks())
+        spec = (self.quick, self.repetitions, self.heap_bytes)
+        fn = partial(_run_benchmark_task, worker, spec,
+                     tuple(sorted(params.items())))
+        results = parallel_map(fn, benchmarks, jobs=self.jobs)
+        return list(zip(benchmarks, results))
 
     # -- runners ---------------------------------------------------------------
 

@@ -10,30 +10,35 @@ from repro.analysis import format_table, geomean
 from repro.env import DESKTOP, chrome_desktop
 
 
-def compare_cheerp_emscripten(ctx, size="M"):
+def _compare_benchmark(ctx, benchmark, size):
     runner = ctx.runner(chrome_desktop(), DESKTOP)
+    cheerp_m = runner.run_wasm(ctx.wasm(benchmark, size,
+                                        toolchain=ctx.cheerp))
+    emcc_m = runner.run_wasm(ctx.wasm(benchmark, size,
+                                      toolchain=ctx.emscripten))
+    speedup = cheerp_m.time_ms / emcc_m.time_ms
+    mem_ratio = emcc_m.memory_kb / cheerp_m.memory_kb
+    return {
+        "cheerp_ms": cheerp_m.time_ms, "emcc_ms": emcc_m.time_ms,
+        "cheerp_kb": cheerp_m.memory_kb, "emcc_kb": emcc_m.memory_kb,
+        "speedup": speedup, "memory_ratio": mem_ratio,
+        "cheerp_grows": cheerp_m.detail.get("memory_grows"),
+        "emcc_grows": emcc_m.detail.get("memory_grows"),
+    }
+
+
+def compare_cheerp_emscripten(ctx, size="M"):
     rows = []
     speedups = []
     memory_ratios = []
     per_benchmark = {}
-    for benchmark in ctx.benchmarks():
-        cheerp_m = runner.run_wasm(ctx.wasm(benchmark, size,
-                                            toolchain=ctx.cheerp))
-        emcc_m = runner.run_wasm(ctx.wasm(benchmark, size,
-                                          toolchain=ctx.emscripten))
-        speedup = cheerp_m.time_ms / emcc_m.time_ms
-        mem_ratio = emcc_m.memory_kb / cheerp_m.memory_kb
-        speedups.append(speedup)
-        memory_ratios.append(mem_ratio)
-        per_benchmark[benchmark.name] = {
-            "cheerp_ms": cheerp_m.time_ms, "emcc_ms": emcc_m.time_ms,
-            "cheerp_kb": cheerp_m.memory_kb, "emcc_kb": emcc_m.memory_kb,
-            "speedup": speedup, "memory_ratio": mem_ratio,
-            "cheerp_grows": cheerp_m.detail.get("memory_grows"),
-            "emcc_grows": emcc_m.detail.get("memory_grows"),
-        }
-        rows.append([benchmark.name, cheerp_m.time_ms, emcc_m.time_ms,
-                     speedup, mem_ratio])
+    for benchmark, entry in ctx.map_benchmarks(_compare_benchmark,
+                                               size=size):
+        speedups.append(entry["speedup"])
+        memory_ratios.append(entry["memory_ratio"])
+        per_benchmark[benchmark.name] = entry
+        rows.append([benchmark.name, entry["cheerp_ms"], entry["emcc_ms"],
+                     entry["speedup"], entry["memory_ratio"]])
     summary = {"speedup_gmean": geomean(speedups),
                "memory_gmean": geomean(memory_ratios)}
     text = format_table(

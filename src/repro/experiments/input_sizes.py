@@ -11,21 +11,26 @@ from repro.env import DESKTOP, chrome_desktop, firefox_desktop
 from repro.suites import SIZE_CLASSES
 
 
+def _fig9_benchmark(ctx, benchmark, profile, sizes):
+    runner = ctx.runner(profile, DESKTOP)
+    per_size = {}
+    for size in sizes:
+        wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
+        js_m = runner.run_js(ctx.js(benchmark, size))
+        per_size[size] = {
+            "wasm_ms": wasm_m.time_ms, "js_ms": js_m.time_ms,
+            "wasm_kb": wasm_m.memory_kb, "js_kb": js_m.memory_kb,
+        }
+    return per_size
+
+
 def figure9_input_sizes(ctx, profile=None, sizes=SIZE_CLASSES):
     """Fig. 9 data: execution time and memory per benchmark per size for
     both targets, on one browser profile (default: desktop Chrome)."""
     profile = profile or chrome_desktop()
-    runner = ctx.runner(profile, DESKTOP)
     data = {}
-    for benchmark in ctx.benchmarks():
-        per_size = {}
-        for size in sizes:
-            wasm_m = runner.run_wasm(ctx.wasm(benchmark, size))
-            js_m = runner.run_js(ctx.js(benchmark, size))
-            per_size[size] = {
-                "wasm_ms": wasm_m.time_ms, "js_ms": js_m.time_ms,
-                "wasm_kb": wasm_m.memory_kb, "js_kb": js_m.memory_kb,
-            }
+    for benchmark, per_size in ctx.map_benchmarks(
+            _fig9_benchmark, profile=profile, sizes=tuple(sizes)):
         data[benchmark.name] = per_size
     return {"browser": profile.name, "data": data,
             "text": _render_fig9(profile.name, data, sizes)}

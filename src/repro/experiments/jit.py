@@ -10,7 +10,7 @@ from repro.analysis import arithmetic_mean, format_table, geomean
 from repro.env import ChromeFlags, DESKTOP, chrome_desktop
 
 
-def figure10_jit_improvement(ctx, size="M"):
+def _jit_benchmark(ctx, benchmark, size):
     default_runner = ctx.runner(chrome_desktop(), DESKTOP)
     nojit_js_runner = ctx.runner(
         chrome_desktop(), DESKTOP,
@@ -21,18 +21,24 @@ def figure10_jit_improvement(ctx, size="M"):
         flags=ChromeFlags.parse(
             'chrome.exe --js-flags="--liftoff --no-wasm-tier-up" '
             "--incognito"))
+    js_artifact = ctx.js(benchmark, size)
+    with_jit = default_runner.run_js(js_artifact).time_ms
+    without = nojit_js_runner.run_js(js_artifact).time_ms
+    js_entry = {"improvement": without / with_jit,
+                "suite": benchmark.suite}
+    wasm_artifact = ctx.wasm(benchmark, size)
+    with_jit = default_runner.run_wasm(wasm_artifact).time_ms
+    without = nojit_wasm_runner.run_wasm(wasm_artifact).time_ms
+    wasm_entry = {"improvement": without / with_jit,
+                  "suite": benchmark.suite}
+    return {"js": js_entry, "wasm": wasm_entry}
+
+
+def figure10_jit_improvement(ctx, size="M"):
     data = {"js": {}, "wasm": {}}
-    for benchmark in ctx.benchmarks():
-        js_artifact = ctx.js(benchmark, size)
-        with_jit = default_runner.run_js(js_artifact).time_ms
-        without = nojit_js_runner.run_js(js_artifact).time_ms
-        data["js"][benchmark.name] = {
-            "improvement": without / with_jit, "suite": benchmark.suite}
-        wasm_artifact = ctx.wasm(benchmark, size)
-        with_jit = default_runner.run_wasm(wasm_artifact).time_ms
-        without = nojit_wasm_runner.run_wasm(wasm_artifact).time_ms
-        data["wasm"][benchmark.name] = {
-            "improvement": without / with_jit, "suite": benchmark.suite}
+    for benchmark, entry in ctx.map_benchmarks(_jit_benchmark, size=size):
+        data["js"][benchmark.name] = entry["js"]
+        data["wasm"][benchmark.name] = entry["wasm"]
 
     def group(target, suite):
         return [entry["improvement"] for entry in data[target].values()

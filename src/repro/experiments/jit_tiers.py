@@ -11,29 +11,36 @@ from repro.analysis import arithmetic_mean, format_table, geomean
 from repro.env import DESKTOP, chrome_desktop, firefox_desktop
 
 
-def _ratios(ctx, profile, size):
+def _tier_ratios(ctx, benchmark, profile, size):
     default_runner = ctx.runner(profile, DESKTOP)
     basic_runner = ctx.runner(profile.with_wasm(optimizing_enabled=False),
                               DESKTOP)
     opt_runner = ctx.runner(profile.with_wasm(basic_enabled=False), DESKTOP)
-    out = {}
-    for benchmark in ctx.benchmarks():
-        artifact = ctx.wasm(benchmark, size)
-        default_ms = default_runner.run_wasm(artifact).time_ms
-        basic_ms = basic_runner.run_wasm(artifact).time_ms
-        opt_ms = opt_runner.run_wasm(artifact).time_ms
-        # Speed ratio of default to single-tier: >1 means default faster.
-        out[benchmark.name] = {
-            "suite": benchmark.suite,
-            "vs_basic": basic_ms / default_ms,
-            "vs_opt": opt_ms / default_ms,
-        }
-    return out
+    artifact = ctx.wasm(benchmark, size)
+    default_ms = default_runner.run_wasm(artifact).time_ms
+    basic_ms = basic_runner.run_wasm(artifact).time_ms
+    opt_ms = opt_runner.run_wasm(artifact).time_ms
+    # Speed ratio of default to single-tier: >1 means default faster.
+    return {
+        "suite": benchmark.suite,
+        "vs_basic": basic_ms / default_ms,
+        "vs_opt": opt_ms / default_ms,
+    }
+
+
+def _tier_benchmark(ctx, benchmark, size):
+    return {
+        "chrome": _tier_ratios(ctx, benchmark, chrome_desktop(), size),
+        "firefox": _tier_ratios(ctx, benchmark, firefox_desktop(), size),
+    }
 
 
 def table7_tier_comparison(ctx, size="M"):
-    chrome = _ratios(ctx, chrome_desktop(), size)
-    firefox = _ratios(ctx, firefox_desktop(), size)
+    chrome = {}
+    firefox = {}
+    for benchmark, entry in ctx.map_benchmarks(_tier_benchmark, size=size):
+        chrome[benchmark.name] = entry["chrome"]
+        firefox[benchmark.name] = entry["firefox"]
     data = {"chrome": chrome, "firefox": firefox}
 
     def agg(results, suite, key):

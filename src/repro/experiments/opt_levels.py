@@ -8,6 +8,7 @@ x86 control toolchain.
 from __future__ import annotations
 
 from repro.analysis import format_table, geomean
+from repro.cache import cached_result
 from repro.env import DESKTOP, chrome_desktop
 from repro.native import execute_program
 
@@ -21,49 +22,61 @@ def _ratios(per_level):
     return {f"{lvl}/O2": per_level[lvl] / base for lvl in RATIO_LEVELS}
 
 
+def _fig5_benchmark(ctx, benchmark, size):
+    """Per-benchmark worker: the full level sweep for both targets."""
+    runner = ctx.runner(chrome_desktop(), DESKTOP)
+    entry = {}
+    for target in ("wasm", "js"):
+        times = {}
+        sizes = {}
+        memories = {}
+        for level in LEVELS:
+            if target == "wasm":
+                artifact = ctx.wasm(benchmark, size, level)
+                measurement = runner.run_wasm(artifact)
+            else:
+                artifact = ctx.js(benchmark, size, level)
+                measurement = runner.run_js(artifact)
+            times[level] = measurement.time_ms
+            sizes[level] = artifact.code_size
+            memories[level] = measurement.memory_kb
+        entry[target] = {
+            "time": _ratios(times),
+            "code_size": _ratios(sizes),
+            "memory": _ratios(memories),
+            "raw_time_ms": times,
+        }
+    return entry
+
+
 def figure5_opt_levels(ctx, size="M"):
     """Fig. 5: per-benchmark execution time and code size across levels,
     Wasm and JS targets, Chrome v79 desktop, default (M) input."""
-    runner = ctx.runner(chrome_desktop(), DESKTOP)
     data = {"wasm": {}, "js": {}}
-    for benchmark in ctx.benchmarks():
-        for target in ("wasm", "js"):
-            times = {}
-            sizes = {}
-            memories = {}
-            for level in LEVELS:
-                if target == "wasm":
-                    artifact = ctx.wasm(benchmark, size, level)
-                    measurement = runner.run_wasm(artifact)
-                else:
-                    artifact = ctx.js(benchmark, size, level)
-                    measurement = runner.run_js(artifact)
-                times[level] = measurement.time_ms
-                sizes[level] = artifact.code_size
-                memories[level] = measurement.memory_kb
-            data[target][benchmark.name] = {
-                "time": _ratios(times),
-                "code_size": _ratios(sizes),
-                "memory": _ratios(memories),
-                "raw_time_ms": times,
-            }
+    for benchmark, entry in ctx.map_benchmarks(_fig5_benchmark, size=size):
+        data["wasm"][benchmark.name] = entry["wasm"]
+        data["js"][benchmark.name] = entry["js"]
     return {"data": data, "text": _render_fig5(data)}
+
+
+def _fig6_benchmark(ctx, benchmark, size):
+    times = {}
+    sizes = {}
+    for level in LEVELS:
+        artifact = ctx.x86(benchmark, size, level)
+        times[level] = cached_result(
+            "measure-x86", (artifact.cache_key,),
+            lambda: execute_program(artifact.program, "main")[1].cycles)
+        sizes[level] = artifact.code_size
+    return {"time": _ratios(times), "code_size": _ratios(sizes),
+            "raw_cycles": times}
 
 
 def figure6_opt_levels_x86(ctx, size="M"):
     """Fig. 6: the same sweep for the LLVM-x86 control toolchain."""
     data = {}
-    for benchmark in ctx.benchmarks():
-        times = {}
-        sizes = {}
-        for level in LEVELS:
-            artifact = ctx.x86(benchmark, size, level)
-            _, stats = execute_program(artifact.program, "main")
-            times[level] = stats.cycles
-            sizes[level] = artifact.code_size
-        data[benchmark.name] = {"time": _ratios(times),
-                                "code_size": _ratios(sizes),
-                                "raw_cycles": times}
+    for benchmark, entry in ctx.map_benchmarks(_fig6_benchmark, size=size):
+        data[benchmark.name] = entry
     return {"data": data, "text": _render_fig6(data)}
 
 

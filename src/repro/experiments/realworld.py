@@ -5,13 +5,21 @@ from __future__ import annotations
 
 from repro.analysis import format_table
 from repro.apps import FfmpegApp, HyphenopolyApp, LongJsApp
+from repro.cache import cached_result
+
+
+def _run_app(app_cls):
+    """The apps are deterministic and take no parameters, so their whole
+    result dict is memoizable under the package code fingerprint."""
+    return cached_result(f"app-{app_cls.__name__}", (),
+                         lambda: app_cls().run())
 
 
 def table10_realworld(ctx=None):
     """Table 10: the six experiments across the three applications."""
-    longjs = LongJsApp().run()
-    hyphenopoly = HyphenopolyApp().run()
-    ffmpeg = FfmpegApp().run()
+    longjs = _run_app(LongJsApp)
+    hyphenopoly = _run_app(HyphenopolyApp)
+    ffmpeg = _run_app(FfmpegApp)
     rows = []
     for label, entry in longjs.items():
         rows.append([f"Long.js {label}",
@@ -34,7 +42,7 @@ def table10_realworld(ctx=None):
 
 def table12_longjs_ops(longjs=None):
     """Table 12 (Appendix D): arithmetic operation counts for Long.js."""
-    longjs = longjs or LongJsApp().run()
+    longjs = longjs or _run_app(LongJsApp)
     headers = ["Benchmark", "impl", "ADD", "MUL", "DIV", "REM", "SHIFT",
                "AND", "OR", "Total"]
     rows = []

@@ -1,9 +1,12 @@
 """Measurement harness: HTML page construction, timer instrumentation,
-and the page runner that executes compiled artifacts under a browser
-profile + platform and collects DevTools metrics (§3.3–3.4)."""
+the page runner that executes compiled artifacts under a browser profile +
+platform and collects DevTools metrics (§3.3–3.4), and the process-parallel
+experiment scheduler."""
 
 from repro.harness.page import HtmlPage
 from repro.harness.measurement import Measurement
+from repro.harness.parallel import JOBS_ENV, default_jobs, parallel_map
 from repro.harness.runner import PageRunner, install_c_host
 
-__all__ = ["HtmlPage", "Measurement", "PageRunner", "install_c_host"]
+__all__ = ["HtmlPage", "JOBS_ENV", "Measurement", "PageRunner",
+           "default_jobs", "install_c_host", "parallel_map"]

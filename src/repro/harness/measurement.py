@@ -15,10 +15,17 @@ class Measurement:
     browser: str = ""
     platform: str = ""
     times_ms: list = field(default_factory=list)
+    #: High-water mark over the repetitions (§3.3.2: memory is reported as
+    #: the peak the page reaches, not whatever the last run happened to
+    #: commit).
     memory_kb: float = 0.0
     code_size: int = 0
     output: list = field(default_factory=list)
+    #: Detail dict of the final repetition (all repetitions must agree on
+    #: output; engine counters are deterministic, so this is representative).
     detail: dict = field(default_factory=dict)
+    #: One detail dict per repetition, in run order.
+    rep_details: list = field(default_factory=list)
 
     @property
     def time_ms(self):

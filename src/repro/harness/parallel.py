@@ -1,0 +1,66 @@
+"""Process-parallel experiment scheduler.
+
+The benchmark × configuration grid is embarrassingly parallel: every
+(benchmark, toolchain, opt level, input size, browser profile) cell
+compiles and measures independently, and the engines are deterministic, so
+fanning the grid out across worker processes must — and does — produce
+results identical to serial execution.  :func:`parallel_map` is the
+primitive: an order-preserving map that dispatches to a
+``multiprocessing`` pool when more than one job is requested and degrades
+to a plain serial loop otherwise (``REPRO_JOBS=1``).
+
+Determinism contract:
+
+* results come back in input order (``Pool.map`` preserves ordering
+  regardless of completion order), so merged dicts iterate exactly as the
+  serial loop would insert them;
+* workers share the persistent compile cache on disk — writes are atomic
+  and idempotent, so racing workers at worst duplicate a compile;
+* worker callables must be module-level (picklable); per-item chunking
+  keeps the longest-running benchmark from serialising a whole chunk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+#: Environment variable selecting the worker count.  Unset: one worker per
+#: CPU.  ``REPRO_JOBS=1``: serial execution in the calling process.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs():
+    """Worker count from ``REPRO_JOBS``, else the CPU count."""
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _pool_context():
+    # fork is the cheap path (workers inherit the imported package and the
+    # warm in-memory caches); fall back to spawn where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(fn, items, jobs=None):
+    """Order-preserving ``[fn(item) for item in items]``, fanned out over
+    ``jobs`` worker processes when ``jobs > 1``.
+
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` over one) when the parallel path is taken.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(jobs, len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    with _pool_context().Pool(processes=jobs) as pool:
+        return pool.map(fn, items, chunksize=1)

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import math
 
+from repro.cache import cached_result, results_enabled
+from repro.clibm import c_exp, c_fmod, c_log, c_pow
 from repro.env.adb import AdbCollector
+from repro.errors import MeasurementError
 from repro.env.devtools import DevTools
 from repro.harness.measurement import Measurement
 from repro.harness.page import HtmlPage
@@ -85,17 +88,12 @@ def wasm_host_imports(output, instance_box):
             return fn(x, y)
         return shim
 
-    imports[("env", "exp")] = math1(lambda x: math.exp(min(x, 700.0)))
-    imports[("env", "log")] = math1(
-        lambda x: math.log(x) if x > 0 else
-        (-math.inf if x == 0 else math.nan))
+    imports[("env", "exp")] = math1(c_exp)
+    imports[("env", "log")] = math1(c_log)
     imports[("env", "sin")] = math1(math.sin)
     imports[("env", "cos")] = math1(math.cos)
-    imports[("env", "pow")] = math2(
-        lambda x, y: math.pow(x, y) if not (x < 0 and y != int(y))
-        else math.nan)
-    imports[("env", "fmod")] = math2(
-        lambda x, y: math.fmod(x, y) if y else math.nan)
+    imports[("env", "pow")] = math2(c_pow)
+    imports[("env", "fmod")] = math2(c_fmod)
     return imports
 
 
@@ -113,34 +111,55 @@ class PageRunner:
         else:
             self.collector = DevTools(platform, profile)
 
+    def _measurement_parts(self, artifact, entry, name):
+        """Everything a measurement depends on besides the artifact bits:
+        the (flag-adjusted) profile, the platform, and the protocol."""
+        return (artifact.cache_key, repr(self.profile), repr(self.platform),
+                self.repetitions, entry, name)
+
     # -- JavaScript ---------------------------------------------------------
 
     def run_js(self, compiled_js, entry="main", name=None):
         name = name or compiled_js.name
+        if results_enabled() and getattr(compiled_js, "cache_key", None):
+            return cached_result(
+                "measure-js", self._measurement_parts(compiled_js, entry,
+                                                      name),
+                lambda: self._measure_js(compiled_js, entry, name))
+        return self._measure_js(compiled_js, entry, name)
+
+    def _measure_js(self, compiled_js, entry, name):
         page = HtmlPage.for_js(compiled_js, entry)
         result = Measurement(name=name, target="js",
                              browser=f"{self.profile.name} "
                                      f"v{self.profile.version}",
                              platform=self.platform.name,
                              code_size=compiled_js.code_size)
-        for _ in range(self.repetitions):
+        for rep in range(self.repetitions):
             output = []
             engine = JsEngine(self.profile.js,
                               cycles_per_ms=self.platform.cycles_per_ms)
             timings = install_c_host(engine, output)
             engine.load_script(page.script)
             metrics = self.collector.js_metrics(engine)
-            result.times_ms.append(metrics.execution_time_ms)
-            result.memory_kb = metrics.memory_kb
-            result.output = output
-            result.detail = metrics.detail
-            result.detail["timer_ms"] = timings[0] if timings else None
+            metrics.detail["timer_ms"] = timings[0] if timings else None
+            self._record_repetition(result, rep, metrics, output)
+        result.detail["timer_ms_per_rep"] = [
+            detail["timer_ms"] for detail in result.rep_details]
         return result
 
     # -- WebAssembly ----------------------------------------------------------
 
     def run_wasm(self, compiled_wasm, entry="main", name=None):
         name = name or compiled_wasm.name
+        if results_enabled() and getattr(compiled_wasm, "cache_key", None):
+            return cached_result(
+                "measure-wasm", self._measurement_parts(compiled_wasm,
+                                                        entry, name),
+                lambda: self._measure_wasm(compiled_wasm, entry, name))
+        return self._measure_wasm(compiled_wasm, entry, name)
+
+    def _measure_wasm(self, compiled_wasm, entry, name):
         wasm_cfg = self.profile.wasm
         page = HtmlPage.for_wasm(compiled_wasm, entry)
         result = Measurement(name=name, target="wasm",
@@ -150,7 +169,7 @@ class PageRunner:
                              code_size=compiled_wasm.code_size)
         module = compiled_wasm.module
         static_instrs = module.static_instruction_count
-        for _ in range(self.repetitions):
+        for rep in range(self.repetitions):
             output = []
             vm = WasmVM(boundary_cost=wasm_cfg.boundary_cost)
             instance = vm.instantiate(module,
@@ -159,11 +178,29 @@ class PageRunner:
             cycles = self._wasm_total_cycles(instance, page, static_instrs,
                                              len(compiled_wasm.binary))
             metrics = self.collector.wasm_metrics(cycles, instance)
-            result.times_ms.append(metrics.execution_time_ms)
-            result.memory_kb = metrics.memory_kb
-            result.output = output
-            result.detail = metrics.detail
+            self._record_repetition(result, rep, metrics, output)
         return result
+
+    # -- repetition aggregation (§3.3.2) --------------------------------------
+
+    @staticmethod
+    def _record_repetition(result, rep, metrics, output):
+        """Fold one repetition into the measurement: times are kept per-rep
+        (and averaged by ``Measurement.time_ms``), memory is the high-water
+        mark over repetitions, per-rep details are preserved, and every
+        repetition must reproduce the first one's output."""
+        result.times_ms.append(metrics.execution_time_ms)
+        result.memory_kb = max(result.memory_kb, metrics.memory_kb)
+        if rep == 0:
+            result.output = output
+        elif output != result.output:
+            raise MeasurementError(
+                f"{result.name}/{result.target}: repetition {rep + 1} "
+                f"produced different output than repetition 1 "
+                f"({output!r} vs {result.output!r}); averaging repetitions "
+                "requires identical results")
+        result.rep_details.append(dict(metrics.detail))
+        result.detail = dict(metrics.detail)
 
     def _wasm_total_cycles(self, instance, page, static_instrs,
                            binary_size):

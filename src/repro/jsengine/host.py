@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import math
 
+from repro.clibm import c_log, js_pow
 from repro.jsengine.values import (
     JSArray,
     JSObject,
@@ -45,18 +46,12 @@ def make_math(engine):
         return math.nan if v < 0 else math.sqrt(v)
 
     def _pow(e, this, a):
-        try:
-            return float(math.pow(_num(a, 0), _num(a, 1)))
-        except (ValueError, OverflowError):
-            return math.nan
+        # ECMAScript Math.pow semantics — Math.pow(0, -1) is Infinity and
+        # overflow saturates, where Python's math.pow raises.
+        return float(js_pow(_num(a, 0), _num(a, 1)))
 
     def _log(e, this, a):
-        v = _num(a, 0)
-        if v < 0:
-            return math.nan
-        if v == 0:
-            return -math.inf
-        return math.log(v)
+        return c_log(_num(a, 0))
 
     def _random(e, this, a):
         # Deterministic LCG: reproducible experiments need a seeded source.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 
+from repro.clibm import c_fmod
 from repro.errors import ReproError
 from repro.jsengine.bytecode import (
     JS_OP_CLASS, JS_OP_COST, JS_OP_COST_OPT, JsOp,
@@ -223,9 +224,9 @@ def execute(engine, fn, args, this=None):
                     push(a / b)
             elif op == 9:     # MOD
                 b = pop(); a = pop()
-                a = _to_number(a); b = _to_number(b)
-                push(math.nan if b == 0.0 or a != a or b != b
-                     else math.fmod(a, b))
+                # c_fmod matches the ECMAScript % operator: NaN for a zero
+                # divisor, NaN operands, or an infinite dividend.
+                push(c_fmod(_to_number(a), _to_number(b)))
             elif op == 28:    # JF
                 if not js_truthy(pop()):
                     pc = arg

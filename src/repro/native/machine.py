@@ -21,6 +21,7 @@ import enum
 import math
 from dataclasses import dataclass, field
 
+from repro.clibm import c_exp, c_fmod, c_log, c_pow
 from repro.errors import TrapError
 
 _MASK32 = 0xFFFFFFFF
@@ -396,12 +397,9 @@ class _Machine:
         if name.startswith("__print"):
             self.stats.prints.append(args[0])
             return 0
-        fn = {"exp": lambda x: math.exp(min(x, 700.0)),
-              "log": lambda x: math.log(x) if x > 0 else
-              (-math.inf if x == 0 else math.nan),
+        fn = {"exp": c_exp, "log": c_log,
               "sin": math.sin, "cos": math.cos,
-              "pow": lambda x, y: math.pow(x, y),
-              "fmod": lambda x, y: math.fmod(x, y) if y else math.nan}[name]
+              "pow": c_pow, "fmod": c_fmod}[name]
         return fn(*args)
 
 

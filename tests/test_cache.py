@@ -1,0 +1,213 @@
+"""Persistent content-addressed compile cache: hits, misses, invalidation,
+staleness, and disk persistence."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import cache as cache_pkg
+from repro.cache import ArtifactCache, cache_key, code_fingerprint, configure
+from repro.cache.memo import RESULT_CACHE_ENV
+from repro.cache.store import CACHE_VERSION
+from repro.compilers import CheerpCompiler, EmscriptenCompiler, LlvmX86Compiler
+from repro.env import DESKTOP, chrome_desktop, firefox_desktop
+from repro.harness import PageRunner
+from tests.conftest import TINY_C
+
+OTHER_C = TINY_C.replace("s += y[i];", "s += 2.0 * y[i];")
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    """Point the process-global cache at a fresh directory; restore the
+    default (env-derived) cache afterwards."""
+    cache = configure(root=str(tmp_path), disk=True)
+    yield cache
+    configure()
+
+
+def _pkl_files(cache):
+    root = cache.root
+    return [os.path.join(dirpath, name)
+            for dirpath, _dirs, names in os.walk(root)
+            for name in names if name.endswith(".pkl")]
+
+
+class TestHitMiss:
+    def test_second_compile_hits_memory(self, isolated_cache):
+        compiler = CheerpCompiler()
+        first = compiler.compile_wasm(TINY_C, name="tiny")
+        second = compiler.compile_wasm(TINY_C, name="tiny")
+        assert second is first
+        assert isolated_cache.stats.misses == 1
+        assert isolated_cache.stats.hits == 1
+        assert isolated_cache.stats.memory_hits == 1
+
+    def test_fresh_process_hits_disk(self, tmp_path):
+        compiler = CheerpCompiler()
+        configure(root=str(tmp_path), disk=True)
+        first = compiler.compile_wasm(TINY_C, name="tiny")
+        # A new ArtifactCache over the same directory models a fresh
+        # process: its memory layer is empty, so the hit comes from disk.
+        warm = configure(root=str(tmp_path), disk=True)
+        second = compiler.compile_wasm(TINY_C, name="tiny")
+        configure()
+        assert warm.stats.disk_hits == 1
+        assert second is not first
+        assert second.binary == first.binary
+        assert second.opt_level == first.opt_level
+
+    def test_all_artifact_kinds_cached(self, isolated_cache):
+        CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        CheerpCompiler().compile_js(TINY_C, name="tiny")
+        EmscriptenCompiler().compile_wasm(TINY_C, name="tiny")
+        LlvmX86Compiler().compile(TINY_C, name="tiny")
+        assert isolated_cache.stats.puts == 4
+        assert isolated_cache.entry_count() == 4
+
+
+class TestInvalidation:
+    def test_source_change_misses(self, isolated_cache):
+        compiler = CheerpCompiler()
+        compiler.compile_wasm(TINY_C, name="tiny")
+        compiler.compile_wasm(OTHER_C, name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+    def test_comment_only_change_hits(self, isolated_cache):
+        # The key hashes the *preprocessed* source, so an edit the
+        # preprocessor strips away entirely does not invalidate.
+        compiler = CheerpCompiler()
+        compiler.compile_wasm(TINY_C, name="tiny")
+        commented = TINY_C.replace("init();\n  kernel();",
+                                   "init();\n  kernel();/*cosmetic*/")
+        assert commented != TINY_C
+        compiler.compile_wasm(commented, name="tiny")
+        assert isolated_cache.stats.hits == 1
+
+    def test_defines_change_misses(self, isolated_cache):
+        compiler = CheerpCompiler()
+        compiler.compile_wasm(TINY_C, {"STEPS": 4}, name="tiny")
+        compiler.compile_wasm(TINY_C, {"STEPS": 8}, name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+    def test_opt_level_change_misses(self, isolated_cache):
+        compiler = CheerpCompiler()
+        compiler.compile_wasm(TINY_C, opt_level="O2", name="tiny")
+        compiler.compile_wasm(TINY_C, opt_level="Oz", name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+    def test_toolchain_config_change_misses(self, isolated_cache):
+        CheerpCompiler(linear_heap_size=1 << 20).compile_wasm(
+            TINY_C, name="tiny")
+        CheerpCompiler(linear_heap_size=2 << 20).compile_wasm(
+            TINY_C, name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+    def test_toolchain_identity_separates(self, isolated_cache):
+        CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        EmscriptenCompiler().compile_wasm(TINY_C, name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+
+class TestStaleness:
+    def test_corrupt_entry_recompiled_and_counted(self, tmp_path):
+        compiler = CheerpCompiler()
+        configure(root=str(tmp_path), disk=True)
+        first = compiler.compile_wasm(TINY_C, name="tiny")
+        cache = configure(root=str(tmp_path), disk=True)
+        (path,) = _pkl_files(cache)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        second = compiler.compile_wasm(TINY_C, name="tiny")
+        configure()
+        assert cache.stats.stale == 1
+        assert cache.stats.misses == 1
+        assert second.binary == first.binary
+        # The corrupt entry was evicted and rewritten by the recompile.
+        with open(path, "rb") as handle:
+            assert pickle.load(handle).binary == first.binary
+
+    def test_clear_empties_store(self, isolated_cache):
+        CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        assert isolated_cache.entry_count() == 1
+        isolated_cache.clear()
+        assert isolated_cache.entry_count() == 0
+        CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        assert isolated_cache.stats.misses == 2
+
+
+class TestConfiguration:
+    def test_env_dir_honored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        cache = configure()
+        try:
+            assert cache.root == str(tmp_path / "elsewhere" /
+                                     CACHE_VERSION)
+            CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+            assert cache.entry_count() == 1
+        finally:
+            monkeypatch.delenv("REPRO_CACHE_DIR")
+            configure()
+
+    def test_disk_disable_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        cache = configure()
+        try:
+            compiler = CheerpCompiler()
+            first = compiler.compile_wasm(TINY_C, name="tiny")
+            assert compiler.compile_wasm(TINY_C, name="tiny") is first
+            assert cache.entry_count() == 0      # nothing written to disk
+            assert cache.stats.hits == 1         # memory layer still on
+        finally:
+            monkeypatch.delenv("REPRO_CACHE_DIR")
+            monkeypatch.delenv("REPRO_CACHE")
+            configure()
+
+    def test_key_is_order_insensitive_in_defines(self):
+        kwargs = dict(kind="wasm", preprocessed="int main(){}",
+                      opt_level="O2", toolchain="cheerp",
+                      config_fingerprint=(), pipeline_fingerprint=("dce",),
+                      name="m")
+        assert cache_key(defines={"A": 1, "B": 2}, **kwargs) == \
+            cache_key(defines={"B": 2, "A": 1}, **kwargs)
+
+    def test_code_fingerprint_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestResultMemoization:
+    """Measurements are deterministic, so REPRO_RESULT_CACHE=1 memoizes
+    them under the same store; the layer is opt-in and off by default."""
+
+    def test_off_by_default(self, isolated_cache, monkeypatch):
+        monkeypatch.delenv(RESULT_CACHE_ENV, raising=False)
+        artifact = CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        runner = PageRunner(chrome_desktop(), DESKTOP, repetitions=1)
+        first = runner.run_wasm(artifact)
+        second = runner.run_wasm(artifact)
+        assert second is not first           # measured live, twice
+        assert second.times_ms == first.times_ms   # ... deterministically
+        assert isolated_cache.stats.puts == 1      # only the compile
+
+    def test_memoizes_when_enabled(self, isolated_cache, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        artifact = CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        runner = PageRunner(chrome_desktop(), DESKTOP, repetitions=1)
+        first = runner.run_wasm(artifact)
+        second = runner.run_wasm(artifact)
+        assert second is first               # memory-layer hit
+        assert isolated_cache.stats.puts == 2      # compile + measurement
+
+    def test_profile_separates_measurements(self, isolated_cache,
+                                            monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        artifact = CheerpCompiler().compile_wasm(TINY_C, name="tiny")
+        chrome = PageRunner(chrome_desktop(), DESKTOP,
+                            repetitions=1).run_wasm(artifact)
+        firefox = PageRunner(firefox_desktop(), DESKTOP,
+                             repetitions=1).run_wasm(artifact)
+        assert firefox is not chrome
+        assert isolated_cache.stats.puts == 3      # compile + two profiles

@@ -5,6 +5,8 @@ quick subset with 1 repetition and reduced sizes, asserting the output
 structure plus the paper findings that are cheap to check.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import (
@@ -15,6 +17,20 @@ from repro.experiments import (
 from repro.experiments.common import QUICK_SET
 from repro.experiments.input_sizes import input_size_tables
 from repro.suites import benchmark_names
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _result_cache():
+    """These tests assert shape properties of deterministic experiment
+    results, so measurement memoization is sound: with a warm
+    ``REPRO_CACHE_DIR`` this module skips its measurement runs entirely
+    (the CI fast path).  ``REPRO_RESULT_CACHE=0`` forces live runs.
+    Module-scoped so the expensive module fixtures below see it too."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_RESULT_CACHE",
+                   os.environ.get("REPRO_RESULT_CACHE", "1"))
+    yield
+    patcher.undo()
 
 
 @pytest.fixture(scope="module")
