@@ -69,10 +69,15 @@ def _quantile(sorted_values, q):
     pos = (len(sorted_values) - 1) * q
     low = int(math.floor(pos))
     high = int(math.ceil(pos))
-    if low == high:
-        return sorted_values[low]
+    low_value = sorted_values[low]
+    high_value = sorted_values[high]
+    if low == high or low_value == high_value:
+        return low_value
     frac = pos - low
-    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+    value = low_value * (1 - frac) + high_value * frac
+    # Interpolation must stay inside its bracket even when rounding at the
+    # subnormal edge would pull it out (e.g. 0.5 * 5e-324 rounds to 0).
+    return min(max(value, low_value), high_value)
 
 
 def five_number_summary(values):

@@ -1,0 +1,49 @@
+"""The engine-adapter interface the harness runs artifacts through.
+
+``PageRunner`` used to carry one bespoke measurement loop per target
+(``run_js`` / ``run_wasm``); both now collapse onto a single
+``_run_artifact`` path that only talks to this interface.  An adapter
+owns everything target-specific about executing one compiled artifact —
+building the page, running one repetition, and (optionally) assembling
+the :class:`~repro.engine.trace.ExecutionTrace` — while the runner owns
+the protocol: memoization, the repetition loop, output-equality checks,
+and aggregation (§3.3.2).
+
+Concrete adapters live with the harness (they need the collector and the
+browser profile); this module only pins down the contract so new targets
+plug in without touching the measurement protocol.
+"""
+
+from __future__ import annotations
+
+
+class EngineAdapter:
+    """Contract between ``PageRunner._run_artifact`` and one engine."""
+
+    #: Measurement target label ("js", "wasm", "native").
+    target = "?"
+    #: Result-memoization namespace for this target's measurements.
+    memo_kind = "?"
+
+    def page(self, artifact, entry):
+        """Build the :class:`~repro.harness.page.HtmlPage` hosting the
+        artifact."""
+        raise NotImplementedError
+
+    def setup(self, artifact, page):
+        """Per-measurement preparation (e.g. decode the module once);
+        called before the repetition loop."""
+
+    def run_rep(self, artifact, page, entry, output, trace):
+        """Execute one repetition.
+
+        Appends printed values to ``output``, fills ``trace`` (an
+        :class:`~repro.engine.trace.ExecutionTrace`, or ``None`` when
+        tracing is off) with this repetition's phase events, and returns
+        the :class:`~repro.env.devtools.Metrics` for the run.
+        """
+        raise NotImplementedError
+
+    def finalize(self, result):
+        """Post-process the aggregated measurement (extra detail
+        fields); called once after the repetition loop."""

@@ -1,0 +1,140 @@
+"""Unified host-shim registry: one wiring of ``clibm`` and the print/timer
+hooks for all three engines.
+
+The C benchmarks reach the host through three doors — Wasm ``env``
+imports, the JS realm's ``Math``/``__print_*`` globals, and the native
+machine's ``HOSTCALL`` — and each used to wire ``clibm`` separately
+(``harness/runner.py``, ``jsengine/host.py``, ``native/machine.py``).
+This module is now the single source of truth:
+
+* :data:`LIBM` — the C-semantics libm table (function, arity, and the
+  native-execution cycle cost charged when a Wasm module calls out to the
+  embedder's ``Math.*``, §3.2);
+* :data:`JS_MATH` — the ECMAScript-flavoured variants the JS ``Math``
+  object exposes (``Math.pow`` NaN rules, ``Math.exp`` clamping);
+* :func:`wasm_host_imports` / :func:`install_js_host` /
+  :func:`native_libm` — the per-engine adapters.
+
+Cost note: Wasm libm imports charge the callee-side native cycles here
+*plus* the boundary cost charged by the VM per host call; the native
+machine runs libm "at home" so only its ``HOSTCALL`` op cost applies; JS
+``Math.*`` costs are carried on the :class:`NativeFunction` wrappers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.clibm import c_exp, c_fmod, c_log, c_pow, js_pow
+
+
+def js_exp(x):
+    """ECMAScript ``Math.exp`` as the engines implement it: the argument
+    range is clamped so the result saturates near 1e304 instead of
+    overflowing (NaN propagates through the clamp)."""
+    return math.exp(min(x, 700.0))
+
+
+#: C-semantics libm registry: name -> (function, arity, native cycles
+#: charged when a Wasm guest calls the embedder's implementation).
+LIBM = {
+    "exp": (c_exp, 1, 25.0),
+    "log": (c_log, 1, 25.0),
+    "sin": (math.sin, 1, 25.0),
+    "cos": (math.cos, 1, 25.0),
+    "pow": (c_pow, 2, 30.0),
+    "fmod": (c_fmod, 2, 30.0),
+}
+
+#: ECMAScript-flavoured variants for the JS ``Math`` object: name ->
+#: (function, arity, NativeFunction cycle cost).
+JS_MATH = {
+    "pow": (js_pow, 2, 30.0),
+    "exp": (js_exp, 1, 25.0),
+    "log": (c_log, 1, 25.0),
+    "sin": (math.sin, 1, 25.0),
+    "cos": (math.cos, 1, 25.0),
+    "atan": (math.atan, 1, 25.0),
+}
+
+#: Print hooks the Cheerp-generated code expects, one per value shape.
+PRINT_NAMES = ("__print_i32", "__print_i64", "__print_f64")
+
+
+# -- Wasm: env imports ----------------------------------------------------
+
+def wasm_host_imports(output, instance_box=None):
+    """Host imports for Cheerp-generated Wasm: prints and the libm
+    functions Cheerp routes through JS ``Math`` (§3.2)."""
+
+    def mk_print(name):
+        def shim(inst, value):
+            output.append(value)
+        return shim
+
+    imports = {("env", name): mk_print(name) for name in PRINT_NAMES}
+
+    def libm_shim(fn, arity, native_cycles):
+        if arity == 1:
+            def shim(inst, x):
+                inst.stats.cycles += native_cycles   # native Math.* body
+                return fn(x)
+        else:
+            def shim(inst, x, y):
+                inst.stats.cycles += native_cycles
+                return fn(x, y)
+        return shim
+
+    for name, (fn, arity, native_cycles) in LIBM.items():
+        imports[("env", name)] = libm_shim(fn, arity, native_cycles)
+    return imports
+
+
+# -- JS: Cheerp genericjs globals ----------------------------------------
+
+def install_js_host(engine, output):
+    """Install the host shims Cheerp-generated JS expects: ``__print_*``,
+    ``Math.imul``, and the timer report hook.  Returns the list the timer
+    hook appends to."""
+    # Engine-value wrappers are imported lazily: the engine core sits
+    # below the jsengine layer and must not depend on it at import time.
+    from repro.jsengine.values import NativeFunction, UNDEFINED, to_int32
+
+    def print_num(e, this, args):
+        output.append(args[0])
+        return UNDEFINED
+
+    def print_i64(e, this, args):
+        pair = args[0]
+        lo = int(pair.items[0]) & 0xFFFFFFFF
+        hi = int(pair.items[1]) & 0xFFFFFFFF
+        value = (hi << 32) | lo
+        if value >= 1 << 63:
+            value -= 1 << 64
+        output.append(value)
+        return UNDEFINED
+
+    engine.globals["__print_i32"] = NativeFunction(
+        "__print_i32", lambda e, t, a: print_num(e, t, [float(to_int32(a[0]))]),
+        150.0)
+    engine.globals["__print_f64"] = NativeFunction(
+        "__print_f64", print_num, 150.0)
+    engine.globals["__print_i64"] = NativeFunction(
+        "__print_i64", print_i64, 150.0)
+    engine.globals["Math"].props["imul"] = NativeFunction(
+        "imul", lambda e, t, a: float(to_int32(to_int32(a[0]) *
+                                               to_int32(a[1]))), 4.0)
+    timings = []
+    engine.globals["__report_time"] = NativeFunction(
+        "__report_time", lambda e, t, a: timings.append(a[0]) or UNDEFINED,
+        30.0)
+    return timings
+
+
+# -- native: HOSTCALL dispatch -------------------------------------------
+
+def native_libm(name):
+    """The libm body a native ``HOSTCALL`` runs (at full native speed: the
+    ``HOSTCALL`` op cost already covers the call, so no extra cycles are
+    charged here)."""
+    return LIBM[name][0]

@@ -1,0 +1,46 @@
+"""Neutral operation-class taxonomy shared by all execution engines.
+
+The classes are the attribution buckets the paper's Table 12 counts
+(ADD/MUL/DIV/REM/SHIFT/AND/OR) plus enough extra buckets that every
+executed instruction — Wasm opcode, JS bytecode op, or native x86-model
+op — lands somewhere.  This module is engine-neutral on purpose: it used
+to live in ``repro.wasm.instructions``, which forced the JS engine to
+import the wasm layer just to count its own bytecodes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes used for instruction accounting.
+
+    The first seven entries match the arithmetic classes the paper counts in
+    Table 12 (Long.js operation counts); the remainder cover the rest of the
+    instruction set so every executed instruction is attributed somewhere.
+    """
+
+    ADD = 0
+    MUL = 1
+    DIV = 2
+    REM = 3
+    SHIFT = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    CMP = 8
+    CONST = 9
+    LOCAL = 10
+    GLOBAL = 11
+    LOAD = 12
+    STORE = 13
+    CONTROL = 14
+    CALL = 15
+    CONVERT = 16
+    MEMORY = 17
+    OTHER = 18
+
+
+#: Size of a per-op-class counter vector.
+NUM_OP_CLASSES = max(OpClass) + 1

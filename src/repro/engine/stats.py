@@ -1,0 +1,56 @@
+"""Unified execution-statistics protocol for all engines.
+
+:class:`EngineStats` carries the accounting every engine shares — abstract
+cycles, retired instructions, per-op-class counters, host-boundary
+crossings, and GC pauses — and each engine subclasses it with its private
+extras (``memory_grows`` for Wasm, ``parse_cycles`` for JS, ``prints`` for
+the native machine).  The harness and the analysis layer only rely on the
+shared fields and the two shared views (:meth:`EngineStats.count`,
+:meth:`EngineStats.arithmetic_profile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.opclass import NUM_OP_CLASSES, OpClass
+
+
+def new_op_counts():
+    """A fresh per-op-class counter vector (indexed by :class:`OpClass`)."""
+    return [0] * NUM_OP_CLASSES
+
+
+@dataclass
+class EngineStats:
+    """Dynamic execution counters common to Wasm, JS, and native runs."""
+
+    #: Abstract execution cycles charged by the interpreter loop.
+    cycles: float = 0.0
+    #: Retired instructions / bytecode ops.
+    instructions: int = 0
+    #: Dynamic count per :class:`OpClass`.
+    op_counts: list = field(default_factory=new_op_counts)
+    #: Calls that crossed the host boundary (JS glue, libm, prints).
+    host_calls: int = 0
+    #: Cycles charged for host-boundary context switches (§4.5).
+    boundary_cycles: float = 0.0
+    #: GC accounting (JS engines; zero for engines without a managed heap).
+    gc_runs: int = 0
+    gc_pause_cycles: float = 0.0
+
+    def count(self, op_class):
+        """Dynamic count of one :class:`OpClass`."""
+        return self.op_counts[int(op_class)]
+
+    def arithmetic_profile(self):
+        """Table 12-style dict of arithmetic operation counts."""
+        return {
+            "ADD": self.count(OpClass.ADD),
+            "MUL": self.count(OpClass.MUL),
+            "DIV": self.count(OpClass.DIV),
+            "REM": self.count(OpClass.REM),
+            "SHIFT": self.count(OpClass.SHIFT),
+            "AND": self.count(OpClass.AND),
+            "OR": self.count(OpClass.OR),
+        }

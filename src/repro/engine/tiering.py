@@ -1,0 +1,159 @@
+"""Parameterized tiered-compilation model shared by the Wasm and JS engines.
+
+One :class:`TierPolicy` describes a two-tier pipeline — a fast baseline
+compiler (LiftOff / SpiderMonkey Baseline / Ignition) paired with a slow
+optimizing compiler (TurboFan / Ion) — as a speed/quality tradeoff:
+per-tier compile cost, per-tier code-quality factor, and the hotness
+thresholds that trigger promotion.  :class:`TierController` answers the two
+questions both engines used to answer privately:
+
+* **Module tiering** (Wasm, §4.4): given a module's static size and its
+  dynamic instruction count, which compiles ran and what blended
+  execution factor applies (:meth:`TierController.compile_plan`)?
+* **Function tiering** (JS): is this function hot by call count or loop
+  back-edges, what does its promotion compile cost, and what per-op
+  factor does each tier run at?
+
+Policies are derived from the browser profiles in :mod:`repro.env.browser`
+(``WasmEngineConfig.tier_policy()`` / ``JsEngineConfig``-driven
+:meth:`TierPolicy.from_js_config`), so one table of engine parameters
+drives both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Parameters of one basic→optimizing tier pair."""
+
+    basic_name: str = "baseline"
+    optimizing_name: str = "opt"
+    #: Which tiers are enabled (Table 7 settings).
+    basic_enabled: bool = True
+    optimizing_enabled: bool = True
+    #: Compile the optimizing tier eagerly at startup (2019 desktop
+    #: SpiderMonkey) instead of lazily on hotness (V8).
+    eager_opt_compile: bool = False
+    #: Compile cost per static instruction (Wasm) or bytecode op (JS).
+    basic_compile_cost: float = 2.0
+    opt_compile_cost: float = 20.0
+    #: Code quality: execution-cycle multiplier per tier.
+    basic_exec_factor: float = 1.18
+    opt_exec_factor: float = 1.0
+    #: Module tiering: dynamic instruction count after which tier-up
+    #: completes (Wasm-style).
+    tier_up_instructions: int = 200000
+    #: Function tiering: hotness thresholds (JS-style).
+    call_threshold: int = 8
+    backedge_threshold: int = 500
+
+    @classmethod
+    def from_js_config(cls, cfg):
+        """Policy for a JS pipeline (:class:`repro.jsengine.JsEngineConfig`):
+        tier 0 is the entry tier (Ignition / Baseline), tier 1 the
+        optimizing JIT."""
+        return cls(
+            basic_name="tier0", optimizing_name="tier1",
+            basic_enabled=True, optimizing_enabled=cfg.jit_enabled,
+            basic_compile_cost=cfg.compile_cycles_per_op,
+            opt_compile_cost=cfg.tier1_compile_cycles_per_op,
+            basic_exec_factor=cfg.tier0_factor,
+            opt_exec_factor=cfg.tier1_factor,
+            call_threshold=cfg.call_threshold,
+            backedge_threshold=cfg.backedge_threshold,
+        )
+
+
+@dataclass
+class TierPlan:
+    """Outcome of module tiering: which compiles ran, at what cost, and
+    the blended execution-cycle factor."""
+
+    #: Ordered ``(phase, tier_name, cycles)`` compile charges, where
+    #: ``phase`` is ``"compile"`` or ``"tier-up"``.
+    compiles: list
+    #: Execution-cycle multiplier (blended across tiers for a lazy
+    #: promotion that happened mid-run).
+    exec_factor: float
+    #: True when the optimizing tier was entered via the hotness threshold.
+    tiered_up: bool
+
+    @property
+    def compile_cycles(self):
+        return sum(c for _phase, _tier, c in self.compiles)
+
+
+class TierController:
+    """Applies a :class:`TierPolicy` to both tiering styles."""
+
+    def __init__(self, policy):
+        self.policy = policy
+
+    # -- module tiering (Wasm pipeline, §4.4) -----------------------------
+
+    def compile_plan(self, static_instrs, dynamic_instrs):
+        """Model the two-tier module pipeline.
+
+        Mirrors the browsers' behavior: eager mode compiles both tiers at
+        instantiate and runs everything on optimized code; lazy mode
+        starts on the basic tier and, once the dynamic instruction count
+        crosses the threshold, charges the optimizing compile and blends
+        the per-tier quality factors by the fraction of instructions each
+        tier executed.
+        """
+        p = self.policy
+        compiles = []
+        tiered_up = False
+        if p.basic_enabled and p.optimizing_enabled and p.eager_opt_compile:
+            # SpiderMonkey-style: baseline compile for fast startup plus a
+            # full optimizing compile at instantiate; execution runs on
+            # optimized code.
+            compiles.append((
+                "compile", f"{p.basic_name}+{p.optimizing_name}",
+                static_instrs * (p.basic_compile_cost + p.opt_compile_cost)))
+            factor = p.opt_exec_factor
+        elif p.basic_enabled and p.optimizing_enabled:
+            compiles.append(("compile", p.basic_name,
+                             static_instrs * p.basic_compile_cost))
+            if dynamic_instrs > p.tier_up_instructions:
+                # Hot module: optimizing compile happened concurrently;
+                # early instructions ran on the basic tier.
+                compiles.append(("tier-up", p.optimizing_name,
+                                 static_instrs * p.opt_compile_cost))
+                frac_basic = p.tier_up_instructions / max(dynamic_instrs, 1)
+                tiered_up = True
+            else:
+                frac_basic = 1.0
+            factor = (p.basic_exec_factor * frac_basic +
+                      p.opt_exec_factor * (1.0 - frac_basic))
+        elif p.basic_enabled:
+            compiles.append(("compile", p.basic_name,
+                             static_instrs * p.basic_compile_cost))
+            factor = p.basic_exec_factor
+        else:
+            compiles.append(("compile", p.optimizing_name,
+                             static_instrs * p.opt_compile_cost))
+            factor = p.opt_exec_factor
+        return TierPlan(compiles, factor, tiered_up)
+
+    # -- function tiering (JS JIT) ----------------------------------------
+
+    def call_hot(self, call_count):
+        """Has this function crossed the call-count threshold?"""
+        return call_count >= self.policy.call_threshold
+
+    def backedge_hot(self, backedge_count):
+        """Has this loop crossed the back-edge threshold (OSR)?"""
+        return backedge_count >= self.policy.backedge_threshold
+
+    def tier_up_compile_cycles(self, num_ops):
+        """Compile cost of promoting a function to the optimizing tier."""
+        return num_ops * self.policy.opt_compile_cost
+
+    def exec_factor(self, tier):
+        """Per-op cost multiplier for a function running in ``tier``."""
+        return (self.policy.opt_exec_factor if tier
+                else self.policy.basic_exec_factor)

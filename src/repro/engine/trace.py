@@ -1,0 +1,97 @@
+"""Structured execution trace: the ordered phase timeline of one run.
+
+Every engine emits the same event vocabulary — ``decode``, ``parse``,
+``compile``, ``tier-up``, ``execute``, ``gc``, ``host-call`` — as
+:class:`TraceEvent` records carrying a cycle span (``start_cycles`` +
+``cycles``) on the engine's abstract clock.  The harness attaches the
+finished trace to ``Measurement.detail["trace"]`` and
+``results/run_all.py --trace`` exports it as JSON, so the per-phase cost
+structure the paper discusses (decode vs. compile vs. tier-up vs. raw
+execution, §4.4) is inspectable per run instead of only in aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Canonical phase names, in the order a well-formed run visits them.
+PHASES = ("decode", "parse", "compile", "tier-up", "execute", "gc",
+          "host-call")
+
+
+@dataclass
+class TraceEvent:
+    """One phase span on an engine's abstract cycle clock."""
+
+    phase: str
+    #: Cycle at which the span starts (engine clock, 0 = run start).
+    start_cycles: float
+    #: Width of the span in cycles.
+    cycles: float
+    #: Free-form extras (tier names, byte counts, instruction counts...).
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def end_cycles(self):
+        return self.start_cycles + self.cycles
+
+    def to_dict(self):
+        d = {"phase": self.phase, "start_cycles": self.start_cycles,
+             "cycles": self.cycles}
+        if self.detail:
+            d["detail"] = dict(self.detail)
+        return d
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(phase=d["phase"], start_cycles=d["start_cycles"],
+                   cycles=d["cycles"], detail=dict(d.get("detail", {})))
+
+
+@dataclass
+class ExecutionTrace:
+    """The ordered event timeline of one artifact execution."""
+
+    #: Which engine produced the trace ("wasm", "js", or "native").
+    engine: str
+    events: list = field(default_factory=list)
+
+    def emit(self, phase, start_cycles, cycles, **detail):
+        """Append a span and return it."""
+        event = TraceEvent(phase, float(start_cycles), float(cycles), detail)
+        self.events.append(event)
+        return event
+
+    def finalize(self):
+        """Sort events into timeline order (stable, so simultaneous
+        events keep emission order)."""
+        self.events.sort(key=lambda e: e.start_cycles)
+        return self
+
+    def total_cycles(self):
+        """Sum of all span widths."""
+        return sum(e.cycles for e in self.events)
+
+    def phase_cycles(self):
+        """Cycles per phase name, in timeline order of first appearance."""
+        totals = {}
+        for e in self.events:
+            totals[e.phase] = totals.get(e.phase, 0.0) + e.cycles
+        return totals
+
+    def to_dict(self):
+        return {"engine": self.engine,
+                "events": [e.to_dict() for e in self.events]}
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(engine=d["engine"],
+                   events=[TraceEvent.from_dict(e) for e in d["events"]])
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.engine.tiering import TierPolicy
 from repro.jsengine.config import JsEngineConfig
 
 
@@ -48,6 +49,22 @@ class WasmEngineConfig:
     # SpiderMonkey (2019 desktop) compiled Wasm with Ion eagerly at
     # instantiation; V8 starts on LiftOff and tiers up lazily.
     eager_opt_compile: bool = False
+
+    def tier_policy(self):
+        """This config as a shared-engine-core :class:`TierPolicy` (the
+        same model the JS JIT uses for function tiering)."""
+        return TierPolicy(
+            basic_name=self.basic_name,
+            optimizing_name=self.optimizing_name,
+            basic_enabled=self.basic_enabled,
+            optimizing_enabled=self.optimizing_enabled,
+            eager_opt_compile=self.eager_opt_compile,
+            basic_compile_cost=self.basic_compile_cycles_per_instr,
+            opt_compile_cost=self.opt_compile_cycles_per_instr,
+            basic_exec_factor=self.basic_exec_factor,
+            opt_exec_factor=self.opt_exec_factor,
+            tier_up_instructions=self.tier_up_instructions,
+        )
 
 
 @dataclass

@@ -5,107 +5,137 @@ profile on a platform, reproducing the paper's measurement protocol:
 * five repetitions, averaged (§3.3.2);
 * DevTools metrics (execution time, memory) — via adb on mobile (§4).
 
-Wasm execution-time composition models the two-tier pipeline: decode +
-basic-tier compile up front, optimizing-tier compile charged when the
-dynamic instruction count crosses the tier-up threshold, and per-tier code
-quality factors applied to the executed cycles (§4.4).
+Both targets run through one ``_run_artifact`` path over an
+:class:`~repro.engine.adapter.EngineAdapter`: the runner owns the protocol
+(memoization, repetitions, output-equality checks, aggregation) and the
+adapters own everything target-specific.  Wasm execution-time composition
+models the two-tier pipeline through the shared
+:class:`~repro.engine.tiering.TierController`: decode + basic-tier compile
+up front, optimizing-tier compile charged when the dynamic instruction
+count crosses the tier-up threshold, and per-tier code quality factors
+applied to the executed cycles (§4.4).
+
+With ``trace=True`` each measurement also carries a structured
+:class:`~repro.engine.trace.ExecutionTrace` (phase timeline with cycle
+spans) in ``Measurement.detail["trace"]``; trace runs bypass result
+memoization so the timeline always reflects a live execution.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.cache import cached_result, results_enabled
-from repro.clibm import c_exp, c_fmod, c_log, c_pow
+from repro.engine.adapter import EngineAdapter
+from repro.engine.hostlib import install_js_host, wasm_host_imports
+from repro.engine.tiering import TierController
+from repro.engine.trace import ExecutionTrace
 from repro.env.adb import AdbCollector
 from repro.errors import MeasurementError
 from repro.env.devtools import DevTools
 from repro.harness.measurement import Measurement
 from repro.harness.page import HtmlPage
 from repro.jsengine import JsEngine
-from repro.jsengine.values import (
-    JSArray, NativeFunction, UNDEFINED, to_int32,
-)
 from repro.wasm import WasmVM
 
-
-def install_c_host(engine, output):
-    """Install the host shims Cheerp-generated JS expects: ``__print_*``,
-    ``Math.imul``, and the timer report hook."""
-
-    def print_num(e, this, args):
-        output.append(args[0])
-        return UNDEFINED
-
-    def print_i64(e, this, args):
-        pair = args[0]
-        lo = int(pair.items[0]) & 0xFFFFFFFF
-        hi = int(pair.items[1]) & 0xFFFFFFFF
-        value = (hi << 32) | lo
-        if value >= 1 << 63:
-            value -= 1 << 64
-        output.append(value)
-        return UNDEFINED
-
-    engine.globals["__print_i32"] = NativeFunction(
-        "__print_i32", lambda e, t, a: print_num(e, t, [float(to_int32(a[0]))]),
-        150.0)
-    engine.globals["__print_f64"] = NativeFunction(
-        "__print_f64", print_num, 150.0)
-    engine.globals["__print_i64"] = NativeFunction(
-        "__print_i64", print_i64, 150.0)
-    engine.globals["Math"].props["imul"] = NativeFunction(
-        "imul", lambda e, t, a: float(to_int32(to_int32(a[0]) *
-                                               to_int32(a[1]))), 4.0)
-    timings = []
-    engine.globals["__report_time"] = NativeFunction(
-        "__report_time", lambda e, t, a: timings.append(a[0]) or UNDEFINED,
-        30.0)
-    return timings
+#: Back-compat alias: the host wiring lives in repro.engine.hostlib now.
+install_c_host = install_js_host
 
 
-def wasm_host_imports(output, instance_box):
-    """Host imports for Cheerp-generated Wasm: prints and the libm
-    functions Cheerp routes through JS ``Math`` (§3.2)."""
+class _JsPageAdapter(EngineAdapter):
+    """Runs Cheerp-generated (or handwritten) JS through the JS engine."""
 
-    def mk_print(name):
-        def shim(inst, value):
-            output.append(value)
-        return shim
+    target = "js"
+    memo_kind = "measure-js"
 
-    imports = {("env", name): mk_print(name)
-               for name in ("__print_i32", "__print_i64", "__print_f64")}
+    def __init__(self, runner):
+        self.runner = runner
 
-    def math1(fn):
-        def shim(inst, x):
-            inst.stats.cycles += 25.0     # native Math.* body
-            return fn(x)
-        return shim
+    def page(self, artifact, entry):
+        return HtmlPage.for_js(artifact, entry)
 
-    def math2(fn):
-        def shim(inst, x, y):
-            inst.stats.cycles += 30.0
-            return fn(x, y)
-        return shim
+    def run_rep(self, artifact, page, entry, output, trace):
+        runner = self.runner
+        engine = JsEngine(runner.profile.js,
+                          cycles_per_ms=runner.platform.cycles_per_ms)
+        if trace is not None:
+            engine.trace = trace
+        # Resolved through the module global so tests can monkeypatch the
+        # shim wiring.
+        timings = install_c_host(engine, output)
+        engine.load_script(page.script)
+        metrics = runner.collector.js_metrics(engine)
+        metrics.detail["timer_ms"] = timings[0] if timings else None
+        if trace is not None:
+            self._assemble_trace(trace, engine, runner.profile)
+        return metrics
 
-    imports[("env", "exp")] = math1(c_exp)
-    imports[("env", "log")] = math1(c_log)
-    imports[("env", "sin")] = math1(math.sin)
-    imports[("env", "cos")] = math1(math.cos)
-    imports[("env", "pow")] = math2(c_pow)
-    imports[("env", "fmod")] = math2(c_fmod)
-    return imports
+    def finalize(self, result):
+        result.detail["timer_ms_per_rep"] = [
+            detail["timer_ms"] for detail in result.rep_details]
+
+    @staticmethod
+    def _assemble_trace(trace, engine, profile):
+        """Decompose the engine accounting into the phase timeline.  The
+        tier-up and GC events were emitted live; parse/compile/execute are
+        reconstructed from the stats (execute excludes GC pauses, which
+        have their own spans)."""
+        stats = engine.stats
+        tier_up_cycles = sum(e.cycles for e in trace.events
+                             if e.phase == "tier-up")
+        trace.emit("parse", 0.0, stats.parse_cycles,
+                   tokens=stats.tokens_parsed)
+        trace.emit("compile", stats.parse_cycles,
+                   stats.compile_cycles - tier_up_cycles,
+                   tier=engine.tiering.policy.basic_name)
+        trace.emit("execute", stats.parse_cycles + stats.compile_cycles,
+                   stats.cycles - stats.gc_pause_cycles,
+                   ops=stats.instructions)
+        trace.emit("page-overhead", engine.total_cycles(),
+                   profile.page_overhead_cycles)
+
+
+class _WasmPageAdapter(EngineAdapter):
+    """Runs a compiled Wasm module under the profile's tiering pipeline."""
+
+    target = "wasm"
+    memo_kind = "measure-wasm"
+
+    def __init__(self, runner):
+        self.runner = runner
+        self.module = None
+        self.static_instrs = 0
+
+    def page(self, artifact, entry):
+        return HtmlPage.for_wasm(artifact, entry)
+
+    def setup(self, artifact, page):
+        self.module = artifact.module
+        self.static_instrs = self.module.static_instruction_count
+
+    def run_rep(self, artifact, page, entry, output, trace):
+        runner = self.runner
+        vm = WasmVM(boundary_cost=runner.profile.wasm.boundary_cost)
+        # Resolved through the module global so tests can monkeypatch the
+        # shim wiring.
+        instance = vm.instantiate(self.module,
+                                  wasm_host_imports(output, None))
+        instance.invoke(entry)
+        cycles = runner._wasm_total_cycles(instance, page,
+                                           self.static_instrs,
+                                           len(artifact.binary), trace)
+        return runner.collector.wasm_metrics(cycles, instance)
 
 
 class PageRunner:
     """Runs compiled artifacts the way the paper runs benchmark pages."""
 
-    def __init__(self, profile, platform, flags=None, repetitions=5):
+    def __init__(self, profile, platform, flags=None, repetitions=5,
+                 trace=False):
         if flags is not None:
             profile = flags.apply(profile)
         self.profile = profile
         self.platform = platform
         self.repetitions = repetitions
+        self.trace = trace
         if platform.kind == "mobile":
             self.collector = AdbCollector(platform, profile)
         else:
@@ -117,68 +147,47 @@ class PageRunner:
         return (artifact.cache_key, repr(self.profile), repr(self.platform),
                 self.repetitions, entry, name)
 
-    # -- JavaScript ---------------------------------------------------------
+    # -- the unified measurement path ---------------------------------------
 
     def run_js(self, compiled_js, entry="main", name=None):
-        name = name or compiled_js.name
-        if results_enabled() and getattr(compiled_js, "cache_key", None):
-            return cached_result(
-                "measure-js", self._measurement_parts(compiled_js, entry,
-                                                      name),
-                lambda: self._measure_js(compiled_js, entry, name))
-        return self._measure_js(compiled_js, entry, name)
-
-    def _measure_js(self, compiled_js, entry, name):
-        page = HtmlPage.for_js(compiled_js, entry)
-        result = Measurement(name=name, target="js",
-                             browser=f"{self.profile.name} "
-                                     f"v{self.profile.version}",
-                             platform=self.platform.name,
-                             code_size=compiled_js.code_size)
-        for rep in range(self.repetitions):
-            output = []
-            engine = JsEngine(self.profile.js,
-                              cycles_per_ms=self.platform.cycles_per_ms)
-            timings = install_c_host(engine, output)
-            engine.load_script(page.script)
-            metrics = self.collector.js_metrics(engine)
-            metrics.detail["timer_ms"] = timings[0] if timings else None
-            self._record_repetition(result, rep, metrics, output)
-        result.detail["timer_ms_per_rep"] = [
-            detail["timer_ms"] for detail in result.rep_details]
-        return result
-
-    # -- WebAssembly ----------------------------------------------------------
+        return self._run_artifact(_JsPageAdapter(self), compiled_js, entry,
+                                  name)
 
     def run_wasm(self, compiled_wasm, entry="main", name=None):
-        name = name or compiled_wasm.name
-        if results_enabled() and getattr(compiled_wasm, "cache_key", None):
-            return cached_result(
-                "measure-wasm", self._measurement_parts(compiled_wasm,
-                                                        entry, name),
-                lambda: self._measure_wasm(compiled_wasm, entry, name))
-        return self._measure_wasm(compiled_wasm, entry, name)
+        return self._run_artifact(_WasmPageAdapter(self), compiled_wasm,
+                                  entry, name)
 
-    def _measure_wasm(self, compiled_wasm, entry, name):
-        wasm_cfg = self.profile.wasm
-        page = HtmlPage.for_wasm(compiled_wasm, entry)
-        result = Measurement(name=name, target="wasm",
+    def _run_artifact(self, adapter, artifact, entry, name):
+        name = name or artifact.name
+        if not self.trace and results_enabled() \
+                and getattr(artifact, "cache_key", None):
+            return cached_result(
+                adapter.memo_kind,
+                self._measurement_parts(artifact, entry, name),
+                lambda: self._measure(adapter, artifact, entry, name))
+        return self._measure(adapter, artifact, entry, name)
+
+    def _measure(self, adapter, artifact, entry, name):
+        page = adapter.page(artifact, entry)
+        result = Measurement(name=name, target=adapter.target,
                              browser=f"{self.profile.name} "
                                      f"v{self.profile.version}",
                              platform=self.platform.name,
-                             code_size=compiled_wasm.code_size)
-        module = compiled_wasm.module
-        static_instrs = module.static_instruction_count
+                             code_size=artifact.code_size)
+        adapter.setup(artifact, page)
+        trace = None
         for rep in range(self.repetitions):
             output = []
-            vm = WasmVM(boundary_cost=wasm_cfg.boundary_cost)
-            instance = vm.instantiate(module,
-                                      wasm_host_imports(output, None))
-            instance.invoke(entry)
-            cycles = self._wasm_total_cycles(instance, page, static_instrs,
-                                             len(compiled_wasm.binary))
-            metrics = self.collector.wasm_metrics(cycles, instance)
+            rep_trace = (ExecutionTrace(adapter.target) if self.trace
+                         else None)
+            metrics = adapter.run_rep(artifact, page, entry, output,
+                                      rep_trace)
             self._record_repetition(result, rep, metrics, output)
+            if rep_trace is not None:
+                trace = rep_trace
+        adapter.finalize(result)
+        if trace is not None:
+            result.detail["trace"] = trace.finalize().to_dict()
         return result
 
     # -- repetition aggregation (§3.3.2) --------------------------------------
@@ -203,8 +212,9 @@ class PageRunner:
         result.detail = dict(metrics.detail)
 
     def _wasm_total_cycles(self, instance, page, static_instrs,
-                           binary_size):
-        """Compose the Wasm pipeline cost (§2.2.2 / §4.4)."""
+                           binary_size, trace=None):
+        """Compose the Wasm pipeline cost (§2.2.2 / §4.4) from the shared
+        tiering model."""
         cfg = self.profile.wasm
         stats = instance.stats
         raw_exec = stats.cycles
@@ -212,34 +222,33 @@ class PageRunner:
 
         # JS glue: the loader script is real JS that must be parsed.
         glue = len(page.script) // 4 * self.profile.js.parse_cycles_per_token
+        decode = binary_size * cfg.decode_cycles_per_byte
+        plan = TierController(cfg.tier_policy()).compile_plan(static_instrs,
+                                                              instret)
+
         total = glue + cfg.instantiate_cycles
-        total += binary_size * cfg.decode_cycles_per_byte
-
-        if cfg.basic_enabled and cfg.optimizing_enabled \
-                and cfg.eager_opt_compile:
-            # SpiderMonkey-style: baseline compile for fast startup plus a
-            # full Ion compile at instantiate; execution runs on Ion code.
-            total += static_instrs * (cfg.basic_compile_cycles_per_instr
-                                      + cfg.opt_compile_cycles_per_instr)
-            factor = cfg.opt_exec_factor
-        elif cfg.basic_enabled and cfg.optimizing_enabled:
-            total += static_instrs * cfg.basic_compile_cycles_per_instr
-            if instret > cfg.tier_up_instructions:
-                # Hot module: optimizing compile happened concurrently;
-                # early instructions ran on the basic tier.
-                total += static_instrs * cfg.opt_compile_cycles_per_instr
-                frac_basic = cfg.tier_up_instructions / max(instret, 1)
-            else:
-                frac_basic = 1.0
-            factor = (cfg.basic_exec_factor * frac_basic +
-                      cfg.opt_exec_factor * (1.0 - frac_basic))
-        elif cfg.basic_enabled:
-            total += static_instrs * cfg.basic_compile_cycles_per_instr
-            factor = cfg.basic_exec_factor
-        else:
-            total += static_instrs * cfg.opt_compile_cycles_per_instr
-            factor = cfg.opt_exec_factor
-
-        total += raw_exec * factor
+        total += decode
+        for _phase, _tier, compile_cycles in plan.compiles:
+            total += compile_cycles
+        exec_cycles = raw_exec * plan.exec_factor
+        total += exec_cycles
         total += stats.boundary_cycles
+
+        if trace is not None:
+            clock = trace.emit("decode", 0.0, decode,
+                               bytes=binary_size).end_cycles
+            clock = trace.emit("parse", clock, glue,
+                               part="js-glue").end_cycles
+            clock = trace.emit("instantiate", clock,
+                               cfg.instantiate_cycles).end_cycles
+            for phase, tier, compile_cycles in plan.compiles:
+                clock = trace.emit(phase, clock, compile_cycles,
+                                   tier=tier).end_cycles
+            clock = trace.emit("execute", clock, exec_cycles,
+                               instructions=instret,
+                               factor=plan.exec_factor).end_cycles
+            clock = trace.emit("host-call", clock, stats.boundary_cycles,
+                               host_calls=stats.host_calls).end_cycles
+            trace.emit("page-overhead", clock,
+                       self.profile.page_overhead_cycles)
         return total

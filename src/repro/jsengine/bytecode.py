@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 
-from repro.wasm.instructions import OpClass
+from repro.engine.opclass import OpClass
 
 
 class JsOp(enum.IntEnum):

@@ -9,8 +9,10 @@ interpreted with JIT tier-up for hot code.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.engine.stats import EngineStats
+from repro.engine.tiering import TierController, TierPolicy
 from repro.errors import ReproError
 from repro.jsengine import host as host_module
 from repro.jsengine.compiler import compile_program
@@ -32,32 +34,30 @@ from repro.jsengine.values import (
     UNDEFINED,
     js_to_str,
 )
-from repro.wasm.instructions import OpClass
 
 
 @dataclass
-class JsExecutionStats:
-    """Accounting for one engine realm."""
+class JsExecutionStats(EngineStats):
+    """Accounting for one engine realm.
+
+    Extends the shared :class:`~repro.engine.stats.EngineStats` protocol
+    with the JS pipeline stages that precede execution (parse, bytecode
+    compile) and JIT promotion counts.  ``cycles`` covers execution + GC
+    pauses, as in the real engines' profiler attribution."""
 
     parse_cycles: float = 0.0
     compile_cycles: float = 0.0
-    cycles: float = 0.0             # execution + GC pauses
-    exec_ops: int = 0
     tokens_parsed: int = 0
     tier_ups: int = 0
-    op_counts: list = field(default_factory=lambda: [0] * (max(OpClass) + 1))
 
-    def arithmetic_profile(self):
-        """Table 12-style dict of arithmetic operation counts."""
-        return {
-            "ADD": self.op_counts[OpClass.ADD],
-            "MUL": self.op_counts[OpClass.MUL],
-            "DIV": self.op_counts[OpClass.DIV],
-            "REM": self.op_counts[OpClass.REM],
-            "SHIFT": self.op_counts[OpClass.SHIFT],
-            "AND": self.op_counts[OpClass.AND],
-            "OR": self.op_counts[OpClass.OR],
-        }
+    @property
+    def exec_ops(self):
+        """Legacy name for the shared ``instructions`` counter."""
+        return self.instructions
+
+    @exec_ops.setter
+    def exec_ops(self, value):
+        self.instructions = value
 
 
 class JsEngine:
@@ -67,6 +67,10 @@ class JsEngine:
         self.config = config or JsEngineConfig()
         self.cycles_per_ms = cycles_per_ms
         self.stats = JsExecutionStats()
+        self.tiering = TierController(TierPolicy.from_js_config(self.config))
+        #: Optional :class:`repro.engine.trace.ExecutionTrace`; when set,
+        #: tier-up and GC events are emitted as they happen.
+        self.trace = None
         self.heap = GcHeap(
             baseline_bytes=self.config.gc_baseline_bytes,
             trigger_bytes=self.config.gc_trigger_bytes,
@@ -124,8 +128,12 @@ class JsEngine:
         compile time (TurboFan/Ion are slow compilers)."""
         fn.tier = 1
         self.stats.tier_ups += 1
-        self.stats.compile_cycles += \
-            len(fn.code) * self.config.tier1_compile_cycles_per_op
+        compile_cycles = self.tiering.tier_up_compile_cycles(len(fn.code))
+        self.stats.compile_cycles += compile_cycles
+        if self.trace is not None:
+            self.trace.emit("tier-up", self.total_cycles(), compile_cycles,
+                            tier=self.tiering.policy.optimizing_name,
+                            function=fn.name)
 
     def _string_method(self, name):
         nf = self._string_method_cache.get(name)

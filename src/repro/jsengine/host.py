@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import math
 
-from repro.clibm import c_log, js_pow
+from repro.engine.hostlib import JS_MATH
 from repro.jsengine.values import (
     JSArray,
     JSObject,
@@ -40,18 +40,21 @@ def _nf(name, fn, cycles=10.0):
     return NativeFunction(name, fn, cycles)
 
 
+def _libm_nf(name, fn, arity, cycles):
+    """Wrap one shared-registry libm entry (ECMAScript semantics — e.g.
+    Math.pow(0, -1) is Infinity and Math.exp saturates, where Python's
+    math functions raise) as a ``Math`` property."""
+    if arity == 1:
+        return _nf(name, lambda e, t, a, _fn=fn: float(_fn(_num(a, 0))),
+                   cycles)
+    return _nf(name, lambda e, t, a, _fn=fn: float(_fn(_num(a, 0),
+                                                       _num(a, 1))), cycles)
+
+
 def make_math(engine):
     def _sqrt(e, this, a):
         v = _num(a, 0)
         return math.nan if v < 0 else math.sqrt(v)
-
-    def _pow(e, this, a):
-        # ECMAScript Math.pow semantics — Math.pow(0, -1) is Infinity and
-        # overflow saturates, where Python's math.pow raises.
-        return float(js_pow(_num(a, 0), _num(a, 1)))
-
-    def _log(e, this, a):
-        return c_log(_num(a, 0))
 
     def _random(e, this, a):
         # Deterministic LCG: reproducible experiments need a seeded source.
@@ -72,17 +75,14 @@ def make_math(engine):
                                               for i in range(len(a))), 5.0),
         "max": _nf("max", lambda e, t, a: max(_num(a, i)
                                               for i in range(len(a))), 5.0),
-        "pow": _nf("pow", _pow, 30.0),
-        "exp": _nf("exp", lambda e, t, a: math.exp(min(_num(a, 0), 700.0)),
-                   25.0),
-        "log": _nf("log", _log, 25.0),
-        "sin": _nf("sin", lambda e, t, a: math.sin(_num(a, 0)), 25.0),
-        "cos": _nf("cos", lambda e, t, a: math.cos(_num(a, 0)), 25.0),
-        "atan": _nf("atan", lambda e, t, a: math.atan(_num(a, 0)), 25.0),
         "random": _nf("random", _random, 12.0),
         "PI": math.pi,
         "E": math.e,
     }
+    # Transcendentals come from the shared host-shim registry: one libm
+    # wiring (with per-call native costs) for all engines.
+    for name, (fn, arity, cycles) in JS_MATH.items():
+        props[name] = _libm_nf(name, fn, arity, cycles)
     return JSObject(props)
 
 

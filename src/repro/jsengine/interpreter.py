@@ -115,11 +115,12 @@ def execute(engine, fn, args, this=None):
     heap = engine.heap
     globals_ = engine.globals
 
+    tiering = engine.tiering
     if cfg.jit_enabled and fn.tier == 0:
         fn.call_count += 1
-        if fn.call_count >= cfg.call_threshold:
+        if tiering.call_hot(fn.call_count):
             engine._tier_up(fn)
-    factor = cfg.tier1_factor if fn.tier else cfg.tier0_factor
+    factor = tiering.exec_factor(fn.tier)
     cost = JS_OP_COST_OPT if fn.tier else JS_OP_COST
 
     nparams = len(fn.params)
@@ -239,9 +240,9 @@ def execute(engine, fn, args, this=None):
                 pc = arg
                 if fn.tier == 0 and cfg.jit_enabled:
                     fn.backedge_count += 1
-                    if fn.backedge_count >= cfg.backedge_threshold:
+                    if tiering.backedge_hot(fn.backedge_count):
                         engine._tier_up(fn)      # on-stack replacement
-                        factor = cfg.tier1_factor
+                        factor = tiering.exec_factor(fn.tier)
                         cost = JS_OP_COST_OPT
             elif op == 19:    # LT
                 b = pop(); a = pop()
@@ -340,8 +341,7 @@ def execute(engine, fn, args, this=None):
                     cycles = 0.0
                     instret = 0
                     push(execute(engine, callee, call_args, this_val))
-                    factor = (cfg.tier1_factor if fn.tier
-                              else cfg.tier0_factor)
+                    factor = tiering.exec_factor(fn.tier)
                     cost = JS_OP_COST_OPT if fn.tier else JS_OP_COST
                 elif isinstance(callee, NativeFunction):
                     cycles += callee.cycles * factor
@@ -425,7 +425,15 @@ def execute(engine, fn, args, this=None):
                 raise JsRuntimeError(f"unimplemented bytecode op {op}")
 
             if heap.allocated_since_gc >= heap.trigger_bytes:
-                cycles += heap.collect()
+                pause = heap.collect()
+                stats.gc_runs += 1
+                stats.gc_pause_cycles += pause
+                if engine.trace is not None:
+                    engine.trace.emit(
+                        "gc",
+                        stats.parse_cycles + stats.compile_cycles +
+                        stats.cycles + cycles, pause)
+                cycles += pause
     finally:
         stats.cycles += cycles
         stats.exec_ops += instret

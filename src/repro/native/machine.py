@@ -21,7 +21,9 @@ import enum
 import math
 from dataclasses import dataclass, field
 
-from repro.clibm import c_exp, c_fmod, c_log, c_pow
+from repro.engine.hostlib import native_libm
+from repro.engine.opclass import OpClass
+from repro.engine.stats import EngineStats
 from repro.errors import TrapError
 
 _MASK32 = 0xFFFFFFFF
@@ -102,6 +104,46 @@ def _cost_table():
 
 N_COST = _cost_table()
 
+
+def _class_table():
+    """Attribute each native op to the shared :class:`OpClass` taxonomy so
+    Table 12-style operation profiles can be compared across engines."""
+    table = [OpClass.OTHER] * (max(NOp) + 1)
+    groups = {
+        OpClass.CONST: (NOp.MOVI,),
+        OpClass.LOCAL: (NOp.MOV,),
+        OpClass.ADD: (NOp.ADD32, NOp.SUB32, NOp.NEG32, NOp.ADD64, NOp.SUB64,
+                      NOp.NEG64, NOp.FADD, NOp.FSUB, NOp.FNEG),
+        OpClass.MUL: (NOp.MUL32, NOp.MUL64, NOp.FMUL),
+        OpClass.DIV: (NOp.DIVS32, NOp.DIVU32, NOp.DIVS64, NOp.DIVU64,
+                      NOp.FDIV),
+        OpClass.REM: (NOp.REMS32, NOp.REMU32, NOp.REMS64, NOp.REMU64),
+        OpClass.SHIFT: (NOp.SHL32, NOp.SHRS32, NOp.SHRU32, NOp.SHL64,
+                        NOp.SHRS64, NOp.SHRU64),
+        OpClass.AND: (NOp.AND32, NOp.AND64),
+        OpClass.OR: (NOp.OR32, NOp.OR64),
+        OpClass.XOR: (NOp.XOR32, NOp.XOR64),
+        OpClass.CMP: tuple(NOp(i) for i in range(NOp.EQ32, NOp.FGE + 1)) +
+                     (NOp.NOT32, NOp.NOT64),
+        OpClass.CONVERT: (NOp.I2F_S32, NOp.I2F_U32, NOp.I2F_S64, NOp.F2I32,
+                          NOp.F2I64, NOp.SX32TO64, NOp.ZX32TO64,
+                          NOp.TRUNC64TO32),
+        OpClass.LOAD: tuple(NOp(i) for i in range(NOp.LOAD8U,
+                                                  NOp.LOADF + 1)),
+        OpClass.STORE: tuple(NOp(i) for i in range(NOp.STORE8,
+                                                   NOp.STOREF + 1)),
+        OpClass.CONTROL: (NOp.JMP, NOp.JZ, NOp.JNZ, NOp.RET, NOp.RETV,
+                          NOp.SELECT),
+        OpClass.CALL: (NOp.CALL, NOp.HOSTCALL),
+    }
+    for cls, ops in groups.items():
+        for op in ops:
+            table[op] = cls
+    return table
+
+
+N_OP_CLASS = _class_table()
+
 #: Fraction of scalar cost charged per vector-marked instruction: 4 lanes
 #: per issue with ~15% packing overhead.
 VECTOR_COST_FACTOR = 0.29
@@ -142,9 +184,10 @@ class NativeProgram:
 
 
 @dataclass
-class NativeStats:
-    cycles: float = 0.0
-    instructions: int = 0
+class NativeStats(EngineStats):
+    """Shared :class:`~repro.engine.stats.EngineStats` protocol plus the
+    native machine's captured stdout."""
+
     prints: list = field(default_factory=list)
 
 
@@ -179,6 +222,8 @@ class _Machine:
         pc = 0
         stats = self.stats
         mem = self.memory
+        klass = N_OP_CLASS
+        counts = stats.op_counts
         cycles = 0.0
         instret = 0
         try:
@@ -186,6 +231,7 @@ class _Machine:
                 op, dst, a, b, vector = code[pc]
                 cycles += N_COST[op] * (VECTOR_COST_FACTOR if vector
                                         else 1.0)
+                counts[klass[op]] += 1
                 instret += 1
                 if self.budget is not None:
                     self.budget -= 1
@@ -394,13 +440,12 @@ class _Machine:
         return None
 
     def _host(self, name, args):
+        self.stats.host_calls += 1
         if name.startswith("__print"):
             self.stats.prints.append(args[0])
             return 0
-        fn = {"exp": c_exp, "log": c_log,
-              "sin": math.sin, "cos": math.cos,
-              "pow": c_pow, "fmod": c_fmod}[name]
-        return fn(*args)
+        # libm runs at home on x86: HOSTCALL's op cost already covers it.
+        return native_libm(name)(*args)
 
 
 def _compare(op, x, y):

@@ -10,34 +10,10 @@ from __future__ import annotations
 
 import enum
 
-
-class OpClass(enum.IntEnum):
-    """Operation classes used for instruction accounting.
-
-    The first seven entries match the arithmetic classes the paper counts in
-    Table 12 (Long.js operation counts); the remainder cover the rest of the
-    instruction set so every executed instruction is attributed somewhere.
-    """
-
-    ADD = 0
-    MUL = 1
-    DIV = 2
-    REM = 3
-    SHIFT = 4
-    AND = 5
-    OR = 6
-    XOR = 7
-    CMP = 8
-    CONST = 9
-    LOCAL = 10
-    GLOBAL = 11
-    LOAD = 12
-    STORE = 13
-    CONTROL = 14
-    CALL = 15
-    CONVERT = 16
-    MEMORY = 17
-    OTHER = 18
+# OpClass moved to the engine core (repro.engine.opclass) so every engine
+# can attribute instructions without importing the wasm layer; re-exported
+# here for backward compatibility.
+from repro.engine.opclass import OpClass
 
 
 class Op(enum.IntEnum):

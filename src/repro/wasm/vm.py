@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.engine.stats import EngineStats
 from repro.errors import TrapError, ValidationError
 from repro.wasm.instructions import OP_CLASS, OP_COST, Op, OpClass
 from repro.wasm.memory import LinearMemory
@@ -44,32 +45,14 @@ def _wrap64(v):
 
 
 @dataclass
-class ExecutionStats:
-    """Aggregated dynamic execution counters for one instance."""
+class ExecutionStats(EngineStats):
+    """Aggregated dynamic execution counters for one instance.
 
-    cycles: float = 0.0
-    instructions: int = 0
-    op_counts: list = field(default_factory=lambda: [0] * (max(OpClass) + 1))
-    host_calls: int = 0
-    boundary_cycles: float = 0.0
+    Extends the shared :class:`~repro.engine.stats.EngineStats` protocol
+    with the Wasm-only counters (direct calls, ``memory.grow``)."""
+
     calls: int = 0
     memory_grows: int = 0
-
-    def count(self, op_class):
-        """Dynamic count of one :class:`OpClass`."""
-        return self.op_counts[int(op_class)]
-
-    def arithmetic_profile(self):
-        """Table 12-style dict of arithmetic operation counts."""
-        return {
-            "ADD": self.count(OpClass.ADD),
-            "MUL": self.count(OpClass.MUL),
-            "DIV": self.count(OpClass.DIV),
-            "REM": self.count(OpClass.REM),
-            "SHIFT": self.count(OpClass.SHIFT),
-            "AND": self.count(OpClass.AND),
-            "OR": self.count(OpClass.OR),
-        }
 
 
 class _PreparedFunction:

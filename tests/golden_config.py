@@ -1,0 +1,63 @@
+"""Shared definition of the golden-parity experiment configurations.
+
+Used both by ``tests/goldens/capture.py`` (which records the fixtures) and
+``tests/test_golden_parity.py`` (which recomputes them live and compares).
+Keeping one definition guarantees the capture and the check run the exact
+same benchmark subsets and settings.
+
+Floats are serialized via ``repr`` so the comparison is bit-exact, not
+approximate: the engine-core refactor must not move a single cycle.
+"""
+
+from repro.experiments import (
+    ExperimentContext, table2_summary, table7_tier_comparison,
+    table8_browsers_platforms,
+)
+from repro.suites import all_benchmarks
+
+#: Benchmark subsets: small enough to run live in tier-1, wide enough to
+#: exercise both suites, both tier pairs, and every optimization level.
+TIER_SET = ("gemm", "jacobi-2d", "SHA", "DFADD", "MIPS")
+BROWSER_SET = ("gemm", "jacobi-2d", "SHA")
+OPT_SET = ("gemm", "jacobi-2d", "SHA", "atax")
+
+
+def _context(names):
+    ctx = ExperimentContext(quick=True, repetitions=1)
+    keep = set(names)
+    ctx.benchmarks = lambda: [b for b in all_benchmarks()
+                              if b.name in keep]
+    return ctx
+
+
+def _freeze(value):
+    """Recursively convert an experiment payload to a JSON-stable form:
+    floats become their ``repr`` (bit-exact), tuple keys become strings."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        return {"|".join(map(str, k)) if isinstance(k, tuple) else str(k):
+                _freeze(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_freeze(v) for v in value]
+    return value
+
+
+def golden_jit_tiers():
+    result = table7_tier_comparison(_context(TIER_SET))
+    return {"text": result["text"],
+            "data": _freeze(result["data"]),
+            "summary": _freeze(result["summary"])}
+
+
+def golden_browsers():
+    result = table8_browsers_platforms(_context(BROWSER_SET))
+    return {"text": result["text"], "data": _freeze(result["data"])}
+
+
+def golden_opt_levels():
+    result = table2_summary(_context(OPT_SET))
+    return {"text": result["text"],
+            "data": _freeze(result["data"]),
+            "fig5_text": result["fig5"]["text"],
+            "fig6_text": result["fig6"]["text"]}

@@ -1,0 +1,43 @@
+"""Regenerate the golden-parity fixtures in this directory.
+
+The goldens pin the *exact* outputs (rendered text plus the repr of every
+summary float) of the three experiments the engine-core refactor touches
+most: ``jit_tiers`` (Table 7), ``browsers`` (Table 8), and ``opt_levels``
+(Table 2 / Fig. 5).  ``tests/test_golden_parity.py`` recomputes them live
+and compares byte-for-byte, so any refactor that perturbs a single cycle
+of the shared tiering/cost model fails loudly.
+
+Run from the repo root (takes a few minutes on a cold compile cache):
+
+    PYTHONPATH=src REPRO_RESULT_CACHE=0 python tests/goldens/capture.py
+"""
+
+import json
+import os
+import sys
+
+os.environ["REPRO_RESULT_CACHE"] = "0"
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from golden_config import (  # noqa: E402
+    golden_browsers, golden_jit_tiers, golden_opt_levels,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def save(name, payload):
+    path = os.path.join(HERE, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+
+
+def main():
+    save("jit_tiers", golden_jit_tiers())
+    save("browsers", golden_browsers())
+    save("opt_levels", golden_opt_levels())
+
+
+if __name__ == "__main__":
+    main()

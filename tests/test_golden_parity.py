@@ -1,0 +1,58 @@
+"""Golden-parity gate for the engine-core refactor.
+
+The fixtures under ``tests/goldens/`` were captured from the pre-refactor
+measurement pipeline (rendered tables as text, every float as ``repr`` for
+bit-exactness).  These tests recompute the same experiment slices live and
+require byte-identical results: the shared TierController / hostlib /
+adapter path must not move a single bit of any experiment output.
+
+Regenerate (only after an *intentional* model change) with::
+
+    PYTHONPATH=src REPRO_RESULT_CACHE=0 python tests/goldens/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden_config import golden_browsers, golden_jit_tiers, \
+    golden_opt_levels
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _load(name):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+def _assert_identical(live, golden, path=""):
+    assert type(live) is type(golden), \
+        f"{path}: type {type(live).__name__} != {type(golden).__name__}"
+    if isinstance(live, dict):
+        assert sorted(live) == sorted(golden), f"{path}: key sets differ"
+        for key in live:
+            _assert_identical(live[key], golden[key], f"{path}/{key}")
+    elif isinstance(live, list):
+        assert len(live) == len(golden), f"{path}: length differs"
+        for i, (a, b) in enumerate(zip(live, golden)):
+            _assert_identical(a, b, f"{path}[{i}]")
+    else:
+        assert live == golden, f"{path}: {live!r} != {golden!r}"
+
+
+@pytest.mark.slow
+def test_jit_tiers_golden_parity():
+    _assert_identical(golden_jit_tiers(), _load("jit_tiers"))
+
+
+@pytest.mark.slow
+def test_browsers_golden_parity():
+    _assert_identical(golden_browsers(), _load("browsers"))
+
+
+@pytest.mark.slow
+def test_opt_levels_golden_parity():
+    _assert_identical(golden_opt_levels(), _load("opt_levels"))

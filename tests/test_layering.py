@@ -1,0 +1,40 @@
+"""Layering tests: the three execution engines share code only through
+the engine core (run ``python tools/check_layering.py`` standalone in CI).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+check_layering = importlib.import_module("check_layering")
+
+
+def test_no_layering_violations():
+    violations = check_layering.check()
+    assert violations == [], "\n".join(violations)
+
+
+def test_opclass_lives_in_engine_core():
+    from repro.engine.opclass import OpClass as core_opclass
+    from repro.wasm.instructions import OpClass as reexported
+    assert core_opclass is reexported
+
+
+def test_jsengine_does_not_depend_on_wasm():
+    """Importing the full JS engine must not pull in the wasm package."""
+    import subprocess
+    code = (
+        "import sys\n"
+        "import repro.jsengine, repro.jsengine.interpreter\n"
+        "import repro.native.machine\n"
+        "bad = [m for m in sys.modules if m.startswith('repro.wasm')]\n"
+        "assert not bad, bad\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run([sys.executable, "-c", code],
+                            env={"PYTHONPATH": str(src), "PATH": "/usr/bin"},
+                            capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Import-layering checker for the engine core refactor.
+
+Layer rules (bottom to top)::
+
+    cfront -> ir -> backends        (compilation pipeline)
+    engine core (repro.engine)      (shared tiering/stats/hostlib/trace)
+    wasm | jsengine | native        (the three execution engines)
+    env / harness / experiments     (measurement apparatus)
+
+Enforced here:
+
+* ``repro.wasm``, ``repro.jsengine``, and ``repro.native`` must not
+  import from each other — anywhere, even inside functions.  Shared
+  mechanisms belong in ``repro.engine``.
+* ``repro.engine`` must not import any of the three engine packages at
+  module level (lazy function-level imports are allowed so the hostlib
+  can build engine-value wrappers without an import cycle).
+
+Exits non-zero and prints one line per violation; silent when clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The sibling engine packages that must stay independent.
+ENGINE_LAYERS = ("wasm", "jsengine", "native")
+
+
+def _imported_packages(node):
+    """Top-level ``repro.<pkg>`` names imported by one import node."""
+    if isinstance(node, ast.Import):
+        names = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        names = [node.module]
+    else:
+        return []
+    return [name.split(".")[1] for name in names
+            if name == "repro" or name.startswith("repro.")
+            if len(name.split(".")) > 1]
+
+
+def check(src=SRC):
+    violations = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(src)
+        layer = rel.parts[0] if len(rel.parts) > 1 else None
+        tree = ast.parse(path.read_text(), filename=str(path))
+        module_level_nodes = set()
+        for stmt in tree.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Import, ast.ImportFrom)) and not \
+                        isinstance(stmt, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef)):
+                    module_level_nodes.add(id(node))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for pkg in _imported_packages(node):
+                if layer in ENGINE_LAYERS and pkg in ENGINE_LAYERS \
+                        and pkg != layer:
+                    violations.append(
+                        f"src/repro/{rel}:{node.lineno}: {layer} layer "
+                        f"imports repro.{pkg} (engine layers must only "
+                        f"share code through repro.engine)")
+                elif layer == "engine" and pkg in ENGINE_LAYERS \
+                        and id(node) in module_level_nodes:
+                    violations.append(
+                        f"src/repro/{rel}:{node.lineno}: engine core "
+                        f"imports repro.{pkg} at module level (use a "
+                        f"lazy function-level import)")
+    return violations
+
+
+def main():
+    violations = check()
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} layering violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
