@@ -112,10 +112,27 @@ summary["table10"] = {
 t12 = table12_longjs_ops(t10["longjs"]); save("table12_longjs_ops", t12)
 t11 = table11_chrome_flags(); save("table11_chrome_flags", t11)
 
+if ctx.failures:
+    # Degraded sweep: record which cells failed (and why) alongside the
+    # partial results instead of pretending the run was clean.
+    summary["failures"] = [
+        {"experiment": f.context.get("experiment", "?"),
+         "benchmark": f.label, "error": f.error, "message": f.message,
+         "kind": f.kind, "attempts": f.attempts}
+        for f in ctx.failures]
+    report = ctx.failure_report()
+    with open(f"{out_dir}/failures.txt", "w") as f:
+        f.write(report + "\n")
+    print(report, flush=True)
+
 with open(f"{out_dir}/summary.json", "w") as f:
     json.dump(summary, f, indent=2, default=str)
 # Stats go to stdout, not summary.json: counters depend on cache warmth
 # and on REPRO_JOBS (workers keep their own), while the written outputs
 # must be byte-identical across schedules.
+get_cache().sweep_tmp()          # orphaned temp files from killed workers
 print(f"compile cache: {get_cache().stats}", flush=True)
 print(f"ALL DONE in {time.time()-t0:.0f}s", flush=True)
+if ctx.failures:
+    print(f"sweep: {len(ctx.failures)} failed cell(s) — "
+          f"see {out_dir}/failures.txt", flush=True)

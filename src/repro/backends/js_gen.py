@@ -240,6 +240,11 @@ class _JsGen:
             if _is_unsigned(dst):
                 return f"({inner} >>> 0)"
             return f"({inner} | 0)"
+        if _is_unsigned(src) and not _is_unsigned(dst):
+            # A u32 value may be carried in raw unsigned form (e.g. a
+            # rematerialized constant >= 2^31); entering signed context
+            # must coerce it back to the |0 representation.
+            return f"({inner} | 0)"
         # int ↔ int of same width: representation is shared.
         return inner
 

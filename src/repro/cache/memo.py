@@ -49,13 +49,20 @@ def cached_result(kind, parts, compute):
     ``parts`` must pin down *everything* the result depends on (artifact
     key, profile repr, repetitions, ...).  With ``REPRO_RESULT_CACHE``
     unset this is a transparent pass-through.
+
+    Failure safety: a ``compute`` that raises memoizes *nothing* — the
+    exception propagates and the next attempt (e.g. a scheduler retry of
+    the failed cell) recomputes from scratch.  An entry that does not
+    look like a memoized result (corruption, or a key collision with a
+    foreign artifact) is treated as stale and recomputed over.
     """
     if not results_enabled():
         return compute()
     cache = get_cache()
     key = result_key(kind, parts)
     entry = cache.get(key)
-    if entry is None:
+    if not (isinstance(entry, tuple) and len(entry) == 2
+            and entry[0] == "result"):
         entry = ("result", compute())
         cache.put(key, entry)
     return entry[1]

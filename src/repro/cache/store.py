@@ -152,6 +152,33 @@ class ArtifactCache:
 
     # -- maintenance ----------------------------------------------------------
 
+    def sweep_tmp(self, max_age_s=3600.0):
+        """Remove orphaned ``*.tmp`` spill files.
+
+        A worker killed mid-``put`` (the scheduler's cell-timeout path)
+        can leak the temp file it was writing; the entry itself is never
+        corrupted (``os.replace`` is atomic) but the orphan wastes disk.
+        Only files older than ``max_age_s`` are removed so a concurrent
+        writer's in-flight temp file is left alone.  Returns the number
+        of files removed."""
+        if not os.path.isdir(self.root):
+            return 0
+        import time
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.remove(path)
+                        removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def clear(self):
         """Drop both layers; the versioned directory is removed wholesale
         (it only ever holds cache entries, so this is always safe)."""

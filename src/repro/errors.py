@@ -50,3 +50,21 @@ class CacheError(ReproError):
     """Raised for unrecoverable artifact-cache misconfiguration (an
     unusable cache *entry* is never an error — it is treated as stale and
     recompiled)."""
+
+
+class SweepError(ReproError):
+    """Raised when a benchmark × configuration sweep finishes with failed
+    cells and the caller asked for strict semantics.
+
+    Carries the partial results so no completed work is discarded:
+    ``sweep`` is the full :class:`~repro.harness.parallel.SweepResult`
+    (successful values merged in input order plus one structured
+    :class:`~repro.harness.parallel.CellFailure` per failed cell), and
+    ``failures`` is a shortcut to its failure list.  The message is the
+    sweep's human-readable failure report.
+    """
+
+    def __init__(self, sweep):
+        self.sweep = sweep
+        self.failures = list(sweep.failures)
+        super().__init__(sweep.report())

@@ -14,8 +14,11 @@ from functools import partial
 
 from repro.compilers import CheerpCompiler, EmscriptenCompiler, LlvmX86Compiler
 from repro.env import DESKTOP, MOBILE, chrome_desktop
+from repro.errors import SweepError
 from repro.harness import PageRunner
-from repro.harness.parallel import default_jobs, parallel_map
+from repro.harness.parallel import (
+    default_cell_timeout, default_jobs, default_retries, run_sweep,
+)
 from repro.suites import all_benchmarks
 
 #: Environment variable: set to run experiments on a representative subset
@@ -53,11 +56,16 @@ class ExperimentContext:
     raises Cheerp's limits with ``-cheerp-linear-heap-size`` where needed,
     §3.2); repetitions default to the paper's five.  ``jobs`` selects the
     parallel scheduler's worker count (default: ``REPRO_JOBS`` or the CPU
-    count; 1 = serial).
+    count; 1 = serial).  ``retries``/``cell_timeout``/``fault_plan``
+    configure the scheduler's fault tolerance (defaults from
+    ``REPRO_RETRIES``, ``REPRO_CELL_TIMEOUT``, ``REPRO_FAULT_INJECT``);
+    failed cells accumulate as :class:`~repro.harness.CellFailure`
+    records in ``self.failures`` instead of aborting the sweep.
     """
 
     def __init__(self, repetitions=None, quick=None,
-                 heap_bytes=2 * 1024 * 1024, jobs=None):
+                 heap_bytes=2 * 1024 * 1024, jobs=None, retries=None,
+                 cell_timeout=None, fault_plan=None):
         if quick is None:
             quick = bool(os.environ.get(QUICK_ENV))
         self.quick = quick
@@ -65,6 +73,11 @@ class ExperimentContext:
             (2 if quick else 5)
         self.heap_bytes = heap_bytes
         self.jobs = jobs if jobs is not None else default_jobs()
+        self.retries = retries if retries is not None else default_retries()
+        self.cell_timeout = cell_timeout if cell_timeout is not None else \
+            default_cell_timeout()
+        self.fault_plan = fault_plan   # None -> REPRO_FAULT_INJECT
+        self.failures = []
         self.cheerp = CheerpCompiler(linear_heap_size=heap_bytes)
         self.emscripten = EmscriptenCompiler()
         self.llvm_x86 = LlvmX86Compiler()
@@ -101,6 +114,14 @@ class ExperimentContext:
         ``[(benchmark, result), ...]`` in benchmark order — identical to
         what a serial loop would produce.
 
+        Fault-tolerant: a cell that exhausts its retries is dropped from
+        the returned pairs (the sweep degrades to the surviving subset,
+        still in input order) and its :class:`~repro.harness.CellFailure`
+        is appended to ``self.failures`` tagged with the experiment worker
+        name.  Only a *total* failure — every cell failed — raises
+        :class:`~repro.errors.SweepError` (which still carries the empty
+        partial results and the failure report).
+
         ``worker`` must be a module-level function and ``params`` values
         picklable.  The worker receives an equivalent context (same quick /
         repetitions / heap configuration) reconstructed in its process; the
@@ -111,8 +132,32 @@ class ExperimentContext:
         spec = (self.quick, self.repetitions, self.heap_bytes)
         fn = partial(_run_benchmark_task, worker, spec,
                      tuple(sorted(params.items())))
-        results = parallel_map(fn, benchmarks, jobs=self.jobs)
-        return list(zip(benchmarks, results))
+        sweep = run_sweep(fn, benchmarks, jobs=self.jobs,
+                          retries=self.retries, timeout=self.cell_timeout,
+                          labels=[b.name for b in benchmarks],
+                          fault_plan=self.fault_plan)
+        if sweep.failures:
+            experiment = getattr(worker, "__name__", str(worker))
+            for failure in sweep.failures:
+                failure.context.setdefault("experiment", experiment)
+                failure.context.setdefault("params", dict(params))
+            self.failures.extend(sweep.failures)
+            if len(sweep.failures) == len(benchmarks):
+                raise SweepError(sweep)
+        failed = sweep.failed_indices()
+        return [(benchmark, value)
+                for index, (benchmark, value)
+                in enumerate(zip(benchmarks, sweep.values))
+                if index not in failed]
+
+    def failure_report(self):
+        """Text report of every failed cell accumulated by this context's
+        sweeps; empty string when everything succeeded."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} failed sweep cell(s):"]
+        lines.extend("  " + failure.describe() for failure in self.failures)
+        return "\n".join(lines)
 
     # -- runners ---------------------------------------------------------------
 

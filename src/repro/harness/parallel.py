@@ -1,33 +1,88 @@
-"""Process-parallel experiment scheduler.
+"""Fault-tolerant process-parallel experiment scheduler.
 
 The benchmark × configuration grid is embarrassingly parallel: every
 (benchmark, toolchain, opt level, input size, browser profile) cell
 compiles and measures independently, and the engines are deterministic, so
 fanning the grid out across worker processes must — and does — produce
-results identical to serial execution.  :func:`parallel_map` is the
-primitive: an order-preserving map that dispatches to a
-``multiprocessing`` pool when more than one job is requested and degrades
-to a plain serial loop otherwise (``REPRO_JOBS=1``).
+results identical to serial execution.
 
-Determinism contract:
+A production sweep serving the full 41-benchmark grid cannot afford the
+old ``Pool.map`` failure mode, where one crashed or hung worker aborted
+the whole map and discarded every completed cell.  :func:`run_sweep` is
+the primitive now: an order-preserving map that
 
-* results come back in input order (``Pool.map`` preserves ordering
-  regardless of completion order), so merged dicts iterate exactly as the
-  serial loop would insert them;
+* captures per-cell exceptions into structured :class:`CellFailure`
+  records (label, error, traceback, attempt count) instead of
+  propagating them;
+* retries failed attempts up to ``REPRO_RETRIES`` times with a bounded,
+  deterministic exponential backoff — the backoff sleeps happen in the
+  scheduler between dispatches, never inside a measured cell, so results
+  are unaffected by wall-clock timing;
+* enforces a per-cell timeout (``REPRO_CELL_TIMEOUT``) on the parallel
+  path by killing the hung worker process and spawning a replacement
+  (serial in-process execution cannot kill itself; timeouts need
+  ``jobs >= 2``);
+* degrades gracefully: the returned :class:`SweepResult` merges all
+  successful results in input order and carries the failure report.
+
+:func:`parallel_map` keeps the strict list-of-results contract on top:
+it raises :class:`~repro.errors.SweepError` — which still carries the
+partial results — if any cell ultimately fails.
+
+Determinism contract (unchanged from the ``Pool.map`` era):
+
+* results come back in input order regardless of completion order, so
+  merged dicts iterate exactly as the serial loop would insert them;
 * workers share the persistent compile cache on disk — writes are atomic
   and idempotent, so racing workers at worst duplicate a compile;
-* worker callables must be module-level (picklable); per-item chunking
-  keeps the longest-running benchmark from serialising a whole chunk.
+* worker callables must be module-level (picklable); cells are dispatched
+  one at a time so the longest-running benchmark never serialises a
+  whole chunk.
+
+Fault injection: a :class:`FaultPlan` (or the ``REPRO_FAULT_INJECT``
+environment variable) deterministically crashes, hangs, or flakes
+specific cells by label so tests and operational drills can assert the
+scheduler's recovery behavior without patching benchmark code.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mpc
+
+from repro.errors import SweepError
 
 #: Environment variable selecting the worker count.  Unset: one worker per
 #: CPU.  ``REPRO_JOBS=1``: serial execution in the calling process.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable selecting how many times a failed cell is retried
+#: before it is reported as a :class:`CellFailure`.  Default: 1.
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Environment variable bounding one cell attempt, in seconds (float).
+#: Unset or ``0``: no timeout.  Enforced on the parallel path only.
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+
+#: Environment variable carrying a :class:`FaultPlan` spec, e.g.
+#: ``gemm=crash;SHA=flake:2;lu=hang:1``.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: Deterministic backoff schedule: ``base`` seconds doubled per failed
+#: attempt, capped at ``cap``.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 1.0
+
+#: An injected hang sleeps this long per nap so a killed worker dies
+#: promptly; after ``_HANG_TOTAL_S`` the hang gives up and crashes instead
+#: (a guard against hanging forever when no cell timeout is armed).
+_HANG_NAP_S = 0.05
+_HANG_TOTAL_S = 3600.0
 
 
 def default_jobs():
@@ -41,6 +96,241 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
+def default_retries():
+    """Retry budget per cell from ``REPRO_RETRIES``, else 1."""
+    env = os.environ.get(RETRIES_ENV, "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def default_cell_timeout():
+    """Per-cell timeout in seconds from ``REPRO_CELL_TIMEOUT``, else
+    ``None`` (no timeout)."""
+    env = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+    if env:
+        try:
+            seconds = float(env)
+            return seconds if seconds > 0 else None
+        except ValueError:
+            pass
+    return None
+
+
+def backoff_delay(attempt, base=BACKOFF_BASE_S, cap=BACKOFF_CAP_S):
+    """Seconds to wait before re-dispatching after failed ``attempt``
+    (1-based).  Purely a function of the attempt number, so retry timing
+    is reproducible."""
+    return min(cap, base * (2 ** (attempt - 1)))
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised inside a worker by :class:`FaultPlan` (tests
+    and operational fault drills)."""
+
+
+class FaultPlan:
+    """Deterministic per-cell fault injection.
+
+    A plan maps cell *labels* (benchmark names in experiment sweeps,
+    stringified indices by default) to directives:
+
+    ``crash[:N]``
+        raise :class:`InjectedFault` on every attempt (or the first ``N``).
+    ``flake[:N]``
+        crash the first ``N`` attempts (default 1), then succeed — the
+        transient failure the retry path exists for.
+    ``hang[:N]``
+        sleep until the cell timeout kills the worker (attempts beyond
+        ``N`` run normally; no ``N`` means every attempt hangs).
+
+    The same syntax, joined with ``;`` or ``,``, is accepted from the
+    ``REPRO_FAULT_INJECT`` environment variable:
+    ``gemm=crash;SHA=flake:2;lu=hang:1``.
+    """
+
+    KINDS = ("crash", "flake", "hang")
+
+    def __init__(self, spec=None):
+        self.directives = {}
+        if spec is None:
+            return
+        if isinstance(spec, str):
+            pairs = [chunk for piece in spec.replace(",", ";").split(";")
+                     if (chunk := piece.strip())]
+            spec_items = []
+            for chunk in pairs:
+                if "=" not in chunk:
+                    raise ValueError(
+                        f"bad fault directive {chunk!r}: expected "
+                        "label=kind[:count]")
+                label, directive = chunk.split("=", 1)
+                spec_items.append((label.strip(), directive.strip()))
+        else:
+            spec_items = list(spec.items())
+        for label, directive in spec_items:
+            self.directives[str(label)] = self._parse(directive)
+
+    @staticmethod
+    def _parse(directive):
+        kind, _, count = str(directive).partition(":")
+        kind = kind.strip().lower()
+        if kind not in FaultPlan.KINDS:
+            raise ValueError(f"bad fault kind {kind!r}: expected one of "
+                             f"{FaultPlan.KINDS}")
+        if count:
+            attempts = int(count)
+            if attempts < 1:
+                raise ValueError(f"bad fault count in {directive!r}")
+        else:
+            attempts = 1 if kind == "flake" else None
+        return (kind, attempts)
+
+    @classmethod
+    def from_env(cls):
+        """The plan armed via ``REPRO_FAULT_INJECT``, or ``None``."""
+        spec = os.environ.get(FAULT_INJECT_ENV, "").strip()
+        return cls(spec) if spec else None
+
+    def spec(self):
+        """Canonical string form (used to ship the plan to workers)."""
+        return ";".join(
+            f"{label}={kind}" + (f":{count}" if count is not None else "")
+            for label, (kind, count) in sorted(self.directives.items()))
+
+    def __bool__(self):
+        return bool(self.directives)
+
+    def apply(self, label, attempt):
+        """Inject the configured fault for ``label`` at ``attempt``
+        (1-based), if any.  Called in the worker before the cell runs."""
+        directive = self.directives.get(label)
+        if directive is None:
+            return
+        kind, count = directive
+        if count is not None and attempt > count:
+            return
+        if kind == "hang":
+            naps = int(_HANG_TOTAL_S / _HANG_NAP_S)
+            for _ in range(naps):
+                time.sleep(_HANG_NAP_S)
+        raise InjectedFault(
+            f"injected {kind} for cell {label!r} (attempt {attempt})")
+
+
+# ---------------------------------------------------------------------------
+# Failure records and sweep results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellFailure:
+    """One cell that exhausted its attempts.
+
+    ``kind`` is ``"crash"`` (the cell raised), ``"timeout"`` (the worker
+    was killed after ``REPRO_CELL_TIMEOUT``), or ``"lost"`` (the worker
+    process died without reporting — e.g. a segfault or ``os._exit``).
+    ``context`` is filled in by higher layers (experiment name, params).
+    """
+
+    index: int
+    label: str
+    error: str
+    message: str
+    traceback: str
+    attempts: int
+    kind: str = "crash"
+    context: dict = field(default_factory=dict)
+
+    def describe(self):
+        where = self.context.get("experiment")
+        cell = f"{where}/{self.label}" if where else self.label
+        return (f"{cell}: {self.error}: {self.message} "
+                f"[{self.kind}, {self.attempts} attempt(s)]")
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: ``values`` is aligned with the input items
+    (``None`` where the cell failed) and ``failures`` holds one
+    :class:`CellFailure` per failed cell, in input order."""
+
+    values: list
+    failures: list
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def failed_indices(self):
+        return {failure.index for failure in self.failures}
+
+    def merged(self):
+        """Successful results only, in input order — what a serial loop
+        over the surviving cells would have produced."""
+        failed = self.failed_indices()
+        return [value for index, value in enumerate(self.values)
+                if index not in failed]
+
+    def report(self):
+        """Human-readable failure report (one line per failed cell)."""
+        if not self.failures:
+            return f"sweep ok: {len(self.values)} cell(s) completed"
+        lines = [f"sweep degraded: {len(self.failures)} of "
+                 f"{len(self.values)} cell(s) failed"]
+        lines.extend("  " + failure.describe() for failure in self.failures)
+        return "\n".join(lines)
+
+    def raise_if_failed(self):
+        if self.failures:
+            raise SweepError(self)
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, fn, plan_spec):
+    """Worker loop: receive ``(index, attempt, label, item)`` tasks, run
+    them, report ``("ok", index, value)`` or ``("err", index, ...)``.
+    The worker never dies on a cell exception — only on EOF/sentinel or
+    when the scheduler kills it."""
+    plan = FaultPlan(plan_spec) if plan_spec else None
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, attempt, label, item = task
+        try:
+            if plan is not None:
+                plan.apply(label, attempt)
+            message = ("ok", index, fn(item))
+        except BaseException as exc:
+            message = ("err", index, type(exc).__name__, str(exc),
+                       traceback.format_exc())
+        try:
+            conn.send(message)
+        except Exception as exc:
+            # The value itself failed to pickle: report that as the
+            # cell's error rather than silently dying.
+            conn.send(("err", index, type(exc).__name__,
+                       f"result not sendable: {exc}",
+                       traceback.format_exc()))
+
+
 def _pool_context():
     # fork is the cheap path (workers inherit the imported package and the
     # warm in-memory caches); fall back to spawn where fork is unavailable.
@@ -49,18 +339,232 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
+class _Worker:
+    """One scheduler-owned worker process plus its task pipe."""
+
+    def __init__(self, ctx, fn, plan_spec):
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(target=_worker_main,
+                                   args=(child, fn, plan_spec), daemon=True)
+        self.process.start()
+        child.close()
+        self.task = None      # (index, attempt) while busy
+        self.deadline = None  # monotonic kill time while busy
+
+    def dispatch(self, index, attempt, label, item, timeout):
+        self.task = (index, attempt)
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.conn.send((index, attempt, label, item))
+
+    def kill(self):
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5)
+
+    def shutdown(self):
+        """Polite stop for an idle worker."""
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.kill()
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+
+class _Scheduler:
+    def __init__(self, fn, items, labels, jobs, retries, timeout,
+                 fault_plan, sleep):
+        self.fn = fn
+        self.items = items
+        self.labels = labels
+        self.jobs = jobs
+        self.retries = retries
+        self.timeout = timeout
+        self.plan_spec = fault_plan.spec() if fault_plan else None
+        self.sleep = sleep
+        self.values = [None] * len(items)
+        self.failures = {}
+        self.queue = deque((index, 1) for index in range(len(items)))
+        self.backoff = {}  # index -> seconds to wait before re-dispatch
+        self.done = 0
+
+    def run(self):
+        ctx = _pool_context()
+        workers = [self._spawn(ctx) for _ in range(self.jobs)]
+        try:
+            while self.done < len(self.items):
+                self._dispatch(workers)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    break  # defensive: nothing queued, nothing running
+                ready = _mpc.wait([w.conn for w in busy],
+                                  timeout=self._wait_timeout(busy))
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._collect(worker, workers, ctx)
+                self._reap_timeouts(workers, ctx)
+        finally:
+            for worker in workers:
+                worker.shutdown()
+        failures = [self.failures[i] for i in sorted(self.failures)]
+        return SweepResult(self.values, failures)
+
+    def _spawn(self, ctx):
+        return _Worker(ctx, self.fn, self.plan_spec)
+
+    def _dispatch(self, workers):
+        for worker in workers:
+            if worker.task is None and self.queue:
+                index, attempt = self.queue.popleft()
+                delay = self.backoff.pop(index, 0.0)
+                if delay:
+                    self.sleep(delay)
+                worker.dispatch(index, attempt, self.labels[index],
+                                self.items[index], self.timeout)
+
+    def _wait_timeout(self, busy):
+        if not self.timeout:
+            return None
+        deadlines = [w.deadline for w in busy if w.deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    def _collect(self, worker, workers, ctx):
+        """Consume one message (or the EOF of a dead worker)."""
+        index, attempt = worker.task
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died without reporting (hard crash).  Replace it
+            # and account the in-flight attempt as lost.
+            self._replace(worker, workers, ctx)
+            self._attempt_failed(
+                index, attempt, "WorkerDied",
+                "worker process died while running this cell", "",
+                kind="lost")
+            return
+        worker.task = None
+        worker.deadline = None
+        if message[0] == "ok":
+            self.values[index] = message[2]
+            self.done += 1
+        else:
+            _tag, _index, error, text, trace = message
+            self._attempt_failed(index, attempt, error, text, trace)
+
+    def _reap_timeouts(self, workers, ctx):
+        if not self.timeout:
+            return
+        now = time.monotonic()
+        for worker in workers:
+            if worker.task is None or now < worker.deadline:
+                continue
+            index, attempt = worker.task
+            self._replace(worker, workers, ctx)
+            self._attempt_failed(
+                index, attempt, "Timeout",
+                f"cell exceeded {self.timeout:g}s; worker killed and "
+                "replaced", "", kind="timeout")
+
+    def _replace(self, worker, workers, ctx):
+        worker.kill()
+        workers[workers.index(worker)] = self._spawn(ctx)
+
+    def _attempt_failed(self, index, attempt, error, text, trace,
+                        kind="crash"):
+        if attempt <= self.retries:
+            self.backoff[index] = backoff_delay(attempt)
+            self.queue.append((index, attempt + 1))
+            return
+        self.failures[index] = CellFailure(
+            index=index, label=self.labels[index], error=error,
+            message=text, traceback=trace, attempts=attempt, kind=kind)
+        self.done += 1
+
+
+def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
+    """In-process reference path (``jobs=1``).  Same retry/injection
+    semantics; per-cell timeouts are not enforced (the scheduler cannot
+    kill its own process)."""
+    values = [None] * len(items)
+    failures = []
+    for index, item in enumerate(items):
+        for attempt in range(1, retries + 2):
+            try:
+                if fault_plan is not None:
+                    fault_plan.apply(labels[index], attempt)
+                values[index] = fn(item)
+                break
+            except Exception as exc:
+                if attempt <= retries:
+                    sleep(backoff_delay(attempt))
+                    continue
+                failures.append(CellFailure(
+                    index=index, label=labels[index],
+                    error=type(exc).__name__, message=str(exc),
+                    traceback=traceback.format_exc(), attempts=attempt))
+    return SweepResult(values, failures)
+
+
+def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
+              fault_plan=None, sleep=None):
+    """Fault-tolerant order-preserving map over ``items``.
+
+    Returns a :class:`SweepResult`; never raises for cell failures.
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` over one) when the parallel path is taken.
+    ``labels`` names the cells for failure reports and fault injection
+    (default: the item's index as a string).  ``sleep`` is injectable for
+    tests; backoff sleeps only ever run in the scheduler process.
+    """
+    items = list(items)
+    if labels is None:
+        labels = [str(index) for index in range(len(items))]
+    else:
+        labels = [str(label) for label in labels]
+        if len(labels) != len(items):
+            raise ValueError("labels must align with items")
+    if jobs is None:
+        jobs = default_jobs()
+    if retries is None:
+        retries = default_retries()
+    if timeout is None:
+        timeout = default_cell_timeout()
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    if sleep is None:
+        sleep = time.sleep
+    if not items:
+        return SweepResult([], [])
+    requested = jobs
+    jobs = min(jobs, len(items))
+    # Serial (in-process) execution is the reference path, but it cannot
+    # enforce timeouts; when the caller asked for workers *and* a timeout
+    # is armed, keep even a one-cell sweep on the worker path.
+    if jobs <= 1 and not (timeout and requested > 1):
+        return _serial_sweep(fn, items, labels, retries, fault_plan, sleep)
+    return _Scheduler(fn, items, labels, max(jobs, 1), retries, timeout,
+                      fault_plan, sleep).run()
+
+
 def parallel_map(fn, items, jobs=None):
     """Order-preserving ``[fn(item) for item in items]``, fanned out over
     ``jobs`` worker processes when ``jobs > 1``.
 
-    ``fn`` must be picklable (a module-level function or a
-    ``functools.partial`` over one) when the parallel path is taken.
+    Strict wrapper over :func:`run_sweep`: if any cell ultimately fails
+    (after retries), raises :class:`~repro.errors.SweepError` carrying
+    the partial results instead of the bare worker exception.
     """
-    items = list(items)
-    if jobs is None:
-        jobs = default_jobs()
-    jobs = min(jobs, len(items))
-    if jobs <= 1:
-        return [fn(item) for item in items]
-    with _pool_context().Pool(processes=jobs) as pool:
-        return pool.map(fn, items, chunksize=1)
+    return run_sweep(fn, items, jobs=jobs).raise_if_failed().values

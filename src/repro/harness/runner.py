@@ -29,7 +29,7 @@ from repro.engine.hostlib import install_js_host, wasm_host_imports
 from repro.engine.tiering import TierController
 from repro.engine.trace import ExecutionTrace
 from repro.env.adb import AdbCollector
-from repro.errors import MeasurementError
+from repro.errors import MeasurementError, ReproError
 from repro.env.devtools import DevTools
 from repro.harness.measurement import Measurement
 from repro.harness.page import HtmlPage
@@ -168,6 +168,18 @@ class PageRunner:
         return self._measure(adapter, artifact, entry, name)
 
     def _measure(self, adapter, artifact, entry, name):
+        try:
+            return self._measure_inner(adapter, artifact, entry, name)
+        except ReproError as exc:
+            # Name the cell so a CellFailure captured by the sweep
+            # scheduler pinpoints the benchmark/config without the caller
+            # having to thread that context through.
+            exc.add_note(
+                f"cell: {name}/{adapter.target} under {self.profile.name} "
+                f"v{self.profile.version} on {self.platform.name}")
+            raise
+
+    def _measure_inner(self, adapter, artifact, entry, name):
         page = adapter.page(artifact, entry)
         result = Measurement(name=name, target=adapter.target,
                              browser=f"{self.profile.name} "

@@ -392,12 +392,18 @@ class _Machine:
                     regs[dst] = float(regs[a] & _MASK32)
                 elif op == NOp.F2I32:
                     v = regs[a]
-                    if v != v or abs(v) >= 2147483648.0:
+                    # Same boundary semantics as the Wasm VM's
+                    # i32.trunc_f64_s: valid iff trunc(v) fits i32, so
+                    # doubles down to (but excluding) -2^31 - 1 convert.
+                    if v != v or v >= 2147483648.0 or v <= -2147483649.0:
                         raise TrapError("invalid f64→i32 conversion")
                     regs[dst] = int(v)
                 elif op == NOp.F2I64:
                     v = regs[a]
-                    if v != v or abs(v) >= 9.223372036854776e18:
+                    # -2^63 is representable and valid; only the upper
+                    # bound is exclusive (mirrors i64.trunc_f64_s).
+                    if v != v or v >= 9223372036854775808.0 \
+                            or v < -9223372036854775808.0:
                         raise TrapError("invalid f64→i64 conversion")
                     regs[dst] = int(v)
                 elif op == NOp.SX32TO64:

@@ -383,7 +383,8 @@ class WasmInstance:
                     b = pop() & 31; push(pop() >> b)
                 elif op == 46:    # i32.shr_u
                     b = pop() & 31
-                    push((pop() & _MASK32) >> b)
+                    v = (pop() & _MASK32) >> b
+                    push(v - 0x100000000 if v & _SIGN32 else v)
                 elif op == 47:    # i32.rotl
                     b = pop() & 31; u = pop() & _MASK32
                     v = ((u << b) | (u >> (32 - b))) & _MASK32 if b else u
@@ -499,12 +500,18 @@ class WasmInstance:
                     push(float(pop()))
                 elif op == 107:   # i32.trunc_f64_s
                     v = pop()
-                    if v != v or v >= 2147483648.0 or v < -2147483649.0:
+                    # Valid iff trunc(v) fits i32, i.e. v strictly inside
+                    # (-2^31 - 1, 2^31): both boundary doubles trap.
+                    if v != v or v >= 2147483648.0 or v <= -2147483649.0:
                         raise TrapError("invalid conversion to integer")
                     push(int(v))
                 elif op == 108:   # i64.trunc_f64_s
                     v = pop()
-                    if v != v or abs(v) >= 9.223372036854776e18:
+                    # Only the upper bound is exclusive: -2^63 is exactly
+                    # representable as f64 and is a valid i64, while no
+                    # double lies strictly between -2^63 - 1 and -2^63.
+                    if v != v or v >= 9223372036854775808.0 \
+                            or v < -9223372036854775808.0:
                         raise TrapError("invalid conversion to integer")
                     push(int(v))
                 elif op == 109:   # i64.reinterpret_f64

@@ -22,8 +22,8 @@ BROWSER_SET = ("gemm", "jacobi-2d", "SHA")
 OPT_SET = ("gemm", "jacobi-2d", "SHA", "atax")
 
 
-def _context(names):
-    ctx = ExperimentContext(quick=True, repetitions=1)
+def _context(names, **kwargs):
+    ctx = ExperimentContext(quick=True, repetitions=1, **kwargs)
     keep = set(names)
     ctx.benchmarks = lambda: [b for b in all_benchmarks()
                               if b.name in keep]
@@ -43,20 +43,20 @@ def _freeze(value):
     return value
 
 
-def golden_jit_tiers():
-    result = table7_tier_comparison(_context(TIER_SET))
+def golden_jit_tiers(**kwargs):
+    result = table7_tier_comparison(_context(TIER_SET, **kwargs))
     return {"text": result["text"],
             "data": _freeze(result["data"]),
             "summary": _freeze(result["summary"])}
 
 
-def golden_browsers():
-    result = table8_browsers_platforms(_context(BROWSER_SET))
+def golden_browsers(**kwargs):
+    result = table8_browsers_platforms(_context(BROWSER_SET, **kwargs))
     return {"text": result["text"], "data": _freeze(result["data"])}
 
 
-def golden_opt_levels():
-    result = table2_summary(_context(OPT_SET))
+def golden_opt_levels(**kwargs):
+    result = table2_summary(_context(OPT_SET, **kwargs))
     return {"text": result["text"],
             "data": _freeze(result["data"]),
             "fig5_text": result["fig5"]["text"],

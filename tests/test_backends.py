@@ -217,6 +217,24 @@ class TestJsBackend:
             "int f(unsigned a, unsigned b) { return a < b; }"))
         assert ">>> 0" in source
 
+    def test_unsigned_to_signed_cast_resigns(self):
+        """A u32 carried in raw unsigned form (here a rematerialized
+        constant >= 2^31) must be coerced back to |0 form when it
+        enters signed context — a later signed compare would otherwise
+        see a huge positive JS number."""
+        from repro.compilers import CheerpCompiler
+        program = """
+        int main() {
+          unsigned u = 2147483648u;
+          int s = (int)(u >> 0);
+          printf("%d", s < 0 ? 1 : 0);
+          return 0;
+        }
+        """
+        artifact = CheerpCompiler().compile_js(program, name="resign")
+        output, _ = run_js_main(artifact.source)
+        assert output == [1]
+
 
 class TestX86Backend:
     def test_tiny_c_result(self):

@@ -211,3 +211,53 @@ class TestResultMemoization:
                              repetitions=1).run_wasm(artifact)
         assert firefox is not chrome
         assert isolated_cache.stats.puts == 3      # compile + two profiles
+
+class TestFailureSafety:
+    """A failed or killed cell must never poison the result cache."""
+
+    def test_failed_compute_memoizes_nothing(self, isolated_cache,
+                                             monkeypatch):
+        from repro.cache.memo import cached_result
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        calls = []
+
+        def compute():
+            calls.append(None)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return 42
+
+        with pytest.raises(RuntimeError):
+            cached_result("test", ("k",), compute)
+        assert isolated_cache.stats.puts == 0
+        # The retry recomputes and only then memoizes.
+        assert cached_result("test", ("k",), compute) == 42
+        assert len(calls) == 2
+        assert cached_result("test", ("k",), compute) == 42
+        assert len(calls) == 2
+
+    def test_foreign_entry_recomputed_over(self, isolated_cache,
+                                           monkeypatch):
+        from repro.cache.memo import cached_result, result_key
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        # A key collision / corruption leaves something that is not a
+        # ("result", value) pair: it must be replaced, not returned.
+        isolated_cache.put(result_key("test", ("k",)), {"junk": True})
+        assert cached_result("test", ("k",), lambda: 7) == 7
+        assert cached_result("test", ("k",), lambda: 99) == 7
+
+    def test_sweep_tmp_removes_only_stale_orphans(self, isolated_cache):
+        import time
+        root = isolated_cache.root
+        os.makedirs(root, exist_ok=True)
+        stale = os.path.join(root, "dead-worker.pkl.tmp")
+        fresh = os.path.join(root, "in-flight.pkl.tmp")
+        keeper = os.path.join(root, "entry.pkl")
+        for path in (stale, fresh, keeper):
+            with open(path, "wb") as handle:
+                handle.write(b"x")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert isolated_cache.sweep_tmp(max_age_s=3600.0) == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh) and os.path.exists(keeper)

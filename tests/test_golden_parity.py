@@ -56,3 +56,21 @@ def test_browsers_golden_parity():
 @pytest.mark.slow
 def test_opt_levels_golden_parity():
     _assert_identical(golden_opt_levels(), _load("opt_levels"))
+
+
+@pytest.mark.slow
+def test_opt_levels_parallel_matches_serial_golden():
+    """A fault-free parallel sweep must reproduce the serial goldens
+    byte for byte: the fault-tolerant scheduler may not perturb results
+    when nothing fails."""
+    _assert_identical(golden_opt_levels(jobs=3), _load("opt_levels"))
+
+
+@pytest.mark.slow
+def test_opt_levels_armed_fault_plan_matches_golden():
+    """Arming fault injection for a cell that never runs (and enabling
+    retries) must also leave every byte of the output untouched."""
+    from repro.harness.parallel import FaultPlan
+    live = golden_opt_levels(jobs=2, retries=2,
+                             fault_plan=FaultPlan({"no-such-cell": "crash"}))
+    _assert_identical(live, _load("opt_levels"))

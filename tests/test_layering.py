@@ -38,3 +38,29 @@ def test_jsengine_does_not_depend_on_wasm():
                             env={"PYTHONPATH": str(src), "PATH": "/usr/bin"},
                             capture_output=True, text=True)
     assert result.returncode == 0, result.stderr
+
+
+def test_engines_do_not_import_apparatus(tmp_path):
+    """The measurement apparatus (harness, experiments) sits above every
+    engine: an engine importing it would invert the stack. The checker
+    flags this even for lazy, function-local imports."""
+    vm = tmp_path / "wasm" / "vm.py"
+    vm.parent.mkdir()
+    vm.write_text("def run():\n    from repro.harness import runner\n")
+    core = tmp_path / "engine" / "stats.py"
+    core.parent.mkdir()
+    core.write_text("import repro.experiments\n")
+    violations = check_layering.check(src=tmp_path)
+    assert len(violations) == 2
+    assert any("wasm/vm.py" in v and "repro.harness" in v
+               for v in violations)
+    assert any("engine/stats.py" in v and "repro.experiments" in v
+               for v in violations)
+
+
+def test_engines_have_no_apparatus_imports_today():
+    """Concrete check over the live tree: no engine module (or the engine
+    core) imports repro.harness or repro.experiments."""
+    violations = [v for v in check_layering.check()
+                  if "harness" in v or "experiments" in v]
+    assert violations == [], "\n".join(violations)

@@ -1,0 +1,195 @@
+"""Differential numeric-boundary tests: the Wasm VM and the native
+register machine, fed the *same IR* through their real backends, must
+agree on both the value and the trap behavior at the edges Jangda et
+al. show dominate Wasm/native divergence — f64→int truncation limits,
+shift counts at and past the mask, and the ±2^31 / ±2^63 extremes."""
+
+import math
+
+import pytest
+
+from repro.backends import generate_wasm, generate_x86
+from repro.engine.hostlib import wasm_host_imports
+from repro.errors import TrapError
+from repro.ir import EBin, ECast, EConst, ELocal, Function, Module, SReturn
+from repro.native import execute_program
+from repro.wasm import WasmVM, validate_module
+
+TRAP = "trap"
+
+I32_MIN, I32_MAX = -(1 << 31), (1 << 31) - 1
+I64_MIN, I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def _module(fn):
+    module = Module("boundaries")
+    module.functions[fn.name] = fn
+    return module
+
+
+def _cast_fn(src_t, dst_t):
+    """``dst_t f(src_t x) { return (dst_t)x; }``"""
+    x = ELocal("x", src_t)
+    return _module(Function("f", [("x", src_t)], dst_t,
+                            body=[SReturn(ECast(x, dst_t))],
+                            exported=True))
+
+
+def _shift_fn(op, value_t):
+    """``value_t f(value_t x, value_t k) { return x <op> k; }``"""
+    x = ELocal("x", value_t)
+    k = ELocal("k", value_t)
+    return _module(Function("f", [("x", value_t), ("k", value_t)],
+                            value_t,
+                            body=[SReturn(EBin(op, x, k, value_t))],
+                            exported=True))
+
+
+def _wasm_outcome(module, args):
+    wasm = generate_wasm(module)
+    validate_module(wasm)
+    instance = WasmVM().instantiate(wasm, wasm_host_imports([], None))
+    try:
+        return instance.invoke("f", *args)
+    except TrapError:
+        return TRAP
+
+
+def _native_outcome(module, args):
+    program = generate_x86(module)
+    try:
+        return execute_program(program, "f", args)[0]
+    except TrapError:
+        return TRAP
+
+
+def _differential(module, args):
+    """Run the same IR through both engines; they must agree exactly."""
+    wasm = _wasm_outcome(module, args)
+    native = _native_outcome(module, args)
+    assert wasm == native, (f"engines disagree for args {args!r}: "
+                            f"wasm={wasm!r} native={native!r}")
+    return wasm
+
+
+# ---------------------------------------------------------------------------
+# f64 -> int truncation limits
+# ---------------------------------------------------------------------------
+
+#: (input, expected outcome) for ``(int)(double)`` — both boundary doubles
+#: around 2^31 and the one representable below -2^31 - 1.
+F64_TO_I32_CASES = [
+    (0.0, 0),
+    (-1.5, -1),
+    (float(I32_MAX), I32_MAX),
+    (math.nextafter(float(1 << 31), 0.0), I32_MAX),   # 2147483647.9999998
+    (float(1 << 31), TRAP),                           # 2^31: out of range
+    (float(I32_MIN), I32_MIN),                        # -2^31 is valid
+    (-2147483648.5, I32_MIN),                         # truncates up
+    (math.nextafter(-2147483649.0, 0.0), I32_MIN),
+    (-2147483649.0, TRAP),                            # trunc = -2^31 - 1
+    (math.nan, TRAP),
+    (math.inf, TRAP),
+    (-math.inf, TRAP),
+]
+
+#: Around ±2^63 double spacing is 2048, so the interesting inputs are the
+#: exactly-representable powers and their floating-point neighbours.
+F64_TO_I64_CASES = [
+    (0.0, 0),
+    (float(I64_MIN), I64_MIN),                        # -2^63 is valid
+    (math.nextafter(float(I64_MIN), -math.inf), TRAP),
+    (math.nextafter(float(1 << 63), 0.0), 9223372036854774784),
+    (float(1 << 63), TRAP),                           # 2^63: out of range
+    (math.nan, TRAP),
+    (math.inf, TRAP),
+    (-math.inf, TRAP),
+]
+
+
+class TestTruncationBoundaries:
+    @pytest.mark.parametrize("value,expected", F64_TO_I32_CASES,
+                             ids=[repr(v) for v, _ in F64_TO_I32_CASES])
+    def test_f64_to_i32(self, value, expected):
+        assert _differential(_cast_fn("f64", "i32"), (value,)) == expected
+
+    @pytest.mark.parametrize("value,expected", F64_TO_I64_CASES,
+                             ids=[repr(v) for v, _ in F64_TO_I64_CASES])
+    def test_f64_to_i64(self, value, expected):
+        assert _differential(_cast_fn("f64", "i64"), (value,)) == expected
+
+
+# ---------------------------------------------------------------------------
+# Shifts: counts 0 / 31 / 32 / 63 and sign-boundary operands
+# ---------------------------------------------------------------------------
+
+SHIFT_COUNTS_32 = [0, 1, 31, 32, 33, 63]
+SHIFT_VALUES_32 = [0, 1, -1, I32_MAX, I32_MIN, 0x55555555]
+SHIFT_COUNTS_64 = [0, 1, 63, 64, 127]
+SHIFT_VALUES_64 = [0, 1, -1, I64_MAX, I64_MIN]
+
+
+def _wrap(v, bits):
+    v &= (1 << bits) - 1
+    return v - (1 << bits) if v >> (bits - 1) else v
+
+
+class TestShiftBoundaries:
+    @pytest.mark.parametrize("count", SHIFT_COUNTS_32)
+    @pytest.mark.parametrize("value", SHIFT_VALUES_32)
+    def test_i32_shr_u(self, value, count):
+        result = _differential(_shift_fn(">>", "u32"), (value, count))
+        assert result == _wrap((value & 0xFFFFFFFF) >> (count & 31), 32)
+
+    @pytest.mark.parametrize("count", SHIFT_COUNTS_32)
+    @pytest.mark.parametrize("value", SHIFT_VALUES_32)
+    def test_i32_shr_s(self, value, count):
+        result = _differential(_shift_fn(">>", "i32"), (value, count))
+        assert result == value >> (count & 31)
+
+    @pytest.mark.parametrize("count", SHIFT_COUNTS_32)
+    @pytest.mark.parametrize("value", SHIFT_VALUES_32)
+    def test_i32_shl(self, value, count):
+        result = _differential(_shift_fn("<<", "i32"), (value, count))
+        assert result == _wrap(value << (count & 31), 32)
+
+    @pytest.mark.parametrize("count", SHIFT_COUNTS_64)
+    @pytest.mark.parametrize("value", SHIFT_VALUES_64)
+    def test_i64_shr_u(self, value, count):
+        result = _differential(_shift_fn(">>", "u64"), (value, count))
+        assert result == _wrap(
+            (value & 0xFFFFFFFFFFFFFFFF) >> (count & 63), 64)
+
+    @pytest.mark.parametrize("count", SHIFT_COUNTS_64)
+    @pytest.mark.parametrize("value", SHIFT_VALUES_64)
+    def test_i64_shl(self, value, count):
+        result = _differential(_shift_fn("<<", "i64"), (value, count))
+        assert result == _wrap(value << (count & 63), 64)
+
+
+# ---------------------------------------------------------------------------
+# The VM's signed-i32 stack invariant
+# ---------------------------------------------------------------------------
+
+
+class TestStackRepresentationInvariant:
+    """Every i32 the VM pushes must use the canonical signed form that
+    ``_wrap32`` produces — ``shr_u`` used to leak raw unsigned values."""
+
+    def test_shr_u_result_is_resigned(self):
+        module = _shift_fn(">>", "u32")
+        assert _wasm_outcome(module, (I32_MIN, 0)) == I32_MIN
+        assert _wasm_outcome(module, (-1, 0)) == -1
+        assert _wasm_outcome(module, (-1, 31)) == 1
+
+    def test_shr_u_feeds_signed_compare_correctly(self):
+        """(x >>u 0) < 0 — with the raw unsigned representation the
+        signed compare saw a huge positive number and answered 0."""
+        x = ELocal("x", "u32")
+        k = ELocal("k", "u32")
+        shifted = ECast(EBin(">>", x, k, "u32"), "i32")
+        cmp = EBin("<", shifted, EConst(0, "i32"), "i32")
+        module = _module(Function("f", [("x", "u32"), ("k", "u32")], "i32",
+                                  body=[SReturn(cmp)], exported=True))
+        assert _differential(module, (I32_MIN, 0)) == 1
+        assert _differential(module, (1, 0)) == 0

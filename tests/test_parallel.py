@@ -1,10 +1,14 @@
 """Parallel experiment scheduler: ordering, env wiring, and the
-serial-vs-parallel determinism contract (bit-identical results)."""
+serial-vs-parallel determinism contract (bit-identical results).
+
+Fault-tolerance behavior (retries, timeouts, fault injection, partial
+results) is covered separately in ``tests/test_sweep_faults.py``."""
 
 import os
 
 import pytest
 
+from repro.errors import SweepError
 from repro.experiments import (
     ExperimentContext, compare_cheerp_emscripten, figure5_opt_levels,
 )
@@ -43,9 +47,16 @@ class TestParallelMap:
     def test_empty(self):
         assert parallel_map(_square, [], jobs=8) == []
 
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError):
+    def test_worker_exception_raises_sweep_error(self):
+        """A failing cell no longer aborts the map with the bare worker
+        exception: parallel_map raises SweepError carrying the partial
+        results (every other cell completed)."""
+        with pytest.raises(SweepError) as excinfo:
             parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        sweep = excinfo.value.sweep
+        assert [sweep.values[i] for i in (0, 1, 3)] == [1, 2, 4]
+        assert [f.index for f in sweep.failures] == [2]
+        assert sweep.failures[0].error == "ValueError"
 
     def test_jobs_env(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV, "1")

@@ -67,8 +67,17 @@ class TestI32Arithmetic:
     @given(I32, st.integers(min_value=0, max_value=31))
     @settings(max_examples=80)
     def test_shr_u_logical(self, a, count):
+        # The logical shift of the unsigned reinterpretation, re-signed
+        # back into the VM's canonical signed-i32 stack representation.
         assert run_binop(Op.I32_SHR_U, a, count) == \
-            (a & 0xFFFFFFFF) >> count
+            _wrap((a & 0xFFFFFFFF) >> count, 32)
+
+    def test_shr_u_maintains_signed_representation(self):
+        # 0x80000000 >>u 0 must come back as i32 -2^31, not the raw
+        # unsigned 2^31 (which would corrupt later signed compares).
+        assert run_binop(Op.I32_SHR_U, -(1 << 31), 0) == -(1 << 31)
+        assert run_binop(Op.I32_SHR_U, -1, 0) == -1
+        assert run_binop(Op.I32_SHR_U, -1, 31) == 1
 
     @given(I32, I32)
     @settings(max_examples=60)
@@ -298,3 +307,43 @@ class TestGlobalsAndWat:
         instance = WasmVM().instantiate(module)
         assert instance.invoke("f") == 3
         assert instance.stats.memory_grows == 1
+
+
+def run_convert(op, value, src="f64", result="i32"):
+    module = WasmModule()
+    body = [I(Op.LOCAL_GET, 0), I(op)]
+    module.add_function(Function("f", FuncType((src,), (result,)), [],
+                                 body, exported=True))
+    validate_module(module)
+    return WasmVM().instantiate(module).invoke("f", value)
+
+
+class TestTruncationBoundaries:
+    """Spec-exact i32/i64.trunc_f64_s range checks (the edges the issue's
+    boundary audit covers; cross-engine agreement is asserted in
+    tests/test_numeric_boundaries.py)."""
+
+    def test_i32_trunc_accepts_full_range(self):
+        assert run_convert(Op.I32_TRUNC_F64_S, -2147483648.0) == -(1 << 31)
+        assert run_convert(Op.I32_TRUNC_F64_S, -2147483648.9) == -(1 << 31)
+        assert run_convert(Op.I32_TRUNC_F64_S, 2147483647.0) == (1 << 31) - 1
+        assert run_convert(Op.I32_TRUNC_F64_S, 2147483647.5) == (1 << 31) - 1
+
+    @pytest.mark.parametrize("value", [-2147483649.0, 2147483648.0,
+                                       float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_i32_trunc_traps_out_of_range(self, value):
+        with pytest.raises(TrapError):
+            run_convert(Op.I32_TRUNC_F64_S, value)
+
+    def test_i64_trunc_accepts_min_exactly(self):
+        # -2^63 is a representable f64 and a valid i64: must NOT trap.
+        assert run_convert(Op.I64_TRUNC_F64_S, -9223372036854775808.0,
+                           result="i64") == -(1 << 63)
+
+    @pytest.mark.parametrize("value", [9223372036854775808.0,
+                                       -9223372036854777856.0,
+                                       float("nan")])
+    def test_i64_trunc_traps_out_of_range(self, value):
+        with pytest.raises(TrapError):
+            run_convert(Op.I64_TRUNC_F64_S, value, result="i64")

@@ -16,6 +16,11 @@ Enforced here:
 * ``repro.engine`` must not import any of the three engine packages at
   module level (lazy function-level imports are allowed so the hostlib
   can build engine-value wrappers without an import cycle).
+* Neither the engine packages nor the engine core may import the
+  measurement apparatus (``repro.harness``, ``repro.experiments``) —
+  anywhere, even inside functions.  Engines are below the harness; a
+  back-edge would let an engine reach the sweep scheduler or the page
+  runner and make worker-process execution order-dependent.
 
 Exits non-zero and prints one line per violation; silent when clean.
 """
@@ -30,6 +35,10 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: The sibling engine packages that must stay independent.
 ENGINE_LAYERS = ("wasm", "jsengine", "native")
+
+#: The measurement apparatus sitting above the engines; engines (and the
+#: engine core) must never reach up into it.
+APPARATUS_LAYERS = ("harness", "experiments")
 
 
 def _imported_packages(node):
@@ -69,6 +78,13 @@ def check(src=SRC):
                         f"src/repro/{rel}:{node.lineno}: {layer} layer "
                         f"imports repro.{pkg} (engine layers must only "
                         f"share code through repro.engine)")
+                elif layer in ENGINE_LAYERS + ("engine",) \
+                        and pkg in APPARATUS_LAYERS:
+                    violations.append(
+                        f"src/repro/{rel}:{node.lineno}: {layer} layer "
+                        f"imports repro.{pkg} (engines sit below the "
+                        f"measurement apparatus and must not reach up "
+                        f"into it)")
                 elif layer == "engine" and pkg in ENGINE_LAYERS \
                         and id(node) in module_level_nodes:
                     violations.append(
