@@ -1,0 +1,135 @@
+"""Shared core of the prepare-once, threaded-code execution tier.
+
+The three engines (``wasm/vm.py``, ``jsengine/interpreter.py``,
+``native/machine.py``) each ship a reference interpreter: a ``while`` loop
+that fetches one instruction, charges its cycle cost and operation class,
+and dispatches through a ~100-arm ``if/elif`` ladder.  That loop is the
+differential oracle — simple, obviously faithful, and slow.
+
+The threaded tier translates each prepared function body *once* into a
+list of basic blocks.  A block carries
+
+* a flat sequence of pre-bound handler closures (token threading: the
+  opcode is resolved at translation time, so the runtime never touches
+  the ladder), with hot straight-line idioms fused into single
+  superinstruction closures, and
+* batched accounting totals, so per-block work replaces per-instruction
+  work for every counter whose arithmetic is order-independent.
+
+Exactness rules (each engine's translator documents how it applies them):
+
+1. **Integer counters batch freely.**  ``op_counts``, ``instructions``
+   and the instruction budget are integers; charging a block's total at
+   block entry is exact.  A handler that can raise carries a pre-bound
+   *rewind* closure subtracting the suffix (the instructions after the
+   trapping one), restoring the reference ladder's charge-then-execute
+   prefix: at a trap on instruction *k* the reference has charged
+   instructions ``0..k`` inclusive.
+2. **Float cycle batching needs an exact grid.**  Summing per-op costs in
+   a different order than the reference is only bit-identical when every
+   addend is dyadic and the partial sums stay exactly representable.
+   Wasm's ``OP_COST`` table is entirely quarter-multiples (asserted by
+   tests), so its per-block sums are exact at any association.  The JS
+   and native charge streams include non-dyadic products
+   (``cost × tier_factor``, ``cost × VECTOR_COST_FACTOR``), so their
+   handlers self-charge one pre-bound constant per source instruction —
+   the same left-fold the reference performs, hence the same bits.
+3. **Mid-run observers see flushed state only at the reference's flush
+   points.**  Frame-local accumulators are flushed exactly where the
+   ladder flushes (JS function-call boundaries, native CALL/RETV), so
+   ``performance.now()`` and friends read identical values mid-run.
+4. **Rare paths deopt to the oracle.**  When a block cannot be entered
+   under batched accounting (instruction budget smaller than the block,
+   a JS frame entered with the GC already over-trigger), the frame falls
+   back to the reference loop, which is exact by construction.
+5. **Unknown opcodes fail loudly.**  The reference ladders fall through
+   to a structured error at execution time; the translators refuse the
+   whole function at translation time instead of silently mis-threading.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def fast_interp_enabled():
+    """The ``REPRO_FAST_INTERP`` knob: default on, ``0`` selects the
+    reference ladders (the differential oracle)."""
+    return os.environ.get("REPRO_FAST_INTERP", "1") != "0"
+
+
+def split_blocks(n, leaders):
+    """Partition ``range(n)`` into half-open basic-block ranges.
+
+    ``leaders`` is the set of pcs that must start a block (function entry,
+    every jump target, every instruction after a block terminator).
+    Out-of-range leaders (e.g. a branch target equal to ``n``) are
+    ignored — they denote function exit, not a block.
+    """
+    starts = sorted(pc for pc in set(leaders) | {0} if 0 <= pc < n)
+    return [(start, starts[i + 1] if i + 1 < len(starts) else n)
+            for i, start in enumerate(starts)]
+
+
+def class_deltas(classes):
+    """Collapse a per-instruction op-class list into sparse, sorted
+    ``(class_index, count)`` pairs — one block's batched ``op_counts``
+    charge (or a rewind suffix)."""
+    by_class = {}
+    for cls in classes:
+        by_class[cls] = by_class.get(cls, 0) + 1
+    return tuple(sorted(by_class.items()))
+
+
+def fuse_straight_line(ops, get_op, patterns, make_single, make_fused):
+    """Greedy longest-match superinstruction fusion over a block's
+    straight-line instructions.
+
+    ``patterns`` maps a first opcode to ``(opcode_tuple, key)`` candidates
+    sorted longest-first.  ``make_fused(key, ops_slice, index)`` may
+    return ``None`` to decline (e.g. a register-linkage guard fails), in
+    which case the instructions fall back to ``make_single(instr, index)``
+    handlers.  ``make_single`` may also return ``None`` for marker ops
+    that need no runtime work (their accounting is already batched).
+    Returns the handler sequence.
+    """
+    seq = []
+    i = 0
+    n = len(ops)
+    while i < n:
+        handler = None
+        span = 1
+        for pat, key in patterns.get(get_op(ops[i]), ()):
+            ln = len(pat)
+            if i + ln <= n and all(get_op(ops[i + j]) == pat[j]
+                                   for j in range(1, ln)):
+                handler = make_fused(key, ops[i:i + ln], i)
+                if handler is not None:
+                    span = ln
+                    break
+        if handler is None:
+            handler = make_single(ops[i], i)
+        if handler is not None:
+            seq.append(handler)
+        i += span
+    return seq
+
+
+def match_tail(ops, get_op, tail_patterns):
+    """Match a block's trailing instructions (terminator included) against
+    compare-and-branch style patterns.  ``tail_patterns`` is an iterable
+    of ``(opcode_tuple, key)`` sorted longest-first; returns ``(key,
+    length)`` for the longest suffix match, else ``None``."""
+    n = len(ops)
+    for pat, key in tail_patterns:
+        ln = len(pat)
+        if ln <= n and all(get_op(ops[n - ln + j]) == pat[j]
+                           for j in range(ln)):
+            return key, ln
+    return None
+
+
+def on_grid(values, grid=0.25):
+    """True when every value is an exact multiple of ``grid`` — the
+    precondition for order-independent float summation (rule 2)."""
+    return all(v % grid == 0.0 for v in values)

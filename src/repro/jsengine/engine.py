@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro.engine.stats import EngineStats
+from repro.engine.threaded import fast_interp_enabled
 from repro.engine.tiering import TierController, TierPolicy
 from repro.errors import ReproError
 from repro.jsengine import host as host_module
@@ -71,6 +72,7 @@ class JsEngine:
         #: Optional :class:`repro.engine.trace.ExecutionTrace`; when set,
         #: tier-up and GC events are emitted as they happen.
         self.trace = None
+        self._fast = fast_interp_enabled()
         self.heap = GcHeap(
             baseline_bytes=self.config.gc_baseline_bytes,
             trigger_bytes=self.config.gc_trigger_bytes,

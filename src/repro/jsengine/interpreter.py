@@ -120,6 +120,19 @@ def execute(engine, fn, args, this=None):
         fn.call_count += 1
         if tiering.call_hot(fn.call_count):
             engine._tier_up(fn)
+
+    if engine._fast and engine.trace is None \
+            and heap.allocated_since_gc < heap.trigger_bytes:
+        # Threaded tier.  Frames entered with the GC already over-trigger
+        # (an allocating construct/host call) stay on the reference
+        # ladder, whose after-every-op check collects at the exact point;
+        # traced runs also stay here so trace events keep their ordering.
+        cached = fn.threaded
+        if cached is None or cached[0] is not engine:
+            cached = (engine, _threaded.translate(fn, engine))
+            fn.threaded = cached
+        return _threaded.run(engine, fn, cached[1], args)
+
     factor = tiering.exec_factor(fn.tier)
     cost = JS_OP_COST_OPT if fn.tier else JS_OP_COST
 
@@ -439,3 +452,8 @@ def execute(engine, fn, args, this=None):
         stats.exec_ops += instret
 
     return result
+
+
+# Bound at the bottom to break the cycle with the threaded tier, which
+# imports this module's helpers (the cycle resolves in either load order).
+from repro.jsengine import threaded as _threaded  # noqa: E402

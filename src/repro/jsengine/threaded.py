@@ -1,0 +1,1012 @@
+"""Threaded-code execution tier for the JS bytecode interpreter.
+
+Exactness rules (see :mod:`repro.engine.threaded`) as they apply here:
+
+* **Cycles self-charge per op.**  The charge stream is
+  ``JS_OP_COST[op] * tier_factor`` with non-dyadic factors (1.12, 0.73,
+  3.2, ...), plus dynamic extras (boxed-element penalties, GC pauses,
+  ``NativeFunction`` costs).  Reordering those float additions is not
+  bit-exact, so every handler adds its own pre-bound constant in exactly
+  the reference ladder's left-fold order; only the integer counters
+  (``instructions``, ``op_counts``) batch per block, with rewinds on
+  handlers that can raise.
+* **Dual tier variants.**  A function's tier picks its cost table and
+  factor, and can only change at block terminators (``JBACK`` OSR,
+  call returns).  Each block carries a tier-0 and a tier-1 handler
+  sequence with charges pre-bound for that tier; the trampoline selects
+  per block entry.
+* **GC checks only where the counter can rise.**  The reference checks
+  ``allocated_since_gc`` after *every* op, but the counter only moves on
+  allocation (``ADD`` string path, ``SETIDX`` extends, ``NEWARR``/
+  ``NEWOBJ``, calls into allocating callees), so checking at exactly
+  those points — and entering frames already over-trigger through the
+  reference ladder (the ``execute`` gate) — reproduces every collection
+  at the same op with the same pause arithmetic.
+* **Flush discipline.**  The frame-local ``acc[0]`` cycle accumulator is
+  flushed to ``stats.cycles`` only where the reference flushes its local:
+  before recursing into a ``JSFunction`` callee, and in the frame's
+  ``finally``.  ``performance.now()`` therefore reads identical mid-run
+  values.  ``NEWCALL`` deliberately does *not* flush (neither does the
+  reference), and ``RET``/``RETU`` return before any GC check.
+* **Shadow locals mirror the reference frame's arm locals.**  GC
+  reachability is delegated to Python's object graph, so the reference
+  ladder's *stale* frame locals (``obj`` from the last GETIDX, ``a``/``b``
+  from the last binop, the last ``call_args`` list, ...) pin heap objects
+  until the next arm rebinds them — and that changes ``live_bytes()`` at
+  collection time, hence the pause cycles.  Handler locals die at handler
+  return, so each frame carries a shadow slot per reference local name
+  (``acc[2]``), written exactly where the reference rebinds that name.
+  Slots the reference only ever rebinds to numbers on a given arm are
+  written as ``0.0``: shadow contents are observable *only* through the
+  liveness of registered objects, so any non-heap value is equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.clibm import c_fmod
+from repro.engine.threaded import (
+    class_deltas, fuse_straight_line, match_tail, split_blocks,
+)
+from repro.jsengine.bytecode import JS_OP_CLASS, JS_OP_COST, JS_OP_COST_OPT
+from repro.jsengine.values import (
+    JSArray,
+    JSFunction,
+    JSObject,
+    JSTypedArray,
+    NativeFunction,
+    UNDEFINED,
+    js_to_str,
+    js_truthy,
+    to_int32,
+    to_uint32,
+)
+
+_TERM_OPS = frozenset((27, 28, 29, 30, 31, 32, 33, 34, 44))
+_JUMPS = frozenset((27, 28, 29, 30))
+
+#: Ops the threaded tier translates.  ``COMMA`` (48) is absent by design:
+#: the compiler never emits it and the reference ladder has no arm for it
+#: either — both tiers reject it with a structured error.
+SUPPORTED_OPS = frozenset(range(48)) | {49}
+
+
+def _setidx_work(heap, obj, index, value, sh):
+    """The reference SETIDX body (everything after the boxed-element
+    penalty), shared by the single and fused handlers."""
+    if isinstance(obj, JSArray):
+        i = int(index)
+        items = obj.items
+        sh[_SH_I] = 0.0
+        sh[_SH_ITEMS] = items
+        if i >= len(items):
+            heap.note_ephemeral(8 * (i + 1 - len(items)))
+            items.extend([UNDEFINED] * (i + 1 - len(items)))
+        items[i] = value
+    elif isinstance(obj, JSTypedArray):
+        i = int(index)
+        sh[_SH_I] = 0.0
+        if 0 <= i < len(obj.items):
+            if obj.width == 8:
+                obj.items[i] = _to_number(value)
+            elif obj.kind == "Uint8Array":
+                obj.items[i] = float(to_int32(value) & 0xFF)
+            elif obj.kind == "Uint16Array":
+                obj.items[i] = float(to_int32(value) & 0xFFFF)
+            elif obj.kind == "Uint32Array":
+                obj.items[i] = float(to_uint32(value))
+            else:
+                obj.items[i] = float(to_int32(value))
+    elif isinstance(obj, JSObject):
+        obj.props[js_to_str(index)] = value
+    else:
+        raise JsRuntimeError(f"cannot index-assign {type(obj).__name__}")
+
+
+def _shl(a, b):
+    b = to_uint32(b) & 31
+    v = (to_int32(a) << b) & 0xFFFFFFFF
+    return float(v - 0x100000000 if v & 0x80000000 else v)
+
+
+def _div(a, b):
+    a = a if type(a) is float else _to_number(a)
+    b = b if type(b) is float else _to_number(b)
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def _lt(a, b):
+    if isinstance(a, str) and isinstance(b, str):
+        return a < b
+    return _to_number(a) < _to_number(b)
+
+
+def _le(a, b):
+    if isinstance(a, str) and isinstance(b, str):
+        return a <= b
+    return _to_number(a) <= _to_number(b)
+
+
+def _gt(a, b):
+    if isinstance(a, str) and isinstance(b, str):
+        return a > b
+    return _to_number(a) > _to_number(b)
+
+
+def _ge(a, b):
+    if isinstance(a, str) and isinstance(b, str):
+        return a >= b
+    return _to_number(a) >= _to_number(b)
+
+
+#: Pure (never-raising, never-allocating) binary value functions; the
+#: comparisons return the same Python bools the reference pushes.
+_BINVAL = {
+    6: lambda a, b: (a if type(a) is float else _to_number(a)) -
+    (b if type(b) is float else _to_number(b)),
+    7: lambda a, b: (a if type(a) is float else _to_number(a)) *
+    (b if type(b) is float else _to_number(b)),
+    8: _div,
+    9: lambda a, b: c_fmod(_to_number(a), _to_number(b)),
+    13: lambda a, b: float(to_int32(a) & to_int32(b)),
+    14: lambda a, b: float(to_int32(a) | to_int32(b)),
+    15: lambda a, b: float(to_int32(a) ^ to_int32(b)),
+    16: _shl,
+    17: lambda a, b: float(to_int32(a) >> (to_uint32(b) & 31)),
+    18: lambda a, b: float(to_uint32(a) >> (to_uint32(b) & 31)),
+    19: _lt, 20: _le, 21: _gt, 22: _ge,
+    23: lambda a, b: _js_loose_eq(a, b),
+    24: lambda a, b: not _js_loose_eq(a, b),
+    25: lambda a, b: type(a) is type(b) and a == b,
+    26: lambda a, b: not (type(a) is type(b) and a == b),
+    49: lambda a, b: float(to_int32(to_int32(a) * to_int32(b))),
+}
+
+_CMP_OPS = frozenset((19, 20, 21, 22, 23, 24, 25, 26))
+
+# Shadow-local slots (see module docstring): one per reference arm local
+# that can hold — and therefore pin — a registered heap object.  The
+# frame's shadow list rides in ``acc[2]``.
+_SH_I = 0        # i        (GETIDX any-typed index; int elsewhere)
+_SH_OBJ = 1      # obj
+_SH_VALUE = 2    # value
+_SH_INDEX = 3    # index
+_SH_A = 4        # a
+_SH_B = 5        # b
+_SH_V = 6        # v
+_SH_ARGS = 7     # call_args
+_SH_CALLEE = 8   # callee
+_SH_THIS = 9     # this_val
+_SH_CTOR = 10    # ctor
+_SH_ARRAY = 11   # array
+_SH_ITEMS = 12   # items
+_SH_VALUES = 13  # values
+_NSHADOW = 14
+
+
+def _sh_ab(sh, a, b):
+    sh[_SH_A] = a
+    sh[_SH_B] = b
+
+
+def _sh_b(sh, a, b):
+    sh[_SH_B] = b
+
+
+def _sh_ab_num(sh, a, b):
+    sh[_SH_A] = 0.0
+    sh[_SH_B] = 0.0
+
+
+def _sh_b_num(sh, a, b):
+    sh[_SH_B] = 0.0
+
+
+def _sh_shl(sh, a, b):
+    sh[_SH_B] = 0.0
+    sh[_SH_V] = 0.0
+
+
+#: op → mirror of exactly the names that op's reference arm rebinds.
+#: Most arms bind the popped originals; DIV rebinds both to coerced
+#: floats, EQ/NE and the bitwise ops bind only ``b``, the shifts rebind
+#: ``b`` (and SHL also ``v``) to numbers.  ADD is handled in its own
+#: handler (it also binds ``v`` on the non-float path).
+_SHADOW_BIN = {
+    6: _sh_ab, 7: _sh_ab, 9: _sh_ab,
+    8: _sh_ab_num,
+    13: _sh_b, 14: _sh_b, 15: _sh_b,
+    16: _sh_shl, 17: _sh_b_num, 18: _sh_b_num,
+    19: _sh_ab, 20: _sh_ab, 21: _sh_ab, 22: _sh_ab,
+    23: _sh_b, 24: _sh_b,
+    25: _sh_ab, 26: _sh_ab,
+    49: _sh_ab,
+}
+
+
+def _build_patterns():
+    patterns = {}
+
+    def add(pat, key):
+        patterns.setdefault(pat[0], []).append((pat, key))
+
+    for bop in (5,) + tuple(_BINVAL):
+        add((1, 1, bop, 2), ("llbs", bop))
+        add((1, 1, bop), ("llb", bop))
+        add((1, 0, bop, 2), ("lcbs", bop))
+        add((1, 0, bop), ("lcb", bop))
+    add((1, 1, 37), ("llgi", None))
+    add((1, 1, 1, 38, 42), ("lllsp", None))
+    add((1, 1, 1, 38), ("llls", None))
+    add((0, 2), ("cs", None))
+    add((1, 2), ("ls", None))
+    for entries in patterns.values():
+        entries.sort(key=lambda e: len(e[0]), reverse=True)
+    return patterns
+
+
+def _build_tail_patterns():
+    tails = []
+    for br in (28, 29):                   # JF / JT
+        for cmp_op in _CMP_OPS:
+            tails.append(((1, 1, cmp_op, br), ("llc", cmp_op, br)))
+            tails.append(((1, 0, cmp_op, br), ("lcc", cmp_op, br)))
+            tails.append(((cmp_op, br), ("cb", cmp_op, br)))
+    tails.append(((1, 33), ("lret", None, None)))
+    tails.sort(key=lambda e: len(e[0]), reverse=True)
+    return tails
+
+
+_PATTERNS = _build_patterns()
+_TAIL_PATTERNS = _build_tail_patterns()
+
+
+class _Block:
+    __slots__ = ("n", "deltas", "seq0", "term0", "seq1", "term1")
+
+    def __init__(self, n, deltas, seq0, term0, seq1, term1):
+        self.n = n
+        self.deltas = deltas
+        self.seq0 = seq0
+        self.term0 = term0
+        self.seq1 = seq1
+        self.term1 = term1
+
+
+class ThreadedFunction:
+    __slots__ = ("fn", "blocks", "nparams", "num_locals")
+
+    def __init__(self, fn, blocks, nparams, num_locals):
+        self.fn = fn
+        self.blocks = blocks
+        self.nparams = nparams
+        self.num_locals = num_locals
+
+
+def translate(fn, engine):
+    code = fn.code
+    n = len(code)
+    for pc, (op, _arg) in enumerate(code):
+        if op not in SUPPORTED_OPS:
+            raise JsRuntimeError(
+                f"{fn.name}: unimplemented bytecode op {op} at pc {pc} "
+                f"(threaded tier has no handler)")
+
+    leaders = {0}
+    for pc, (op, arg) in enumerate(code):
+        if op in _TERM_OPS:
+            leaders.add(pc + 1)
+            if op in _JUMPS:
+                leaders.add(arg)
+    ranges = split_blocks(n, leaders)
+    block_index = {start: bi for bi, (start, _end) in enumerate(ranges)}
+
+    def bi_of(pc):
+        return -1 if pc >= n else block_index[pc]
+
+    stats = engine.stats
+    counts = stats.op_counts
+    heap = engine.heap
+    globals_ = engine.globals
+    tiering = engine.tiering
+    jit_enabled = engine.config.jit_enabled
+    klass = JS_OP_CLASS
+
+    def gc_check(acc):
+        # Reference post-op GC check (trace is None on this path: the
+        # execute() gate sends traced runs down the reference ladder).
+        if heap.allocated_since_gc >= heap.trigger_bytes:
+            pause = heap.collect()
+            stats.gc_runs += 1
+            stats.gc_pause_cycles += pause
+            acc[0] += pause
+
+    blocks = []
+    for start, end in ranges:
+        ops = code[start:end]
+        blk_n = len(ops)
+        classes = [int(klass[op]) for op, _a in ops]
+        deltas = class_deltas(classes)
+        nbi = bi_of(end)
+
+        def make_rewind(idx):
+            """Subtract the integer charges for instructions after ``idx``
+            (cycles are self-charged, so only counts/instret rewind)."""
+            n_sfx = blk_n - (idx + 1)
+            delta_sfx = class_deltas(classes[idx + 1:])
+
+            def rewind():
+                stats.instructions -= n_sfx
+                for ci, d in delta_sfx:
+                    counts[ci] -= d
+            return rewind
+
+        def build_variant(cost, factor, tier0):
+            charges = [cost[op] * factor for op, _a in ops]
+            idx_extra = 1.6 * factor
+            set_extra = 2.0 * factor
+
+            def single(instr, idx):
+                op, arg = instr
+                c = charges[idx]
+                if op == 1:       # LOADL
+                    def h(st, lo, acc, c=c, i=arg):
+                        acc[0] += c
+                        st.append(lo[i])
+                    return h
+                if op == 0:       # CONST
+                    def h(st, lo, acc, c=c, k=arg):
+                        acc[0] += c
+                        st.append(k)
+                    return h
+                if op == 2:       # STOREL
+                    def h(st, lo, acc, c=c, i=arg):
+                        acc[0] += c
+                        lo[i] = st.pop()
+                    return h
+                if op == 5:       # ADD
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        b = st.pop()
+                        a = st.pop()
+                        sh = acc[2]
+                        sh[_SH_A] = a
+                        sh[_SH_B] = b
+                        if type(a) is float and type(b) is float:
+                            st.append(a + b)
+                        else:
+                            v = _js_add(a, b)
+                            sh[_SH_V] = v
+                            if isinstance(v, str):
+                                heap.note_ephemeral(16 + 2 * len(v))
+                            st.append(v)
+                            gc_check(acc)
+                    return h
+                if op in _BINVAL:
+                    def h(st, lo, acc, c=c, f=_BINVAL[op],
+                          w=_SHADOW_BIN[op]):
+                        acc[0] += c
+                        b = st.pop()
+                        a = st[-1]
+                        w(acc[2], a, b)
+                        st[-1] = f(a, b)
+                    return h
+                if op == 37:      # GETIDX
+                    rw = make_rewind(idx)
+
+                    def h(st, lo, acc, c=c, ex=idx_extra, rw=rw):
+                        acc[0] += c
+                        i = st.pop()
+                        obj = st.pop()
+                        sh = acc[2]
+                        sh[_SH_I] = i
+                        sh[_SH_OBJ] = obj
+                        if type(obj) is JSArray:
+                            acc[0] += ex
+                        try:
+                            st.append(_element_get(obj, i))
+                        except BaseException:
+                            rw()
+                            raise
+                    return h
+                if op == 38:      # SETIDX
+                    rw = make_rewind(idx)
+
+                    def h(st, lo, acc, c=c, ex=set_extra, rw=rw):
+                        acc[0] += c
+                        value = st.pop()
+                        index = st.pop()
+                        obj = st.pop()
+                        sh = acc[2]
+                        sh[_SH_VALUE] = value
+                        sh[_SH_INDEX] = index
+                        sh[_SH_OBJ] = obj
+                        if type(obj) is JSArray:
+                            acc[0] += ex
+                        try:
+                            _setidx_work(heap, obj, index, value, sh)
+                        except BaseException:
+                            rw()
+                            raise
+                        st.append(value)
+                        gc_check(acc)
+                    return h
+                if op == 10:      # NEG
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st[-1] = -_to_number(st[-1])
+                    return h
+                if op == 11:      # NOT
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st[-1] = not js_truthy(st[-1])
+                    return h
+                if op == 12:      # BNOT
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st[-1] = float(~to_int32(st[-1]))
+                    return h
+                if op == 3:       # LOADG
+                    def h(st, lo, acc, c=c, name=arg):
+                        acc[0] += c
+                        st.append(globals_.get(name, UNDEFINED))
+                    return h
+                if op == 4:       # STOREG
+                    def h(st, lo, acc, c=c, name=arg):
+                        acc[0] += c
+                        globals_[name] = st.pop()
+                    return h
+                if op == 39:      # GETMEM
+                    rw = make_rewind(idx)
+
+                    def h(st, lo, acc, c=c, name=arg, rw=rw):
+                        acc[0] += c
+                        obj = st.pop()
+                        acc[2][_SH_OBJ] = obj
+                        try:
+                            st.append(engine._member_get(obj, name))
+                        except BaseException:
+                            rw()
+                            raise
+                    return h
+                if op == 40:      # SETMEM
+                    rw = make_rewind(idx)
+
+                    def h(st, lo, acc, c=c, name=arg, rw=rw):
+                        acc[0] += c
+                        value = st.pop()
+                        obj = st.pop()
+                        sh = acc[2]
+                        sh[_SH_VALUE] = value
+                        sh[_SH_OBJ] = obj
+                        try:
+                            if isinstance(obj, JSObject):
+                                obj.props[name] = value
+                            elif isinstance(obj, JSArray) and \
+                                    name == "length":
+                                new_len = int(_to_number(value))
+                                del obj.items[new_len:]
+                            else:
+                                raise JsRuntimeError(
+                                    f"cannot set {name} on "
+                                    f"{type(obj).__name__}")
+                        except BaseException:
+                            rw()
+                            raise
+                        st.append(value)
+                    return h
+                if op == 35:      # NEWARR
+                    def h(st, lo, acc, c=c, count=arg):
+                        acc[0] += c
+                        if count:
+                            items = st[-count:]
+                            del st[-count:]
+                        else:
+                            items = []
+                        array = JSArray(items)
+                        heap.register(array)
+                        sh = acc[2]
+                        sh[_SH_ITEMS] = items
+                        sh[_SH_ARRAY] = array
+                        st.append(array)
+                        gc_check(acc)
+                    return h
+                if op == 36:      # NEWOBJ
+                    def h(st, lo, acc, c=c, keys=arg):
+                        acc[0] += c
+                        nkeys = len(keys)
+                        if nkeys:
+                            values = st[-nkeys:]
+                            del st[-nkeys:]
+                        else:
+                            values = []
+                        obj = JSObject(dict(zip(keys, values)))
+                        heap.register(obj)
+                        sh = acc[2]
+                        sh[_SH_VALUES] = values
+                        sh[_SH_OBJ] = obj
+                        st.append(obj)
+                        gc_check(acc)
+                    return h
+                if op == 41:      # DUP
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st.append(st[-1])
+                    return h
+                if op == 45:      # DUP2
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st.append(st[-2])
+                        st.append(st[-2])
+                    return h
+                if op == 42:      # POP
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        st.pop()
+                    return h
+                if op == 43:      # TYPEOF
+                    def h(st, lo, acc, c=c):
+                        acc[0] += c
+                        v = st.pop()
+                        acc[2][_SH_V] = v
+                        if isinstance(v, float):
+                            st.append("number")
+                        elif isinstance(v, str):
+                            st.append("string")
+                        elif isinstance(v, bool):
+                            st.append("boolean")
+                        elif v is UNDEFINED:
+                            st.append("undefined")
+                        elif isinstance(v, (JSFunction, NativeFunction)):
+                            st.append("function")
+                        else:
+                            st.append("object")
+                    return h
+                if op == 46:      # INCIDX
+                    rw = make_rewind(idx)
+                    delta, is_post = arg
+
+                    def h(st, lo, acc, c=c, delta=delta, is_post=is_post,
+                          rw=rw):
+                        acc[0] += c
+                        index = st.pop()
+                        obj = st.pop()
+                        sh = acc[2]
+                        sh[_SH_INDEX] = index
+                        sh[_SH_OBJ] = obj
+                        try:
+                            old = _to_number(_element_get(obj, index))
+                            new = old + delta
+                            i = int(index)
+                            sh[_SH_I] = 0.0
+                            if isinstance(obj, (JSArray, JSTypedArray)):
+                                obj.items[i] = new
+                            else:
+                                obj.props[js_to_str(index)] = new
+                        except BaseException:
+                            rw()
+                            raise
+                        st.append(old if is_post else new)
+                    return h
+                if op == 47:      # INCMEM
+                    rw = make_rewind(idx)
+                    name, delta, is_post = arg
+
+                    def h(st, lo, acc, c=c, name=name, delta=delta,
+                          is_post=is_post, rw=rw):
+                        acc[0] += c
+                        obj = st.pop()
+                        acc[2][_SH_OBJ] = obj
+                        try:
+                            old = _to_number(engine._member_get(obj, name))
+                            new = old + delta
+                            obj.props[name] = new
+                        except BaseException:
+                            rw()
+                            raise
+                        st.append(old if is_post else new)
+                    return h
+                raise JsRuntimeError(
+                    f"{fn.name}: unimplemented bytecode op {op} "
+                    f"(threaded tier)")
+
+            def fused(key, fops, idx):
+                kind = key[0]
+                cs = charges[idx:idx + len(fops)]
+                if kind in ("llbs", "llb", "lcbs", "lcb"):
+                    bop = key[1]
+                    i = fops[0][1]
+                    j = fops[1][1]
+                    store = kind.endswith("s")
+                    k = fops[3][1] if store else None
+                    from_local = kind[1] == "l"
+                    if bop == 5:
+                        # ADD keeps the float fast path, the string
+                        # allocation charge, and the post-op GC check in
+                        # reference order; the trailing STOREL charge (if
+                        # fused) lands after the check, as the ladder does.
+                        cst = cs[3] if store else None
+
+                        def h(st, lo, acc, cs=cs, i=i, j=j, k=k, cst=cst,
+                              from_local=from_local):
+                            t = acc[0]
+                            t += cs[0]
+                            t += cs[1]
+                            t += cs[2]
+                            acc[0] = t
+                            a = lo[i]
+                            b = lo[j] if from_local else j
+                            sh = acc[2]
+                            sh[_SH_A] = a
+                            sh[_SH_B] = b
+                            if type(a) is float and type(b) is float:
+                                v = a + b
+                            else:
+                                v = _js_add(a, b)
+                                sh[_SH_V] = v
+                                if isinstance(v, str):
+                                    heap.note_ephemeral(16 + 2 * len(v))
+                                    gc_check(acc)
+                                elif type(a) is not float or \
+                                        type(b) is not float:
+                                    gc_check(acc)
+                            if k is None:
+                                st.append(v)
+                            else:
+                                acc[0] += cst
+                                lo[k] = v
+                        return h
+                    f = _BINVAL[bop]
+                    w = _SHADOW_BIN[bop]
+                    if store:
+                        def h(st, lo, acc, cs=cs, f=f, w=w, i=i, j=j, k=k,
+                              from_local=from_local):
+                            t = acc[0]
+                            t += cs[0]
+                            t += cs[1]
+                            t += cs[2]
+                            t += cs[3]
+                            acc[0] = t
+                            a = lo[i]
+                            b = lo[j] if from_local else j
+                            w(acc[2], a, b)
+                            lo[k] = f(a, b)
+                        return h
+
+                    def h(st, lo, acc, cs=cs, f=f, w=w, i=i, j=j,
+                          from_local=from_local):
+                        t = acc[0]
+                        t += cs[0]
+                        t += cs[1]
+                        t += cs[2]
+                        acc[0] = t
+                        a = lo[i]
+                        b = lo[j] if from_local else j
+                        w(acc[2], a, b)
+                        st.append(f(a, b))
+                    return h
+                if kind == "llgi":
+                    rw = make_rewind(idx + 2)
+                    i = fops[0][1]
+                    j = fops[1][1]
+
+                    def h(st, lo, acc, cs=cs, i=i, j=j, ex=idx_extra,
+                          rw=rw):
+                        t = acc[0]
+                        t += cs[0]
+                        t += cs[1]
+                        t += cs[2]
+                        acc[0] = t
+                        obj = lo[i]
+                        sh = acc[2]
+                        sh[_SH_I] = lo[j]
+                        sh[_SH_OBJ] = obj
+                        if type(obj) is JSArray:
+                            acc[0] += ex
+                        try:
+                            st.append(_element_get(obj, lo[j]))
+                        except BaseException:
+                            rw()
+                            raise
+                    return h
+                if kind in ("llls", "lllsp"):
+                    rw = make_rewind(idx + 3)
+                    i = fops[0][1]
+                    j = fops[1][1]
+                    k = fops[2][1]
+                    cpop = cs[4] if kind == "lllsp" else None
+
+                    def h(st, lo, acc, cs=cs, i=i, j=j, k=k, cpop=cpop,
+                          ex=set_extra, rw=rw):
+                        t = acc[0]
+                        t += cs[0]
+                        t += cs[1]
+                        t += cs[2]
+                        t += cs[3]
+                        acc[0] = t
+                        obj = lo[i]
+                        value = lo[k]
+                        sh = acc[2]
+                        sh[_SH_VALUE] = value
+                        sh[_SH_INDEX] = lo[j]
+                        sh[_SH_OBJ] = obj
+                        if type(obj) is JSArray:
+                            acc[0] += ex
+                        try:
+                            _setidx_work(heap, obj, lo[j], value, sh)
+                        except BaseException:
+                            rw()
+                            raise
+                        if cpop is None:
+                            st.append(value)
+                        gc_check(acc)
+                        if cpop is not None:
+                            acc[0] += cpop
+                    return h
+                if kind == "cs":
+                    k = fops[1][1]
+                    c0 = fops[0][1]
+
+                    def h(st, lo, acc, cs=cs, c0=c0, k=k):
+                        t = acc[0]
+                        t += cs[0]
+                        t += cs[1]
+                        acc[0] = t
+                        lo[k] = c0
+                    return h
+                if kind == "ls":
+                    i = fops[0][1]
+                    k = fops[1][1]
+
+                    def h(st, lo, acc, cs=cs, i=i, k=k):
+                        t = acc[0]
+                        t += cs[0]
+                        t += cs[1]
+                        acc[0] = t
+                        lo[k] = lo[i]
+                    return h
+                return None
+
+            def make_term(instr, cond=None, pre_charges=()):
+                op, arg = instr
+                c = charges[blk_n - 1]
+                if op == 27:      # JMP
+                    tbi = bi_of(arg)
+
+                    def term(st, lo, acc, c=c, tbi=tbi):
+                        acc[0] += c
+                        return tbi
+                    return term
+                if op in (28, 29):  # JF / JT
+                    tbi = bi_of(arg)
+                    on_true = op == 29
+                    if cond is None:
+                        def term(st, lo, acc, c=c, tbi=tbi, nbi=nbi,
+                                 on_true=on_true):
+                            acc[0] += c
+                            if js_truthy(st.pop()) == on_true:
+                                return tbi
+                            return nbi
+                    else:
+                        def term(st, lo, acc, pcs=pre_charges, c=c,
+                                 cond=cond, tbi=tbi, nbi=nbi,
+                                 on_true=on_true):
+                            t = acc[0]
+                            for pc_ in pcs:
+                                t += pc_
+                            t += c
+                            acc[0] = t
+                            if bool(cond(st, lo, acc[2])) == on_true:
+                                return tbi
+                            return nbi
+                    return term
+                if op == 30:      # JBACK
+                    tbi = bi_of(arg)
+                    if tier0 and jit_enabled:
+                        backedge_hot = tiering.backedge_hot
+
+                        def term(st, lo, acc, c=c, tbi=tbi):
+                            acc[0] += c
+                            fn.backedge_count += 1
+                            if backedge_hot(fn.backedge_count):
+                                engine._tier_up(fn)  # on-stack replacement
+                            return tbi
+                    else:
+                        def term(st, lo, acc, c=c, tbi=tbi):
+                            acc[0] += c
+                            return tbi
+                    return term
+                if op == 33:      # RET
+                    if cond is not None:
+                        # Fused LOADL+RET: cond is the local index here.
+                        i = cond
+
+                        def term(st, lo, acc, pcs=pre_charges, c=c, i=i):
+                            t = acc[0]
+                            for pc_ in pcs:
+                                t += pc_
+                            t += c
+                            acc[0] = t
+                            acc[1] = lo[i]
+                            return -1
+                        return term
+
+                    def term(st, lo, acc, c=c):
+                        acc[0] += c
+                        acc[1] = st.pop()
+                        return -1
+                    return term
+                if op == 34:      # RETU
+                    def term(st, lo, acc, c=c):
+                        acc[0] += c
+                        acc[1] = UNDEFINED
+                        return -1
+                    return term
+                if op in (31, 32):  # CALL / METHOD
+                    is_method = op == 32
+                    if is_method:
+                        name, nargs = arg
+                    else:
+                        name, nargs = None, arg
+
+                    def term(st, lo, acc, c=c, name=name, nargs=nargs,
+                             is_method=is_method, arg=arg, nbi=nbi,
+                             factor=factor):
+                        acc[0] += c
+                        if nargs:
+                            call_args = st[-nargs:]
+                            del st[-nargs:]
+                        else:
+                            call_args = []
+                        sh = acc[2]
+                        sh[_SH_ARGS] = call_args
+                        if is_method:
+                            this_val = st.pop()
+                            sh[_SH_THIS] = this_val
+                            callee = engine._member_get(this_val, name)
+                        else:
+                            callee = st.pop()
+                            this_val = UNDEFINED
+                            sh[_SH_THIS] = UNDEFINED
+                        sh[_SH_CALLEE] = callee
+                        if isinstance(callee, JSFunction):
+                            stats.cycles += acc[0]
+                            acc[0] = 0.0
+                            st.append(execute(engine, callee, call_args,
+                                              this_val))
+                        elif isinstance(callee, NativeFunction):
+                            acc[0] += callee.cycles * factor
+                            st.append(callee.fn(engine, this_val,
+                                                call_args))
+                        else:
+                            raise JsRuntimeError(
+                                f"{arg if is_method else callee!r} "
+                                f"is not a function")
+                        gc_check(acc)
+                        return nbi
+                    return term
+                # NEWCALL — no flush before _construct (reference keeps
+                # its frame-local cycles unflushed across it too).
+                def term(st, lo, acc, c=c, nargs=arg, nbi=nbi):
+                    acc[0] += c
+                    if nargs:
+                        call_args = st[-nargs:]
+                        del st[-nargs:]
+                    else:
+                        call_args = []
+                    ctor = st.pop()
+                    sh = acc[2]
+                    sh[_SH_ARGS] = call_args
+                    sh[_SH_CTOR] = ctor
+                    st.append(engine._construct(ctor, call_args))
+                    gc_check(acc)
+                    return nbi
+                return term
+
+            has_term = bool(ops) and ops[-1][0] in _TERM_OPS
+            body = ops[:-1] if has_term else ops
+            term = None
+            if has_term and ops[-1][0] in (28, 29, 33):
+                hit = match_tail(ops, lambda o: o[0], _TAIL_PATTERNS)
+                if hit is not None:
+                    key, ln = hit
+                    kind = key[0]
+                    pre = tuple(charges[blk_n - ln:blk_n - 1])
+                    if kind == "llc":
+                        f = _BINVAL[key[1]]
+                        w = _SHADOW_BIN[key[1]]
+                        i, j = ops[-4][1], ops[-3][1]
+
+                        def cond(st, lo, sh, f=f, w=w, i=i, j=j):
+                            a = lo[i]
+                            b = lo[j]
+                            w(sh, a, b)
+                            return f(a, b)
+                        term = make_term(ops[-1], cond, pre)
+                    elif kind == "lcc":
+                        f = _BINVAL[key[1]]
+                        w = _SHADOW_BIN[key[1]]
+                        i, k = ops[-4][1], ops[-3][1]
+
+                        def cond(st, lo, sh, f=f, w=w, i=i, k=k):
+                            a = lo[i]
+                            w(sh, a, k)
+                            return f(a, k)
+                        term = make_term(ops[-1], cond, pre)
+                    elif kind == "cb":
+                        f = _BINVAL[key[1]]
+                        w = _SHADOW_BIN[key[1]]
+
+                        def cond(st, lo, sh, f=f, w=w):
+                            b = st.pop()
+                            a = st.pop()
+                            w(sh, a, b)
+                            return f(a, b)
+                        term = make_term(ops[-1], cond, pre)
+                    else:             # "lret"
+                        term = make_term(ops[-1], ops[-2][1], pre)
+                    if term is not None:
+                        body = ops[:-ln]
+            if term is None:
+                if has_term:
+                    term = make_term(ops[-1])
+                else:
+                    def term(st, lo, acc, nbi=nbi):
+                        return nbi
+            seq = fuse_straight_line(body, lambda o: o[0], _PATTERNS,
+                                     single, fused)
+            return seq, term
+
+        f0 = tiering.exec_factor(0)
+        f1 = tiering.exec_factor(1)
+        seq0, term0 = build_variant(JS_OP_COST, f0, True)
+        seq1, term1 = build_variant(JS_OP_COST_OPT, f1, False)
+        blocks.append(_Block(blk_n, deltas, seq0, term0, seq1, term1))
+
+    return ThreadedFunction(fn, blocks, len(fn.params), fn.num_locals)
+
+
+def run(engine, fn, tf, args):
+    """Execute a translated frame.  The caller (``execute``) has already
+    done the tier-up preamble and the over-trigger / trace gating."""
+    locals_ = list(args[:tf.nparams])
+    if len(locals_) < tf.num_locals:
+        locals_ += [UNDEFINED] * (tf.num_locals - len(locals_))
+    stack = []
+    stats = engine.stats
+    counts = stats.op_counts
+    blocks = tf.blocks
+    # [cycle accumulator, return value, shadow locals] — the shadow list
+    # mirrors the reference frame's arm locals for GC reachability.
+    acc = [0.0, UNDEFINED, [None] * _NSHADOW]
+    bi = 0 if blocks else -1
+    try:
+        while bi >= 0:
+            blk = blocks[bi]
+            stats.instructions += blk.n
+            for ci, d in blk.deltas:
+                counts[ci] += d
+            if fn.tier:
+                for h in blk.seq1:
+                    h(stack, locals_, acc)
+                bi = blk.term1(stack, locals_, acc)
+            else:
+                for h in blk.seq0:
+                    h(stack, locals_, acc)
+                bi = blk.term0(stack, locals_, acc)
+    finally:
+        stats.cycles += acc[0]
+    return acc[1]
+
+
+# Bound at the bottom to break the import cycle: the interpreter imports
+# this module at *its* bottom, so by the time either body needs these
+# names at runtime, both namespaces are complete.
+from repro.jsengine.interpreter import (  # noqa: E402
+    JsRuntimeError, _element_get, _js_add, _js_loose_eq, _to_number, execute,
+)

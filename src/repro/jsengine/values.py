@@ -127,7 +127,8 @@ class JSFunction:
     """A compiled JS function (parameters + bytecode + tiering state)."""
 
     __slots__ = ("name", "params", "code", "consts", "num_locals",
-                 "call_count", "backedge_count", "tier", "__weakref__")
+                 "call_count", "backedge_count", "tier", "threaded",
+                 "__weakref__")
 
     def __init__(self, name, params, code, consts, num_locals):
         self.name = name
@@ -138,6 +139,9 @@ class JSFunction:
         self.call_count = 0
         self.backedge_count = 0
         self.tier = 0
+        #: Lazily built ``(engine, ThreadedFunction)`` pair — the threaded
+        #: translation pre-binds engine state, so it is keyed by engine.
+        self.threaded = None
 
     @property
     def heap_bytes(self):

@@ -208,24 +208,40 @@ class _Machine:
             self.memory[offset:offset + len(data)] = data
         self.stats = NativeStats()
         self.budget = max_instructions
+        self._fast = _threaded.fast_interp_enabled()
+        #: id(fn) → ThreadedFunction; translations pre-bind this machine's
+        #: stats/memory, so the cache is per machine.  Keyed by id because
+        #: NativeFunction is an (unhashable) dataclass; the program keeps
+        #: every function alive, so ids are stable for the machine's life.
+        self._threaded = {}
 
     def call(self, name, *args):
         fn = self.program.functions[name]
         return self._run(fn, list(args))
 
     def _run(self, fn, args):
-        import struct as _s
+        if self._fast:
+            tf = self._threaded.get(id(fn))
+            if tf is None:
+                tf = _threaded.translate(fn, self)
+                self._threaded[id(fn)] = tf
+            return _threaded.run(self, tf, args)
         regs = [0] * fn.nregs
         regs[:len(args)] = args
+        return self._run_from(fn, regs, 0)
+
+    def _run_from(self, fn, regs, pc, cycles=0.0, instret=0):
+        """Reference interpreter loop — the differential oracle for the
+        threaded tier.  Resumable mid-frame: the threaded tier deopts here
+        (with its pending unflushed accumulators) when the instruction
+        budget cannot cover a whole block."""
+        import struct as _s
         code = fn.code
         n = len(code)
-        pc = 0
         stats = self.stats
         mem = self.memory
         klass = N_OP_CLASS
         counts = stats.op_counts
-        cycles = 0.0
-        instret = 0
         try:
             while pc < n:
                 op, dst, a, b, vector = code[pc]
@@ -491,3 +507,8 @@ def execute_program(program, entry="main", args=(), max_instructions=None):
     machine = _Machine(program, max_instructions)
     result = machine.call(entry, *args)
     return result, machine.stats
+
+
+# Bound at the bottom to break the cycle: the threaded tier imports this
+# module's tables (N_COST, NOp, ...) at its top.
+from repro.native import threaded as _threaded  # noqa: E402

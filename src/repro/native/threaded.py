@@ -1,0 +1,580 @@
+"""Threaded-code execution tier for the native register machine.
+
+Exactness rules (see :mod:`repro.engine.threaded`) as they apply here:
+
+* **Cycles self-charge per op.**  Vector-marked instructions are charged
+  ``N_COST[op] * VECTOR_COST_FACTOR`` (0.29 — not dyadic), so per-block
+  float batching would reorder the sum; every handler adds its own
+  pre-bound constant in the reference's left-fold order instead.  The
+  integer counters (``instructions``, ``op_counts``, budget) batch per
+  block with rewinds on trap-capable handlers.
+* **The RETV double-flush is intentional.**  The reference ``RETV`` arm
+  flushes the frame-local accumulators and returns *without zeroing
+  them*, so the ``finally`` flush runs a second time.  The threaded
+  terminator and trampoline reproduce both flushes in the same order —
+  bit for bit, including the duplicated float addition.
+* **Budget deopt.**  ``machine.budget`` is shared across frames and
+  decremented per instruction by the reference.  A block entered with
+  fewer budget units than instructions hands the frame to the reference
+  ladder (resumed at the block's start pc with the pending unflushed
+  cycle/instret accumulators), which traps at the exact instruction with
+  the exact partial stats.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+
+from repro.engine.threaded import (
+    class_deltas, fast_interp_enabled, match_tail, split_blocks,
+)
+from repro.errors import TrapError
+from repro.native.machine import (
+    N_COST, N_OP_CLASS, NOp, VECTOR_COST_FACTOR, _w32, _w64,
+)
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_UNPACK_D = _struct.Struct("<d").unpack_from
+_UNPACK_I = _struct.Struct("<i").unpack_from
+_UNPACK_Q = _struct.Struct("<q").unpack_from
+_PACK_D = _struct.Struct("<d").pack_into
+_PACK_I = _struct.Struct("<I").pack_into
+_PACK_Q = _struct.Struct("<Q").pack_into
+
+_TERM_OPS = frozenset((88, 89, 90, 91, 92, 93))   # JMP JZ JNZ CALL RET RETV
+_BRANCHES = frozenset((88, 89, 90))
+
+
+def _div_s32(x, y):
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    q = abs(x) // abs(y)
+    return _w32(q if (x < 0) == (y < 0) else -q)
+
+
+def _div_s64(x, y):
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    q = abs(x) // abs(y)
+    return _w64(q if (x < 0) == (y < 0) else -q)
+
+
+def _div_u32(x, y):
+    y &= _MASK32
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    return _w32((x & _MASK32) // y)
+
+
+def _div_u64(x, y):
+    y &= _MASK64
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    return _w64((x & _MASK64) // y)
+
+
+def _rem_s(x, y):
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    r = abs(x) % abs(y)
+    return -r if x < 0 else r
+
+
+def _rem_u32(x, y):
+    y &= _MASK32
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    return _w32((x & _MASK32) % y)
+
+
+def _rem_u64(x, y):
+    y &= _MASK64
+    if y == 0:
+        raise TrapError("integer divide by zero")
+    return _w64((x & _MASK64) % y)
+
+
+def _fdiv(x, y):
+    if y == 0.0:
+        if x == 0.0 or x != x:
+            return math.nan
+        return math.copysign(math.inf, x) * math.copysign(1.0, y)
+    return x / y
+
+
+def _f2i32(v):
+    if v != v or v >= 2147483648.0 or v <= -2147483649.0:
+        raise TrapError("invalid f64→i32 conversion")
+    return int(v)
+
+
+def _f2i64(v):
+    if v != v or v >= 9223372036854775808.0 or v < -9223372036854775808.0:
+        raise TrapError("invalid f64→i64 conversion")
+    return int(v)
+
+
+#: Pure binary value functions (comparisons return 1/0 as stored).
+_BINVAL = {
+    2: lambda x, y: _w32(x + y),
+    3: lambda x, y: _w32(x - y),
+    4: lambda x, y: _w32(x * y),
+    9: lambda x, y: _w32(x & y),
+    10: lambda x, y: _w32(x | y),
+    11: lambda x, y: _w32(x ^ y),
+    12: lambda x, y: _w32(x << (y & 31)),
+    13: lambda x, y: x >> (y & 31),
+    14: lambda x, y: _w32((x & _MASK32) >> (y & 31)),
+    18: lambda x, y: _w64(x + y),
+    19: lambda x, y: _w64(x - y),
+    20: lambda x, y: _w64(x * y),
+    25: lambda x, y: _w64(x & y),
+    26: lambda x, y: _w64(x | y),
+    27: lambda x, y: _w64(x ^ y),
+    28: lambda x, y: _w64(x << (y & 63)),
+    29: lambda x, y: x >> (y & 63),
+    30: lambda x, y: _w64((x & _MASK64) >> (y & 63)),
+    60: lambda x, y: x + y,
+    61: lambda x, y: x - y,
+    62: lambda x, y: x * y,
+    63: _fdiv,
+}
+
+#: Comparison truth functions for EQ32..FGE (34..59).
+_CMPVAL = {
+    NOp.EQ32: lambda x, y: x == y,
+    NOp.NE32: lambda x, y: x != y,
+    NOp.LTS32: lambda x, y: x < y,
+    NOp.LTU32: lambda x, y: (x & _MASK32) < (y & _MASK32),
+    NOp.LES32: lambda x, y: x <= y,
+    NOp.LEU32: lambda x, y: (x & _MASK32) <= (y & _MASK32),
+    NOp.GTS32: lambda x, y: x > y,
+    NOp.GTU32: lambda x, y: (x & _MASK32) > (y & _MASK32),
+    NOp.GES32: lambda x, y: x >= y,
+    NOp.GEU32: lambda x, y: (x & _MASK32) >= (y & _MASK32),
+    NOp.EQ64: lambda x, y: x == y,
+    NOp.NE64: lambda x, y: x != y,
+    NOp.LTS64: lambda x, y: x < y,
+    NOp.LTU64: lambda x, y: (x & _MASK64) < (y & _MASK64),
+    NOp.LES64: lambda x, y: x <= y,
+    NOp.LEU64: lambda x, y: (x & _MASK64) <= (y & _MASK64),
+    NOp.GTS64: lambda x, y: x > y,
+    NOp.GTU64: lambda x, y: (x & _MASK64) > (y & _MASK64),
+    NOp.GES64: lambda x, y: x >= y,
+    NOp.GEU64: lambda x, y: (x & _MASK64) >= (y & _MASK64),
+    NOp.FEQ: lambda x, y: x == y,
+    NOp.FNE: lambda x, y: x != y,
+    NOp.FLT: lambda x, y: x < y,
+    NOp.FLE: lambda x, y: x <= y,
+    NOp.FGT: lambda x, y: x > y,
+    NOp.FGE: lambda x, y: x >= y,
+}
+_CMPVAL = {int(k): v for k, v in _CMPVAL.items()}
+
+_TRAP_BINVAL = {
+    5: _div_s32, 6: _div_u32, 7: _rem_s, 8: _rem_u32,
+    21: _div_s64, 22: _div_u64, 23: _rem_s, 24: _rem_u64,
+}
+
+#: Pure unary value functions.
+_UNVAL = {
+    15: lambda v: _w32(-v),
+    16: lambda v: 1 if v == 0 else 0,
+    17: lambda v: _w32(~v),
+    31: lambda v: _w64(-v),
+    32: lambda v: _w64(~v),
+    33: lambda v: 1 if v == 0 else 0,
+    64: lambda v: math.nan if v < 0 else math.sqrt(v),
+    65: abs,
+    66: lambda v: -v,
+    69: float,
+    70: lambda v: float(v & _MASK32),
+    71: float,
+    74: lambda v: v,
+    75: lambda v: v & _MASK32,
+    76: _w32,
+}
+
+_TRAP_UNVAL = {
+    67: lambda v: float(math.floor(v)),
+    68: lambda v: float(math.ceil(v)),
+    72: _f2i32,
+    73: _f2i64,
+}
+
+_LOADS = frozenset(range(77, 83))
+_STORES = frozenset(range(83, 88))
+
+SUPPORTED_OPS = (set(_BINVAL) | set(_CMPVAL) | set(_TRAP_BINVAL)
+                 | set(_UNVAL) | set(_TRAP_UNVAL) | set(_LOADS)
+                 | set(_STORES) | set(_TERM_OPS) | {0, 1, 94, 95})
+
+
+def _build_tail_patterns():
+    tails = []
+    for br in (89, 90):                   # JZ / JNZ
+        for cmp_op in _CMPVAL:
+            tails.append(((cmp_op, br), (cmp_op, br)))
+    return tails
+
+
+_TAIL_PATTERNS = _build_tail_patterns()
+
+
+class _Block:
+    __slots__ = ("start", "n", "deltas", "seq", "term")
+
+    def __init__(self, start, n, deltas, seq, term):
+        self.start = start
+        self.n = n
+        self.deltas = deltas
+        self.seq = seq
+        self.term = term
+
+
+class ThreadedFunction:
+    __slots__ = ("fn", "blocks", "nregs", "budget_mode")
+
+    def __init__(self, fn, blocks, nregs, budget_mode):
+        self.fn = fn
+        self.blocks = blocks
+        self.nregs = nregs
+        self.budget_mode = budget_mode
+
+
+def translate(fn, machine):
+    code = fn.code
+    n = len(code)
+    for pc, instr in enumerate(code):
+        if instr[0] not in SUPPORTED_OPS:
+            raise TrapError(
+                f"{fn.name}: unimplemented native op {instr[0]} at pc {pc} "
+                f"(threaded tier has no handler)")
+
+    leaders = {0}
+    for pc, instr in enumerate(code):
+        op = instr[0]
+        if op in _TERM_OPS:
+            leaders.add(pc + 1)
+            if op in _BRANCHES:
+                leaders.add(instr[1])    # dst carries the jump target
+    ranges = split_blocks(n, leaders)
+    block_index = {start: bi for bi, (start, _end) in enumerate(ranges)}
+
+    def bi_of(pc):
+        return -1 if pc >= n else block_index[pc]
+
+    stats = machine.stats
+    counts = stats.op_counts
+    mem = machine.memory
+    functions = machine.program.functions
+    budget_mode = machine.budget is not None
+
+    blocks = []
+    for start, end in ranges:
+        ops = code[start:end]
+        blk_n = len(ops)
+        classes = [int(N_OP_CLASS[instr[0]]) for instr in ops]
+        deltas = class_deltas(classes)
+        charges = [N_COST[instr[0]] * (VECTOR_COST_FACTOR if instr[4]
+                                       else 1.0) for instr in ops]
+        nbi = bi_of(end)
+
+        def make_rewind(idx):
+            """Integer rewind: the cycle stream is self-charged, so only
+            the block-batched instret / op-class / budget charges for the
+            instructions after ``idx`` are subtracted."""
+            n_sfx = blk_n - (idx + 1)
+            delta_sfx = class_deltas(classes[idx + 1:])
+            if budget_mode:
+                def rewind(acc):
+                    acc[1] -= n_sfx
+                    for ci, d in delta_sfx:
+                        counts[ci] -= d
+                    machine.budget += n_sfx
+            else:
+                def rewind(acc):
+                    acc[1] -= n_sfx
+                    for ci, d in delta_sfx:
+                        counts[ci] -= d
+            return rewind
+
+        def single(instr, idx):
+            op, dst, a, b, _vector = instr
+            c = charges[idx]
+            if op == 0:       # MOVI
+                def h(regs, acc, c=c, d=dst, k=a):
+                    acc[0] += c
+                    regs[d] = k
+                return h
+            if op == 1:       # MOV
+                def h(regs, acc, c=c, d=dst, a=a):
+                    acc[0] += c
+                    regs[d] = regs[a]
+                return h
+            if op == 60:      # FADD
+                def h(regs, acc, c=c, d=dst, a=a, b=b):
+                    acc[0] += c
+                    regs[d] = regs[a] + regs[b]
+                return h
+            if op == 62:      # FMUL
+                def h(regs, acc, c=c, d=dst, a=a, b=b):
+                    acc[0] += c
+                    regs[d] = regs[a] * regs[b]
+                return h
+            if op in _CMPVAL:
+                def h(regs, acc, c=c, f=_CMPVAL[op], d=dst, a=a, b=b):
+                    acc[0] += c
+                    regs[d] = 1 if f(regs[a], regs[b]) else 0
+                return h
+            if op in _BINVAL:
+                def h(regs, acc, c=c, f=_BINVAL[op], d=dst, a=a, b=b):
+                    acc[0] += c
+                    regs[d] = f(regs[a], regs[b])
+                return h
+            if op in _TRAP_BINVAL:
+                rw = make_rewind(idx)
+
+                def h(regs, acc, c=c, f=_TRAP_BINVAL[op], d=dst, a=a, b=b,
+                      rw=rw):
+                    acc[0] += c
+                    try:
+                        regs[d] = f(regs[a], regs[b])
+                    except BaseException:
+                        rw(acc)
+                        raise
+                return h
+            if op in _UNVAL:
+                def h(regs, acc, c=c, f=_UNVAL[op], d=dst, a=a):
+                    acc[0] += c
+                    regs[d] = f(regs[a])
+                return h
+            if op in _TRAP_UNVAL:
+                rw = make_rewind(idx)
+
+                def h(regs, acc, c=c, f=_TRAP_UNVAL[op], d=dst, a=a,
+                      rw=rw):
+                    acc[0] += c
+                    try:
+                        regs[d] = f(regs[a])
+                    except BaseException:
+                        rw(acc)
+                        raise
+                return h
+            if op in _LOADS or op in _STORES:
+                rw = make_rewind(idx)
+                if op == 82:      # LOADF
+                    def body(regs, d=dst, a=a, b=b):
+                        regs[d] = _UNPACK_D(mem, regs[a] + b)[0]
+                elif op == 80:    # LOAD32
+                    def body(regs, d=dst, a=a, b=b):
+                        regs[d] = _UNPACK_I(mem, regs[a] + b)[0]
+                elif op == 81:    # LOAD64
+                    def body(regs, d=dst, a=a, b=b):
+                        regs[d] = _UNPACK_Q(mem, regs[a] + b)[0]
+                elif op == 77:    # LOAD8U
+                    def body(regs, d=dst, a=a, b=b):
+                        regs[d] = mem[regs[a] + b]
+                elif op == 78:    # LOAD8S
+                    def body(regs, d=dst, a=a, b=b):
+                        v = mem[regs[a] + b]
+                        regs[d] = v - 256 if v >= 128 else v
+                elif op == 79:    # LOAD16U
+                    def body(regs, d=dst, a=a, b=b):
+                        addr = regs[a] + b
+                        regs[d] = mem[addr] | (mem[addr + 1] << 8)
+                elif op == 87:    # STOREF
+                    def body(regs, d=dst, a=a, b=b):
+                        _PACK_D(mem, regs[a] + b, regs[d])
+                elif op == 85:    # STORE32
+                    def body(regs, d=dst, a=a, b=b):
+                        _PACK_I(mem, regs[a] + b, regs[d] & _MASK32)
+                elif op == 86:    # STORE64
+                    def body(regs, d=dst, a=a, b=b):
+                        _PACK_Q(mem, regs[a] + b, regs[d] & _MASK64)
+                elif op == 83:    # STORE8
+                    def body(regs, d=dst, a=a, b=b):
+                        mem[regs[a] + b] = regs[d] & 0xFF
+                else:             # 84: STORE16
+                    def body(regs, d=dst, a=a, b=b):
+                        addr = regs[a] + b
+                        v = regs[d] & 0xFFFF
+                        mem[addr] = v & 0xFF
+                        mem[addr + 1] = v >> 8
+
+                def h(regs, acc, c=c, body=body, rw=rw):
+                    acc[0] += c
+                    try:
+                        body(regs)
+                    except BaseException:
+                        rw(acc)
+                        raise
+                return h
+            if op == 94:      # HOSTCALL
+                rw = make_rewind(idx)
+                name, arg_regs = a
+
+                def h(regs, acc, c=c, name=name, arg_regs=arg_regs,
+                      d=dst, rw=rw):
+                    acc[0] += c
+                    try:
+                        result = machine._host(
+                            name, [regs[r] for r in arg_regs])
+                    except BaseException:
+                        rw(acc)
+                        raise
+                    if d >= 0:
+                        regs[d] = result
+                return h
+            if op == 95:      # SELECT
+                cond_reg, then_reg, else_reg = a
+
+                def h(regs, acc, c=c, d=dst, cr=cond_reg, tr=then_reg,
+                      er=else_reg):
+                    acc[0] += c
+                    regs[d] = regs[tr] if regs[cr] else regs[er]
+                return h
+            raise TrapError(
+                f"{fn.name}: unimplemented native op {op} (threaded tier)")
+
+        def make_term(instr):
+            op, dst, a, _b, _vector = instr
+            c = charges[blk_n - 1]
+            if op == 88:      # JMP
+                tbi = bi_of(dst)
+
+                def term(regs, acc, c=c, tbi=tbi):
+                    acc[0] += c
+                    return tbi
+                return term
+            if op in (89, 90):  # JZ / JNZ
+                tbi = bi_of(dst)
+                jump_if = op == 90
+
+                def term(regs, acc, c=c, a=a, tbi=tbi, nbi=nbi,
+                         jump_if=jump_if):
+                    acc[0] += c
+                    if bool(regs[a]) == jump_if:
+                        return tbi
+                    return nbi
+                return term
+            if op == 91:      # CALL
+                name, arg_regs = a
+                callee = functions[name]
+
+                def term(regs, acc, c=c, callee=callee, arg_regs=arg_regs,
+                         d=dst, nbi=nbi):
+                    acc[0] += c
+                    stats.cycles += acc[0]
+                    stats.instructions += acc[1]
+                    acc[0] = 0.0
+                    acc[1] = 0
+                    result = machine._run(callee,
+                                          [regs[r] for r in arg_regs])
+                    if d >= 0:
+                        regs[d] = result
+                    return nbi
+                return term
+            if op == 93:      # RETV: flush WITHOUT zeroing — the
+                # trampoline's finally flushes a second time, replicating
+                # the reference ladder's double-count to the bit.
+                def term(regs, acc, c=c, a=a):
+                    acc[0] += c
+                    stats.cycles += acc[0]
+                    stats.instructions += acc[1]
+                    acc[2] = regs[a]
+                    return -1
+                return term
+            # RET
+            def term(regs, acc, c=c):
+                acc[0] += c
+                return -1
+            return term
+
+        has_term = bool(ops) and ops[-1][0] in _TERM_OPS
+        body_ops = ops[:-1] if has_term else ops
+        term = None
+        if has_term and ops[-1][0] in (89, 90) and blk_n >= 2:
+            hit = match_tail(ops, lambda o: o[0], _TAIL_PATTERNS)
+            if hit is not None:
+                cmp_instr = ops[-2]
+                br_instr = ops[-1]
+                # Fuse only when the branch tests the compare's result
+                # register; the result is still written (it may be live).
+                if br_instr[2] == cmp_instr[1]:
+                    f = _CMPVAL[cmp_instr[0]]
+                    c1 = charges[blk_n - 2]
+                    c2 = charges[blk_n - 1]
+                    tbi = bi_of(br_instr[1])
+                    jump_if = br_instr[0] == 90
+                    d, x, y = cmp_instr[1], cmp_instr[2], cmp_instr[3]
+
+                    def term(regs, acc, c1=c1, c2=c2, f=f, d=d, x=x, y=y,
+                             tbi=tbi, nbi=nbi, jump_if=jump_if):
+                        t = acc[0]
+                        t += c1
+                        t += c2
+                        acc[0] = t
+                        v = 1 if f(regs[x], regs[y]) else 0
+                        regs[d] = v
+                        if bool(v) == jump_if:
+                            return tbi
+                        return nbi
+                    body_ops = ops[:-2]
+        if term is None:
+            if has_term:
+                term = make_term(ops[-1])
+            else:
+                def term(regs, acc, nbi=nbi):
+                    return nbi
+
+        seq = []
+        for i, instr in enumerate(body_ops):
+            seq.append(single(instr, i))
+        blocks.append(_Block(start, blk_n, deltas, seq, term))
+
+    return ThreadedFunction(fn, blocks, fn.nregs, budget_mode)
+
+
+def run(machine, tf, args):
+    """Execute a translated frame; observationally identical to the
+    reference ``_Machine._run_from`` including its flush quirks."""
+    regs = [0] * tf.nregs
+    regs[:len(args)] = args
+    stats = machine.stats
+    counts = stats.op_counts
+    blocks = tf.blocks
+    budget_mode = tf.budget_mode
+    acc = [0.0, 0, None]
+    bi = 0 if blocks else -1
+    try:
+        while bi >= 0:
+            blk = blocks[bi]
+            if budget_mode:
+                r = machine.budget
+                if r < blk.n:
+                    # Deopt: hand the frame (with pending unflushed
+                    # accumulators) to the reference ladder, which charges
+                    # op-by-op and traps at the exact instruction.
+                    pending_cycles = acc[0]
+                    pending_instret = acc[1]
+                    acc[0] = 0.0
+                    acc[1] = 0
+                    return machine._run_from(tf.fn, regs, blk.start,
+                                             pending_cycles,
+                                             pending_instret)
+                machine.budget = r - blk.n
+            acc[1] += blk.n
+            for ci, d in blk.deltas:
+                counts[ci] += d
+            for h in blk.seq:
+                h(regs, acc)
+            bi = blk.term(regs, acc)
+    finally:
+        if acc[1]:
+            stats.cycles += acc[0]
+            stats.instructions += acc[1]
+    return acc[2]

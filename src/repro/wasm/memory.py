@@ -30,6 +30,16 @@ _PACK_I64 = struct.Struct("<q")
 _PACK_U64 = struct.Struct("<Q")
 _PACK_F64 = struct.Struct("<d")
 
+# Pre-bound codec methods: one attribute lookup at import time instead of
+# two (`Struct.pack_into` / `Struct.unpack_from`) per memory access.  The
+# threaded tier's fused load/store handlers bind these directly.
+UNPACK_I32 = _PACK_I32.unpack_from
+UNPACK_I64 = _PACK_I64.unpack_from
+UNPACK_F64 = _PACK_F64.unpack_from
+PACK_U32 = _PACK_U32.pack_into
+PACK_U64 = _PACK_U64.pack_into
+PACK_F64 = _PACK_F64.pack_into
+
 
 class LinearMemory:
     """A growable linear memory with sparse, lazily materialised frames."""
@@ -95,14 +105,15 @@ class LinearMemory:
 
     def load_i32(self, addr):
         frame, off = self._frame(addr, 4)
-        return _PACK_I32.unpack_from(frame, off)[0]
+        return UNPACK_I32(frame, off)[0]
 
     def load_u8(self, addr):
         frame, off = self._frame(addr, 1)
         return frame[off]
 
     def load_s8(self, addr):
-        value = self.load_u8(addr)
+        frame, off = self._frame(addr, 1)
+        value = frame[off]
         return value - 256 if value >= 128 else value
 
     def load_u16(self, addr):
@@ -111,15 +122,15 @@ class LinearMemory:
 
     def load_i64(self, addr):
         frame, off = self._frame(addr, 8)
-        return _PACK_I64.unpack_from(frame, off)[0]
+        return UNPACK_I64(frame, off)[0]
 
     def load_f64(self, addr):
         frame, off = self._frame(addr, 8)
-        return _PACK_F64.unpack_from(frame, off)[0]
+        return UNPACK_F64(frame, off)[0]
 
     def store_i32(self, addr, value):
         frame, off = self._frame(addr, 4)
-        _PACK_U32.pack_into(frame, off, value & 0xFFFFFFFF)
+        PACK_U32(frame, off, value & 0xFFFFFFFF)
 
     def store_u8(self, addr, value):
         frame, off = self._frame(addr, 1)
@@ -133,11 +144,11 @@ class LinearMemory:
 
     def store_i64(self, addr, value):
         frame, off = self._frame(addr, 8)
-        _PACK_U64.pack_into(frame, off, value & 0xFFFFFFFFFFFFFFFF)
+        PACK_U64(frame, off, value & 0xFFFFFFFFFFFFFFFF)
 
     def store_f64(self, addr, value):
         frame, off = self._frame(addr, 8)
-        _PACK_F64.pack_into(frame, off, value)
+        PACK_F64(frame, off, value)
 
     def write_bytes(self, addr, data):
         for i in range(0, len(data), _FRAME_SIZE):

@@ -1,0 +1,869 @@
+"""Threaded-code execution tier for the Wasm VM.
+
+Translates a :class:`~repro.wasm.vm._PreparedFunction` into basic blocks
+of pre-bound handler closures (see :mod:`repro.engine.threaded` for the
+exactness rules).  Wasm is the one engine whose whole charge stream lives
+on an exact 0.25-cycle grid (``tests/test_dispatch_complete.py`` asserts
+this), so cycles, instruction counts, op-class counts *and* the
+instruction budget are all batched per block:
+
+* block entry charges the block's totals against ``ExecutionStats`` and
+  decrements the instance budget by the block length;
+* handlers that can trap (loads/stores, div/rem, trunc, floor/ceil,
+  ``unreachable``) carry a pre-bound rewind closure subtracting the
+  suffix after the trapping instruction, restoring the reference
+  ladder's charge-then-execute prefix bit for bit;
+* a block entered with fewer budget units than instructions *deopts*:
+  the frame resumes in the reference ladder at the block's start pc,
+  which then charges op-by-op and traps at the exact instruction index
+  with the exact partial stats.
+
+Marker ops (``block``/``loop``/``end``/``nop``) are charged in the block
+totals but emit no handler at all.  Fused superinstructions collapse the
+hot idioms (``local.get local.get <binop> [local.set]``,
+``local.get <load> [local.set]``, ``<const|local.get> <store>``,
+compare-and-branch block tails) into single closures; fusion never
+changes accounting, which is derived from the source instructions alone.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+
+from repro.engine.threaded import (
+    class_deltas, fast_interp_enabled, fuse_straight_line, match_tail,
+    split_blocks,
+)
+from repro.errors import TrapError, ValidationError
+from repro.wasm.instructions import OP_CLASS, OP_COST
+from repro.wasm.memory import (
+    PACK_F64, PACK_U32, PACK_U64, UNPACK_F64, UNPACK_I32, UNPACK_I64,
+)
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_SIGN32 = 0x80000000
+
+_PACK_Q = _struct.Struct("<q")
+_PACK_D = _struct.Struct("<d")
+
+
+def _wrap32(v):
+    v &= _MASK32
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _wrap64(v):
+    v &= _MASK64
+    return v - 0x10000000000000000 if v & 0x8000000000000000 else v
+
+
+# ---------------------------------------------------------------------------
+# Value functions: the pure result of one operator, matching the reference
+# ladder's arithmetic expression for expression.
+
+def _i32_add(a, b):
+    v = (a + b) & _MASK32
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _i32_sub(a, b):
+    v = (a - b) & _MASK32
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _i32_mul(a, b):
+    v = (a * b) & _MASK32
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _i32_shl(a, b):
+    v = (a << (b & 31)) & _MASK32
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _i32_shr_s(a, b):
+    return a >> (b & 31)
+
+
+def _i32_shr_u(a, b):
+    v = (a & _MASK32) >> (b & 31)
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _i32_rotl(a, b):
+    b &= 31
+    u = a & _MASK32
+    v = ((u << b) | (u >> (32 - b))) & _MASK32 if b else u
+    return v - 0x100000000 if v & _SIGN32 else v
+
+
+def _f64_div(a, b):
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def _i32_div_s(a, b):
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    q = abs(a) // abs(b)
+    return _wrap32(q if (a < 0) == (b < 0) else -q)
+
+
+def _i32_div_u(a, b):
+    b &= _MASK32
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return _wrap32((a & _MASK32) // b)
+
+
+def _i32_rem_s(a, b):
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def _i32_rem_u(a, b):
+    b &= _MASK32
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return _wrap32((a & _MASK32) % b)
+
+
+def _i64_div_s(a, b):
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    q = abs(a) // abs(b)
+    return _wrap64(q if (a < 0) == (b < 0) else -q)
+
+
+def _i64_div_u(a, b):
+    b &= _MASK64
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return _wrap64((a & _MASK64) // b)
+
+
+def _i64_rem_s(a, b):
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def _i64_rem_u(a, b):
+    b &= _MASK64
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return _wrap64((a & _MASK64) % b)
+
+
+def _trunc_f64_i32(v):
+    if v != v or v >= 2147483648.0 or v <= -2147483649.0:
+        raise TrapError("invalid conversion to integer")
+    return int(v)
+
+
+def _trunc_f64_i64(v):
+    if v != v or v >= 9223372036854775808.0 or v < -9223372036854775808.0:
+        raise TrapError("invalid conversion to integer")
+    return int(v)
+
+
+#: Pure binary operators usable by superinstruction fusion (trap-free);
+#: comparisons return 1/0 exactly as the reference pushes them.
+_BINOPS = {
+    34: _i32_add, 35: _i32_sub, 36: _i32_mul,
+    41: lambda a, b: _wrap32(a & b),
+    42: lambda a, b: _wrap32(a | b),
+    43: lambda a, b: _wrap32(a ^ b),
+    44: _i32_shl, 45: _i32_shr_s, 46: _i32_shr_u, 47: _i32_rotl,
+    52: lambda a, b: 1 if a == b else 0,
+    53: lambda a, b: 1 if a != b else 0,
+    54: lambda a, b: 1 if a < b else 0,
+    55: lambda a, b: 1 if (a & _MASK32) < (b & _MASK32) else 0,
+    56: lambda a, b: 1 if a > b else 0,
+    57: lambda a, b: 1 if (a & _MASK32) > (b & _MASK32) else 0,
+    58: lambda a, b: 1 if a <= b else 0,
+    59: lambda a, b: 1 if (a & _MASK32) <= (b & _MASK32) else 0,
+    60: lambda a, b: 1 if a >= b else 0,
+    61: lambda a, b: 1 if (a & _MASK32) >= (b & _MASK32) else 0,
+    62: lambda a, b: _wrap64(a + b),
+    63: lambda a, b: _wrap64(a - b),
+    64: lambda a, b: _wrap64(a * b),
+    69: lambda a, b: _wrap64(a & b),
+    70: lambda a, b: _wrap64(a | b),
+    71: lambda a, b: _wrap64(a ^ b),
+    72: lambda a, b: _wrap64(a << (b & 63)),
+    73: lambda a, b: a >> (b & 63),
+    74: lambda a, b: _wrap64((a & _MASK64) >> (b & 63)),
+    76: lambda a, b: 1 if a == b else 0,
+    77: lambda a, b: 1 if a != b else 0,
+    78: lambda a, b: 1 if a < b else 0,
+    79: lambda a, b: 1 if (a & _MASK64) < (b & _MASK64) else 0,
+    80: lambda a, b: 1 if a > b else 0,
+    81: lambda a, b: 1 if (a & _MASK64) > (b & _MASK64) else 0,
+    82: lambda a, b: 1 if a <= b else 0,
+    83: lambda a, b: 1 if a >= b else 0,
+    84: lambda a, b: a + b,
+    85: lambda a, b: a - b,
+    86: lambda a, b: a * b,
+    87: _f64_div,
+    91: lambda a, b: min(a, b),
+    92: lambda a, b: max(a, b),
+    95: lambda a, b: 1 if a == b else 0,
+    96: lambda a, b: 1 if a != b else 0,
+    97: lambda a, b: 1 if a < b else 0,
+    98: lambda a, b: 1 if a > b else 0,
+    99: lambda a, b: 1 if a <= b else 0,
+    100: lambda a, b: 1 if a >= b else 0,
+}
+
+#: Trap-capable binary operators (handlers wrap them with a rewind).
+_TRAP_BINOPS = {
+    37: _i32_div_s, 38: _i32_div_u, 39: _i32_rem_s, 40: _i32_rem_u,
+    65: _i64_div_s, 66: _i64_div_u, 67: _i64_rem_s, 68: _i64_rem_u,
+}
+
+#: Pure unary operators.
+_UNOPS = {
+    48: lambda v: 32 - (v & _MASK32).bit_length(),
+    49: lambda v: 32 if v & _MASK32 == 0
+    else ((v & _MASK32) & -(v & _MASK32)).bit_length() - 1,
+    50: lambda v: bin(v & _MASK32).count("1"),
+    51: lambda v: 1 if v == 0 else 0,
+    75: lambda v: 1 if v == 0 else 0,
+    88: lambda v: math.nan if v < 0 else math.sqrt(v),
+    89: abs,
+    90: lambda v: -v,
+    101: _wrap32,
+    102: lambda v: v,
+    103: lambda v: v & _MASK32,
+    104: float,
+    105: lambda v: float(v & _MASK32),
+    106: float,
+    109: lambda v: _wrap64(_PACK_Q.unpack(_PACK_D.pack(v))[0]),
+    110: lambda v: _PACK_D.unpack(_PACK_Q.pack(v))[0],
+}
+
+#: Trap-capable unary operators (f64→int truncations trap on range, and
+#: floor/ceil raise through ``math`` on inf/NaN exactly as the ladder).
+_TRAP_UNOPS = {
+    93: lambda v: float(math.floor(v)),
+    94: lambda v: float(math.ceil(v)),
+    107: _trunc_f64_i32,
+    108: _trunc_f64_i64,
+}
+
+_LOADS = {18: 4, 19: 8, 20: 8, 21: 1, 22: 1, 23: 2}
+_STORES = {24: 4, 25: 8, 26: 8, 27: 1, 28: 2}
+_CONSTS = (31, 32, 33)
+_MARKERS = frozenset((1, 2, 3, 6))        # nop / block / loop / end
+_TERM_OPS = frozenset((4, 7, 8, 9, 10))   # if / br / br_if / return / call
+
+#: Every opcode the threaded tier can translate.  ``ELSE`` (5) is absent
+#: by design: ``_prepare_body`` rewrites it to a resolved ``BR`` before
+#: translation, and the reference ladder does not dispatch it either.
+SUPPORTED_OPS = (set(_BINOPS) | set(_TRAP_BINOPS) | set(_UNOPS)
+                 | set(_TRAP_UNOPS) | set(_LOADS) | set(_STORES)
+                 | set(_CONSTS) | set(_MARKERS) | set(_TERM_OPS)
+                 | {0, 11, 12, 13, 14, 15, 16, 17, 29, 30})
+
+
+def _build_patterns():
+    """Straight-line superinstruction patterns, keyed by first opcode and
+    sorted longest-first."""
+    patterns = {}
+
+    def add(pat, key):
+        patterns.setdefault(pat[0], []).append((pat, key))
+
+    for bop in _BINOPS:
+        add((13, 13, bop, 14), ("ggbs", bop))
+        add((13, 13, bop), ("ggb", bop))
+        for c in _CONSTS:
+            add((13, c, bop, 14), ("gcbs", bop))
+            add((13, c, bop), ("gcb", bop))
+    for ld in _LOADS:
+        add((13, ld, 14), ("gls", ld))
+        add((13, ld), ("gl", ld))
+    for sto in _STORES:
+        add((13, 13, sto), ("ggs", sto))
+        for c in _CONSTS:
+            add((13, c, sto), ("gcs", sto))
+            add((c, sto), ("cs", sto))
+        add((13, sto), ("gs", sto))
+    add((13, 14), ("gset", None))
+    for c in _CONSTS:
+        add((c, 14), ("cset", None))
+    for entries in patterns.values():
+        entries.sort(key=lambda e: len(e[0]), reverse=True)
+    return patterns
+
+
+def _build_tail_patterns():
+    """Compare-and-branch tails fused into the block terminator."""
+    tails = []
+    for br in (8, 4):                     # br_if / if
+        for cmp_op in _BINOPS:
+            if not (52 <= cmp_op <= 61 or 76 <= cmp_op <= 83
+                    or 95 <= cmp_op <= 100):
+                continue
+            tails.append(((13, 13, cmp_op, br), ("ggc", cmp_op, br)))
+            for c in _CONSTS:
+                tails.append(((13, c, cmp_op, br), ("gcc", cmp_op, br)))
+            tails.append(((cmp_op, br), ("cb", cmp_op, br)))
+        for ez in (51, 75):
+            tails.append(((ez, br), ("ez", ez, br)))
+    tails.sort(key=lambda e: len(e[0]), reverse=True)
+    return tails
+
+
+_PATTERNS = _build_patterns()
+_TAIL_PATTERNS = _build_tail_patterns()
+
+
+class _Block:
+    __slots__ = ("start", "n", "cycles", "deltas", "seq", "term")
+
+    def __init__(self, start, n, cycles, deltas, seq, term):
+        self.start = start
+        self.n = n
+        self.cycles = cycles
+        self.deltas = deltas
+        self.seq = seq
+        self.term = term
+
+
+class ThreadedFunction:
+    __slots__ = ("fn", "blocks", "init_tail", "results", "budget_mode")
+
+    def __init__(self, fn, blocks, init_tail, results, budget_mode):
+        self.fn = fn
+        self.blocks = blocks
+        self.init_tail = init_tail
+        self.results = results
+        self.budget_mode = budget_mode
+
+
+def translate(fn, inst):
+    """Translate a prepared function for one instance.  Handlers pre-bind
+    the instance's memory, globals, stats and function table."""
+    code = fn.code
+    n = len(code)
+
+    for pc, (op, _arg, _extra) in enumerate(code):
+        if op not in SUPPORTED_OPS:
+            raise ValidationError(
+                f"{fn.name}: unknown opcode {op} at pc {pc} "
+                f"(threaded tier has no handler)")
+
+    leaders = {0}
+    for pc, (op, arg, _extra) in enumerate(code):
+        if op in _TERM_OPS:
+            leaders.add(pc + 1)
+            if op in (4, 7, 8):
+                leaders.add(arg)
+    ranges = split_blocks(n, leaders)
+    block_index = {start: bi for bi, (start, _end) in enumerate(ranges)}
+
+    def bi_of(pc):
+        return -1 if pc >= n else block_index[pc]
+
+    stats = inst.stats
+    counts = stats.op_counts
+    mem = inst.memory
+    frame = mem._frame
+    gvals = inst._global_values
+    funcs = inst._funcs
+    boundary = inst.boundary_cost
+    budget_mode = inst.max_instructions is not None
+
+    blocks = []
+    for start, end in ranges:
+        ops = code[start:end]
+        costs = [OP_COST[op] for op, _a, _e in ops]
+        classes = [int(OP_CLASS[op]) for op, _a, _e in ops]
+        blk_cycles = math.fsum(costs)   # exact: quarter-grid values
+        blk_n = len(ops)
+        deltas = class_deltas(classes)
+
+        def make_rewind(idx):
+            """Rewind the batched charges down to instructions 0..idx of
+            this block (the reference's charge prefix at a trap)."""
+            cyc_sfx = math.fsum(costs[idx + 1:])
+            n_sfx = blk_n - (idx + 1)
+            delta_sfx = class_deltas(classes[idx + 1:])
+            if budget_mode:
+                def rewind():
+                    stats.cycles -= cyc_sfx
+                    stats.instructions -= n_sfx
+                    for ci, d in delta_sfx:
+                        counts[ci] -= d
+                    inst._instr_budget += n_sfx
+            else:
+                def rewind():
+                    stats.cycles -= cyc_sfx
+                    stats.instructions -= n_sfx
+                    for ci, d in delta_sfx:
+                        counts[ci] -= d
+            return rewind
+
+        def make_load(width, op, off, result):
+            """result(st, lo, value) applies the loaded value."""
+            if op == 18:
+                def fetch(addr):
+                    f, o = frame(addr, 4)
+                    return UNPACK_I32(f, o)[0]
+            elif op == 19:
+                def fetch(addr):
+                    f, o = frame(addr, 8)
+                    return UNPACK_I64(f, o)[0]
+            elif op == 20:
+                def fetch(addr):
+                    f, o = frame(addr, 8)
+                    return UNPACK_F64(f, o)[0]
+            elif op == 21:
+                def fetch(addr):
+                    f, o = frame(addr, 1)
+                    return f[o]
+            elif op == 22:
+                def fetch(addr):
+                    f, o = frame(addr, 1)
+                    v = f[o]
+                    return v - 256 if v >= 128 else v
+            else:                         # 23: i32.load16_u
+                def fetch(addr):
+                    f, o = frame(addr, 2)
+                    return f[o] | (f[o + 1] << 8)
+            return fetch
+
+        def make_store(op):
+            """store(addr, value) with the reference's masking."""
+            if op == 24:
+                def put(addr, v):
+                    f, o = frame(addr, 4)
+                    PACK_U32(f, o, v & _MASK32)
+            elif op == 25:
+                def put(addr, v):
+                    f, o = frame(addr, 8)
+                    PACK_U64(f, o, v & _MASK64)
+            elif op == 26:
+                def put(addr, v):
+                    f, o = frame(addr, 8)
+                    PACK_F64(f, o, v)
+            elif op == 27:
+                def put(addr, v):
+                    f, o = frame(addr, 1)
+                    f[o] = v & 0xFF
+            else:                         # 28: i32.store16
+                def put(addr, v):
+                    f, o = frame(addr, 2)
+                    v &= 0xFFFF
+                    f[o] = v & 0xFF
+                    f[o + 1] = v >> 8
+            return put
+
+        def single(instr, idx):
+            op, arg, _extra = instr
+            if op in _MARKERS:
+                return None
+            if op == 13:
+                def h(st, lo, i=arg):
+                    st.append(lo[i])
+                return h
+            if op == 14:
+                def h(st, lo, i=arg):
+                    lo[i] = st.pop()
+                return h
+            if op == 15:
+                def h(st, lo, i=arg):
+                    lo[i] = st[-1]
+                return h
+            if op in _CONSTS:
+                def h(st, lo, k=arg):
+                    st.append(k)
+                return h
+            if op == 34:
+                def h(st, lo):
+                    b = st.pop()
+                    v = (st[-1] + b) & _MASK32
+                    st[-1] = v - 0x100000000 if v & _SIGN32 else v
+                return h
+            if op == 84:
+                def h(st, lo):
+                    b = st.pop()
+                    st[-1] = st[-1] + b
+                return h
+            if op == 86:
+                def h(st, lo):
+                    b = st.pop()
+                    st[-1] = st[-1] * b
+                return h
+            if op in _BINOPS:
+                def h(st, lo, f=_BINOPS[op]):
+                    b = st.pop()
+                    st[-1] = f(st[-1], b)
+                return h
+            if op in _TRAP_BINOPS:
+                rw = make_rewind(idx)
+
+                def h(st, lo, f=_TRAP_BINOPS[op], rw=rw):
+                    b = st.pop()
+                    try:
+                        st[-1] = f(st[-1], b)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if op in _UNOPS:
+                def h(st, lo, f=_UNOPS[op]):
+                    st[-1] = f(st[-1])
+                return h
+            if op in _TRAP_UNOPS:
+                rw = make_rewind(idx)
+
+                def h(st, lo, f=_TRAP_UNOPS[op], rw=rw):
+                    try:
+                        st[-1] = f(st[-1])
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if op in _LOADS:
+                fetch = make_load(_LOADS[op], op, arg, None)
+                rw = make_rewind(idx)
+
+                def h(st, lo, fetch=fetch, off=arg, rw=rw):
+                    try:
+                        st[-1] = fetch(st[-1] + off)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if op in _STORES:
+                put = make_store(op)
+                rw = make_rewind(idx)
+
+                def h(st, lo, put=put, off=arg, rw=rw):
+                    v = st.pop()
+                    try:
+                        put(st.pop() + off, v)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if op == 16:
+                def h(st, lo, i=arg):
+                    st.append(gvals[i])
+                return h
+            if op == 17:
+                def h(st, lo, i=arg):
+                    gvals[i] = st.pop()
+                return h
+            if op == 11:
+                def h(st, lo):
+                    st.pop()
+                return h
+            if op == 12:
+                def h(st, lo):
+                    c = st.pop()
+                    b = st.pop()
+                    a = st.pop()
+                    st.append(a if c else b)
+                return h
+            if op == 29:
+                def h(st, lo):
+                    st.append(mem.pages)
+                return h
+            if op == 30:
+                def h(st, lo):
+                    old = mem.grow(st.pop())
+                    if old >= 0:
+                        mem.grow_count += 1
+                        stats.memory_grows += 1
+                    st.append(old)
+                return h
+            if op == 0:
+                rw = make_rewind(idx)
+
+                def h(st, lo, rw=rw):
+                    rw()
+                    raise TrapError("unreachable executed")
+                return h
+            raise ValidationError(
+                f"{fn.name}: unknown opcode {op} (threaded tier)")
+
+        def fused(key, fops, idx):
+            kind = key[0]
+            if kind == "ggbs":
+                f = _BINOPS[key[1]]
+                i, j, k = fops[0][1], fops[1][1], fops[3][1]
+
+                def h(st, lo, f=f, i=i, j=j, k=k):
+                    lo[k] = f(lo[i], lo[j])
+                return h
+            if kind == "ggb":
+                f = _BINOPS[key[1]]
+                i, j = fops[0][1], fops[1][1]
+
+                def h(st, lo, f=f, i=i, j=j):
+                    st.append(f(lo[i], lo[j]))
+                return h
+            if kind == "gcbs":
+                f = _BINOPS[key[1]]
+                i, c, k = fops[0][1], fops[1][1], fops[3][1]
+
+                def h(st, lo, f=f, i=i, c=c, k=k):
+                    lo[k] = f(lo[i], c)
+                return h
+            if kind == "gcb":
+                f = _BINOPS[key[1]]
+                i, c = fops[0][1], fops[1][1]
+
+                def h(st, lo, f=f, i=i, c=c):
+                    st.append(f(lo[i], c))
+                return h
+            if kind in ("gl", "gls"):
+                fetch = make_load(_LOADS[key[1]], key[1], None, None)
+                rw = make_rewind(idx + 1)
+                i, off = fops[0][1], fops[1][1]
+                if kind == "gl":
+                    def h(st, lo, fetch=fetch, i=i, off=off, rw=rw):
+                        try:
+                            st.append(fetch(lo[i] + off))
+                        except BaseException:
+                            rw()
+                            raise
+                else:
+                    k = fops[2][1]
+
+                    def h(st, lo, fetch=fetch, i=i, off=off, k=k, rw=rw):
+                        try:
+                            lo[k] = fetch(lo[i] + off)
+                        except BaseException:
+                            rw()
+                            raise
+                return h
+            if kind == "ggs":
+                put = make_store(key[1])
+                rw = make_rewind(idx + 2)
+                i, j, off = fops[0][1], fops[1][1], fops[2][1]
+
+                def h(st, lo, put=put, i=i, j=j, off=off, rw=rw):
+                    try:
+                        put(lo[i] + off, lo[j])
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if kind == "gcs":
+                put = make_store(key[1])
+                rw = make_rewind(idx + 2)
+                i, c, off = fops[0][1], fops[1][1], fops[2][1]
+
+                def h(st, lo, put=put, i=i, c=c, off=off, rw=rw):
+                    try:
+                        put(lo[i] + off, c)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if kind == "cs":
+                put = make_store(key[1])
+                rw = make_rewind(idx + 1)
+                c, off = fops[0][1], fops[1][1]
+
+                def h(st, lo, put=put, c=c, off=off, rw=rw):
+                    try:
+                        put(st.pop() + off, c)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if kind == "gs":
+                put = make_store(key[1])
+                rw = make_rewind(idx + 1)
+                i, off = fops[0][1], fops[1][1]
+
+                def h(st, lo, put=put, i=i, off=off, rw=rw):
+                    v = lo[i]
+                    try:
+                        put(st.pop() + off, v)
+                    except BaseException:
+                        rw()
+                        raise
+                return h
+            if kind == "gset":
+                i, k = fops[0][1], fops[1][1]
+
+                def h(st, lo, i=i, k=k):
+                    lo[k] = lo[i]
+                return h
+            if kind == "cset":
+                c, k = fops[0][1], fops[1][1]
+
+                def h(st, lo, c=c, k=k):
+                    lo[k] = c
+                return h
+            return None
+
+        def branch_term(br_op, target, extra, nbi, cond):
+            """Terminator for br_if (8) / if (4) given a condition
+            extractor ``cond(st, lo) -> truthy``."""
+            tbi = bi_of(target)
+            if br_op == 8:
+                def term(st, lo, cond=cond, h=extra, tbi=tbi, nbi=nbi):
+                    if cond(st, lo):
+                        del st[h:]
+                        return tbi
+                    return nbi
+            else:                         # if: jump on false
+                def term(st, lo, cond=cond, tbi=tbi, nbi=nbi):
+                    if not cond(st, lo):
+                        return tbi
+                    return nbi
+            return term
+
+        def make_term(instr, nbi, cond=None):
+            op, arg, extra = instr
+            if op in (8, 4):
+                if cond is None:
+                    def cond(st, lo):
+                        return st.pop()
+                if op == 8 and extra is None:
+                    # br_if always records an unwind height; guard anyway.
+                    extra = 0
+                return branch_term(op, arg, extra, nbi, cond)
+            if op == 7:                   # br (possibly synthesised else)
+                tbi = bi_of(arg)
+                if extra is None:
+                    def term(st, lo, tbi=tbi):
+                        return tbi
+                else:
+                    def term(st, lo, h=extra, tbi=tbi):
+                        del st[h:]
+                        return tbi
+                return term
+            if op == 9:                   # return
+                def term(st, lo):
+                    return -1
+                return term
+            # call
+            kind, target, ftype = funcs[arg]
+            nargs = len(ftype.params)
+            has_res = bool(ftype.results)
+            if kind == "host":
+                def term(st, lo, target=target, nargs=nargs,
+                         has_res=has_res, nbi=nbi):
+                    if nargs:
+                        call_args = st[-nargs:]
+                        del st[-nargs:]
+                    else:
+                        call_args = []
+                    stats.calls += 1
+                    stats.host_calls += 1
+                    stats.boundary_cycles += boundary
+                    result = target(inst, *call_args)
+                    if has_res:
+                        st.append(result)
+                    return nbi
+            else:
+                def term(st, lo, target=target, nargs=nargs,
+                         has_res=has_res, nbi=nbi):
+                    if nargs:
+                        call_args = st[-nargs:]
+                        del st[-nargs:]
+                    else:
+                        call_args = []
+                    stats.calls += 1
+                    result = inst._run(target, call_args)
+                    if has_res:
+                        st.append(result)
+                    return nbi
+            return term
+
+        # -- assemble the block ------------------------------------------
+        nbi = bi_of(end)
+        has_term = bool(ops) and ops[-1][0] in _TERM_OPS
+        body = ops[:-1] if has_term else ops
+        term = None
+        if has_term and ops[-1][0] in (8, 4):
+            hit = match_tail(ops, lambda o: o[0], _TAIL_PATTERNS)
+            if hit is not None:
+                key, ln = hit
+                kind, cmp_op, _br = key
+                if kind == "ggc":
+                    f = _BINOPS[cmp_op]
+                    i, j = ops[-4][1], ops[-3][1]
+
+                    def cond(st, lo, f=f, i=i, j=j):
+                        return f(lo[i], lo[j])
+                elif kind == "gcc":
+                    f = _BINOPS[cmp_op]
+                    i, c = ops[-4][1], ops[-3][1]
+
+                    def cond(st, lo, f=f, i=i, c=c):
+                        return f(lo[i], c)
+                elif kind == "cb":
+                    f = _BINOPS[cmp_op]
+
+                    def cond(st, lo, f=f):
+                        b = st.pop()
+                        return f(st.pop(), b)
+                else:                     # "ez": eqz + branch
+                    def cond(st, lo):
+                        return 1 if st.pop() == 0 else 0
+                term = make_term(ops[-1], nbi, cond)
+                body = ops[:-ln]
+        if term is None:
+            if has_term:
+                term = make_term(ops[-1], nbi)
+            else:
+                def term(st, lo, nbi=nbi):
+                    return nbi
+
+        seq = fuse_straight_line(body, lambda o: o[0], _PATTERNS,
+                                 single, fused)
+        blocks.append(_Block(start, blk_n, blk_cycles, deltas, seq, term))
+
+    init_tail = [0.0 if t == "f64" else 0 for t in fn.local_types]
+    return ThreadedFunction(fn, blocks, init_tail, bool(fn.results),
+                            budget_mode)
+
+
+def run(inst, tf, args):
+    """Execute a translated function frame.  Mirrors ``WasmInstance``'s
+    reference ``_run_from`` observable behaviour bit for bit."""
+    locals_ = args + tf.init_tail
+    stack = []
+    stats = inst.stats
+    counts = stats.op_counts
+    blocks = tf.blocks
+    budget_mode = tf.budget_mode
+    bi = 0 if blocks else -1
+    while bi >= 0:
+        blk = blocks[bi]
+        if budget_mode:
+            r = inst._instr_budget
+            if r < blk.n:
+                # Deopt: fewer budget units than block instructions — the
+                # reference ladder charges op-by-op from the block start
+                # and traps at the exact instruction with exact partials.
+                return inst._run_from(tf.fn, locals_, stack, blk.start)
+            inst._instr_budget = r - blk.n
+        stats.cycles += blk.cycles
+        stats.instructions += blk.n
+        for ci, d in blk.deltas:
+            counts[ci] += d
+        for h in blk.seq:
+            h(stack, locals_)
+        bi = blk.term(stack, locals_)
+    if tf.results:
+        return stack[-1] if stack else 0
+    return None

