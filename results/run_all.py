@@ -9,6 +9,12 @@ with a warm cache skips every frontend/IR/backend pipeline.  The
 benchmark grid fans out across ``REPRO_JOBS`` worker processes (default:
 CPU count; ``REPRO_JOBS=1`` forces the serial engine — output is
 byte-identical either way).
+
+``--report`` additionally enables the per-opclass profiler
+(``REPRO_PROFILE=1``) and renders ``tools/report.py`` — top compile
+passes by wall time, top opclasses by modeled cycles, cache/scheduler
+health — to stdout and ``results/report.txt``.  ``--trace`` dumps one
+benchmark's phase timeline to ``results/trace.json``.
 """
 import json, os, time, sys
 
@@ -17,6 +23,13 @@ import json, os, time, sys
 # rerun skips both compilation and execution.  REPRO_RESULT_CACHE=0
 # forces live re-measurement.
 os.environ.setdefault("REPRO_RESULT_CACHE", "1")
+
+# --report arms the per-opclass profiler for the whole run (must happen
+# before any engine is constructed, including in forked workers) and
+# renders tools/report.py over the collected metrics at the end.
+REPORT = "--report" in sys.argv
+if REPORT:
+    os.environ.setdefault("REPRO_PROFILE", "1")
 
 from repro.cache import get_cache
 from repro.experiments import (
@@ -125,13 +138,36 @@ if ctx.failures:
         f.write(report + "\n")
     print(report, flush=True)
 
+# Metrics registry export, split by stability: "metrics" holds the
+# deterministic counters (golden-comparable — byte-identical across
+# schedules, cache warmth and interpreter tiers); "metrics_unstable"
+# (cache/scheduler counters) and "metrics_wall" (wall times) are
+# explicitly outside that parity contract.
+from repro.obs import DET, SCHED, WALL, get_registry
+registry = get_registry()
+summary["metrics"] = registry.export([DET])
+summary["metrics_unstable"] = registry.export([SCHED])
+summary["metrics_wall"] = registry.export([WALL])
+
 with open(f"{out_dir}/summary.json", "w") as f:
     json.dump(summary, f, indent=2, default=str)
-# Stats go to stdout, not summary.json: counters depend on cache warmth
-# and on REPRO_JOBS (workers keep their own), while the written outputs
-# must be byte-identical across schedules.
 get_cache().sweep_tmp()          # orphaned temp files from killed workers
 print(f"compile cache: {get_cache().stats}", flush=True)
+
+if REPORT:
+    import importlib.util
+    _spec = importlib.util.spec_from_file_location(
+        "repro_report",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "..", "tools", "report.py"))
+    _report_mod = importlib.util.module_from_spec(_spec)
+    _spec.loader.exec_module(_report_mod)
+    report_text = _report_mod.render_report(summary)
+    with open(f"{out_dir}/report.txt", "w") as f:
+        f.write(report_text + "\n")
+    print(report_text, flush=True)
+    print(f"report written to {out_dir}/report.txt", flush=True)
+
 print(f"ALL DONE in {time.time()-t0:.0f}s", flush=True)
 if ctx.failures:
     print(f"sweep: {len(ctx.failures)} failed cell(s) — "

@@ -42,13 +42,31 @@ def result_key(kind, parts):
     return digest.hexdigest()
 
 
-def cached_result(kind, parts, compute):
+def _det_diff(reg, snap):
+    """DET-only slice of a registry diff: what ``compute`` deterministically
+    recorded, with the schedule/wallclock entries stripped."""
+    from repro.obs import DET
+    return {section: {name: entry for name, entry in values.items()
+                      if entry[0] == DET}
+            for section, values in reg.diff(snap).items()}
+
+
+def cached_result(kind, parts, compute, replay_metrics=False):
     """Serve ``compute()`` from the cache, keyed on ``(kind, parts)``.
 
     Only use this for computations that are pure functions of the key;
     ``parts`` must pin down *everything* the result depends on (artifact
     key, profile repr, repetitions, ...).  With ``REPRO_RESULT_CACHE``
     unset this is a transparent pass-through.
+
+    ``replay_metrics=True`` makes the memoization transparent to the
+    deterministic metrics slice: the ``det`` registry counters that
+    ``compute`` records are stored with the value and re-applied on a
+    hit, so a warm run exports the same DET metrics as the cold run that
+    populated the entry.  Use it when ``compute`` hides whole compiles or
+    measurements from the registry (the real-world app drivers); callers
+    that replay their DET counters from the returned value (the page
+    runner) must leave it off or they would double-count.
 
     Failure safety: a ``compute`` that raises memoizes *nothing* — the
     exception propagates and the next attempt (e.g. a scheduler retry of
@@ -61,8 +79,18 @@ def cached_result(kind, parts, compute):
     cache = get_cache()
     key = result_key(kind, parts)
     entry = cache.get(key)
-    if not (isinstance(entry, tuple) and len(entry) == 2
+    if not (isinstance(entry, tuple) and len(entry) in (2, 3)
             and entry[0] == "result"):
-        entry = ("result", compute())
+        if replay_metrics:
+            from repro.obs import get_registry
+            reg = get_registry()
+            snap = reg.snapshot()
+            value = compute()
+            entry = ("result", value, _det_diff(reg, snap))
+        else:
+            entry = ("result", compute())
         cache.put(key, entry)
+    elif replay_metrics and len(entry) == 3:
+        from repro.obs import get_registry
+        get_registry().apply(entry[2])
     return entry[1]

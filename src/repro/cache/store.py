@@ -90,19 +90,35 @@ class ArtifactCache:
 
     def get(self, key):
         """Return the cached artifact or ``None`` (a miss)."""
+        from repro.obs import SCHED, emit, events_enabled, get_registry
+        reg = get_registry()
         artifact = self._memory.get(key)
         if artifact is not None:
             self.stats.hits += 1
             self.stats.memory_hits += 1
+            reg.counter_add("cache.hits", 1, SCHED)
+            reg.counter_add("cache.memory_hits", 1, SCHED)
+            if events_enabled():
+                emit("cache", key=key, outcome="memory_hit")
             return artifact
         if self.disk:
+            stale_before = self.stats.stale
             artifact = self._disk_get(key)
+            if self.stats.stale > stale_before:
+                reg.counter_add("cache.stale", 1, SCHED)
             if artifact is not None:
                 self._memory[key] = artifact
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                reg.counter_add("cache.hits", 1, SCHED)
+                reg.counter_add("cache.disk_hits", 1, SCHED)
+                if events_enabled():
+                    emit("cache", key=key, outcome="disk_hit")
                 return artifact
         self.stats.misses += 1
+        reg.counter_add("cache.misses", 1, SCHED)
+        if events_enabled():
+            emit("cache", key=key, outcome="miss")
         return None
 
     def _disk_get(self, key):
@@ -125,8 +141,10 @@ class ArtifactCache:
     # -- store ----------------------------------------------------------------
 
     def put(self, key, artifact):
+        from repro.obs import SCHED, get_registry
         self._memory[key] = artifact
         self.stats.puts += 1
+        get_registry().counter_add("cache.puts", 1, SCHED)
         if not self.disk:
             return
         path = self._path(key)

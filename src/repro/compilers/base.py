@@ -72,15 +72,18 @@ class ToolchainBase:
         #: program also defines those symbols the link fails.  The paper's
         #: workaround (and our default) is to disable the implicit libs.
         self.use_precompiled_libs = use_precompiled_libs
+        self._last_pass_telemetry = None
 
     # -- content-addressed caching --------------------------------------------
 
     def config_fingerprint(self):
         """Stable fingerprint of the toolchain configuration: every piece
         of instance state (heap/stack sizes, linkage mode, granules)
-        participates in the cache key."""
+        participates in the cache key.  Private attributes (scratch state
+        like the telemetry stash) are not configuration."""
         return tuple(sorted(
-            (key, repr(value)) for key, value in vars(self).items()))
+            (key, repr(value)) for key, value in vars(self).items()
+            if not key.startswith("_")))
 
     def pipeline_fingerprint(self, opt_level):
         """Pass-pipeline fingerprint for one level: pass names, with
@@ -98,6 +101,7 @@ class ToolchainBase:
         """Serve ``build(...)``'s artifact from the content-addressed
         cache, keyed on the preprocessed source + configuration."""
         from repro.cache import cache_key, get_cache
+        from repro.obs import span
         cache = get_cache()
         key = cache_key(
             kind=kind,
@@ -109,14 +113,41 @@ class ToolchainBase:
             pipeline_fingerprint=self.pipeline_fingerprint(opt_level),
             name=name,
         )
-        artifact = cache.get(key)
-        if artifact is None:
-            artifact = build(source, defines, opt_level, name)
-            cache.put(key, artifact)
+        with span("compile", kind=kind, toolchain=self.name,
+                  opt_level=opt_level, name=name) as fields:
+            artifact = cache.get(key)
+            fields["cached"] = artifact is not None
+            if artifact is None:
+                self._last_pass_telemetry = None
+                artifact = build(source, defines, opt_level, name)
+                # JS/native artifacts drop the IR module (only codegen
+                # output is kept), so the pipeline telemetry travels via
+                # the stash ``optimize()`` records.
+                if "pass_telemetry" not in artifact.meta and \
+                        self._last_pass_telemetry is not None:
+                    artifact.meta["pass_telemetry"] = \
+                        self._last_pass_telemetry
+                cache.put(key, artifact)
+        self._replay_pass_metrics(artifact)
         # Tag the artifact with its own address so downstream layers (the
         # measurement memoizer) can key results on it without re-hashing.
         artifact.cache_key = key
         return artifact
+
+    @staticmethod
+    def _replay_pass_metrics(artifact):
+        """Publish the deterministic pass counters recorded in the
+        artifact's telemetry.  Run on every serve — hit or miss — so a
+        warm cache produces the same DET metrics as a cold build."""
+        from repro.obs import DET, get_registry
+        reg = get_registry()
+        reg.counter_add("compile.serves", 1, DET)
+        for entry in artifact.meta.get("pass_telemetry", ()):
+            prefix = f"pass.{entry['pass']}"
+            reg.counter_add(f"{prefix}.applied", 1, DET)
+            reg.counter_add(f"{prefix}.rewrites", entry["rewrites"], DET)
+            reg.counter_add(f"{prefix}.nodes_in", entry["nodes_in"], DET)
+            reg.counter_add(f"{prefix}.nodes_out", entry["nodes_out"], DET)
 
     def frontend(self, source, defines=None, name="module",
                  apply_transforms=True):
@@ -147,6 +178,9 @@ class ToolchainBase:
         pipeline = self.pipelines()[opt_level]
         run_pipeline(module, pipeline)
         module.meta["opt_level"] = opt_level
+        # Stash for artifacts that do not retain the module's meta
+        # (CompiledJs/CompiledNative); _cached_compile picks it up.
+        self._last_pass_telemetry = module.meta.get("pass_telemetry")
         return module
 
     def pipelines(self):

@@ -65,8 +65,16 @@ class ExecutionTrace:
 
     def finalize(self):
         """Sort events into timeline order (stable, so simultaneous
-        events keep emission order)."""
+        events keep emission order).  When the JSONL event sink is armed
+        (``REPRO_EVENTS``), the finished timeline is forwarded there as
+        one ``trace`` event per phase span."""
         self.events.sort(key=lambda e: e.start_cycles)
+        from repro.obs import emit, events_enabled
+        if events_enabled():
+            for event in self.events:
+                emit("trace", engine=self.engine, phase=event.phase,
+                     start_cycles=event.start_cycles, cycles=event.cycles,
+                     **event.detail)
         return self
 
     def total_cycles(self):

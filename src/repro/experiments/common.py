@@ -37,6 +37,40 @@ QUICK_SET = [
 _WORKER_CONTEXTS = {}
 
 
+def health_lines():
+    """Cache and scheduler health summarised from the metrics registry
+    (``cache.*`` / ``sched.*`` counters), as report-ready text lines."""
+    from repro.obs import SCHED, get_registry
+    metrics = get_registry().export([SCHED])
+    cache = {k.split(".", 1)[1]: v for k, v in metrics.items()
+             if k.startswith("cache.")}
+    sched = {k.split(".", 1)[1]: v for k, v in metrics.items()
+             if k.startswith("sched.")}
+    lines = []
+    if cache:
+        lines.append(
+            "cache health: {hits} hit(s) ({memory} memory / {disk} disk), "
+            "{misses} miss(es), {stale} stale, {puts} write(s)".format(
+                hits=cache.get("hits", 0),
+                memory=cache.get("memory_hits", 0),
+                disk=cache.get("disk_hits", 0),
+                misses=cache.get("misses", 0),
+                stale=cache.get("stale", 0),
+                puts=cache.get("puts", 0)))
+    if sched:
+        lines.append(
+            "scheduler health: {cells} cell(s), {completed} completed, "
+            "{failures} failed, {retries} retried attempt(s), "
+            "{timeouts} timeout(s), {lost} lost worker(s)".format(
+                cells=sched.get("cells", 0),
+                completed=sched.get("completed", 0),
+                failures=sched.get("failures", 0),
+                retries=sched.get("retries", 0),
+                timeouts=sched.get("timeouts", 0),
+                lost=sched.get("lost", 0)))
+    return lines
+
+
 def _run_benchmark_task(worker, spec, params, benchmark):
     """Pool entry point: reconstruct the context (once per worker per
     spec) and apply ``worker(ctx, benchmark, **params)``."""
@@ -152,11 +186,16 @@ class ExperimentContext:
 
     def failure_report(self):
         """Text report of every failed cell accumulated by this context's
-        sweeps; empty string when everything succeeded."""
+        sweeps, followed by the cache/scheduler health counters from the
+        metrics registry; empty string when everything succeeded."""
         if not self.failures:
             return ""
         lines = [f"{len(self.failures)} failed sweep cell(s):"]
         lines.extend("  " + failure.describe() for failure in self.failures)
+        health = health_lines()
+        if health:
+            lines.append("")
+            lines.extend(health)
         return "\n".join(lines)
 
     # -- runners ---------------------------------------------------------------

@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as _mpc
 
 from repro.errors import SweepError
+from repro.obs import SCHED, emit, events_enabled, get_registry
 
 #: Environment variable selecting the worker count.  Unset: one worker per
 #: CPU.  ``REPRO_JOBS=1``: serial execution in the calling process.
@@ -302,10 +303,16 @@ class SweepResult:
 
 def _worker_main(conn, fn, plan_spec):
     """Worker loop: receive ``(index, attempt, label, item)`` tasks, run
-    them, report ``("ok", index, value)`` or ``("err", index, ...)``.
-    The worker never dies on a cell exception — only on EOF/sentinel or
-    when the scheduler kills it."""
+    them, report ``("ok", index, value, metrics)`` or
+    ``("err", index, ...)``.  ``metrics`` is the registry diff the attempt
+    produced; the scheduler applies the per-cell diffs in *input* order so
+    the merged registry is byte-identical to a serial run.  A failed
+    attempt restores the worker's registry to its pre-attempt snapshot, so
+    retried flakes leave no metric residue.  The worker never dies on a
+    cell exception — only on EOF/sentinel or when the scheduler kills
+    it."""
     plan = FaultPlan(plan_spec) if plan_spec else None
+    reg = get_registry()
     while True:
         try:
             task = conn.recv()
@@ -314,11 +321,13 @@ def _worker_main(conn, fn, plan_spec):
         if task is None:
             return
         index, attempt, label, item = task
+        snap = reg.snapshot()
         try:
             if plan is not None:
                 plan.apply(label, attempt)
-            message = ("ok", index, fn(item))
+            message = ("ok", index, fn(item), reg.diff(snap))
         except BaseException as exc:
+            reg.restore(snap)
             message = ("err", index, type(exc).__name__, str(exc),
                        traceback.format_exc())
         try:
@@ -398,6 +407,9 @@ class _Scheduler:
         self.queue = deque((index, 1) for index in range(len(items)))
         self.backoff = {}  # index -> seconds to wait before re-dispatch
         self.done = 0
+        self.metric_payloads = [None] * len(items)
+        self.enqueued_at = {}   # index -> monotonic time of (re-)enqueue
+        self.start = time.monotonic()
 
     def run(self):
         ctx = _pool_context()
@@ -418,6 +430,18 @@ class _Scheduler:
             for worker in workers:
                 worker.shutdown()
         failures = [self.failures[i] for i in sorted(self.failures)]
+        # Merge the workers' metric diffs in *input* order: the resulting
+        # registry state is independent of completion order and identical
+        # to what the serial path accumulates.
+        reg = get_registry()
+        for payload in self.metric_payloads:
+            if payload is not None:
+                reg.apply(payload)
+        reg.counter_add("sched.cells", len(self.items), SCHED)
+        reg.counter_add("sched.completed",
+                        len(self.items) - len(failures), SCHED)
+        if failures:
+            reg.counter_add("sched.failures", len(failures), SCHED)
         return SweepResult(self.values, failures)
 
     def _spawn(self, ctx):
@@ -430,6 +454,15 @@ class _Scheduler:
                 delay = self.backoff.pop(index, 0.0)
                 if delay:
                     self.sleep(delay)
+                queued = self.enqueued_at.get(index, self.start)
+                wait_ms = (time.monotonic() - queued) * 1000.0
+                get_registry().hist_observe("sched.queue_wait_ms", wait_ms,
+                                            SCHED)
+                if events_enabled():
+                    emit("cell_dispatch", label=self.labels[index],
+                         index=index, attempt=attempt,
+                         worker=worker.process.pid,
+                         queue_wait_ms=round(wait_ms, 3))
                 worker.dispatch(index, attempt, self.labels[index],
                                 self.items[index], self.timeout)
 
@@ -459,7 +492,13 @@ class _Scheduler:
         worker.deadline = None
         if message[0] == "ok":
             self.values[index] = message[2]
+            self.metric_payloads[index] = message[3]
             self.done += 1
+            get_registry().hist_observe("sched.attempts", attempt, SCHED)
+            if events_enabled():
+                emit("cell", label=self.labels[index], index=index,
+                     attempts=attempt, outcome="ok",
+                     worker=worker.process.pid)
         else:
             _tag, _index, error, text, trace = message
             self._attempt_failed(index, attempt, error, text, trace)
@@ -484,14 +523,25 @@ class _Scheduler:
 
     def _attempt_failed(self, index, attempt, error, text, trace,
                         kind="crash"):
+        reg = get_registry()
+        if kind == "timeout":
+            reg.counter_add("sched.timeouts", 1, SCHED)
+        elif kind == "lost":
+            reg.counter_add("sched.lost", 1, SCHED)
         if attempt <= self.retries:
+            reg.counter_add("sched.retries", 1, SCHED)
             self.backoff[index] = backoff_delay(attempt)
+            self.enqueued_at[index] = time.monotonic()
             self.queue.append((index, attempt + 1))
             return
         self.failures[index] = CellFailure(
             index=index, label=self.labels[index], error=error,
             message=text, traceback=trace, attempts=attempt, kind=kind)
         self.done += 1
+        reg.hist_observe("sched.attempts", attempt, SCHED)
+        if events_enabled():
+            emit("cell", label=self.labels[index], index=index,
+                 attempts=attempt, outcome=kind, error=error)
 
 
 def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
@@ -500,21 +550,40 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
     kill its own process)."""
     values = [None] * len(items)
     failures = []
+    reg = get_registry()
     for index, item in enumerate(items):
         for attempt in range(1, retries + 2):
+            # Same metric semantics as the worker path: a failed attempt
+            # rolls the registry back, so only completed attempts count.
+            snap = reg.snapshot()
             try:
                 if fault_plan is not None:
                     fault_plan.apply(labels[index], attempt)
                 values[index] = fn(item)
+                reg.hist_observe("sched.attempts", attempt, SCHED)
+                if events_enabled():
+                    emit("cell", label=labels[index], index=index,
+                         attempts=attempt, outcome="ok", worker=os.getpid())
                 break
             except Exception as exc:
+                reg.restore(snap)
                 if attempt <= retries:
+                    reg.counter_add("sched.retries", 1, SCHED)
                     sleep(backoff_delay(attempt))
                     continue
                 failures.append(CellFailure(
                     index=index, label=labels[index],
                     error=type(exc).__name__, message=str(exc),
                     traceback=traceback.format_exc(), attempts=attempt))
+                reg.hist_observe("sched.attempts", attempt, SCHED)
+                if events_enabled():
+                    emit("cell", label=labels[index], index=index,
+                         attempts=attempt, outcome="crash",
+                         error=type(exc).__name__)
+    reg.counter_add("sched.cells", len(items), SCHED)
+    reg.counter_add("sched.completed", len(items) - len(failures), SCHED)
+    if failures:
+        reg.counter_add("sched.failures", len(failures), SCHED)
     return SweepResult(values, failures)
 
 

@@ -64,6 +64,8 @@ class _JsPageAdapter(EngineAdapter):
         engine.load_script(page.script)
         metrics = runner.collector.js_metrics(engine)
         metrics.detail["timer_ms"] = timings[0] if timings else None
+        if engine._profile is not None:
+            metrics.detail["profile"] = engine._profile.to_dict()
         if trace is not None:
             self._assemble_trace(trace, engine, runner.profile)
         return metrics
@@ -122,7 +124,10 @@ class _WasmPageAdapter(EngineAdapter):
         cycles = runner._wasm_total_cycles(instance, page,
                                            self.static_instrs,
                                            len(artifact.binary), trace)
-        return runner.collector.wasm_metrics(cycles, instance)
+        metrics = runner.collector.wasm_metrics(cycles, instance)
+        if instance._profile is not None:
+            metrics.detail["profile"] = instance._profile.to_dict()
+        return metrics
 
 
 class PageRunner:
@@ -143,9 +148,12 @@ class PageRunner:
 
     def _measurement_parts(self, artifact, entry, name):
         """Everything a measurement depends on besides the artifact bits:
-        the (flag-adjusted) profile, the platform, and the protocol."""
+        the (flag-adjusted) profile, the platform, and the protocol.
+        Profiling changes the measurement payload (opclass tables ride
+        ``detail``), so it participates in the memo key."""
+        from repro.obs import profile_enabled
         return (artifact.cache_key, repr(self.profile), repr(self.platform),
-                self.repetitions, entry, name)
+                self.repetitions, entry, name, profile_enabled())
 
     # -- the unified measurement path ---------------------------------------
 
@@ -161,11 +169,33 @@ class PageRunner:
         name = name or artifact.name
         if not self.trace and results_enabled() \
                 and getattr(artifact, "cache_key", None):
-            return cached_result(
+            result = cached_result(
                 adapter.memo_kind,
                 self._measurement_parts(artifact, entry, name),
                 lambda: self._measure(adapter, artifact, entry, name))
-        return self._measure(adapter, artifact, entry, name)
+        else:
+            result = self._measure(adapter, artifact, entry, name)
+        self._apply_obs(adapter, result)
+        return result
+
+    def _apply_obs(self, adapter, result):
+        """Publish the deterministic measurement metrics.  Runs after the
+        memo lookup so a warm (memoized) run produces the same DET
+        counters as the cold run that populated it."""
+        from repro.engine.profdecode import opclass_fractions
+        from repro.obs import DET, get_registry
+        reg = get_registry()
+        reg.counter_add(f"measure.{adapter.target}.runs", 1, DET)
+        reg.counter_add(f"measure.{adapter.target}.reps",
+                        len(result.times_ms), DET)
+        reg.counter_add("measure.time_ms_total", result.time_ms, DET)
+        profile = result.detail.get("profile")
+        if profile:
+            engine = profile["engine"]
+            for cls, (count, cycles) in opclass_fractions(profile).items():
+                reg.counter_add(f"opclass.{engine}.{cls}.count", count, DET)
+                reg.counter_add(f"opclass.{engine}.{cls}.cycles", cycles,
+                                DET)
 
     def _measure(self, adapter, artifact, entry, name):
         try:
@@ -220,7 +250,11 @@ class PageRunner:
                 f"produced different output than repetition 1 "
                 f"({output!r} vs {result.output!r}); averaging repetitions "
                 "requires identical results")
-        result.rep_details.append(dict(metrics.detail))
+        rep_detail = dict(metrics.detail)
+        # The profile is identical across repetitions (deterministic
+        # engines); keep one copy in ``detail``, not five in rep_details.
+        rep_detail.pop("profile", None)
+        result.rep_details.append(rep_detail)
         result.detail = dict(metrics.detail)
 
     def _wasm_total_cycles(self, instance, page, static_instrs,

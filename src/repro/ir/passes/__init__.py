@@ -1,11 +1,23 @@
 """Optimization passes.
 
-Each pass is a callable ``pass_fn(module) -> None`` mutating the IR.
-The toolchain facades (:mod:`repro.compilers`) assemble them into the
+Each pass is a callable ``pass_fn(module) -> int | None`` mutating the
+IR; an integer return is the number of rewrites the pass applied (its
+``-ftime-report``-style work count).  The toolchain facades
+(:mod:`repro.compilers`) assemble them into the
 ``-O1``/``-O2``/``-Ofast``/``-Os``/``-Oz`` pipelines whose target-dependent
 behaviour Section 4.2 of the paper measures.
+
+``run_pipeline`` records per-pass telemetry (IR node counts in/out,
+rewrites applied, wall time) into ``module.meta["pass_telemetry"]``.
+Only *wallclock* metrics and span events are published live here; the
+deterministic counters ride the compile artifact and are replayed on
+every cache serve (see ``ToolchainBase._cached_compile``) so cold and
+cache-warm runs report identical values.
 """
 
+import time
+
+from repro.ir.nodes import stmt_exprs, walk_exprs, walk_stmts
 from repro.ir.passes.constfold import constant_fold
 from repro.ir.passes.cse import common_subexpression_elimination
 from repro.ir.passes.dce import dead_code_elimination
@@ -34,16 +46,48 @@ PASSES = {
 }
 
 
+def count_nodes(module):
+    """Deterministic IR size: top-level definitions plus every statement
+    and expression — the per-pass in/out size the report shows."""
+    total = len(module.functions) + len(module.globals) + len(module.arrays)
+    for func in module.functions.values():
+        for stmt in walk_stmts(func.body):
+            total += 1
+            for root in stmt_exprs(stmt):
+                for _ in walk_exprs(root):
+                    total += 1
+    return total
+
+
 def run_pipeline(module, passes):
     """Run a pass pipeline over a module; returns the pass names applied."""
+    from repro.obs import WALL, emit, events_enabled, get_registry
     applied = []
+    telemetry = module.meta.setdefault("pass_telemetry", [])
+    reg = get_registry()
+    nodes = count_nodes(module)
     for entry in passes:
         if callable(entry):
-            entry(module)
-            applied.append(getattr(entry, "__name__", str(entry)))
+            fn = entry
+            name = getattr(entry, "__name__", str(entry))
         else:
-            PASSES[entry](module)
-            applied.append(entry)
+            fn = PASSES[entry]
+            name = entry
+        nodes_in = nodes
+        t0 = time.perf_counter()
+        ret = fn(module)
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+        nodes = count_nodes(module)
+        rewrites = ret if isinstance(ret, int) else 0
+        applied.append(name)
+        telemetry.append({"pass": name, "nodes_in": nodes_in,
+                          "nodes_out": nodes, "rewrites": rewrites,
+                          "wall_ms": wall_ms})
+        reg.counter_add(f"pass.{name}.wall_ms", wall_ms, WALL)
+        if events_enabled():
+            emit("pass", name=name, module=module.name,
+                 nodes_in=nodes_in, nodes_out=nodes, rewrites=rewrites,
+                 wall_ms=round(wall_ms, 3))
     module.meta.setdefault("passes", []).extend(applied)
     return applied
 
@@ -52,6 +96,7 @@ __all__ = [
     "PASSES",
     "common_subexpression_elimination",
     "constant_fold",
+    "count_nodes",
     "dead_code_elimination",
     "fast_math",
     "global_opt",

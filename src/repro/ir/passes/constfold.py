@@ -125,16 +125,18 @@ def _fold(e):
     return e
 
 
-def _prune_body(body):
+def _prune_body(body, pruned):
     """Remove if-branches with constant conditions."""
     out = []
     for stmt in body:
         for sub in child_bodies(stmt):
-            sub[:] = _prune_body(sub)
+            sub[:] = _prune_body(sub, pruned)
         if isinstance(stmt, SIf) and isinstance(stmt.cond, EConst):
+            pruned[0] += 1
             out.extend(stmt.then if stmt.cond.value else stmt.els)
         elif isinstance(stmt, SWhile) and isinstance(stmt.cond, EConst) \
                 and not stmt.cond.value:
+            pruned[0] += 1
             continue
         else:
             out.append(stmt)
@@ -142,7 +144,16 @@ def _prune_body(body):
 
 
 def constant_fold(module):
+    rewrites = [0]
+
+    def fold(e):
+        out = _fold(e)
+        if out is not e:
+            rewrites[0] += 1
+        return out
+
     for func in module.functions.values():
         for stmt in walk_stmts(func.body):
-            map_stmt_exprs(stmt, _fold)
-        func.body[:] = _prune_body(func.body)
+            map_stmt_exprs(stmt, fold)
+        func.body[:] = _prune_body(func.body, rewrites)
+    return rewrites[0]

@@ -20,10 +20,11 @@ _MIN_SIZE = 2
 
 
 class _BlockState:
-    def __init__(self, func):
+    def __init__(self, func, hits):
         self.func = func
         self.available = {}   # key -> (temp_name, type)
         self.out = []
+        self.hits = hits      # shared [count] of reused subexpressions
 
     def kill_local(self, name):
         self.available = {k: v for k, v in self.available.items()
@@ -53,6 +54,7 @@ class _BlockState:
             key = expr_key(e)
             hit = self.available.get(key)
             if hit is not None:
+                self.hits[0] += 1
                 return ELocal(hit[0], hit[1])
             if _has_call(e):
                 return e
@@ -94,8 +96,8 @@ def _has_call(expr):
     return any(isinstance(e, ECall) for e in walk_exprs(expr))
 
 
-def _process_block(func, body):
-    state = _BlockState(func)
+def _process_block(func, body, hits):
+    state = _BlockState(func, hits)
     for stmt in body:
         if isinstance(stmt, SAssign):
             stmt.expr = state.number(stmt.expr)
@@ -126,7 +128,7 @@ def _process_block(func, body):
         else:
             # Control statement: recurse into its bodies, reset numbering.
             for sub in child_bodies(stmt):
-                sub[:] = _process_block(func, sub)
+                sub[:] = _process_block(func, sub, hits)
             state.out.append(stmt)
             state.available = {}
     return state.out
@@ -179,6 +181,8 @@ def _cleanup_single_use(func):
 
 
 def common_subexpression_elimination(module):
+    hits = [0]
     for func in module.functions.values():
-        func.body[:] = _process_block(func, func.body)
+        func.body[:] = _process_block(func, func.body, hits)
         _cleanup_single_use(func)
+    return hits[0]

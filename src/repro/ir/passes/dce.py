@@ -36,7 +36,9 @@ def _remove_dead_assigns(body, live):
 
 
 def dead_code_elimination(module):
+    removed = 0
     for func in module.functions.values():
+        initial = _count(func.body)
         func.body[:] = _strip_unreachable(func.body)
         # Iterate: removing one dead assignment can kill another's only use.
         for _ in range(8):
@@ -45,11 +47,14 @@ def dead_code_elimination(module):
             func.body[:] = _remove_dead_assigns(func.body, live)
             if _count(func.body) == before:
                 break
+        removed += initial - _count(func.body)
         live = collect_reads(func.body)
         for name in [n for n in func.locals if n not in live]:
             # Keep the declaration only if something still assigns it.
             if not _still_assigned(func.body, name):
                 del func.locals[name]
+                removed += 1
+    return removed
 
 
 def _count(body):

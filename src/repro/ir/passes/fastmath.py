@@ -29,6 +29,15 @@ def _relax(e):
 
 def fast_math(module):
     module.meta["fastmath"] = True
+    rewrites = [0]
+
+    def relax(e):
+        out = _relax(e)
+        if out is not e:
+            rewrites[0] += 1
+        return out
+
     for func in module.functions.values():
         for stmt in walk_stmts(func.body):
-            map_stmt_exprs(stmt, _relax)
+            map_stmt_exprs(stmt, relax)
+    return rewrites[0]

@@ -54,6 +54,14 @@ def _remove_stores(body, dead_scalars, dead_arrays):
     return out
 
 
+def _stmt_count(body):
+    total = len(body)
+    for stmt in body:
+        for sub in child_bodies(stmt):
+            total += _stmt_count(sub)
+    return total
+
+
 def global_opt(module, conservative_with_fastmath=False):
     scalar_reads, array_reads = _collect_reads(module)
     dead_scalars = set(module.globals) - scalar_reads
@@ -63,15 +71,19 @@ def global_opt(module, conservative_with_fastmath=False):
         # behaviour): keep every array and its stores.
         dead_arrays = set()
     if not dead_scalars and not dead_arrays:
-        return
+        return 0
+    removed = len(dead_scalars) + len(dead_arrays)
     for func in module.functions.values():
+        before = _stmt_count(func.body)
         func.body[:] = _remove_stores(func.body, dead_scalars, dead_arrays)
+        removed += before - _stmt_count(func.body)
     for name in dead_scalars:
         del module.globals[name]
     for name in dead_arrays:
         del module.arrays[name]
+    return removed
 
 
 def global_opt_conservative(module):
     """Cheerp-pipeline variant of -globalopt (see module docstring)."""
-    global_opt(module, conservative_with_fastmath=True)
+    return global_opt(module, conservative_with_fastmath=True)

@@ -71,7 +71,9 @@ def inline_functions(module):
             candidates[func.name] = func
 
     if not candidates:
-        return
+        return 0
+
+    inlined = [0]
 
     def visit(e):
         if isinstance(e, ECall) and e.name in candidates:
@@ -79,6 +81,7 @@ def inline_functions(module):
             if all(expr_is_pure(a) for a in e.args):
                 env = {pname: arg
                        for (pname, _t), arg in zip(callee.params, e.args)}
+                inlined[0] += 1
                 return _substitute(callee.body[0].expr, env)
         return e
 
@@ -98,3 +101,4 @@ def inline_functions(module):
     for name in list(candidates):
         if name not in still_called:
             del module.functions[name]
+    return inlined[0]

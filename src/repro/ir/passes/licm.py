@@ -73,25 +73,28 @@ def _hoist_in_loop(func, loop, body, cond_exprs):
     return prelude
 
 
-def _process(func, body):
+def _process(func, body, hoists):
     out = []
     for stmt in body:
         if isinstance(stmt, (SWhile, SDoWhile, SFor)):
             # Innermost-first: process nested loops before this one.
-            stmt.body[:] = _process(func, stmt.body)
+            stmt.body[:] = _process(func, stmt.body, hoists)
             prelude = _hoist_in_loop(func, stmt, stmt.body,
                                      [stmt.cond] if stmt.cond else [])
+            hoists[0] += len(prelude)
             out.extend(prelude)
             out.append(stmt)
         else:
             from repro.ir.nodes import SIf
             if isinstance(stmt, SIf):
-                stmt.then[:] = _process(func, stmt.then)
-                stmt.els[:] = _process(func, stmt.els)
+                stmt.then[:] = _process(func, stmt.then, hoists)
+                stmt.els[:] = _process(func, stmt.els, hoists)
             out.append(stmt)
     return out
 
 
 def loop_invariant_code_motion(module):
+    hoists = [0]
     for func in module.functions.values():
-        func.body[:] = _process(func, func.body)
+        func.body[:] = _process(func, func.body, hoists)
+    return hoists[0]

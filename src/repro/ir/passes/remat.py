@@ -47,16 +47,19 @@ def _materialise(expr):
 
 
 def rematerialize_constants(module):
+    rewrites = [0]
     for func in module.functions.values():
         candidates = _remat_candidates(func)
         if not candidates:
             continue
 
-        def visit(e):
+        def visit(e, candidates=candidates):
             if isinstance(e, ELocal) and e.name in candidates:
+                rewrites[0] += 1
                 return _materialise(candidates[e.name])
             return e
 
         for stmt in walk_stmts(func.body):
             map_stmt_exprs(stmt, visit)
         # The defining assignments are now dead; leave them for -dce.
+    return rewrites[0]

@@ -14,17 +14,18 @@ from repro.ir.nodes import (
 _GUARDED = {"exp": 700.0, "log": 0.0, "sin": 1e308, "cos": 1e308}
 
 
-def _wrap_body(body):
+def _wrap_body(body, wrapped):
     out = []
     for stmt in body:
         for sub in child_bodies(stmt):
-            sub[:] = _wrap_body(sub)
+            sub[:] = _wrap_body(sub, wrapped)
         if isinstance(stmt, SExpr) and isinstance(stmt.expr, ECall) \
                 and stmt.expr.name in _GUARDED \
                 and len(stmt.expr.args) == 1:
             bound = _GUARDED[stmt.expr.name]
             guard = EBin("<", stmt.expr.args[0], EConst(bound, "f64"),
                          "i32")
+            wrapped[0] += 1
             out.append(SIf(guard, [stmt], []))
         else:
             out.append(stmt)
@@ -32,5 +33,7 @@ def _wrap_body(body):
 
 
 def libcalls_shrinkwrap(module):
+    wrapped = [0]
     for func in module.functions.values():
-        func.body[:] = _wrap_body(func.body)
+        func.body[:] = _wrap_body(func.body, wrapped)
+    return wrapped[0]

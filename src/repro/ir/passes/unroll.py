@@ -39,7 +39,7 @@ def _qualifies(loop):
     return True
 
 
-def _visit(body):
+def _visit(body, unrolled):
     for stmt in body:
         if _qualifies(stmt):
             first = stmt.body
@@ -48,11 +48,14 @@ def _visit(body):
             stmt.body = (list(first) + list(copy.deepcopy(stmt.step)) +
                          [SIf(EUn("!", cond, "i32"), [SBreak()], [])] +
                          second)
+            unrolled[0] += 1
         else:
             for sub in child_bodies(stmt):
-                _visit(sub)
+                _visit(sub, unrolled)
 
 
 def unroll_loops(module):
+    unrolled = [0]
     for func in module.functions.values():
-        _visit(func.body)
+        _visit(func.body, unrolled)
+    return unrolled[0]

@@ -69,15 +69,18 @@ def _qualifies(loop):
     return has_f64
 
 
-def _visit(body):
+def _visit(body, marked):
     for stmt in body:
         if _qualifies(stmt):
             stmt.vector_width = 4
+            marked[0] += 1
         else:
             for sub in child_bodies(stmt):
-                _visit(sub)
+                _visit(sub, marked)
 
 
 def vectorize_loops(module):
+    marked = [0]
     for func in module.functions.values():
-        _visit(func.body)
+        _visit(func.body, marked)
+    return marked[0]

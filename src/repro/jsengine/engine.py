@@ -16,6 +16,7 @@ from repro.engine.threaded import fast_interp_enabled
 from repro.engine.tiering import TierController, TierPolicy
 from repro.errors import ReproError
 from repro.jsengine import host as host_module
+from repro.obs import new_profile
 from repro.jsengine.compiler import compile_program
 from repro.jsengine.config import JsEngineConfig
 from repro.jsengine.gc import GcHeap
@@ -73,6 +74,7 @@ class JsEngine:
         #: tier-up and GC events are emitted as they happen.
         self.trace = None
         self._fast = fast_interp_enabled()
+        self._profile = new_profile("js")
         self.heap = GcHeap(
             baseline_bytes=self.config.gc_baseline_bytes,
             trigger_bytes=self.config.gc_trigger_bytes,

@@ -121,6 +121,12 @@ def execute(engine, fn, args, this=None):
         if tiering.call_hot(fn.call_count):
             engine._tier_up(fn)
 
+    prof = engine._profile
+    if prof is not None:
+        # Frame entry — counted here, before the tier gate, so both
+        # execution tiers agree on per-function call counts.
+        prof.call(fn.name)
+
     if engine._fast and engine.trace is None \
             and heap.allocated_since_gc < heap.trigger_bytes:
         # Threaded tier.  Frames entered with the GC already over-trigger
@@ -135,6 +141,11 @@ def execute(engine, fn, args, this=None):
 
     factor = tiering.exec_factor(fn.tier)
     cost = JS_OP_COST_OPT if fn.tier else JS_OP_COST
+    # Profile keys pack the executing tier into bits 8+; ``tbit`` follows
+    # exactly the same refresh discipline as ``cost`` so the recorded
+    # tier always matches the tier that priced the op.
+    fprof = prof.frame(fn.name) if prof is not None else None
+    tbit = fn.tier << 8
 
     nparams = len(fn.params)
     locals_ = list(args[:nparams])
@@ -157,6 +168,9 @@ def execute(engine, fn, args, this=None):
             cycles += cost[op] * factor
             counts[klass[op]] += 1
             instret += 1
+            if fprof is not None:
+                key = op + tbit
+                fprof[key] = fprof.get(key, 0) + 1
             pc += 1
 
             if op == 1:       # LOADL
@@ -257,6 +271,7 @@ def execute(engine, fn, args, this=None):
                         engine._tier_up(fn)      # on-stack replacement
                         factor = tiering.exec_factor(fn.tier)
                         cost = JS_OP_COST_OPT
+                        tbit = fn.tier << 8
             elif op == 19:    # LT
                 b = pop(); a = pop()
                 if isinstance(a, str) and isinstance(b, str):
@@ -356,6 +371,7 @@ def execute(engine, fn, args, this=None):
                     push(execute(engine, callee, call_args, this_val))
                     factor = tiering.exec_factor(fn.tier)
                     cost = JS_OP_COST_OPT if fn.tier else JS_OP_COST
+                    tbit = fn.tier << 8
                 elif isinstance(callee, NativeFunction):
                     cycles += callee.cycles * factor
                     push(callee.fn(engine, this_val, call_args))

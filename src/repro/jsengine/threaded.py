@@ -50,6 +50,7 @@ from repro.engine.threaded import (
     class_deltas, fuse_straight_line, match_tail, split_blocks,
 )
 from repro.jsengine.bytecode import JS_OP_CLASS, JS_OP_COST, JS_OP_COST_OPT
+from repro.obs import SCHED, get_registry
 from repro.jsengine.values import (
     JSArray,
     JSFunction,
@@ -267,11 +268,13 @@ _TAIL_PATTERNS = _build_tail_patterns()
 
 
 class _Block:
-    __slots__ = ("n", "deltas", "seq0", "term0", "seq1", "term1")
+    __slots__ = ("n", "deltas", "op_deltas", "seq0", "term0", "seq1",
+                 "term1")
 
-    def __init__(self, n, deltas, seq0, term0, seq1, term1):
+    def __init__(self, n, deltas, op_deltas, seq0, term0, seq1, term1):
         self.n = n
         self.deltas = deltas
+        self.op_deltas = op_deltas    # sparse (opcode, count) — profiler
         self.seq0 = seq0
         self.term0 = term0
         self.seq1 = seq1
@@ -327,6 +330,8 @@ def translate(fn, engine):
             acc[0] += pause
 
     blocks = []
+    handler_total = 0
+    fusion_wins = 0
     for start, end in ranges:
         ops = code[start:end]
         blk_n = len(ops)
@@ -960,14 +965,26 @@ def translate(fn, engine):
                         return nbi
             seq = fuse_straight_line(body, lambda o: o[0], _PATTERNS,
                                      single, fused)
-            return seq, term
+            # Closures saved by fusion: straight-line wins plus the ops a
+            # fused block tail folded into the terminator closure.
+            wins = (len(body) - len(seq)) + max(0, blk_n - len(body) - 1)
+            return seq, term, wins
 
         f0 = tiering.exec_factor(0)
         f1 = tiering.exec_factor(1)
-        seq0, term0 = build_variant(JS_OP_COST, f0, True)
-        seq1, term1 = build_variant(JS_OP_COST_OPT, f1, False)
-        blocks.append(_Block(blk_n, deltas, seq0, term0, seq1, term1))
+        seq0, term0, wins0 = build_variant(JS_OP_COST, f0, True)
+        seq1, term1, _wins1 = build_variant(JS_OP_COST_OPT, f1, False)
+        op_deltas = class_deltas([op for op, _a in ops])
+        handler_total += len(seq0)
+        fusion_wins += wins0
+        blocks.append(_Block(blk_n, deltas, op_deltas, seq0, term0, seq1,
+                             term1))
 
+    reg = get_registry()
+    reg.counter_add("interp.js.translated_functions", 1, SCHED)
+    reg.counter_add("interp.js.translated_blocks", len(blocks), SCHED)
+    reg.counter_add("interp.js.handlers", handler_total, SCHED)
+    reg.counter_add("interp.js.fused_superinstructions", fusion_wins, SCHED)
     return ThreadedFunction(fn, blocks, len(fn.params), fn.num_locals)
 
 
@@ -984,6 +1001,8 @@ def run(engine, fn, tf, args):
     # [cycle accumulator, return value, shadow locals] — the shadow list
     # mirrors the reference frame's arm locals for GC reachability.
     acc = [0.0, UNDEFINED, [None] * _NSHADOW]
+    prof = engine._profile
+    fprof = prof.frame(fn.name) if prof is not None else None
     bi = 0 if blocks else -1
     try:
         while bi >= 0:
@@ -992,10 +1011,17 @@ def run(engine, fn, tf, args):
             for ci, d in blk.deltas:
                 counts[ci] += d
             if fn.tier:
+                if fprof is not None:
+                    for op, d in blk.op_deltas:
+                        key = op + 256
+                        fprof[key] = fprof.get(key, 0) + d
                 for h in blk.seq1:
                     h(stack, locals_, acc)
                 bi = blk.term1(stack, locals_, acc)
             else:
+                if fprof is not None:
+                    for op, d in blk.op_deltas:
+                        fprof[op] = fprof.get(op, 0) + d
                 for h in blk.seq0:
                     h(stack, locals_, acc)
                 bi = blk.term0(stack, locals_, acc)

@@ -25,6 +25,7 @@ from repro.engine.hostlib import native_libm
 from repro.engine.opclass import OpClass
 from repro.engine.stats import EngineStats
 from repro.errors import TrapError
+from repro.obs import new_profile
 
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -209,6 +210,7 @@ class _Machine:
         self.stats = NativeStats()
         self.budget = max_instructions
         self._fast = _threaded.fast_interp_enabled()
+        self._profile = new_profile("native")
         #: id(fn) → ThreadedFunction; translations pre-bind this machine's
         #: stats/memory, so the cache is per machine.  Keyed by id because
         #: NativeFunction is an (unhashable) dataclass; the program keeps
@@ -220,6 +222,10 @@ class _Machine:
         return self._run(fn, list(args))
 
     def _run(self, fn, args):
+        # Frame entry (the deopt resume goes through _run_from directly,
+        # so a deopted frame is not double-counted).
+        if self._profile is not None:
+            self._profile.call(fn.name)
         if self._fast:
             tf = self._threaded.get(id(fn))
             if tf is None:
@@ -242,6 +248,8 @@ class _Machine:
         mem = self.memory
         klass = N_OP_CLASS
         counts = stats.op_counts
+        prof = self._profile
+        fprof = prof.frame(fn.name) if prof is not None else None
         try:
             while pc < n:
                 op, dst, a, b, vector = code[pc]
@@ -249,6 +257,11 @@ class _Machine:
                                         else 1.0)
                 counts[klass[op]] += 1
                 instret += 1
+                if fprof is not None:
+                    # int() flattens the NOp enum so profile keys pickle
+                    # and stringify as plain integers.
+                    key = int(op) + (256 if vector else 0)
+                    fprof[key] = fprof.get(key, 0) + 1
                 if self.budget is not None:
                     self.budget -= 1
                     if self.budget < 0:

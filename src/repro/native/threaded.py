@@ -30,6 +30,7 @@ from repro.engine.threaded import (
     class_deltas, fast_interp_enabled, match_tail, split_blocks,
 )
 from repro.errors import TrapError
+from repro.obs import SCHED, get_registry
 from repro.native.machine import (
     N_COST, N_OP_CLASS, NOp, VECTOR_COST_FACTOR, _w32, _w64,
 )
@@ -225,13 +226,14 @@ _TAIL_PATTERNS = _build_tail_patterns()
 
 
 class _Block:
-    __slots__ = ("start", "n", "deltas", "seq", "term")
+    __slots__ = ("start", "n", "deltas", "op_deltas", "seq", "term")
 
-    def __init__(self, start, n, deltas, seq, term):
+    def __init__(self, start, n, deltas, op_deltas, seq, term):
         self.start = start
         self.n = n
         self.deltas = deltas
-        self.seq = seq
+        self.op_deltas = op_deltas    # sparse (key, count) — profiler;
+        self.seq = seq                # keys carry the vector bit (bit 8)
         self.term = term
 
 
@@ -274,11 +276,15 @@ def translate(fn, machine):
     budget_mode = machine.budget is not None
 
     blocks = []
+    handler_total = 0
+    fusion_wins = 0
     for start, end in ranges:
         ops = code[start:end]
         blk_n = len(ops)
         classes = [int(N_OP_CLASS[instr[0]]) for instr in ops]
         deltas = class_deltas(classes)
+        op_deltas = class_deltas(
+            [int(instr[0]) + (256 if instr[4] else 0) for instr in ops])
         charges = [N_COST[instr[0]] * (VECTOR_COST_FACTOR if instr[4]
                                        else 1.0) for instr in ops]
         nbi = bi_of(end)
@@ -534,8 +540,16 @@ def translate(fn, machine):
         seq = []
         for i, instr in enumerate(body_ops):
             seq.append(single(instr, i))
-        blocks.append(_Block(start, blk_n, deltas, seq, term))
+        handler_total += len(seq)
+        fusion_wins += blk_n - (1 if has_term else 0) - len(body_ops)
+        blocks.append(_Block(start, blk_n, deltas, op_deltas, seq, term))
 
+    reg = get_registry()
+    reg.counter_add("interp.native.translated_functions", 1, SCHED)
+    reg.counter_add("interp.native.translated_blocks", len(blocks), SCHED)
+    reg.counter_add("interp.native.handlers", handler_total, SCHED)
+    reg.counter_add("interp.native.fused_superinstructions", fusion_wins,
+                    SCHED)
     return ThreadedFunction(fn, blocks, fn.nregs, budget_mode)
 
 
@@ -549,6 +563,8 @@ def run(machine, tf, args):
     blocks = tf.blocks
     budget_mode = tf.budget_mode
     acc = [0.0, 0, None]
+    prof = machine._profile
+    fprof = prof.frame(tf.fn.name) if prof is not None else None
     bi = 0 if blocks else -1
     try:
         while bi >= 0:
@@ -559,6 +575,8 @@ def run(machine, tf, args):
                     # Deopt: hand the frame (with pending unflushed
                     # accumulators) to the reference ladder, which charges
                     # op-by-op and traps at the exact instruction.
+                    get_registry().counter_add("interp.native.deopts", 1,
+                                               SCHED)
                     pending_cycles = acc[0]
                     pending_instret = acc[1]
                     acc[0] = 0.0
@@ -570,6 +588,9 @@ def run(machine, tf, args):
             acc[1] += blk.n
             for ci, d in blk.deltas:
                 counts[ci] += d
+            if fprof is not None:
+                for key, d in blk.op_deltas:
+                    fprof[key] = fprof.get(key, 0) + d
             for h in blk.seq:
                 h(regs, acc)
             bi = blk.term(regs, acc)

@@ -1,0 +1,47 @@
+"""Unified telemetry layer (metrics, spans, events, profiler).
+
+``repro.obs`` is the observability substrate every other layer may use:
+the compiler pipeline, the cache, the three engines, the harness and the
+results tooling all report through it.  To keep that fan-in safe the
+package is a *leaf*: it imports nothing from ``repro`` outside itself
+(stdlib only), enforced by ``tools/check_layering.py``.
+
+Three kinds of instrument:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms that is deterministic by construction.  Every
+  metric carries a stability tag (``det`` / ``sched`` / ``wall``) saying
+  how reproducible its value is; ``det`` metrics are golden-comparable
+  across schedules, cache warmth and interpreter tiers.
+* :mod:`repro.obs.spans` — wallclock spans that feed ``wall`` metrics
+  and the JSONL event sink (:mod:`repro.obs.events`, ``REPRO_EVENTS``).
+* :mod:`repro.obs.profile` — the per-function/per-op execution profiler
+  the engines drive when ``REPRO_PROFILE=1``; pure integer counts so the
+  reference ladders and the threaded tier produce identical profiles.
+"""
+
+from repro.obs.events import EVENTS_ENV, emit, events_enabled
+from repro.obs.metrics import (
+    DET, SCHED, WALL, MetricsRegistry, get_registry, reset_registry,
+)
+from repro.obs.profile import (
+    PROFILE_ENV, EngineProfile, new_profile, profile_enabled,
+)
+from repro.obs.spans import span
+
+__all__ = [
+    "DET",
+    "EVENTS_ENV",
+    "EngineProfile",
+    "MetricsRegistry",
+    "PROFILE_ENV",
+    "SCHED",
+    "WALL",
+    "emit",
+    "events_enabled",
+    "get_registry",
+    "new_profile",
+    "profile_enabled",
+    "reset_registry",
+    "span",
+]

@@ -1,0 +1,68 @@
+"""JSONL event sink, enabled by ``REPRO_EVENTS=<path>``.
+
+Events are append-only diagnostic records (spans, cache probes,
+scheduler cell lifecycles, engine phase traces) — one JSON object per
+line, tagged with the emitting pid.  They are *not* part of the
+deterministic surface: worker processes interleave freely and wallclock
+fields differ run to run.  Deterministic comparisons go through
+:mod:`repro.obs.metrics` instead.
+
+The sink is fork-aware: the file handle is cached per (path, pid) and
+reopened after a fork so each worker appends through its own handle
+(O_APPEND keeps whole lines intact across processes).  All I/O is
+best-effort; a broken sink never fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+EVENTS_ENV = "REPRO_EVENTS"
+
+_state = {"path": None, "pid": None, "fh": None}
+
+
+def events_enabled():
+    return bool(os.environ.get(EVENTS_ENV))
+
+
+def _handle(path):
+    pid = os.getpid()
+    if _state["fh"] is None or _state["path"] != path \
+            or _state["pid"] != pid:
+        old = _state["fh"]
+        _state["fh"] = None
+        if old is not None and _state["pid"] == pid:
+            try:
+                old.close()
+            except OSError:
+                pass
+        try:
+            _state["fh"] = open(path, "a", encoding="utf-8")
+        except OSError:
+            return None
+        _state["path"] = path
+        _state["pid"] = pid
+    return _state["fh"]
+
+
+def emit(kind, /, **fields):
+    """Append one event record; no-op unless ``REPRO_EVENTS`` is set.
+
+    ``kind`` is positional-only so callers can carry a ``kind`` field of
+    their own (compile spans, failure records); the event's own kind
+    lands under the ``event`` key."""
+    path = os.environ.get(EVENTS_ENV)
+    if not path:
+        return
+    fh = _handle(path)
+    if fh is None:
+        return
+    record = {"event": kind, "pid": os.getpid()}
+    record.update(fields)
+    try:
+        fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        fh.flush()
+    except (OSError, ValueError):
+        pass

@@ -1,0 +1,266 @@
+"""Deterministic metrics registry: counters, gauges, histograms.
+
+Determinism is structural, not aspirational:
+
+* **Counters** accumulate integers on an ``int`` fast path and floats as
+  exact :class:`fractions.Fraction` values.  Fraction addition is
+  associative *and* commutative with no rounding, so a counter's final
+  value is independent of the order (and process grouping) in which the
+  increments happened — the one ``float()`` conversion at export time is
+  correctly rounded.  Serial and parallel sweeps therefore export
+  byte-identical values.
+* **Gauges** merge by ``max`` (a commutative, associative, idempotent
+  reduction) rather than last-write-wins, which would be
+  schedule-dependent.
+* **Histograms** are integer bucket counts over bounds fixed when the
+  histogram is first observed.
+
+Every metric carries a *stability* tag:
+
+* ``det``   — deterministic counts/cycles; golden-comparable across
+  schedules, cache warmth and interpreter tiers.
+* ``sched`` — depends on cache warmth or scheduling (cache hits,
+  retries, translation counts); reproducible only for a fixed schedule.
+* ``wall``  — wallclock; never compared.
+
+A name's stability is fixed at first use; re-registering it with a
+different tag raises, so a metric cannot silently drift out of the
+parity-checked set.
+
+Worker processes ship their increments home as :meth:`diff` payloads
+(pickleable; Fractions pickle exactly) which the parent folds in with
+:meth:`apply` — see ``repro.harness.parallel``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from fractions import Fraction
+
+DET = "det"
+SCHED = "sched"
+WALL = "wall"
+
+_STABILITIES = (DET, SCHED, WALL)
+
+#: Default histogram bucket upper bounds (powers of two, ms/count scale).
+DEFAULT_BOUNDS = tuple(2 ** i for i in range(0, 21))
+
+_ZERO = Fraction(0)
+
+
+class Counter:
+    """Monotonic sum with exact float accumulation."""
+
+    __slots__ = ("ints", "frac")
+
+    def __init__(self, ints=0, frac=_ZERO):
+        self.ints = ints
+        self.frac = frac
+
+    def add(self, value):
+        if isinstance(value, int):
+            self.ints += value
+        else:
+            self.frac += Fraction(value)
+
+    @property
+    def value(self):
+        """Plain number: int when no float was ever added, else the
+        correctly-rounded float of the exact sum."""
+        if not self.frac:
+            return self.ints
+        return float(self.ints + self.frac)
+
+
+class Gauge:
+    """High-water mark (max-merge; order-independent)."""
+
+    __slots__ = ("peak",)
+
+    def __init__(self, peak=None):
+        self.peak = peak
+
+    def observe(self, value):
+        if self.peak is None or value > self.peak:
+            self.peak = value
+
+    @property
+    def value(self):
+        return self.peak
+
+
+class Histogram:
+    """Integer bucket counts over fixed upper bounds (last bucket is
+    overflow)."""
+
+    __slots__ = ("bounds", "counts")
+
+    def __init__(self, bounds=DEFAULT_BOUNDS, counts=None):
+        self.bounds = tuple(bounds)
+        self.counts = list(counts) if counts is not None \
+            else [0] * (len(self.bounds) + 1)
+
+    def observe(self, value, n=1):
+        self.counts[bisect_right(self.bounds, value)] += n
+
+    @property
+    def value(self):
+        return {"bounds": list(self.bounds), "counts": list(self.counts)}
+
+
+class MetricsRegistry:
+    """Name -> instrument, with a stability tag per name."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._hists = {}
+        self._stability = {}
+
+    # -- registration ----------------------------------------------------
+
+    def _tag(self, name, stability):
+        if stability not in _STABILITIES:
+            raise ValueError(f"unknown stability {stability!r}")
+        prev = self._stability.get(name)
+        if prev is None:
+            self._stability[name] = stability
+        elif prev != stability:
+            raise ValueError(
+                f"metric {name!r} already registered as {prev!r}, "
+                f"refusing {stability!r}")
+
+    # -- recording -------------------------------------------------------
+
+    def counter_add(self, name, value, stability=DET):
+        self._tag(name, stability)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        counter.add(value)
+
+    def gauge_max(self, name, value, stability=DET):
+        self._tag(name, stability)
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.observe(value)
+
+    def hist_observe(self, name, value, stability=DET,
+                     bounds=DEFAULT_BOUNDS):
+        self._tag(name, stability)
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram(bounds)
+        hist.observe(value)
+
+    # -- snapshot / diff / merge ----------------------------------------
+
+    def snapshot(self):
+        """Opaque copy of the full state (pair with :meth:`restore` or
+        :meth:`diff`)."""
+        return (
+            {n: (c.ints, c.frac) for n, c in self._counters.items()},
+            {n: g.peak for n, g in self._gauges.items()},
+            {n: (h.bounds, list(h.counts)) for n, h in self._hists.items()},
+            dict(self._stability),
+        )
+
+    def restore(self, snap):
+        counters, gauges, hists, stability = snap
+        self._counters = {n: Counter(i, f) for n, (i, f) in counters.items()}
+        self._gauges = {n: Gauge(p) for n, p in gauges.items()}
+        self._hists = {n: Histogram(b, c) for n, (b, c) in hists.items()}
+        self._stability = dict(stability)
+
+    def diff(self, snap):
+        """Pickleable increment relative to ``snap`` — everything added
+        since the snapshot was taken, mergeable with :meth:`apply`."""
+        counters, gauges, hists, _ = snap
+        dcounters = {}
+        for name, c in self._counters.items():
+            base = counters.get(name)
+            base_i, base_f = base if base is not None else (0, _ZERO)
+            di, df = c.ints - base_i, c.frac - base_f
+            # A newly registered counter ships even at zero delta: a
+            # zero-valued counter (e.g. a pass that ran but rewrote
+            # nothing) must appear in the merged export exactly as it
+            # would after a serial run.
+            if di or df or base is None:
+                dcounters[name] = (self._stability[name], di, df)
+        dgauges = {}
+        for name, g in self._gauges.items():
+            base = gauges.get(name)
+            if g.peak is not None and (base is None or g.peak > base):
+                dgauges[name] = (self._stability[name], g.peak)
+        dhists = {}
+        for name, h in self._hists.items():
+            base = hists.get(name, (h.bounds, [0] * len(h.counts)))[1]
+            delta = [a - b for a, b in zip(h.counts, base)]
+            if any(delta):
+                dhists[name] = (self._stability[name], h.bounds, delta)
+        return {"counters": dcounters, "gauges": dgauges, "hists": dhists}
+
+    def apply(self, payload):
+        """Fold a :meth:`diff` payload in.  Counter addition is exact and
+        gauges max-merge, so application order does not matter."""
+        for name, (stability, di, df) in payload["counters"].items():
+            self._tag(name, stability)
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.ints += di
+            counter.frac += df
+        for name, (stability, peak) in payload["gauges"].items():
+            self.gauge_max(name, peak, stability)
+        for name, (stability, bounds, delta) in payload["hists"].items():
+            self._tag(name, stability)
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram(bounds)
+            for i, d in enumerate(delta):
+                hist.counts[i] += d
+        return self
+
+    # -- export ----------------------------------------------------------
+
+    def stability(self, name):
+        return self._stability.get(name)
+
+    def export(self, stabilities=None):
+        """Plain sorted ``{name: value}`` dict, optionally filtered to a
+        set of stability tags (JSON-clean)."""
+        if stabilities is not None:
+            stabilities = frozenset(stabilities)
+        out = {}
+        for name in sorted(self._stability):
+            if stabilities is not None and \
+                    self._stability[name] not in stabilities:
+                continue
+            if name in self._counters:
+                out[name] = self._counters[name].value
+            elif name in self._gauges:
+                out[name] = self._gauges[name].value
+            elif name in self._hists:
+                out[name] = self._hists[name].value
+        return out
+
+    def reset(self):
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+        self._stability.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry():
+    """The process-global registry (one per worker process)."""
+    return _REGISTRY
+
+
+def reset_registry():
+    _REGISTRY.reset()
+    return _REGISTRY

@@ -1,0 +1,69 @@
+"""Per-function / per-op execution profiler (``REPRO_PROFILE=1``).
+
+The profile is **integer op-execution counts keyed by raw opcode** (plus
+an engine-specific variant bit: JS packs the tier into bits 8+, native
+packs the vector flag into bit 8).  Both interpreter tiers execute the
+same abstract op stream, so counting ops — never cycles — makes the
+profile bit-identical under ``REPRO_FAST_INTERP=0`` and ``=1``: the
+reference ladders bump a per-op cell at the charge site, while the
+threaded tier applies precomputed per-block ``(op, count)`` deltas at
+its existing batch point.  Cycles per opclass are *derived* afterwards
+from the static cost tables (``repro.engine.profdecode``).
+
+When profiling is off (the default) ``new_profile`` returns ``None`` and
+the engines' hot loops pay one pointer test per frame (reference) or per
+block (threaded) — nothing per op.
+
+Granularity caveat: the threaded tier attributes a whole block at its
+batch point, so a *trapping* block's ops up to the trap are not counted
+there (the reference ladder counts them exactly).  The measured
+benchmarks never trap; the wasm budget deopt is exact on both tiers
+because the deopt check precedes the block charge.
+"""
+
+from __future__ import annotations
+
+import os
+
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profile_enabled():
+    return os.environ.get(PROFILE_ENV, "0").strip().lower() in \
+        ("1", "on", "true", "yes")
+
+
+class EngineProfile:
+    """Per-function call counts + per-function {op_key: executed}."""
+
+    __slots__ = ("engine", "calls", "ops")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.calls = {}
+        self.ops = {}
+
+    def call(self, fname):
+        self.calls[fname] = self.calls.get(fname, 0) + 1
+
+    def frame(self, fname):
+        """The mutable ``{op_key: count}`` dict for one function — bound
+        once per frame by the interpreter loops."""
+        cells = self.ops.get(fname)
+        if cells is None:
+            cells = self.ops[fname] = {}
+        return cells
+
+    def to_dict(self):
+        """JSON/pickle-clean form with sorted, stringified op keys."""
+        return {
+            "engine": self.engine,
+            "calls": {fn: self.calls[fn] for fn in sorted(self.calls)},
+            "ops": {fn: {str(k): v for k, v in sorted(cells.items())}
+                    for fn, cells in sorted(self.ops.items())},
+        }
+
+
+def new_profile(engine):
+    """An :class:`EngineProfile` when profiling is on, else ``None``."""
+    return EngineProfile(engine) if profile_enabled() else None

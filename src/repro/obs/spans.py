@@ -1,0 +1,38 @@
+"""Wallclock spans bridging the metrics registry and the event sink.
+
+A span times a region of work.  Its duration lands in a ``<name>.wall_ms``
+counter tagged ``wall`` (never parity-compared) and its entry count in
+``<name>.count`` tagged ``sched`` (spans fire per compile/per cell, which
+depends on cache warmth and scheduling).  Deterministic facts about the
+region — node counts, rewrites, hit/miss — are recorded separately as
+``det``/``sched`` counters by the caller; the span only owns time.
+
+When the JSONL sink is enabled each span also emits one ``span`` event
+carrying its structured fields.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.events import emit, events_enabled
+from repro.obs.metrics import SCHED, WALL, get_registry
+
+
+@contextmanager
+def span(name, /, **fields):
+    """Time a region: ``with span("pass.dce", module=m.name): ...``
+
+    The span name is positional-only so callers can attach a ``name``
+    field of their own (the event carries the span under ``span``)."""
+    t0 = time.perf_counter()
+    try:
+        yield fields
+    finally:
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+        reg = get_registry()
+        reg.counter_add(name + ".wall_ms", wall_ms, WALL)
+        reg.counter_add(name + ".count", 1, SCHED)
+        if events_enabled():
+            emit("span", span=name, wall_ms=round(wall_ms, 3), **fields)

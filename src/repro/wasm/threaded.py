@@ -36,6 +36,7 @@ from repro.engine.threaded import (
     split_blocks,
 )
 from repro.errors import TrapError, ValidationError
+from repro.obs import SCHED, get_registry
 from repro.wasm.instructions import OP_CLASS, OP_COST
 from repro.wasm.memory import (
     PACK_F64, PACK_U32, PACK_U64, UNPACK_F64, UNPACK_I32, UNPACK_I64,
@@ -329,13 +330,15 @@ _TAIL_PATTERNS = _build_tail_patterns()
 
 
 class _Block:
-    __slots__ = ("start", "n", "cycles", "deltas", "seq", "term")
+    __slots__ = ("start", "n", "cycles", "deltas", "op_deltas", "seq",
+                 "term")
 
-    def __init__(self, start, n, cycles, deltas, seq, term):
+    def __init__(self, start, n, cycles, deltas, op_deltas, seq, term):
         self.start = start
         self.n = n
         self.cycles = cycles
         self.deltas = deltas
+        self.op_deltas = op_deltas    # sparse (opcode, count) — profiler
         self.seq = seq
         self.term = term
 
@@ -385,6 +388,8 @@ def translate(fn, inst):
     budget_mode = inst.max_instructions is not None
 
     blocks = []
+    handler_total = 0
+    fusion_wins = 0
     for start, end in ranges:
         ops = code[start:end]
         costs = [OP_COST[op] for op, _a, _e in ops]
@@ -830,9 +835,19 @@ def translate(fn, inst):
 
         seq = fuse_straight_line(body, lambda o: o[0], _PATTERNS,
                                  single, fused)
-        blocks.append(_Block(start, blk_n, blk_cycles, deltas, seq, term))
+        op_deltas = class_deltas([op for op, _a, _e in ops])
+        handler_total += len(seq)
+        fusion_wins += sum(1 for o in body if o[0] not in _MARKERS) - len(seq)
+        blocks.append(_Block(start, blk_n, blk_cycles, deltas, op_deltas,
+                             seq, term))
 
     init_tail = [0.0 if t == "f64" else 0 for t in fn.local_types]
+    reg = get_registry()
+    reg.counter_add("interp.wasm.translated_functions", 1, SCHED)
+    reg.counter_add("interp.wasm.translated_blocks", len(blocks), SCHED)
+    reg.counter_add("interp.wasm.handlers", handler_total, SCHED)
+    reg.counter_add("interp.wasm.fused_superinstructions", fusion_wins,
+                    SCHED)
     return ThreadedFunction(fn, blocks, init_tail, bool(fn.results),
                             budget_mode)
 
@@ -846,6 +861,8 @@ def run(inst, tf, args):
     counts = stats.op_counts
     blocks = tf.blocks
     budget_mode = tf.budget_mode
+    prof = inst._profile
+    fprof = prof.frame(tf.fn.name) if prof is not None else None
     bi = 0 if blocks else -1
     while bi >= 0:
         blk = blocks[bi]
@@ -855,12 +872,16 @@ def run(inst, tf, args):
                 # Deopt: fewer budget units than block instructions — the
                 # reference ladder charges op-by-op from the block start
                 # and traps at the exact instruction with exact partials.
+                get_registry().counter_add("interp.wasm.deopts", 1, SCHED)
                 return inst._run_from(tf.fn, locals_, stack, blk.start)
             inst._instr_budget = r - blk.n
         stats.cycles += blk.cycles
         stats.instructions += blk.n
         for ci, d in blk.deltas:
             counts[ci] += d
+        if fprof is not None:
+            for op, d in blk.op_deltas:
+                fprof[op] = fprof.get(op, 0) + d
         for h in blk.seq:
             h(stack, locals_)
         bi = blk.term(stack, locals_)

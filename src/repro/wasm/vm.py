@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.stats import EngineStats
 from repro.errors import TrapError, ValidationError
+from repro.obs import new_profile
 from repro.wasm.instructions import OP_CLASS, OP_COST, Op, OpClass
 from repro.wasm.memory import LinearMemory
 
@@ -161,6 +162,7 @@ class WasmInstance:
         self.max_instructions = max_instructions
         self._instr_budget = max_instructions
         self._fast = _threaded.fast_interp_enabled()
+        self._profile = new_profile("wasm")
 
         imports = imports or {}
         num_imports = len(module.imports)
@@ -207,6 +209,10 @@ class WasmInstance:
         return self._run(target, args)
 
     def _run(self, fn, args):
+        # Frame entry (the deopt resume below goes through _run_from
+        # directly, so a deopted frame is not double-counted).
+        if self._profile is not None:
+            self._profile.call(fn.name)
         if self._fast:
             tf = fn.threaded
             if tf is None:
@@ -232,6 +238,8 @@ class WasmInstance:
         cost = OP_COST
         klass = OP_CLASS
         counts = stats.op_counts
+        prof = self._profile
+        fprof = prof.frame(fn.name) if prof is not None else None
         cycles = 0.0
         instret = 0
         budget = self._instr_budget
@@ -242,6 +250,8 @@ class WasmInstance:
                 cycles += cost[op]
                 counts[klass[op]] += 1
                 instret += 1
+                if fprof is not None:
+                    fprof[op] = fprof.get(op, 0) + 1
                 if budget is not None:
                     budget -= 1
                     if budget < 0:

@@ -1,0 +1,263 @@
+"""Telemetry layer unit tests: the metrics registry's determinism
+properties, the snapshot/diff/apply worker protocol, the JSONL event
+sink, spans, and the profiler switches."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    DET, SCHED, WALL, EngineProfile, MetricsRegistry, emit, events_enabled,
+    get_registry, new_profile, profile_enabled, reset_registry, span,
+)
+from repro.obs.metrics import Counter, DEFAULT_BOUNDS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+# -- counters --------------------------------------------------------------
+
+
+def test_counter_int_fast_path_stays_int():
+    c = Counter()
+    c.add(3)
+    c.add(4)
+    assert c.value == 7
+    assert isinstance(c.value, int)
+
+
+def test_counter_float_accumulation_is_exact():
+    """0.1 summed 10 times in float is not 1.0; through Fractions it is."""
+    c = Counter()
+    for _ in range(10):
+        c.add(0.1)
+    assert c.value == float(Fraction(1, 10) * 10) == 1.0
+
+
+def test_counter_value_is_order_and_grouping_independent():
+    values = [0.1, 0.7, 1e-9, 123456.25, 0.3, 2.0000001] * 7
+    a = Counter()
+    for v in values:
+        a.add(v)
+    b = Counter()
+    for v in reversed(values):
+        b.add(v)
+    # Grouped accumulation (what worker diffs produce) agrees too.
+    g1, g2 = Counter(), Counter()
+    for v in values[:20]:
+        g1.add(v)
+    for v in values[20:]:
+        g2.add(v)
+    merged = Counter()
+    merged.ints = g1.ints + g2.ints
+    merged.frac = g1.frac + g2.frac
+    assert a.value == b.value == merged.value
+
+
+# -- registry --------------------------------------------------------------
+
+
+def test_gauge_is_max_merge():
+    reg = MetricsRegistry()
+    reg.gauge_max("mem", 5)
+    reg.gauge_max("mem", 3)
+    reg.gauge_max("mem", 9)
+    assert reg.export() == {"mem": 9}
+
+
+def test_histogram_buckets():
+    reg = MetricsRegistry()
+    for v in (0.5, 1, 3, 100, 10 ** 9):
+        reg.hist_observe("h", v)
+    out = reg.export()["h"]
+    assert out["bounds"] == list(DEFAULT_BOUNDS)
+    assert sum(out["counts"]) == 5
+    assert out["counts"][-1] == 1          # overflow bucket
+
+
+def test_stability_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter_add("x", 1, DET)
+    with pytest.raises(ValueError, match="already registered"):
+        reg.counter_add("x", 1, SCHED)
+
+
+def test_export_filters_by_stability():
+    reg = MetricsRegistry()
+    reg.counter_add("a", 1, DET)
+    reg.counter_add("b", 1, SCHED)
+    reg.counter_add("c", 1.5, WALL)
+    assert reg.export([DET]) == {"a": 1}
+    assert reg.export([SCHED]) == {"b": 1}
+    assert reg.export([WALL]) == {"c": 1.5}
+    assert reg.export() == {"a": 1, "b": 1, "c": 1.5}
+
+
+def test_export_is_sorted_and_json_clean():
+    reg = MetricsRegistry()
+    reg.counter_add("z", 0.25)
+    reg.counter_add("a", 2)
+    reg.hist_observe("m", 3)
+    out = reg.export()
+    assert list(out) == sorted(out)
+    json.dumps(out)                        # must not raise
+
+
+def test_snapshot_restore_roundtrip():
+    reg = MetricsRegistry()
+    reg.counter_add("c", 2)
+    reg.gauge_max("g", 7)
+    reg.hist_observe("h", 4)
+    snap = reg.snapshot()
+    reg.counter_add("c", 100)
+    reg.counter_add("new", 1)
+    reg.gauge_max("g", 99)
+    reg.restore(snap)
+    assert reg.export() == {"c": 2, "g": 7,
+                            "h": reg.export()["h"]}
+    assert "new" not in reg.export()
+
+
+def test_diff_apply_equals_direct_accumulation():
+    """The worker protocol: parent.apply(worker.diff(snap)) must land the
+    parent in exactly the state direct accumulation would have."""
+    direct = MetricsRegistry()
+    parent = MetricsRegistry()
+    worker = MetricsRegistry()
+    for reg in (direct, parent, worker):
+        reg.counter_add("base", 5)
+        reg.counter_add("f", 0.1)
+    snap = worker.snapshot()
+    worker.counter_add("base", 3)
+    worker.counter_add("f", 0.2)
+    worker.gauge_max("peak", 11, SCHED)
+    worker.hist_observe("lat", 6, SCHED)
+    payload = worker.diff(snap)
+    payload = pickle.loads(pickle.dumps(payload))    # ships over a pipe
+    parent.apply(payload)
+    direct.counter_add("base", 3)
+    direct.counter_add("f", 0.2)
+    direct.gauge_max("peak", 11, SCHED)
+    direct.hist_observe("lat", 6, SCHED)
+    assert parent.export() == direct.export()
+    assert parent._counters["f"].frac == direct._counters["f"].frac
+
+
+def test_diff_is_empty_when_nothing_changed():
+    reg = MetricsRegistry()
+    reg.counter_add("c", 1)
+    snap = reg.snapshot()
+    payload = reg.diff(snap)
+    assert payload == {"counters": {}, "gauges": {}, "hists": {}}
+
+
+# -- events ----------------------------------------------------------------
+
+
+def test_events_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENTS", raising=False)
+    assert not events_enabled()
+    emit("noop", x=1)                      # must be a silent no-op
+
+
+def test_event_sink_writes_jsonl(tmp_path, monkeypatch):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS", str(path))
+    emit("unit", a=1, b="two")
+    emit("unit", a=2)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "unit"
+    assert first["a"] == 1 and first["b"] == "two"
+    assert first["pid"] == os.getpid()
+
+
+def test_emit_allows_kind_field(tmp_path, monkeypatch):
+    """Compile spans and failure records carry their own ``kind`` field;
+    it must not collide with the event kind (positional-only)."""
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS", str(path))
+    emit("span", kind="wasm", span="compile")
+    event = json.loads(path.read_text().strip())
+    assert event["event"] == "span"
+    assert event["kind"] == "wasm"
+
+
+def test_span_records_wall_and_count(tmp_path, monkeypatch):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS", str(path))
+    with span("unit.region", phase="test") as fields:
+        fields["extra"] = 42
+    exported = get_registry().export()
+    assert exported["unit.region.count"] == 1
+    assert exported["unit.region.wall_ms"] >= 0.0
+    assert get_registry().stability("unit.region.wall_ms") == WALL
+    assert get_registry().stability("unit.region.count") == SCHED
+    event = json.loads(path.read_text().strip())
+    assert event["event"] == "span"
+    assert event["span"] == "unit.region"
+    assert event["extra"] == 42
+
+
+# -- profiler --------------------------------------------------------------
+
+
+def test_profile_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert not profile_enabled()
+    assert new_profile("wasm") is None
+
+
+def test_profile_enabled_values(monkeypatch):
+    for value in ("1", "on", "true", "YES"):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert profile_enabled(), value
+    for value in ("0", "off", ""):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert not profile_enabled(), value
+
+
+def test_engine_profile_to_dict_is_sorted_and_stringified():
+    p = EngineProfile("wasm")
+    p.call("main")
+    p.call("main")
+    frame = p.frame("main")
+    frame[7] = 3
+    frame[2] = 1
+    d = p.to_dict()
+    assert d["engine"] == "wasm"
+    assert d["calls"] == {"main": 2}
+    assert list(d["ops"]["main"]) == ["2", "7"]
+    assert d["ops"]["main"] == {"2": 1, "7": 3}
+    json.dumps(d)
+
+
+def test_obs_layering_rule_flags_back_edges(tmp_path):
+    """The checker rejects any repro import from inside repro.obs."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    try:
+        import check_layering
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "obs" / "metrics.py"
+    bad.parent.mkdir()
+    bad.write_text("def f():\n    from repro.engine import stats\n")
+    ok = tmp_path / "obs" / "events.py"
+    ok.write_text("from repro.obs.metrics import DET\n")
+    violations = check_layering.check(src=tmp_path)
+    assert len(violations) == 1
+    assert "obs/metrics.py" in violations[0]
+    assert "repro.engine" in violations[0]

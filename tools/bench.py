@@ -186,6 +186,15 @@ def sweep_bench():
     }
 
 
+def _interp_metrics():
+    """Snapshot of the ``interp.*`` registry counters accumulated by the
+    benchmark's threaded-tier runs."""
+    from repro.obs import SCHED, get_registry
+    return {name: value
+            for name, value in get_registry().export([SCHED]).items()
+            if name.startswith("interp.")}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -209,6 +218,10 @@ def main(argv=None):
         "python": sys.version.split()[0],
         "micro": micro,
         "sweep": sweep,
+        # Threaded-tier translation counters from the metrics registry:
+        # per-engine translated functions/blocks, dispatch handlers built,
+        # superinstruction fusion wins, and budget deopts taken.
+        "interp_metrics": _interp_metrics(),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

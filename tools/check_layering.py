@@ -29,6 +29,11 @@ Enforced here:
   the substrate itself (``repro.engine.threaded``): the translators are
   leaves that pre-bind state handed to them by their host engine, so a
   tie to tiering/stats/hostlib internals would be a hidden layer edge.
+* ``repro.obs`` — the telemetry layer — is a leaf below everything:
+  any layer may import it, but it must not import any other ``repro.*``
+  module, anywhere, even inside functions.  Instrumentation that pulled
+  in pipeline or engine code would invert the dependency and make
+  metrics collection able to change what it observes.
 
 Exits non-zero and prints one line per violation; silent when clean.
 """
@@ -104,6 +109,15 @@ def check(src=SRC):
                         f"src/repro/{rel}:{node.lineno}: engine core "
                         f"imports repro.{pkg} at module level (use a "
                         f"lazy function-level import)")
+            if layer == "obs":
+                for mod in _imported_modules(node):
+                    if mod != "repro.obs" and \
+                            not mod.startswith("repro.obs."):
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: the telemetry "
+                            f"layer imports {mod} (repro.obs is a leaf — "
+                            f"everything may import it, it may import "
+                            f"nothing from repro)")
             if rel.parts == ("engine", "threaded.py"):
                 for mod in _imported_modules(node):
                     violations.append(

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Observability report: renders the telemetry sections of
+``results/summary.json`` into a terminal-friendly digest.
+
+Sections (each skipped gracefully when its metrics are absent):
+
+* **Compile passes** — top pipeline passes by accumulated wall time,
+  with how often each ran and how many rewrites it applied
+  (``pass.*`` metrics; wall times from the ``metrics_wall`` section,
+  counts from the deterministic ``metrics`` section).
+* **Opclass profile** — per engine, the operation classes ranked by
+  modeled cycles with their execution counts (``opclass.*`` metrics;
+  recorded when the run was profiled via ``REPRO_PROFILE=1``).
+* **Cache / scheduler health** — compile-cache hit rates and sweep
+  scheduler retry/timeout/lost counts (``cache.*`` / ``sched.*`` in the
+  ``metrics_unstable`` section).
+
+Stdlib-only and import-free of the package, so it can be pointed at a
+``summary.json`` from any checkout: ``python tools/report.py
+[results/summary.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Rows shown per ranked table.
+TOP_N = 12
+
+
+def _rule(title):
+    return [title, "-" * len(title)]
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    return f"{value:,}"
+
+
+def _pass_section(summary):
+    det = summary.get("metrics", {})
+    wall = summary.get("metrics_wall", {})
+    rows = {}
+    for name, value in wall.items():
+        if name.startswith("pass.") and name.endswith(".wall_ms"):
+            key = name[len("pass."):-len(".wall_ms")]
+            rows.setdefault(key, {})["wall_ms"] = value
+    for name, value in det.items():
+        if not name.startswith("pass."):
+            continue
+        key, _, field = name[len("pass."):].rpartition(".")
+        if key and field in ("applied", "rewrites"):
+            rows.setdefault(key, {})[field] = value
+    if not rows:
+        return []
+    ranked = sorted(rows.items(),
+                    key=lambda kv: (-kv[1].get("wall_ms", 0.0), kv[0]))
+    lines = _rule(f"Compile passes (top {min(TOP_N, len(ranked))} "
+                  "by wall time)")
+    lines.append(f"{'pass':<28} {'wall ms':>12} {'runs':>8} {'rewrites':>10}")
+    for name, row in ranked[:TOP_N]:
+        lines.append(f"{name:<28} {row.get('wall_ms', 0.0):>12,.3f} "
+                     f"{row.get('applied', 0):>8,} "
+                     f"{row.get('rewrites', 0):>10,}")
+    return lines
+
+
+def _opclass_section(summary):
+    det = summary.get("metrics", {})
+    engines = {}
+    for name, value in det.items():
+        if not name.startswith("opclass."):
+            continue
+        parts = name.split(".")
+        if len(parts) != 4:
+            continue
+        _, engine, cls, field = parts
+        engines.setdefault(engine, {}).setdefault(cls, {})[field] = value
+    lines = []
+    for engine in sorted(engines):
+        table = engines[engine]
+        ranked = sorted(table.items(),
+                        key=lambda kv: (-kv[1].get("cycles", 0), kv[0]))
+        total = sum(row.get("cycles", 0) for row in table.values())
+        if lines:
+            lines.append("")
+        lines.extend(_rule(f"Opclass profile: {engine} "
+                           f"(top {min(TOP_N, len(ranked))} by cycles)"))
+        lines.append(f"{'opclass':<14} {'cycles':>16} {'ops':>14} {'share':>7}")
+        for cls, row in ranked[:TOP_N]:
+            cycles = row.get("cycles", 0)
+            share = (100.0 * cycles / total) if total else 0.0
+            lines.append(f"{cls:<14} {_fmt(cycles):>16} "
+                         f"{row.get('count', 0):>14,} {share:>6.1f}%")
+    return lines
+
+
+def _health_section(summary):
+    unstable = summary.get("metrics_unstable", {})
+    cache = {k.split(".", 1)[1]: v for k, v in unstable.items()
+             if k.startswith("cache.") and isinstance(v, (int, float))}
+    sched = {k.split(".", 1)[1]: v for k, v in unstable.items()
+             if k.startswith("sched.") and isinstance(v, (int, float))}
+    lines = []
+    if cache or sched:
+        lines.extend(_rule("Cache / scheduler health"))
+    if cache:
+        probes = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = (100.0 * cache.get("hits", 0) / probes) if probes else 0.0
+        lines.append(
+            f"compile cache: {cache.get('hits', 0):,} hit(s) "
+            f"({cache.get('memory_hits', 0):,} memory / "
+            f"{cache.get('disk_hits', 0):,} disk), "
+            f"{cache.get('misses', 0):,} miss(es), "
+            f"{cache.get('stale', 0):,} stale, "
+            f"{cache.get('puts', 0):,} write(s) — {rate:.1f}% hit rate")
+    if sched:
+        lines.append(
+            f"scheduler: {sched.get('cells', 0):,} cell(s), "
+            f"{sched.get('completed', 0):,} completed, "
+            f"{sched.get('failures', 0):,} failed, "
+            f"{sched.get('retries', 0):,} retried attempt(s), "
+            f"{sched.get('timeouts', 0):,} timeout(s), "
+            f"{sched.get('lost', 0):,} lost worker(s)")
+    return lines
+
+
+def _measure_section(summary):
+    det = summary.get("metrics", {})
+    runs = {k.split(".")[1]: v for k, v in det.items()
+            if k.startswith("measure.") and k.endswith(".runs")}
+    if not runs:
+        return []
+    lines = _rule("Measurements")
+    for target in sorted(runs):
+        reps = det.get(f"measure.{target}.reps", 0)
+        lines.append(f"{target}: {runs[target]:,} run(s), "
+                     f"{reps:,} repetition(s)")
+    total = det.get("measure.time_ms_total")
+    if total is not None:
+        lines.append(f"modeled execution time, all runs: {total:,.3f} ms")
+    return lines
+
+
+def render_report(summary):
+    """The full report text for one ``summary.json`` payload."""
+    sections = [
+        _measure_section(summary),
+        _pass_section(summary),
+        _opclass_section(summary),
+        _health_section(summary),
+    ]
+    populated = [section for section in sections if section]
+    if not populated:
+        return ("no telemetry in summary: run with --report (or "
+                "REPRO_PROFILE=1) to record metrics")
+    return "\n\n".join("\n".join(section) for section in populated)
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "results/summary.json"
+    try:
+        with open(path) as handle:
+            summary = json.load(handle)
+    except FileNotFoundError:
+        print(f"report: {path} not found — run results/run_all.py first",
+              file=sys.stderr)
+        return 1
+    print(render_report(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
