@@ -31,7 +31,8 @@ _TYPED_ARRAY = {"f64": "Float64Array", "i32": "Int32Array",
 _MATH_CALLS = {"sqrt": "Math.sqrt", "fabs": "Math.abs",
                "floor": "Math.floor", "ceil": "Math.ceil",
                "exp": "Math.exp", "log": "Math.log", "pow": "Math.pow",
-               "sin": "Math.sin", "cos": "Math.cos"}
+               "sin": "Math.sin", "cos": "Math.cos",
+               "copysign": "Math.copysign"}
 
 _I64_BIN = {"+": "__i64_add", "-": "__i64_sub", "*": "__i64_mul",
             "&": "__i64_and", "|": "__i64_or", "^": "__i64_xor"}

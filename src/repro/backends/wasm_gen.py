@@ -41,7 +41,7 @@ _NATIVE_MATH = {"sqrt": Op.F64_SQRT, "fabs": Op.F64_ABS,
 
 #: libm functions Cheerp cannot compile from libc (§3.2) — they become
 #: imports of the JS ``Math`` object, paying the Wasm↔JS boundary cost.
-_HOST_MATH = ("exp", "log", "pow", "sin", "cos", "fmod")
+_HOST_MATH = ("exp", "log", "pow", "sin", "cos", "fmod", "copysign")
 
 _PRINT_IMPORTS = ("__print_i32", "__print_i64", "__print_f64")
 
@@ -474,7 +474,7 @@ class _Codegen:
                  "__print_f64": "f64"}[name]
             out.imports.append(HostImport("env", name, FuncType((t,), ())))
         for name in _HOST_MATH:
-            nparams = 2 if name in ("pow", "fmod") else 1
+            nparams = 2 if name in ("pow", "fmod", "copysign") else 1
             out.imports.append(HostImport(
                 "env", name, FuncType(("f64",) * nparams, ("f64",))))
         for i, imp in enumerate(out.imports):

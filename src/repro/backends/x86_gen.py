@@ -21,7 +21,7 @@ from repro.ir.nodes import (
 )
 from repro.native.machine import NativeFunction, NativeProgram, NOp
 
-_HOST_FUNCS = ("exp", "log", "pow", "sin", "cos", "fmod",
+_HOST_FUNCS = ("exp", "log", "pow", "sin", "cos", "fmod", "copysign",
                "__print_i32", "__print_i64", "__print_f64")
 
 _BIN32 = {"+": NOp.ADD32, "-": NOp.SUB32, "*": NOp.MUL32, "&": NOp.AND32,

@@ -72,25 +72,32 @@ def cached_result(kind, parts, compute, replay_metrics=False):
     exception propagates and the next attempt (e.g. a scheduler retry of
     the failed cell) recomputes from scratch.  An entry that does not
     look like a memoized result (corruption, or a key collision with a
-    foreign artifact) is treated as stale and recomputed over.
+    foreign artifact), or whose ``replay_metrics`` blob fails to apply
+    (truncated write, registry schema drift), is treated as stale and
+    recomputed over rather than failing the sweep.
     """
     if not results_enabled():
         return compute()
     cache = get_cache()
     key = result_key(kind, parts)
     entry = cache.get(key)
-    if not (isinstance(entry, tuple) and len(entry) in (2, 3)
-            and entry[0] == "result"):
-        if replay_metrics:
-            from repro.obs import get_registry
-            reg = get_registry()
-            snap = reg.snapshot()
-            value = compute()
-            entry = ("result", value, _det_diff(reg, snap))
-        else:
-            entry = ("result", compute())
-        cache.put(key, entry)
-    elif replay_metrics and len(entry) == 3:
+    if isinstance(entry, tuple) and len(entry) in (2, 3) \
+            and entry[0] == "result":
+        if not replay_metrics or len(entry) != 3:
+            return entry[1]
         from repro.obs import get_registry
-        get_registry().apply(entry[2])
+        try:
+            get_registry().apply(entry[2])
+            return entry[1]
+        except Exception:
+            pass                          # corrupt replay blob → stale
+    if replay_metrics:
+        from repro.obs import get_registry
+        reg = get_registry()
+        snap = reg.snapshot()
+        value = compute()
+        entry = ("result", value, _det_diff(reg, snap))
+    else:
+        entry = ("result", compute())
+    cache.put(key, entry)
     return entry[1]

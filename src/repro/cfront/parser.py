@@ -55,6 +55,7 @@ BUILTINS = {
     "sin": ("f64", ("f64",)),
     "cos": ("f64", ("f64",)),
     "fmod": ("f64", ("f64", "f64")),
+    "copysign": ("f64", ("f64", "f64")),
     "abs": ("i32", ("i32",)),
 }
 

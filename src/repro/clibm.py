@@ -80,6 +80,12 @@ def c_fmod(x, y):
     return math.fmod(x, y)
 
 
+def c_copysign(x, y):
+    """C99 ``copysign`` (F.3): |x| with y's sign bit — total, including
+    NaN magnitudes and ±0 sign donors."""
+    return math.copysign(x, y)
+
+
 def c_exp(x):
     """C99 ``exp``: saturates to +inf instead of raising on overflow."""
     if math.isnan(x):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 
-from repro.clibm import c_exp, c_fmod, c_log, c_pow, js_pow
+from repro.clibm import c_copysign, c_exp, c_fmod, c_log, c_pow, js_pow
 
 
 def js_exp(x):
@@ -44,6 +44,8 @@ LIBM = {
     "cos": (math.cos, 1, 25.0),
     "pow": (c_pow, 2, 30.0),
     "fmod": (c_fmod, 2, 30.0),
+    # A sign-bit transfer, far cheaper than the transcendentals.
+    "copysign": (c_copysign, 2, 12.0),
 }
 
 #: ECMAScript-flavoured variants for the JS ``Math`` object: name ->
@@ -55,6 +57,9 @@ JS_MATH = {
     "sin": (math.sin, 1, 25.0),
     "cos": (math.cos, 1, 25.0),
     "atan": (math.atan, 1, 25.0),
+    # Not in ECMAScript's Math — exposed as the host polyfill Cheerp's
+    # genericjs output expects for C's copysign.
+    "copysign": (c_copysign, 2, 12.0),
 }
 
 #: Print hooks the Cheerp-generated code expects, one per value shape.

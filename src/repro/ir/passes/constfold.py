@@ -59,6 +59,18 @@ def _fold_bin(e):
     return e
 
 
+def _f64_div(x, y):
+    """Fold ``/`` with the engines' exact semantics (``_f64_div`` in the
+    Wasm VM, ``_fdiv`` in the native machine): a zero divisor keeps its
+    sign, and a NaN dividend stays NaN instead of becoming ±inf."""
+    x, y = float(x), float(y)
+    if y == 0.0:
+        if x == 0.0 or x != x:
+            return math.nan
+        return math.copysign(math.inf, x) * math.copysign(1.0, y)
+    return x / y
+
+
 def _eval_bin(e, x, y):
     op = e.op
     t = e.type
@@ -72,8 +84,7 @@ def _eval_bin(e, x, y):
             return EConst(1 if result else 0, "i32")
         if t == "f64":
             value = {"+": x + y, "-": x - y, "*": x * y,
-                     "/": (x / y) if y else math.copysign(math.inf, x)
-                     if x else math.nan}[op]
+                     "/": _f64_div(x, y) if op == "/" else None}[op]
             return EConst(float(value), "f64")
         if op == "/":
             if y == 0:

@@ -1,0 +1,864 @@
+"""Codegen execution tier for the JS engine: threaded blocks → Python.
+
+Walks the same basic blocks the threaded tier builds
+(:mod:`repro.jsengine.threaded`) and emits one generated Python function
+per ``JSFunction``: the operand stack is lowered to slot variables
+``s0..sK`` (depths are static in compiler output; hand-built bytecode
+with inconsistent join depths makes the translator decline), locals to
+``l0..lN``, and dispatch to a ``bi`` block index looping over
+``if bi == k`` arms.
+
+Exactness follows the threaded tier's rules (see its module docstring),
+restated as they apply to emitted source:
+
+* **Cycles self-charge per op** with the charge ``cost[op] * factor``
+  folded to one literal per op, in the reference ladder's left-fold
+  order; dynamic extras (boxed-element penalties, GC pauses, native-call
+  costs) are added at the same points.  Integer counters batch per
+  block; trap points get explicit guards whose rewind statements
+  subtract the integer suffix.
+* **Dual tier bodies.**  Each block arm re-checks ``fn.tier`` on entry
+  (tier changes only at terminators: ``JBACK`` OSR and call returns) and
+  selects a tier-0 or tier-1 body with that tier's cost table, factor,
+  and profile key bit baked in.
+* **GC checks at allocation points only**, inlined where the threaded
+  tier calls its ``gc_check`` closure.
+* **Shadow locals.**  The frame keeps the same 14-slot shadow list the
+  threaded tier rides in ``acc[2]``, written at exactly the same sites —
+  and the emitted arms route popped values *through* the shadow slots
+  instead of Python temporaries, so the generated frame never pins a
+  heap object the reference frame would not.  Dead stack slots above the
+  current depth are cleared to ``None`` before every point that can
+  collect, because a lowered slot (unlike a popped list entry) would
+  otherwise keep its last value alive.
+
+The generated source depends only on the bytecode and translation flags
+(tier factors, JIT enablement, profiling) — instance state is bound by
+``make(ns)`` — so translation units are served from the persistent
+compile cache (:mod:`repro.engine.codegen`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.codegen import (
+    DECLINED, Emitter, codegen_enabled, literal, load_factory, unit_key,
+)
+from repro.engine.threaded import class_deltas, split_blocks
+from repro.jsengine import threaded as _thr
+from repro.jsengine.bytecode import JS_OP_CLASS, JS_OP_COST, JS_OP_COST_OPT
+from repro.jsengine.values import (
+    JSArray,
+    JSFunction,
+    JSObject,
+    JSTypedArray,
+    NativeFunction,
+    SparseItems,
+    UNDEFINED,
+    js_to_str,
+    js_truthy,
+    to_int32,
+    to_uint32,
+)
+from repro.obs import SCHED, get_registry
+
+__all__ = ["codegen_enabled", "translate", "DECLINED"]
+
+#: Emission kind per pure-binop shadow writer, derived from the threaded
+#: tier's table so the two stay in lockstep.
+_SHADOW_KIND = {}
+for _op, _w in _thr._SHADOW_BIN.items():
+    if _w is _thr._sh_ab:
+        _SHADOW_KIND[_op] = "ab"
+    elif _w is _thr._sh_ab_num:
+        _SHADOW_KIND[_op] = "ab_num"
+    elif _w is _thr._sh_b:
+        _SHADOW_KIND[_op] = "b"
+    elif _w is _thr._sh_b_num:
+        _SHADOW_KIND[_op] = "b_num"
+    elif _w is _thr._sh_shl:
+        _SHADOW_KIND[_op] = "shl"
+    else:                                 # pragma: no cover - new writer
+        raise AssertionError(f"unknown shadow writer for op {_op}")
+
+
+def _flow(op, arg):
+    """(pops, pushes) for one non-terminator opcode."""
+    if op in (0, 1, 3):
+        return 0, 1
+    if op in (2, 4, 42):
+        return 1, 0
+    if op == 5 or op in _thr._BINVAL:
+        return 2, 1
+    if op in (10, 11, 12, 43, 39, 47):
+        return 1, 1
+    if op == 41:
+        return 1, 2
+    if op == 45:
+        return 2, 4
+    if op in (37, 40, 46):
+        return 2, 1
+    if op == 38:
+        return 3, 1
+    if op == 35:
+        return arg, 1
+    if op == 36:
+        return len(arg), 1
+    return 0, 0
+
+
+def _analyse(code, ranges, block_index):
+    """Static operand-stack depths: per-block entry depth and the max.
+
+    Returns ``(entry_depth, max_depth)`` or ``None`` when a join is
+    entered at two different depths or a depth would go negative (the
+    compiler never produces either; hand-built bytecode falls back to
+    the threaded tier)."""
+    if not ranges:
+        return {}, 0
+    entry = {0: 0}
+    work = [0]
+    max_d = 0
+    n = len(code)
+
+    def join(pc, depth):
+        if pc >= n:
+            return True
+        tbi = block_index[pc]
+        if tbi in entry:
+            return entry[tbi] == depth
+        entry[tbi] = depth
+        work.append(tbi)
+        return True
+
+    while work:
+        bi = work.pop()
+        start, end = ranges[bi]
+        d = entry[bi]
+        ops = code[start:end]
+        has_term = bool(ops) and ops[-1][0] in _thr._TERM_OPS
+        body = ops[:-1] if has_term else ops
+        for op, arg in body:
+            pops, pushes = _flow(op, arg)
+            if d < pops:
+                return None
+            if d + pushes > max_d:
+                max_d = d + pushes
+            d += pushes - pops
+        if not has_term:
+            if not join(end, d):
+                return None
+            continue
+        op, arg = ops[-1]
+        if op in (28, 29):                # JF / JT
+            if d < 1:
+                return None
+            d -= 1
+            if not (join(arg, d) and join(end, d)):
+                return None
+        elif op in (27, 30):              # JMP / JBACK
+            if not join(arg, d):
+                return None
+        elif op == 33:                    # RET
+            if d < 1:
+                return None
+        elif op == 34:                    # RETU
+            pass
+        else:                             # CALL / METHOD / NEWCALL
+            nargs = arg[1] if op == 32 else arg
+            if d < nargs + 1:
+                return None
+            d -= nargs
+            if not join(end, d):
+                return None
+    return entry, max_d
+
+
+def _literalizable(value):
+    if isinstance(value, tuple):
+        return all(isinstance(v, str) for v in value)
+    try:
+        literal(value)
+    except ValueError:
+        return False
+    return True
+
+
+class _FnEmitter:
+    """Emits the ``run`` body for one JS function."""
+
+    def __init__(self, fn, code, ranges, block_index, entry_depth,
+                 max_depth, jit_enabled, profiling, f0, f1, const_index):
+        self.fn = fn
+        self.code = code
+        self.ranges = ranges
+        self.block_index = block_index
+        self.entry_depth = entry_depth
+        self.max_depth = max_depth
+        self.jit_enabled = jit_enabled
+        self.profiling = profiling
+        self.factors = (f0, f1)
+        self.const_index = const_index
+        self.names = set()                # ns names the source references
+        #: Per-block integer-counter deltas, flushed lazily (see
+        #: ``emit_flush``): ``{bi: (n_ops, [(class, delta), ...])}``.
+        self.block_counts = {}
+        #: Per-(block, tier) profiler cells: ``{(bi, tier): [(key, d)]}``.
+        self.block_profs = {}
+        self.out = Emitter()
+
+    def use(self, name):
+        self.names.add(name)
+        return name
+
+    def bi_of(self, pc):
+        return -1 if pc >= len(self.code) else self.block_index[pc]
+
+    def const_expr(self, pc, value):
+        j = self.const_index.get(pc)
+        if j is not None:
+            return f"{self.use('K')}[{j}]"
+        if isinstance(value, tuple):
+            return repr(value)
+        return literal(value)
+
+    # -- fragments ------------------------------------------------------
+
+    def emit_jump(self, tbi, fall_bi=None):
+        if tbi == -1:
+            self.out.emit(f"return {self.use('u_')}")
+        elif tbi == fall_bi:
+            self.out.emit(f"bi = {tbi}")
+        else:
+            self.out.emit(f"bi = {tbi}")
+            self.out.emit("continue")
+
+    def emit_clears(self, depth):
+        """Kill dead stack slots before a point that can collect: the
+        reference's popped list entries are gone; a lowered slot would
+        otherwise pin its last value through the collection."""
+        for j in range(depth, self.max_depth):
+            self.out.emit(f"s{j} = None")
+
+    def emit_gc_check(self):
+        heap = self.use("heap")
+        self.out.emit(f"if {heap}.allocated_since_gc >= "
+                      f"{heap}.trigger_bytes:")
+        with self.out.block():
+            self.out.emit(f"p_ = {heap}.collect()")
+            self.out.emit(f"{self.use('stats')}.gc_runs += 1")
+            self.out.emit("stats.gc_pause_cycles += p_")
+            self.out.emit("cyc += p_")
+
+    def emit_rewind(self, classes, idx):
+        n_sfx = len(classes) - (idx + 1)
+        if n_sfx:
+            self.out.emit(f"{self.use('stats')}.instructions -= {n_sfx}")
+        for ci, d in class_deltas(classes[idx + 1:]):
+            self.out.emit(f"{self.use('counts')}[{ci}] -= {d}")
+
+    def emit_flush(self):
+        """Apply the per-block integer counters the dispatch loop
+        accumulated in locals.  Runs once, in the ``finally``, so it
+        covers returns and escaping exceptions alike."""
+        out = self.out
+        for bi in sorted(self.block_counts):
+            n_ops, deltas = self.block_counts[bi]
+            out.emit(f"if nb{bi}:")
+            with out.block():
+                mul = f"nb{bi}" if n_ops == 1 else f"{n_ops} * nb{bi}"
+                out.emit(f"{self.use('stats')}.instructions += {mul}")
+                for ci, dc in deltas:
+                    mul = f"nb{bi}" if dc == 1 else f"{dc} * nb{bi}"
+                    out.emit(f"{self.use('counts')}[{ci}] += {mul}")
+        for bi, tier in sorted(self.block_profs):
+            acc = f"pf{bi}_{tier}"
+            out.emit(f"if {acc}:")
+            with out.block():
+                for key, dc in self.block_profs[(bi, tier)]:
+                    mul = acc if dc == 1 else f"{dc} * {acc}"
+                    out.emit(f"{self.use('fprof')}[{key}] = "
+                             f"fprof.get({key}, 0) + {mul}")
+
+    def guarded(self, body_lines, classes, idx):
+        """Wrap raising statements in the integer-suffix rewind guard
+        (cycles self-charge, so only ``instructions``/``op_counts``
+        rewind — exactly the threaded tier's ``make_rewind``)."""
+        if idx + 1 >= len(classes):       # nothing after it to rewind
+            for line in body_lines:
+                self.out.emit(line)
+            return
+        self.out.emit("try:")
+        with self.out.block():
+            for line in body_lines:
+                self.out.emit(line)
+        self.out.emit("except BaseException:")
+        with self.out.block():
+            self.emit_rewind(classes, idx)
+            self.out.emit("raise")
+
+    # -- one straight-line op at static depth d; returns the new depth --
+
+    def i32(self, x):
+        """Inline ToInt32 of one slot: the finite-in-range float fast path
+        as an expression (``int()`` truncates toward zero exactly like the
+        wrap-around), falling back to the bound coercion."""
+        return (f"(int({x}) if type({x}) is float and "
+                f"-2147483648.0 <= {x} <= 2147483647.0 "
+                f"else {self.use('ti32')}({x}))")
+
+    def u32(self, x):
+        """Inline ToUint32 of one slot (same fast path, wrapped)."""
+        return (f"(int({x}) & 0xFFFFFFFF if type({x}) is float and "
+                f"-2147483648.0 <= {x} <= 2147483647.0 "
+                f"else {self.use('tu32')}({x}))")
+
+    def emit_binval(self, op, d):
+        """The value computation of one pure binop, assigned to the result
+        slot.  The hot operators are inlined as expressions over the slot
+        variables — observably identical to the threaded tier's
+        ``_BINVAL`` functions (same coercions in the same order), minus
+        one Python call per op.  The rest fall back to the bound value
+        function."""
+        out = self.out
+        a, b = f"s{d - 2}", f"s{d - 1}"
+
+        def num(x):
+            return f"({x} if type({x}) is float else {self.use('tonum')}({x}))"
+
+        if op in (6, 7):                       # SUB / MUL
+            out.emit(f"{a} = {num(a)} {'-' if op == 6 else '*'} {num(b)}")
+        elif op == 8:                          # DIV (C99 signed-zero rules)
+            out.emit(f"t_ = {num(a)}")
+            out.emit(f"n_ = {num(b)}")
+            out.emit("if n_ == 0.0:")
+            with out.block():
+                out.emit(f"{a} = float('nan') if (t_ == 0.0 or t_ != t_) "
+                         f"else {self.use('copysign')}(float('inf'), t_) * "
+                         f"{self.use('copysign')}(1.0, n_)")
+            out.emit("else:")
+            with out.block():
+                out.emit(f"{a} = t_ / n_")
+        elif op in (13, 14, 15):               # BAND / BOR / BXOR
+            sym = {13: "&", 14: "|", 15: "^"}[op]
+            out.emit(f"{a} = float({self.i32(a)} {sym} {self.i32(b)})")
+        elif op == 16:                         # SHL (int32 wrap-around)
+            out.emit(f"i_ = ({self.i32(a)} << ({self.u32(b)} & 31)) "
+                     f"& 0xFFFFFFFF")
+            out.emit(f"{a} = float(i_ - 0x100000000 "
+                     f"if i_ & 0x80000000 else i_)")
+        elif op == 17:                         # SHR
+            out.emit(f"{a} = float({self.i32(a)} >> ({self.u32(b)} & 31))")
+        elif op == 18:                         # USHR
+            out.emit(f"{a} = float({self.u32(a)} >> ({self.u32(b)} & 31))")
+        elif op in (19, 20, 21, 22):           # LT / LE / GT / GE
+            # Numbers compare directly (``_to_number`` of a float is the
+            # float); anything else takes the full string-aware path.
+            sym = {19: "<", 20: "<=", 21: ">", 22: ">="}[op]
+            out.emit(f"{a} = {a} {sym} {b} "
+                     f"if type({a}) is float and type({b}) is float "
+                     f"else {self.use(f'vf{op}')}({a}, {b})")
+        elif op == 25:                         # SEQ
+            out.emit(f"{a} = type({a}) is type({b}) and {a} == {b}")
+        elif op == 26:                         # SNE
+            out.emit(f"{a} = not (type({a}) is type({b}) and {a} == {b})")
+        elif op == 49:                         # IMUL
+            out.emit(f"i_ = {self.i32(a)} * {self.i32(b)}")
+            out.emit(f"{a} = float(i_ if -2147483648 <= i_ <= 2147483647 "
+                     f"else {self.use('ti32')}(i_))")
+        else:                                  # MOD / EQ / NE
+            out.emit(f"{a} = {self.use(f'vf{op}')}({a}, {b})")
+
+    def emit_op(self, pc, instr, d, charges, classes, idx, factor):
+        op, arg = instr
+        out = self.out
+        out.emit(f"cyc += {literal(charges[idx])}")
+        if op == 1:       # LOADL
+            out.emit(f"s{d} = l{arg}")
+            return d + 1
+        if op == 0:       # CONST
+            out.emit(f"s{d} = {self.const_expr(pc, arg)}")
+            return d + 1
+        if op == 2:       # STOREL
+            out.emit(f"l{arg} = s{d - 1}")
+            return d - 1
+        if op == 5:       # ADD
+            out.emit(f"sh[4] = s{d - 2}")
+            out.emit(f"sh[5] = s{d - 1}")
+            out.emit("if type(sh[4]) is float and type(sh[5]) is float:")
+            with out.block():
+                out.emit(f"s{d - 2} = sh[4] + sh[5]")
+            out.emit("else:")
+            with out.block():
+                out.emit(f"sh[6] = {self.use('jadd')}(sh[4], sh[5])")
+                out.emit("if isinstance(sh[6], str):")
+                with out.block():
+                    out.emit(f"{self.use('note')}(16 + 2 * len(sh[6]))")
+                out.emit(f"s{d - 2} = sh[6]")
+                self.emit_clears(d - 1)
+                self.emit_gc_check()
+            return d - 1
+        if op in _thr._BINVAL:
+            kind = _SHADOW_KIND[op]
+            if kind == "ab":
+                out.emit(f"sh[4] = s{d - 2}")
+                out.emit(f"sh[5] = s{d - 1}")
+            elif kind == "ab_num":
+                out.emit("sh[4] = 0.0")
+                out.emit("sh[5] = 0.0")
+            elif kind == "b":
+                out.emit(f"sh[5] = s{d - 1}")
+            elif kind == "b_num":
+                out.emit("sh[5] = 0.0")
+            else:                         # shl
+                out.emit("sh[5] = 0.0")
+                out.emit("sh[6] = 0.0")
+            self.emit_binval(op, d)
+            return d - 1
+        if op == 37:      # GETIDX
+            out.emit(f"sh[0] = s{d - 1}")
+            out.emit(f"sh[1] = s{d - 2}")
+            out.emit(f"if type(sh[1]) is {self.use('JSArray')}:")
+            with out.block():
+                out.emit(f"cyc += {literal(1.6 * factor)}")
+                # Inline of ``_element_get``'s array path.  ``t_`` briefly
+                # holds the raw items list; it is reset before any later
+                # GC point so the generated frame's live set stays equal
+                # to the threaded tier's.
+                self.guarded(
+                    ["i_ = int(sh[0])",
+                     "t_ = sh[1].items",
+                     f"s{d - 2} = t_[i_] if 0 <= i_ < len(t_) "
+                     f"else {self.use('u_')}",
+                     "t_ = 0.0"], classes, idx)
+            out.emit(f"elif type(sh[1]) is {self.use('JSTypedArray')}:")
+            with out.block():
+                # Same inline, with the typed-array miss value (0.0) and
+                # no JSArray surcharge — mirroring ``_element_get``.  The
+                # usual backing store is ``SparseItems``, whose dict we
+                # read directly; host code (crypto digests) may swap in a
+                # plain list, hence the type guard.
+                self.guarded(
+                    ["i_ = int(sh[0])",
+                     "t_ = sh[1].items",
+                     f"if type(t_) is {self.use('Sparse')}:",
+                     f"    s{d - 2} = t_._data.get(i_, 0.0) "
+                     f"if 0 <= i_ < t_._length else 0.0",
+                     "else:",
+                     f"    s{d - 2} = t_[i_] if 0 <= i_ < len(t_) else 0.0",
+                     "t_ = 0.0"], classes, idx)
+            out.emit("else:")
+            with out.block():
+                self.guarded([f"s{d - 2} = {self.use('eget')}"
+                              f"(sh[1], sh[0])"], classes, idx)
+            return d - 1
+        if op == 38:      # SETIDX
+            out.emit(f"sh[2] = s{d - 1}")
+            out.emit(f"sh[3] = s{d - 2}")
+            out.emit(f"sh[1] = s{d - 3}")
+            out.emit(f"if type(sh[1]) is {self.use('JSArray')}:")
+            with out.block():
+                out.emit(f"cyc += {literal(2.0 * factor)}")
+            self.guarded([f"{self.use('setw')}({self.use('heap')}, sh[1], "
+                          f"sh[3], sh[2], sh)"], classes, idx)
+            out.emit(f"s{d - 3} = sh[2]")
+            self.emit_clears(d - 2)
+            self.emit_gc_check()
+            return d - 2
+        if op == 10:      # NEG
+            out.emit(f"s{d - 1} = -{self.use('tonum')}(s{d - 1})")
+            return d
+        if op == 11:      # NOT
+            out.emit(f"s{d - 1} = not {self.use('truthy')}(s{d - 1})")
+            return d
+        if op == 12:      # BNOT
+            out.emit(f"s{d - 1} = float(~{self.use('ti32')}(s{d - 1}))")
+            return d
+        if op == 3:       # LOADG
+            out.emit(f"s{d} = {self.use('glb')}.get({arg!r}, "
+                     f"{self.use('u_')})")
+            return d + 1
+        if op == 4:       # STOREG
+            out.emit(f"{self.use('glb')}[{arg!r}] = s{d - 1}")
+            return d - 1
+        if op == 39:      # GETMEM
+            out.emit(f"sh[1] = s{d - 1}")
+            self.guarded([f"s{d - 1} = {self.use('mget')}(sh[1], "
+                          f"{arg!r})"], classes, idx)
+            return d
+        if op == 40:      # SETMEM
+            out.emit(f"sh[2] = s{d - 1}")
+            out.emit(f"sh[1] = s{d - 2}")
+            body = [f"if isinstance(sh[1], {self.use('JSObject')}):",
+                    f"    sh[1].props[{arg!r}] = sh[2]"]
+            if arg == "length":
+                body += [f"elif isinstance(sh[1], "
+                         f"{self.use('JSArray')}):",
+                         f"    del sh[1].items"
+                         f"[int({self.use('tonum')}(sh[2])):]"]
+            body += ["else:",
+                     f"    raise {self.use('err')}("
+                     f"{literal(f'cannot set {arg} on ')}"
+                     f" + type(sh[1]).__name__)"]
+            self.guarded(body, classes, idx)
+            out.emit(f"s{d - 2} = sh[2]")
+            return d - 1
+        if op == 35:      # NEWARR
+            items = ", ".join(f"s{d - arg + i}" for i in range(arg))
+            out.emit(f"sh[12] = [{items}]")
+            out.emit(f"sh[11] = {self.use('JSArray')}(sh[12])")
+            out.emit(f"{self.use('reg_')}(sh[11])")
+            out.emit(f"s{d - arg} = sh[11]")
+            self.emit_clears(d - arg + 1)
+            self.emit_gc_check()
+            return d - arg + 1
+        if op == 36:      # NEWOBJ
+            nk = len(arg)
+            values = ", ".join(f"s{d - nk + i}" for i in range(nk))
+            out.emit(f"sh[13] = [{values}]")
+            out.emit(f"sh[1] = {self.use('JSObject')}(dict(zip("
+                     f"{self.const_expr(pc, tuple(arg))}, sh[13])))")
+            out.emit(f"{self.use('reg_')}(sh[1])")
+            out.emit(f"s{d - nk} = sh[1]")
+            self.emit_clears(d - nk + 1)
+            self.emit_gc_check()
+            return d - nk + 1
+        if op == 41:      # DUP
+            out.emit(f"s{d} = s{d - 1}")
+            return d + 1
+        if op == 45:      # DUP2
+            out.emit(f"s{d} = s{d - 2}")
+            out.emit(f"s{d + 1} = s{d - 1}")
+            return d + 2
+        if op == 42:      # POP
+            return d - 1
+        if op == 43:      # TYPEOF
+            out.emit(f"sh[6] = s{d - 1}")
+            out.emit("if isinstance(sh[6], float):")
+            with out.block():
+                out.emit(f"s{d - 1} = 'number'")
+            out.emit("elif isinstance(sh[6], str):")
+            with out.block():
+                out.emit(f"s{d - 1} = 'string'")
+            out.emit("elif isinstance(sh[6], bool):")
+            with out.block():
+                out.emit(f"s{d - 1} = 'boolean'")
+            out.emit(f"elif sh[6] is {self.use('u_')}:")
+            with out.block():
+                out.emit(f"s{d - 1} = 'undefined'")
+            out.emit(f"elif isinstance(sh[6], ({self.use('JSFunction')}, "
+                     f"{self.use('NativeFunction')})):")
+            with out.block():
+                out.emit(f"s{d - 1} = 'function'")
+            out.emit("else:")
+            with out.block():
+                out.emit(f"s{d - 1} = 'object'")
+            return d
+        if op == 46:      # INCIDX
+            delta, is_post = arg
+            out.emit(f"sh[3] = s{d - 1}")
+            out.emit(f"sh[1] = s{d - 2}")
+            self.guarded([
+                f"t_ = {self.use('tonum')}({self.use('eget')}"
+                f"(sh[1], sh[3]))",
+                f"n_ = t_ + {literal(delta)}",
+                "i_ = int(sh[3])",
+                "sh[0] = 0.0",
+                f"if isinstance(sh[1], ({self.use('JSArray')}, "
+                f"{self.use('JSTypedArray')})):",
+                "    sh[1].items[i_] = n_",
+                "else:",
+                f"    sh[1].props[{self.use('jstr')}(sh[3])] = n_",
+            ], classes, idx)
+            out.emit(f"s{d - 2} = {'t_' if is_post else 'n_'}")
+            return d - 1
+        if op == 47:      # INCMEM
+            name, delta, is_post = arg
+            out.emit(f"sh[1] = s{d - 1}")
+            self.guarded([
+                f"t_ = {self.use('tonum')}({self.use('mget')}"
+                f"(sh[1], {name!r}))",
+                f"n_ = t_ + {literal(delta)}",
+                f"sh[1].props[{name!r}] = n_",
+            ], classes, idx)
+            out.emit(f"s{d - 1} = {'t_' if is_post else 'n_'}")
+            return d
+        raise _thr.JsRuntimeError(     # pragma: no cover - pre-checked
+            f"{self.fn.name}: unimplemented bytecode op {op} "
+            f"(codegen tier)")
+
+    # -- terminators ----------------------------------------------------
+
+    def emit_term(self, instr, d, bi, fall_bi, charges, factor, tier0):
+        op, arg = instr
+        out = self.out
+        out.emit(f"cyc += {literal(charges[-1])}")
+        if op == 27:      # JMP
+            self.emit_jump(self.bi_of(arg), fall_bi)
+            return
+        if op in (28, 29):                # JF / JT
+            test = "" if op == 29 else "not "
+            out.emit(f"if {test}(s{d - 1} if type(s{d - 1}) is bool "
+                     f"else {self.use('truthy')}(s{d - 1})):")
+            with out.block():
+                self.emit_jump(self.bi_of(arg))
+            self.emit_jump(fall_bi, fall_bi)
+            return
+        if op == 30:      # JBACK
+            if tier0 and self.jit_enabled:
+                out.emit(f"{self.use('fn')}.backedge_count += 1")
+                out.emit(f"if {self.use('hot')}(fn.backedge_count):")
+                with out.block():
+                    out.emit(f"{self.use('tier_up')}(fn)"
+                             "  # on-stack replacement")
+            self.emit_jump(self.bi_of(arg), fall_bi)
+            return
+        if op == 33:      # RET
+            out.emit(f"return s{d - 1}")
+            return
+        if op == 34:      # RETU
+            out.emit(f"return {self.use('u_')}")
+            return
+        # CALL / METHOD / NEWCALL
+        is_method = op == 32
+        if is_method:
+            name, nargs = arg
+        else:
+            name, nargs = None, arg
+        nd = d - nargs - 1                # depth with args + target popped
+        args_list = ", ".join(f"s{nd + 1 + i}" for i in range(nargs))
+        out.emit(f"sh[7] = [{args_list}]")
+        if op == 44:      # NEWCALL
+            out.emit(f"sh[10] = s{nd}")
+            self.emit_clears(nd)
+            out.emit(f"s{nd} = {self.use('construct')}(sh[10], sh[7])")
+            self.emit_gc_check()
+            self.emit_jump(fall_bi, fall_bi)
+            return
+        if is_method:
+            out.emit(f"sh[9] = s{nd}")
+            out.emit(f"sh[8] = {self.use('mget')}(sh[9], {name!r})")
+        else:
+            out.emit(f"sh[8] = s{nd}")
+            out.emit(f"sh[9] = {self.use('u_')}")
+        self.emit_clears(nd)
+        out.emit(f"if isinstance(sh[8], {self.use('JSFunction')}):")
+        with out.block():
+            out.emit(f"{self.use('stats')}.cycles += cyc")
+            out.emit("cyc = 0.0")
+            out.emit(f"s{nd} = {self.use('call')}({self.use('engine')}, "
+                     f"sh[8], sh[7], sh[9])")
+        out.emit(f"elif isinstance(sh[8], {self.use('NativeFunction')}):")
+        with out.block():
+            out.emit(f"cyc += sh[8].cycles * {literal(factor)}")
+            out.emit(f"s{nd} = sh[8].fn(engine, sh[9], sh[7])")
+        out.emit("else:")
+        with out.block():
+            if is_method:
+                out.emit(f"raise {self.use('err')}("
+                         f"{literal(f'{arg} is not a function')})")
+            else:
+                out.emit(f"raise {self.use('err')}(repr(sh[8])"
+                         f" + ' is not a function')")
+        self.emit_gc_check()
+        self.emit_jump(fall_bi, fall_bi)
+
+    # -- whole blocks ---------------------------------------------------
+
+    def emit_tier(self, ops, start, entry_d, bi, fall_bi, tier):
+        cost = JS_OP_COST_OPT if tier else JS_OP_COST
+        factor = self.factors[tier]
+        charges = [cost[op] * factor for op, _a in ops]
+        classes = [int(JS_OP_CLASS[op]) for op, _a in ops]
+        if self.profiling and ops:
+            tbit = tier << 8
+            self.out.emit(f"pf{bi}_{tier} += 1")
+            self.block_profs[(bi, tier)] = [
+                (op + tbit, dc)
+                for op, dc in class_deltas(list(o for o, _a in ops))]
+        has_term = bool(ops) and ops[-1][0] in _thr._TERM_OPS
+        body = ops[:-1] if has_term else ops
+        d = entry_d
+        for idx, instr in enumerate(body):
+            d = self.emit_op(start + idx, instr, d, charges, classes,
+                             idx, factor)
+        if has_term:
+            self.emit_term(ops[-1], d, bi, fall_bi, charges, factor,
+                           tier == 0)
+        else:
+            self.emit_jump(fall_bi, fall_bi)
+
+    def emit_block(self, bi):
+        out = self.out
+        start, end = self.ranges[bi]
+        out.emit(f"if bi == {bi}:")
+        with out.block():
+            if bi not in self.entry_depth:
+                # CFG-unreachable: never entered at runtime.
+                out.emit(f"raise {self.use('err')}"
+                         f"('codegen: entered unreachable block {bi}')")
+                return
+            ops = self.code[start:end]
+            if ops:
+                # Integer counters accumulate in a per-block local and
+                # flush in the function's ``finally`` — integer adds
+                # commute, so every externally observable value (incl.
+                # trap paths, whose guards rewind the engine counters
+                # directly) matches the threaded tier's eager batching.
+                out.emit(f"nb{bi} += 1")
+                self.block_counts[bi] = (len(ops), list(class_deltas(
+                    [int(JS_OP_CLASS[op]) for op, _a in ops])))
+            entry_d = self.entry_depth[bi]
+            fall_bi = self.bi_of(end)
+            out.emit(f"if {self.use('fn')}.tier:")
+            with out.block():
+                self.emit_tier(ops, start, entry_d, bi, fall_bi, 1)
+            out.emit("else:")
+            with out.block():
+                self.emit_tier(ops, start, entry_d, bi, fall_bi, 0)
+
+    def build(self):
+        out = self.out
+        body = Emitter()
+        self.out = body
+        with body.block():                # inside `def run(args):`
+            with body.block():
+                nparams = len(self.fn.params)
+                if nparams:
+                    body.emit("_na = len(args)")
+                for i in range(nparams):
+                    body.emit(f"l{i} = args[{i}] if {i} < _na "
+                              f"else {self.use('u_')}")
+                for j in range(nparams, self.fn.num_locals):
+                    body.emit(f"l{j} = {self.use('u_')}")
+                if self.max_depth:
+                    chain = " = ".join(
+                        f"s{i}" for i in range(self.max_depth))
+                    body.emit(f"{chain} = None")
+                body.emit(f"sh = [None] * {_thr._NSHADOW}")
+                body.emit("cyc = 0.0")
+                live = [bi for bi, (start, end) in enumerate(self.ranges)
+                        if bi in self.entry_depth and end > start]
+                accs = [f"nb{bi}" for bi in live]
+                if self.profiling:
+                    accs += [f"pf{bi}_{t}" for bi in live for t in (0, 1)]
+                if accs:
+                    body.emit(" = ".join(accs) + " = 0")
+                body.emit("try:")
+                with body.block():
+                    if not self.ranges:
+                        body.emit(f"return {self.use('u_')}")
+                    else:
+                        body.emit("bi = 0")
+                        body.emit("while True:")
+                        with body.block():
+                            for bi in range(len(self.ranges)):
+                                self.emit_block(bi)
+                            body.emit("raise AssertionError"
+                                      "('codegen: lost dispatch')")
+                body.emit("finally:")
+                with body.block():
+                    body.emit(f"{self.use('stats')}.cycles += cyc")
+                    self.emit_flush()
+        self.out = out
+        out.emit("def make(ns):")
+        with out.block():
+            for name in sorted(self.names):
+                out.emit(f"{name} = ns[{name!r}]")
+            out.emit("def run(args):")
+            out.lines.extend(body.lines)
+            out.emit("return run")
+        return out.source()
+
+
+def translate(fn, engine):
+    """Build (or load warm) the generated runner for one JS function on
+    one engine; ``None`` means the translator declined and the caller
+    should use the threaded tier."""
+    code = fn.code
+    for pc, (op, _arg) in enumerate(code):
+        if op not in _thr.SUPPORTED_OPS:
+            raise _thr.JsRuntimeError(
+                f"{fn.name}: unimplemented bytecode op {op} at pc {pc} "
+                f"(codegen tier has no handler)")
+
+    leaders = {0}
+    for pc, (op, arg) in enumerate(code):
+        if op in _thr._TERM_OPS:
+            leaders.add(pc + 1)
+            if op in _thr._JUMPS:
+                leaders.add(arg)
+    ranges = split_blocks(len(code), leaders)
+    block_index = {start: bi for bi, (start, _end) in enumerate(ranges)}
+
+    flow = _analyse(code, ranges, block_index)
+    reg = get_registry()
+    if flow is None:
+        reg.counter_add("interp.js.codegen_declined", 1, SCHED)
+        return None
+    entry_depth, max_depth = flow
+
+    tiering = engine.tiering
+    f0 = tiering.exec_factor(0)
+    f1 = tiering.exec_factor(1)
+    jit_enabled = engine.config.jit_enabled
+    profiling = engine._profile is not None
+
+    # Constants the source cannot spell (UNDEFINED, non-string object
+    # keys) ride in an ``ns`` list; indices are assigned in pc order so a
+    # warm cache hit (which skips source generation) rebuilds the exact
+    # same list.
+    const_index = {}
+    consts = []
+    for pc, (op, arg) in enumerate(code):
+        if op == 0 and not _literalizable(arg):
+            const_index[pc] = len(consts)
+            consts.append(arg)
+        elif op == 36 and not _literalizable(tuple(arg)):
+            const_index[pc] = len(consts)
+            consts.append(tuple(arg))
+
+    key = unit_key("js", (
+        repr(code), len(fn.params), fn.num_locals, jit_enabled,
+        repr((f0, f1)), profiling))
+
+    def build_source():
+        emitter = _FnEmitter(fn, code, ranges, block_index, entry_depth,
+                             max_depth, jit_enabled, profiling, f0, f1,
+                             const_index)
+        return emitter.build()
+
+    factory = load_factory("js", key, build_source)
+
+    ns = {
+        "engine": engine, "fn": fn, "stats": engine.stats,
+        "counts": engine.stats.op_counts, "heap": engine.heap,
+        "glb": engine.globals, "u_": UNDEFINED, "K": consts,
+        "call": _execute, "construct": engine._construct,
+        "mget": engine._member_get, "eget": _element_get,
+        "jadd": _js_add, "tonum": _to_number, "truthy": js_truthy,
+        "jstr": js_to_str, "ti32": to_int32, "tu32": to_uint32,
+        "copysign": math.copysign, "setw": _thr._setidx_work,
+        "note": engine.heap.note_ephemeral, "reg_": engine.heap.register,
+        "err": _thr.JsRuntimeError, "JSArray": JSArray,
+        "Sparse": SparseItems,
+        "JSObject": JSObject, "JSTypedArray": JSTypedArray,
+        "JSFunction": JSFunction, "NativeFunction": NativeFunction,
+        "hot": tiering.backedge_hot, "tier_up": engine._tier_up,
+    }
+    for op, f in _thr._BINVAL.items():
+        ns[f"vf{op}"] = f
+    if profiling:
+        ns["fprof"] = engine._profile.frame(fn.name)
+
+    reg.counter_add("interp.js.codegen_functions", 1, SCHED)
+    reg.counter_add("interp.js.codegen_blocks", len(ranges), SCHED)
+    return factory(ns)
+
+
+# Bound at the bottom to break the import cycle with the interpreter
+# (which imports this module at *its* bottom).
+from repro.jsengine.interpreter import (  # noqa: E402
+    _element_get, _js_add, _to_number, execute as _execute,
+)

@@ -133,6 +133,17 @@ def execute(engine, fn, args, this=None):
         # (an allocating construct/host call) stay on the reference
         # ladder, whose after-every-op check collects at the exact point;
         # traced runs also stay here so trace events keep their ordering.
+        if engine._codegen:
+            # Codegen tier: the threaded blocks compiled to generated
+            # Python.  ``translate`` may decline (non-compiler bytecode
+            # shapes); the sentinel pins the decision per engine.
+            cg = fn.codegen
+            if cg is None or cg[0] is not engine:
+                cg = (engine,
+                      _codegen.translate(fn, engine) or _codegen.DECLINED)
+                fn.codegen = cg
+            if cg[1] is not _codegen.DECLINED:
+                return cg[1](args)
         cached = fn.threaded
         if cached is None or cached[0] is not engine:
             cached = (engine, _threaded.translate(fn, engine))
@@ -473,3 +484,4 @@ def execute(engine, fn, args, this=None):
 # Bound at the bottom to break the cycle with the threaded tier, which
 # imports this module's helpers (the cycle resolves in either load order).
 from repro.jsengine import threaded as _threaded  # noqa: E402
+from repro.jsengine import codegen as _codegen  # noqa: E402

@@ -128,7 +128,7 @@ class JSFunction:
 
     __slots__ = ("name", "params", "code", "consts", "num_locals",
                  "call_count", "backedge_count", "tier", "threaded",
-                 "__weakref__")
+                 "codegen", "__weakref__")
 
     def __init__(self, name, params, code, consts, num_locals):
         self.name = name
@@ -142,6 +142,9 @@ class JSFunction:
         #: Lazily built ``(engine, ThreadedFunction)`` pair — the threaded
         #: translation pre-binds engine state, so it is keyed by engine.
         self.threaded = None
+        #: Lazily built ``(engine, run | DECLINED)`` pair for the codegen
+        #: tier; keyed by engine for the same reason.
+        self.codegen = None
 
     @property
     def heap_bytes(self):
@@ -214,6 +217,16 @@ def js_to_str(value):
 
 def to_int32(value):
     """ECMAScript ToInt32 (the `x|0` coercion)."""
+    # Fast paths: a finite number already in int32 range — the common
+    # case for compiler-produced `x|0` arithmetic.  ``int()`` truncates
+    # toward zero exactly like the wrap-around path below, and ``type``
+    # (not ``isinstance``) keeps bools on the slow path.
+    if type(value) is float:
+        if -2147483648.0 <= value <= 2147483647.0:
+            return int(value)
+    elif type(value) is int:
+        if -2147483648 <= value <= 2147483647:
+            return value
     if isinstance(value, bool):
         return int(value)
     if isinstance(value, str):

@@ -1,0 +1,506 @@
+"""Codegen execution tier for the native register machine.
+
+Emits each function's threaded-code basic blocks as generated Python:
+registers become locals ``r0..rN``, the frame accumulators become locals
+``cyc``/``ic``, and dispatch is the same resumable ``bi`` if-chain the
+Wasm translator uses.  The exactness rules of the threaded tier
+(:mod:`repro.native.threaded`) map onto emitted source directly:
+
+* **Cycles self-charge per op** — every op emits its own ``cyc += c``
+  statement with the pre-scaled charge (``N_COST[op] *
+  VECTOR_COST_FACTOR`` for vector-marked instructions) as a literal, so
+  the float sum associates in the reference's left-fold order.  The
+  integer counters batch per block with literal rewind statements inside
+  each trap guard.
+* **The RETV double-flush is intentional** — the ``RETV`` arm flushes
+  ``cyc``/``ic`` without zeroing and returns through the ``finally``
+  flush, duplicating the float addition bit-for-bit like the reference
+  and threaded tiers.
+* **Budget deopt** — a block entered with fewer budget units than
+  instructions materialises the register locals back into a list and
+  resumes the reference ladder mid-frame with the pending unflushed
+  accumulators.
+
+Registers make this translator simpler than the Wasm one: there is no
+stack-depth analysis and therefore nothing to decline — every supported
+function translates.
+"""
+
+from __future__ import annotations
+
+import math as _math
+
+from repro.engine.codegen import (
+    DECLINED, Emitter, codegen_enabled, literal, load_factory, unit_key,
+)
+from repro.engine.threaded import class_deltas, split_blocks
+from repro.errors import TrapError
+from repro.obs import SCHED, get_registry
+from repro.native import threaded as _thr
+from repro.native.machine import (
+    N_COST, N_OP_CLASS, VECTOR_COST_FACTOR,
+)
+
+__all__ = ["codegen_enabled", "translate", "DECLINED"]
+
+_M32 = "4294967295"
+_S32 = "2147483648"
+_W32 = "4294967296"
+_M64 = "18446744073709551615"
+_S64 = "9223372036854775808"
+_W64 = "18446744073709551616"
+
+#: Comparison operator source per op (unsigned ones add masks below).
+_CMP_OPS = {34: "==", 35: "!=", 36: "<", 38: "<=", 40: ">", 42: ">=",
+            44: "==", 45: "!=", 46: "<", 48: "<=", 50: ">", 52: ">=",
+            54: "==", 55: "!=", 56: "<", 57: "<=", 58: ">", 59: ">="}
+_CMP_U32 = {37: "<", 39: "<=", 41: ">", 43: ">="}
+_CMP_U64 = {47: "<", 49: "<=", 51: ">", 53: ">="}
+
+_I32_WRAP = {2: "+", 3: "-", 4: "*", 9: "&", 10: "|", 11: "^"}
+_I64_WRAP = {18: "+", 19: "-", 20: "*", 25: "&", 26: "|", 27: "^"}
+_F_ARITH = {60: "+", 61: "-", 62: "*"}
+
+
+class _FnEmitter:
+    def __init__(self, fn, code, ranges, block_index, budget_mode,
+                 profiling):
+        self.fn = fn
+        self.code = code
+        self.ranges = ranges
+        self.block_index = block_index
+        self.budget_mode = budget_mode
+        self.profiling = profiling
+        self.names = set()
+        self.callees = {}        # call-target name -> cf_{i} local
+        #: Per-block op-class/profiler deltas, flushed lazily in the
+        #: ``finally`` (see ``emit_flush``): ``{bi: (classes, prof)}``.
+        self.block_counts = {}
+        self.out = Emitter()
+
+    def use(self, name):
+        self.names.add(name)
+        return name
+
+    def callee(self, name):
+        local = self.callees.get(name)
+        if local is None:
+            local = self.callees[name] = f"cf_{len(self.callees)}"
+        return local
+
+    def bi_of(self, pc):
+        return -1 if pc >= len(self.code) else self.block_index[pc]
+
+    def emit_jump(self, tbi, fall_bi=None):
+        if tbi == -1:
+            self.out.emit("return None")
+        elif tbi == fall_bi:
+            self.out.emit(f"bi = {tbi}")
+        else:
+            self.out.emit(f"bi = {tbi}")
+            self.out.emit("continue")
+
+    def emit_rewind(self, classes, idx):
+        """Integer rewind: cycles self-charge, so only the block-batched
+        instret / op-class / budget suffix is subtracted."""
+        n_sfx = len(classes) - (idx + 1)
+        if n_sfx:
+            self.out.emit(f"ic -= {n_sfx}")
+        for ci, d in class_deltas(classes[idx + 1:]):
+            self.out.emit(f"{self.use('counts')}[{ci}] -= {d}")
+        if self.budget_mode and n_sfx:
+            self.out.emit(f"{self.use('machine')}.budget += {n_sfx}")
+
+    def emit_flush(self):
+        """Apply the per-block op-class counters accumulated by the
+        dispatch loop; runs once in the ``finally``."""
+        out = self.out
+        for bi in sorted(self.block_counts):
+            deltas, prof = self.block_counts[bi]
+            if not deltas and not prof:
+                continue
+            out.emit(f"if nb{bi}:")
+            with out.block():
+                for ci, dc in deltas:
+                    mul = f"nb{bi}" if dc == 1 else f"{dc} * nb{bi}"
+                    out.emit(f"{self.use('counts')}[{ci}] += {mul}")
+                for key, dc in prof:
+                    mul = f"nb{bi}" if dc == 1 else f"{dc} * nb{bi}"
+                    out.emit(f"fprof[{key}] = fprof.get({key}, 0) + {mul}")
+
+    def guarded(self, body_lines, classes, idx):
+        self.out.emit("try:")
+        with self.out.block():
+            for line in body_lines:
+                self.out.emit(line)
+        self.out.emit("except BaseException:")
+        with self.out.block():
+            self.emit_rewind(classes, idx)
+            self.out.emit("raise")
+
+    def emit_op(self, instr, classes, idx):
+        op, dst, a, b, _vector = instr
+        op = int(op)
+        out = self.out
+        d, ra, rb = f"r{dst}", f"r{a}", f"r{b}"
+        if op == 0:                       # MOVI
+            out.emit(f"{d} = {literal(a)}")
+            return
+        if op == 1:                       # MOV
+            out.emit(f"{d} = {ra}")
+            return
+        if op in _I32_WRAP:
+            out.emit(f"t_ = ({ra} {_I32_WRAP[op]} {rb}) & {_M32}")
+            out.emit(f"{d} = t_ - {_W32} if t_ & {_S32} else t_")
+            return
+        if op in _I64_WRAP:
+            out.emit(f"t_ = ({ra} {_I64_WRAP[op]} {rb}) & {_M64}")
+            out.emit(f"{d} = t_ - {_W64} if t_ & {_S64} else t_")
+            return
+        if op in _F_ARITH:
+            out.emit(f"{d} = {ra} {_F_ARITH[op]} {rb}")
+            return
+        if op == 63:                      # FDIV
+            out.emit(f"{d} = {self.use('fdiv')}({ra}, {rb})")
+            return
+        if op == 12:                      # SHL32
+            out.emit(f"t_ = ({ra} << ({rb} & 31)) & {_M32}")
+            out.emit(f"{d} = t_ - {_W32} if t_ & {_S32} else t_")
+            return
+        if op == 13:                      # SHRS32
+            out.emit(f"{d} = {ra} >> ({rb} & 31)")
+            return
+        if op == 14:                      # SHRU32
+            out.emit(f"t_ = (({ra} & {_M32}) >> ({rb} & 31)) & {_M32}")
+            out.emit(f"{d} = t_ - {_W32} if t_ & {_S32} else t_")
+            return
+        if op == 28:                      # SHL64
+            out.emit(f"t_ = ({ra} << ({rb} & 63)) & {_M64}")
+            out.emit(f"{d} = t_ - {_W64} if t_ & {_S64} else t_")
+            return
+        if op == 29:                      # SHRS64
+            out.emit(f"{d} = {ra} >> ({rb} & 63)")
+            return
+        if op == 30:                      # SHRU64
+            out.emit(f"t_ = (({ra} & {_M64}) >> ({rb} & 63)) & {_M64}")
+            out.emit(f"{d} = t_ - {_W64} if t_ & {_S64} else t_")
+            return
+        if op in _CMP_OPS:
+            out.emit(f"{d} = 1 if {ra} {_CMP_OPS[op]} {rb} else 0")
+            return
+        if op in _CMP_U32:
+            out.emit(f"{d} = 1 if ({ra} & {_M32}) {_CMP_U32[op]} "
+                     f"({rb} & {_M32}) else 0")
+            return
+        if op in _CMP_U64:
+            out.emit(f"{d} = 1 if ({ra} & {_M64}) {_CMP_U64[op]} "
+                     f"({rb} & {_M64}) else 0")
+            return
+        if op in _thr._TRAP_BINVAL:
+            self.guarded([f"{d} = {self.use(f'vf{op}')}({ra}, {rb})"],
+                         classes, idx)
+            return
+        if op in (15, 17):                # NEG32 / BNOT32
+            expr = f"-{ra}" if op == 15 else f"~{ra}"
+            out.emit(f"t_ = ({expr}) & {_M32}")
+            out.emit(f"{d} = t_ - {_W32} if t_ & {_S32} else t_")
+            return
+        if op in (31, 32):                # NEG64 / BNOT64
+            expr = f"-{ra}" if op == 31 else f"~{ra}"
+            out.emit(f"t_ = ({expr}) & {_M64}")
+            out.emit(f"{d} = t_ - {_W64} if t_ & {_S64} else t_")
+            return
+        if op in (16, 33):                # NOT32 / NOT64
+            out.emit(f"{d} = 1 if {ra} == 0 else 0")
+            return
+        if op == 64:                      # FSQRT
+            out.emit(f"{d} = {self.use('nan')} if {ra} < 0 "
+                     f"else {self.use('sqrt')}({ra})")
+            return
+        if op == 65:
+            out.emit(f"{d} = abs({ra})")
+            return
+        if op == 66:
+            out.emit(f"{d} = -{ra}")
+            return
+        if op in (69, 71):                # I2F_S32 / I2F_S64
+            out.emit(f"{d} = float({ra})")
+            return
+        if op == 70:                      # I2F_U32
+            out.emit(f"{d} = float({ra} & {_M32})")
+            return
+        if op == 74:                      # SX32TO64
+            out.emit(f"{d} = {ra}")
+            return
+        if op == 75:                      # ZX32TO64
+            out.emit(f"{d} = {ra} & {_M32}")
+            return
+        if op == 76:                      # TRUNC64TO32
+            out.emit(f"t_ = {ra} & {_M32}")
+            out.emit(f"{d} = t_ - {_W32} if t_ & {_S32} else t_")
+            return
+        if op in _thr._TRAP_UNVAL:
+            self.guarded([f"{d} = {self.use(f'vf{op}')}({ra})"],
+                         classes, idx)
+            return
+        if op in _thr._LOADS:
+            addr = f"{ra} + {b}" if b else ra
+            if op == 82:
+                body = [f"{d} = {self.use('u_d')}({self.use('mem')}, "
+                        f"{addr})[0]"]
+            elif op == 80:
+                body = [f"{d} = {self.use('u_i')}({self.use('mem')}, "
+                        f"{addr})[0]"]
+            elif op == 81:
+                body = [f"{d} = {self.use('u_q')}({self.use('mem')}, "
+                        f"{addr})[0]"]
+            elif op == 77:
+                body = [f"{d} = {self.use('mem')}[{addr}]"]
+            elif op == 78:
+                body = [f"t_ = {self.use('mem')}[{addr}]",
+                        f"{d} = t_ - 256 if t_ >= 128 else t_"]
+            else:                         # 79: LOAD16U
+                body = [f"a_ = {addr}",
+                        f"{d} = {self.use('mem')}[a_] | "
+                        f"({self.use('mem')}[a_ + 1] << 8)"]
+            self.guarded(body, classes, idx)
+            return
+        if op in _thr._STORES:
+            addr = f"{ra} + {b}" if b else ra
+            if op == 87:
+                body = [f"{self.use('p_d')}({self.use('mem')}, {addr}, "
+                        f"{d})"]
+            elif op == 85:
+                body = [f"{self.use('p_i')}({self.use('mem')}, {addr}, "
+                        f"{d} & {_M32})"]
+            elif op == 86:
+                body = [f"{self.use('p_q')}({self.use('mem')}, {addr}, "
+                        f"{d} & {_M64})"]
+            elif op == 83:
+                body = [f"{self.use('mem')}[{addr}] = {d} & 255"]
+            else:                         # 84: STORE16
+                body = [f"a_ = {addr}",
+                        f"t_ = {d} & 65535",
+                        f"{self.use('mem')}[a_] = t_ & 255",
+                        f"{self.use('mem')}[a_ + 1] = t_ >> 8"]
+            self.guarded(body, classes, idx)
+            return
+        if op == 94:                      # HOSTCALL
+            name, arg_regs = a
+            arg_list = ", ".join(f"r{r}" for r in arg_regs)
+            self.guarded([f"t_ = {self.use('host')}({name!r}, "
+                          f"[{arg_list}])"], classes, idx)
+            if dst >= 0:
+                out.emit(f"{d} = t_")
+            return
+        if op == 95:                      # SELECT
+            cr, tr, er = a
+            out.emit(f"{d} = r{tr} if r{cr} else r{er}")
+            return
+        raise TrapError(
+            f"{self.fn.name}: unimplemented native op {op} (codegen tier)")
+
+    def emit_term(self, instr, charge, bi, fall_bi):
+        op, dst, a, _b, _vector = instr
+        op = int(op)
+        out = self.out
+        out.emit(f"cyc += {literal(charge)}")
+        if op == 88:                      # JMP
+            self.emit_jump(self.bi_of(dst), fall_bi=fall_bi)
+        elif op in (89, 90):              # JZ / JNZ
+            cond = f"r{a}" if op == 90 else f"not r{a}"
+            out.emit(f"if {cond}:")
+            with out.block():
+                self.emit_jump(self.bi_of(dst))
+            self.emit_jump(fall_bi, fall_bi=bi + 1)
+        elif op == 91:                    # CALL: flush, zero, recurse
+            name, arg_regs = a
+            out.emit(f"{self.use('stats')}.cycles += cyc")
+            out.emit("stats.instructions += ic")
+            out.emit("cyc = 0.0")
+            out.emit("ic = 0")
+            arg_list = ", ".join(f"r{r}" for r in arg_regs)
+            target = self.use(self.callee(name))
+            call = f"{self.use('run_')}({target}, [{arg_list}])"
+            if dst >= 0:
+                out.emit(f"r{dst} = {call}")
+            else:
+                out.emit(call)
+            self.emit_jump(fall_bi, fall_bi=bi + 1)
+        elif op == 93:                    # RETV: flush WITHOUT zeroing —
+            # the finally flush runs again (reference double-count).
+            out.emit(f"{self.use('stats')}.cycles += cyc")
+            out.emit("stats.instructions += ic")
+            out.emit(f"return r{a}")
+        else:                             # 92: RET
+            out.emit("return None")
+
+    def emit_block(self, bi):
+        out = self.out
+        start, end = self.ranges[bi]
+        ops = self.code[start:end]
+        classes = [int(N_OP_CLASS[int(i[0])]) for i in ops]
+        charges = [N_COST[int(i[0])] * (VECTOR_COST_FACTOR if i[4]
+                                        else 1.0) for i in ops]
+        out.emit(f"if bi == {bi}:")
+        with out.block():
+            if self.budget_mode:
+                out.emit(f"r_ = {self.use('machine')}.budget")
+                out.emit(f"if r_ < {len(ops)}:")
+                with out.block():
+                    out.emit(f"{self.use('deopt')}()")
+                    out.emit("_pc = cyc")
+                    out.emit("_pi = ic")
+                    out.emit("cyc = 0.0")
+                    out.emit("ic = 0")
+                    regs = ", ".join(f"r{i}" for i in
+                                     range(self.fn.nregs))
+                    out.emit(f"return {self.use('run_from')}"
+                             f"({self.use('fn')}, [{regs}], {start}, "
+                             f"_pc, _pi)")
+                out.emit(f"machine.budget = r_ - {len(ops)}")
+            if ops:
+                # Op-class counters accumulate in a per-block local and
+                # flush in the ``finally`` — integer adds commute, so the
+                # totals match the eager per-block batching at every
+                # externally observable point (guards rewind the engine
+                # counters directly; ``ic`` stays eager because the CALL
+                # and RETV flushes hand it to the reference quirks).
+                out.emit(f"ic += {len(ops)}")
+                out.emit(f"nb{bi} += 1")
+                keys = [int(i[0]) + (256 if i[4] else 0) for i in ops]
+                self.block_counts[bi] = (
+                    list(class_deltas(classes)),
+                    list(class_deltas(keys)) if self.profiling else [])
+            has_term = bool(ops) and int(ops[-1][0]) in _thr._TERM_OPS
+            body = ops[:-1] if has_term else ops
+            for idx, instr in enumerate(body):
+                out.emit(f"cyc += {literal(charges[idx])}")
+                self.emit_op(instr, classes, idx)
+            if has_term:
+                self.emit_term(ops[-1], charges[-1], bi, self.bi_of(end))
+            else:
+                self.emit_jump(self.bi_of(end), fall_bi=bi + 1)
+
+    def build(self):
+        out = self.out
+        body = Emitter()
+        self.out = body
+        with body.block():
+            with body.block():
+                body.emit("_n = len(args)")
+                for i in range(self.fn.nregs):
+                    body.emit(f"r{i} = args[{i}] if {i} < _n else 0")
+                body.emit("cyc = 0.0")
+                body.emit("ic = 0")
+                if self.profiling:
+                    body.emit(f"fprof = {self.use('prof_frame')}"
+                              f"({self.use('fn_name')})")
+                if not self.ranges:
+                    body.emit("return None")
+                else:
+                    live = [bi for bi, (start, end)
+                            in enumerate(self.ranges) if end > start]
+                    if live:
+                        body.emit(" = ".join(
+                            f"nb{bi}" for bi in live) + " = 0")
+                    body.emit("try:")
+                    with body.block():
+                        body.emit("bi = 0")
+                        body.emit("while True:")
+                        with body.block():
+                            for bi in range(len(self.ranges)):
+                                self.emit_block(bi)
+                            body.emit("raise AssertionError"
+                                      "('codegen: lost dispatch')")
+                    body.emit("finally:")
+                    with body.block():
+                        body.emit("if ic:")
+                        with body.block():
+                            body.emit(f"{self.use('stats')}.cycles += cyc")
+                            body.emit("stats.instructions += ic")
+                        self.emit_flush()
+        self.out = out
+        out.emit("def make(ns):")
+        with out.block():
+            for name in sorted(self.names):
+                if name.startswith("cf_"):
+                    continue
+                out.emit(f"{name} = ns[{name!r}]")
+            for cname, local in sorted(self.callees.items()):
+                out.emit(f"{local} = ns['callees'][{cname!r}]")
+            out.emit("def run(args):")
+            out.lines.extend(body.lines)
+            out.emit("return run")
+        return out.source()
+
+
+def translate(fn, machine):
+    """Build (or load warm) the generated runner for one native function
+    on one machine.  Registers need no static analysis, so the native
+    translator never declines."""
+    code = fn.code
+    for pc, instr in enumerate(code):
+        if int(instr[0]) not in _thr.SUPPORTED_OPS:
+            raise TrapError(
+                f"{fn.name}: unimplemented native op {instr[0]} at pc "
+                f"{pc} (codegen tier has no handler)")
+
+    for instr in code:
+        if int(instr[0]) == 0 and not isinstance(
+                instr[2], (int, float, str, bytes, bool, type(None))):
+            # A MOVI immediate the source emitter cannot literalise:
+            # decline to the threaded tier rather than fail mid-build.
+            get_registry().counter_add("interp.native.codegen_declined",
+                                       1, SCHED)
+            return None
+
+    leaders = {0}
+    for pc, instr in enumerate(code):
+        op = int(instr[0])
+        if op in _thr._TERM_OPS:
+            leaders.add(pc + 1)
+            if op in _thr._BRANCHES:
+                leaders.add(instr[1])
+    ranges = split_blocks(len(code), leaders)
+    block_index = {start: bi for bi, (start, _end) in enumerate(ranges)}
+
+    budget_mode = machine.budget is not None
+    profiling = machine._profile is not None
+    key = unit_key("native", (
+        repr(code), fn.nregs, budget_mode, profiling))
+
+    def build_source():
+        emitter = _FnEmitter(fn, code, ranges, block_index, budget_mode,
+                             profiling)
+        return emitter.build()
+
+    factory = load_factory("native", key, build_source)
+
+    functions = machine.program.functions
+    ns = {
+        "machine": machine, "stats": machine.stats,
+        "counts": machine.stats.op_counts, "mem": machine.memory,
+        "fn": fn, "fn_name": fn.name, "run_from": machine._run_from,
+        "run_": machine._run, "host": machine._host,
+        "nan": float("nan"),
+        "u_d": _thr._UNPACK_D, "u_i": _thr._UNPACK_I,
+        "u_q": _thr._UNPACK_Q, "p_d": _thr._PACK_D,
+        "p_i": _thr._PACK_I, "p_q": _thr._PACK_Q,
+        "fdiv": _thr._fdiv,
+        "deopt": lambda: get_registry().counter_add(
+            "interp.native.codegen_deopts", 1, SCHED),
+        "callees": {name: functions[name] for name in functions},
+    }
+    ns["sqrt"] = _math.sqrt
+    if machine._profile is not None:
+        ns["prof_frame"] = machine._profile.frame
+    for op, f in _thr._TRAP_BINVAL.items():
+        ns[f"vf{op}"] = f
+    for op, f in _thr._TRAP_UNVAL.items():
+        ns[f"vf{op}"] = f
+
+    reg = get_registry()
+    reg.counter_add("interp.native.codegen_functions", 1, SCHED)
+    reg.counter_add("interp.native.codegen_blocks", len(ranges), SCHED)
+    return factory(ns)

@@ -210,12 +210,15 @@ class _Machine:
         self.stats = NativeStats()
         self.budget = max_instructions
         self._fast = _threaded.fast_interp_enabled()
+        self._codegen_on = _codegen.codegen_enabled()
         self._profile = new_profile("native")
         #: id(fn) → ThreadedFunction; translations pre-bind this machine's
         #: stats/memory, so the cache is per machine.  Keyed by id because
         #: NativeFunction is an (unhashable) dataclass; the program keeps
         #: every function alive, so ids are stable for the machine's life.
+        #: ``_codegen`` caches the generated runners the same way.
         self._threaded = {}
+        self._codegen = {}
 
     def call(self, name, *args):
         fn = self.program.functions[name]
@@ -227,6 +230,13 @@ class _Machine:
         if self._profile is not None:
             self._profile.call(fn.name)
         if self._fast:
+            if self._codegen_on:
+                cg = self._codegen.get(id(fn))
+                if cg is None:
+                    cg = _codegen.translate(fn, self) or _codegen.DECLINED
+                    self._codegen[id(fn)] = cg
+                if cg is not _codegen.DECLINED:
+                    return cg(args)
             tf = self._threaded.get(id(fn))
             if tf is None:
                 tf = _threaded.translate(fn, self)
@@ -525,3 +535,4 @@ def execute_program(program, entry="main", args=(), max_instructions=None):
 # Bound at the bottom to break the cycle: the threaded tier imports this
 # module's tables (N_COST, NOp, ...) at its top.
 from repro.native import threaded as _threaded  # noqa: E402
+from repro.native import codegen as _codegen    # noqa: E402

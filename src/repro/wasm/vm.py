@@ -60,7 +60,7 @@ class _PreparedFunction:
     """A function body with branches resolved to absolute targets."""
 
     __slots__ = ("name", "num_params", "num_locals", "local_types", "code",
-                 "results", "threaded")
+                 "results", "threaded", "codegen")
 
     def __init__(self, name, num_params, local_types, code, results):
         self.name = name
@@ -71,8 +71,11 @@ class _PreparedFunction:
         self.results = results
         #: Lazily translated threaded-code body (prepared functions are
         #: per-instance, so the translation's pre-bound instance state
-        #: can be cached right here).
+        #: can be cached right here).  ``codegen`` caches the generated
+        #: runner the same way (``_codegen.DECLINED`` when the codegen
+        #: translator declined the function).
         self.threaded = None
+        self.codegen = None
 
 
 def _prepare_body(func, num_imports):
@@ -162,6 +165,7 @@ class WasmInstance:
         self.max_instructions = max_instructions
         self._instr_budget = max_instructions
         self._fast = _threaded.fast_interp_enabled()
+        self._codegen = _codegen.codegen_enabled()
         self._profile = new_profile("wasm")
 
         imports = imports or {}
@@ -214,6 +218,13 @@ class WasmInstance:
         if self._profile is not None:
             self._profile.call(fn.name)
         if self._fast:
+            if self._codegen:
+                cg = fn.codegen
+                if cg is None:
+                    cg = _codegen.translate(fn, self) or _codegen.DECLINED
+                    fn.codegen = cg
+                if cg is not _codegen.DECLINED:
+                    return cg(args)
             tf = fn.threaded
             if tf is None:
                 tf = _threaded.translate(fn, self)
@@ -600,3 +611,4 @@ class WasmVM:
 # Bound at the bottom so the threaded tier can import names from this
 # module at its top (the circular import resolves in either load order).
 from repro.wasm import threaded as _threaded  # noqa: E402
+from repro.wasm import codegen as _codegen    # noqa: E402

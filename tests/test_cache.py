@@ -246,6 +246,29 @@ class TestFailureSafety:
         assert cached_result("test", ("k",), lambda: 7) == 7
         assert cached_result("test", ("k",), lambda: 99) == 7
 
+    def test_corrupt_replay_blob_recomputed_over(self, isolated_cache,
+                                                 monkeypatch):
+        from repro.cache.memo import cached_result, result_key
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        # A three-field entry whose replay_metrics blob cannot be applied
+        # (truncated write / schema drift) used to raise mid-sweep; it
+        # must be treated as stale: recomputed and overwritten.
+        key = result_key("test", ("k",))
+        isolated_cache.put(key, ("result", 7, "not-a-metrics-diff"))
+        calls = []
+
+        def compute():
+            calls.append(None)
+            return 42
+
+        assert cached_result("test", ("k",), compute,
+                             replay_metrics=True) == 42
+        assert calls  # recomputed, not served from the corrupt entry
+        # The overwrite healed the entry: warm hits replay cleanly now.
+        assert cached_result("test", ("k",), compute,
+                             replay_metrics=True) == 42
+        assert len(calls) == 1
+
     def test_sweep_tmp_removes_only_stale_orphans(self, isolated_cache):
         import time
         root = isolated_cache.root

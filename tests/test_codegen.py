@@ -1,0 +1,352 @@
+"""Codegen-tier invariants beyond the differential suites: dispatch
+completeness checked against the cost tables, budget-deopt resume
+mid-frame on the wasm VM, GC-pause parity on the JS engine, and
+cold-vs-warm compile-cache runs replaying identical DET counters.
+
+The three tiers under test (see ``engine/codegen.py``)::
+
+    REPRO_FAST_INTERP=0   reference ladders (differential oracle)
+    REPRO_CODEGEN=0       threaded closures
+    default               generated Python (codegen tier)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine import codegen as substrate
+from repro.errors import TrapError
+from repro.obs import DET, SCHED, get_registry, reset_registry
+
+TIERS = ("ref", "threaded", "codegen")
+
+_TIER_ENV = {"ref": ("0", "0"), "threaded": ("1", "0"),
+             "codegen": ("1", "1")}
+
+
+def _set_tier(monkeypatch, tier):
+    fast, codegen = _TIER_ENV[tier]
+    monkeypatch.setenv("REPRO_FAST_INTERP", fast)
+    monkeypatch.setenv("REPRO_CODEGEN", codegen)
+
+
+def _stats_dict(stats):
+    """Repr-normalized stats snapshot (repr distinguishes -0.0 and int
+    vs float, which `==` does not)."""
+    snap = dataclasses.asdict(stats)
+    return {k: repr(tuple(v) if isinstance(v, list) else v)
+            for k, v in snap.items()}
+
+
+# ---------------------------------------------------------------------------
+# Dispatch completeness vs the cost tables.
+
+class TestDispatchCompleteness:
+    """Every opcode an engine's cost/class tables price must be handled
+    by its threaded tier and therefore translatable by its codegen tier
+    (the translators walk the threaded tier's own tables)."""
+
+    def test_js_tables_cover_supported_ops(self):
+        from repro.jsengine import threaded as jt
+        from repro.jsengine.bytecode import (
+            JS_OP_CLASS, JS_OP_COST, JS_OP_COST_OPT, JsOp)
+
+        n = max(JsOp) + 1
+        assert len(JS_OP_COST) == len(JS_OP_COST_OPT) == len(JS_OP_CLASS) == n
+        # COMMA is the one priced opcode the compiler never emits; both
+        # fast tiers refuse it loudly (see test below) rather than
+        # mispricing it silently.
+        assert jt.SUPPORTED_OPS == set(range(n)) - {JsOp.COMMA}
+        for op in jt.SUPPORTED_OPS:
+            assert JS_OP_COST[op] > 0.0
+            assert JS_OP_COST_OPT[op] > 0.0
+
+    def test_js_codegen_shadow_table_in_lockstep(self):
+        from repro.jsengine import codegen as jcg
+        from repro.jsengine import threaded as jt
+
+        # The translator derives its shadow-write emission kinds from the
+        # threaded tier's writer table; a new writer there must fail the
+        # derivation, not silently skip the op.
+        assert set(jcg._SHADOW_KIND) == set(jt._SHADOW_BIN)
+
+    def test_wasm_tables_cover_supported_ops(self):
+        from repro.wasm import threaded as wt
+        from repro.wasm.instructions import OP_CLASS, OP_COST, Op
+
+        n = max(Op) + 1
+        assert len(OP_COST) == len(OP_CLASS) == n
+        for op in wt.SUPPORTED_OPS:
+            assert 0 <= op < n
+            # UNREACHABLE is priced at zero on purpose: it only ever traps.
+            assert OP_COST[op] > 0.0 or op == Op.UNREACHABLE
+
+    def test_native_tables_cover_supported_ops(self):
+        from repro.native import threaded as nt
+        from repro.native.machine import N_COST, N_OP_CLASS, NOp
+
+        n = max(NOp) + 1
+        assert len(N_COST) == len(N_OP_CLASS) == n
+        for op in nt.SUPPORTED_OPS:
+            assert 0 <= op < n
+            assert N_COST[op] > 0.0
+
+    def test_js_unsupported_op_fails_loudly_in_codegen(self, monkeypatch):
+        from repro.jsengine.engine import JsEngine
+        from repro.jsengine.interpreter import JsRuntimeError, execute
+        from repro.jsengine.values import JSFunction, UNDEFINED
+
+        _set_tier(monkeypatch, "codegen")
+        fn = JSFunction("bogus", [], [(48, None)], [], 0)
+        with pytest.raises(JsRuntimeError, match="no handler"):
+            execute(JsEngine(), fn, [], UNDEFINED)
+
+    def test_wasm_program_translates_with_no_declines(
+            self, cheerp, monkeypatch):
+        from repro.engine.hostlib import wasm_host_imports
+        from repro.wasm import WasmVM
+        from tests.conftest import TINY_C
+
+        _set_tier(monkeypatch, "codegen")
+        reset_registry()
+        artifact = cheerp.compile_wasm(TINY_C, name="cgfull")
+        inst = WasmVM().instantiate(artifact.module,
+                                    wasm_host_imports([], None))
+        inst.invoke("main")
+        exported = get_registry().export([SCHED])
+        reset_registry()
+        assert exported["interp.wasm.codegen_functions"] > 0
+        assert exported["interp.wasm.codegen_blocks"] >= \
+            exported["interp.wasm.codegen_functions"]
+        assert exported.get("interp.wasm.codegen_declined", 0) == 0
+
+    def test_native_program_translates_with_no_declines(
+            self, llvm_x86, monkeypatch):
+        from repro.native import execute_program
+        from tests.conftest import TINY_C
+
+        _set_tier(monkeypatch, "codegen")
+        reset_registry()
+        artifact = llvm_x86.compile(TINY_C, name="cgfull")
+        execute_program(artifact.program, "main")
+        exported = get_registry().export([SCHED])
+        reset_registry()
+        assert exported["interp.native.codegen_functions"] > 0
+        assert exported.get("interp.native.codegen_declined", 0) == 0
+
+    def test_js_program_translates_with_no_declines(self, monkeypatch):
+        from repro.jsengine.engine import JsEngine
+
+        _set_tier(monkeypatch, "codegen")
+        reset_registry()
+        engine = JsEngine()
+        engine.load_script(GC_JS)
+        exported = get_registry().export([SCHED])
+        reset_registry()
+        assert exported["interp.js.codegen_functions"] > 0
+        assert exported.get("interp.js.codegen_declined", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Budget deopt: the generated code checks the remaining instruction
+# budget at block entry and bails to the per-op reference loop mid-frame
+# (``run_from``) when the block would overrun it.
+
+BUDGET_C = """
+double buf[64];
+double work(int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    buf[i % 64] = i * 0.5;
+    s = s + buf[i % 64] - (double)(i % 3);
+  }
+  return s;
+}
+int main() {
+  double s = work(150);
+  printf("%d", (int)s);
+  return (int)s;
+}
+"""
+
+
+class TestBudgetDeoptResume:
+    def _run(self, cheerp, monkeypatch, tier, budget):
+        from repro.engine.hostlib import wasm_host_imports
+        from repro.wasm import WasmVM
+
+        _set_tier(monkeypatch, tier)
+        artifact = cheerp.compile_wasm(BUDGET_C, name="cgbudget")
+        output = []
+        inst = WasmVM(max_instructions=budget).instantiate(
+            artifact.module, wasm_host_imports(output, None))
+        try:
+            result = ("ok", inst.invoke("main"))
+        except TrapError as exc:
+            result = ("trap", str(exc))
+        return result, _stats_dict(inst.stats), output
+
+    def _instruction_count(self, cheerp, monkeypatch):
+        (kind, _), stats, _ = self._run(cheerp, monkeypatch, "ref", None)
+        assert kind == "ok"
+        return int(stats["instructions"])
+
+    def test_exact_budget_completes_without_deopt(self, cheerp, monkeypatch):
+        total = self._instruction_count(cheerp, monkeypatch)
+        runs = {}
+        reset_registry()
+        for tier in TIERS:
+            runs[tier] = self._run(cheerp, monkeypatch, tier, total)
+        exported = get_registry().export([SCHED])
+        reset_registry()
+        assert runs["ref"][0][0] == "ok"
+        assert runs["ref"] == runs["threaded"] == runs["codegen"]
+        # An exact budget never enters a block short: no deopt taken.
+        assert exported.get("interp.wasm.codegen_deopts", 0) == 0
+
+    @pytest.mark.parametrize("shortfall", ["one", "half"])
+    def test_short_budget_traps_identically_after_deopt(
+            self, cheerp, monkeypatch, shortfall):
+        total = self._instruction_count(cheerp, monkeypatch)
+        budget = total - 1 if shortfall == "one" else total // 2
+        runs = {}
+        reset_registry()
+        for tier in TIERS:
+            runs[tier] = self._run(cheerp, monkeypatch, tier, budget)
+        exported = get_registry().export([SCHED])
+        reset_registry()
+        kind, message = runs["ref"][0]
+        assert kind == "trap" and "instruction budget exhausted" in message
+        # Identical trap point, stats (instructions, cycles, op_counts)
+        # and partial host output across all three tiers: the generated
+        # frame handed its locals and operand stack to ``run_from``
+        # mid-frame and the reference loop finished the accounting.
+        assert runs["ref"] == runs["threaded"] == runs["codegen"]
+        assert exported["interp.wasm.codegen_deopts"] > 0
+
+    def test_budget_restored_between_invokes(self, cheerp, monkeypatch):
+        # The same instance can be invoked again after a budget trap:
+        # each invoke sees the full budget, in every tier.
+        total = self._instruction_count(cheerp, monkeypatch)
+        for tier in TIERS:
+            first = self._run(cheerp, monkeypatch, tier, total)
+            again = self._run(cheerp, monkeypatch, tier, total)
+            assert first[0][0] == "ok"
+            assert first[0] == again[0]
+
+
+# ---------------------------------------------------------------------------
+# GC-pause parity on the JS engine: the generated frames must present
+# the same live set to the collector as the threaded closures, so pause
+# cycles (charged from live bytes) stay bit-identical.
+
+GC_JS = r"""
+function churn(n) {
+  var a = [];
+  var o = {count: 0, name: "o"};
+  var t = "";
+  for (var i = 0; i < n; i++) {
+    a.push([i, i * 1.5]);
+    o.count = o.count + i % 5;
+    o.count++;
+    t = t + "x" + i;
+  }
+  return o.count + a.length + t.length;
+}
+var total = 0;
+for (var k = 0; k < 30; k++) { total = total + churn(45); }
+console.log(total);
+"""
+
+
+class TestJsGcPauseParity:
+    def _run(self, monkeypatch, tier):
+        from repro.jsengine.config import JsEngineConfig
+        from repro.jsengine.engine import JsEngine
+
+        _set_tier(monkeypatch, tier)
+        engine = JsEngine(config=JsEngineConfig(gc_trigger_bytes=20000))
+        engine.load_script(GC_JS)
+        return [str(x) for x in engine.console_output], \
+            _stats_dict(engine.stats)
+
+    def test_gc_pauses_identical_across_tiers(self, monkeypatch):
+        runs = {tier: self._run(monkeypatch, tier) for tier in TIERS}
+        _out, stats = runs["ref"]
+        assert int(stats["gc_runs"]) > 0        # the program must collect
+        assert runs["ref"] == runs["threaded"] == runs["codegen"]
+        assert stats["gc_pause_cycles"] == \
+            runs["codegen"][1]["gc_pause_cycles"]
+
+
+# ---------------------------------------------------------------------------
+# Cold vs warm compile cache: a warm process loads source + marshalled
+# code objects from the persistent store instead of re-emitting, and the
+# run it serves must replay identical DET counters.
+
+class TestColdWarmCache:
+    @pytest.fixture(autouse=True)
+    def _isolated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        _set_tier(monkeypatch, "codegen")
+        substrate.reset_cache()
+        reset_registry()
+        yield
+        substrate.reset_cache()
+        reset_registry()
+
+    def _measure(self, artifact):
+        from repro.env import DESKTOP, chrome_desktop
+        from repro.harness import PageRunner
+
+        reset_registry()
+        runner = PageRunner(chrome_desktop(), DESKTOP, repetitions=1)
+        result = runner.run_wasm(artifact)
+        reg = get_registry()
+        det, sched = reg.export([DET]), reg.export([SCHED])
+        return result, det, sched
+
+    def test_warm_hits_replay_identical_det_counters(self, cheerp):
+        from tests.conftest import TINY_C
+
+        artifact = cheerp.compile_wasm(TINY_C, name="cgwarm")
+        cold_result, cold_det, cold_sched = self._measure(artifact)
+        assert cold_sched["interp.wasm.codegen_cache_misses"] > 0
+        assert cold_sched.get("interp.wasm.codegen_cache_hits", 0) == 0
+
+        # Dropping the in-process layers models a fresh process over the
+        # same store: translation is served from disk, skipping both
+        # source generation and compile().
+        substrate.reset_cache()
+        warm_result, warm_det, warm_sched = self._measure(artifact)
+        assert warm_sched["interp.wasm.codegen_cache_hits"] > 0
+        assert warm_sched.get("interp.wasm.codegen_cache_misses", 0) == 0
+
+        assert cold_det            # profiling was on: opclass counters
+        assert warm_det == cold_det
+        assert warm_result.times_ms == cold_result.times_ms
+        assert warm_result.detail["profile"] == \
+            cold_result.detail["profile"]
+
+    def test_js_warm_run_bit_identical(self, monkeypatch):
+        from repro.jsengine.engine import JsEngine
+
+        def run():
+            reset_registry()
+            engine = JsEngine()
+            engine.load_script(GC_JS)
+            return ([str(x) for x in engine.console_output],
+                    _stats_dict(engine.stats),
+                    get_registry().export([SCHED]))
+
+        cold_out, cold_stats, cold_sched = run()
+        assert cold_sched["interp.js.codegen_cache_misses"] > 0
+        substrate.reset_cache()
+        warm_out, warm_stats, warm_sched = run()
+        assert warm_sched["interp.js.codegen_cache_hits"] > 0
+        assert warm_out == cold_out
+        assert warm_stats == cold_stats

@@ -172,6 +172,180 @@ class TestShiftBoundaries:
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# Three-tier probe: reference ladder vs threaded vs codegen
+# ---------------------------------------------------------------------------
+
+#: (REPRO_FAST_INTERP, REPRO_CODEGEN) per execution tier.
+TIERS = (("0", "0"), ("1", "0"), ("1", "1"))
+
+
+def _three_tier(outcome_fn, module, args, monkeypatch):
+    """Run one backend across all three execution tiers; every tier must
+    produce the same value (or the same trap)."""
+    results = []
+    for fast, cg in TIERS:
+        monkeypatch.setenv("REPRO_FAST_INTERP", fast)
+        monkeypatch.setenv("REPRO_CODEGEN", cg)
+        results.append(outcome_fn(module, args))
+    normed = [repr(r) for r in results]
+    assert normed[0] == normed[1] == normed[2], (
+        f"tiers disagree for args {args!r}: ref={normed[0]} "
+        f"threaded={normed[1]} codegen={normed[2]}")
+    return results[0]
+
+
+def _rotl_fn():
+    """The C rotate idiom ``(x << n) | (x >> (32 - n))`` on u32 — both
+    shift counts pass through the engines' ``& 31`` masking, so the idiom
+    is total for every count including 0, >= 32, and negative."""
+    x = ELocal("x", "u32")
+    n = ELocal("n", "u32")
+    left = EBin("<<", x, n, "u32")
+    right = EBin(">>", x, EBin("-", EConst(32, "u32"), n, "u32"), "u32")
+    return _module(Function("f", [("x", "u32"), ("n", "u32")], "u32",
+                            body=[SReturn(EBin("|", left, right, "u32"))],
+                            exported=True))
+
+
+def _py_rotl32(value, count):
+    u, b = value & 0xFFFFFFFF, count & 31
+    v = ((u << b) | (u >> (32 - b))) & 0xFFFFFFFF if b else u
+    return _wrap(v, 32)
+
+
+class TestThreeTierRotates:
+    """Rotate counts at and past the width, and negative, through the
+    real IR backends on every tier of both engines."""
+
+    @pytest.mark.parametrize("count", [0, 1, 31, 32, 33, 63, -1, -31])
+    @pytest.mark.parametrize("value", [0, 1, -1, I32_MIN, 0x12345678])
+    def test_rotl_idiom(self, value, count, monkeypatch):
+        module = _rotl_fn()
+        # n == 0 makes the idiom's right shift count 32 & 31 == 0, i.e.
+        # x | x — still rotl(x, 0).  Expected value mirrors the VM's
+        # rotl masking exactly.
+        expected = _py_rotl32(value, count)
+        wasm = _three_tier(_wasm_outcome, module, (value, count),
+                           monkeypatch)
+        native = _three_tier(_native_outcome, module, (value, count),
+                             monkeypatch)
+        assert wasm == native == expected
+
+
+class TestThreeTierBitcounts:
+    """clz/ctz/popcnt only exist as Wasm opcodes (no IR spelling), so
+    they run as direct modules across the VM's three tiers."""
+
+    def _bitcount_module(self, opname):
+        from repro.wasm import FuncType, Function as WFunction, WasmModule
+        from repro.wasm.instructions import Op, instr as I
+        module = WasmModule()
+        module.add_function(WFunction(
+            "f", FuncType(("i32",), ("i32",)), [],
+            [I(Op.LOCAL_GET, 0), I(getattr(Op, opname))], exported=True))
+        validate_module(module)
+        return module
+
+    @pytest.mark.parametrize("opname,value,expected", [
+        ("I32_CLZ", 0, 32), ("I32_CLZ", -1, 0), ("I32_CLZ", 1, 31),
+        ("I32_CLZ", I32_MIN, 0),
+        ("I32_CTZ", 0, 32), ("I32_CTZ", -1, 0), ("I32_CTZ", 1, 0),
+        ("I32_CTZ", I32_MIN, 31),
+        ("I32_POPCNT", 0, 0), ("I32_POPCNT", -1, 32),
+        ("I32_POPCNT", I32_MIN, 1), ("I32_POPCNT", 0x55555555, 16),
+    ])
+    def test_bitcount_all_tiers(self, opname, value, expected,
+                                monkeypatch):
+        module = self._bitcount_module(opname)
+
+        def outcome(mod, args):
+            instance = WasmVM().instantiate(mod, wasm_host_imports([], None))
+            return instance.invoke("f", *args)
+
+        assert _three_tier(outcome, module, (value,),
+                           monkeypatch) == expected
+
+
+class TestThreeTierCanonicalization:
+    """shl/shr_s results must stay in the canonical signed form on every
+    tier — a raw unsigned leak shows up the moment the value feeds a
+    signed compare."""
+
+    @pytest.mark.parametrize("value,count", [
+        (1, 31), (-1, 0), (I32_MIN, 0), (0x40000000, 1), (-1, 31),
+    ])
+    def test_shl_feeds_signed_compare(self, value, count, monkeypatch):
+        x = ELocal("x", "i32")
+        k = ELocal("k", "i32")
+        cmp = EBin("<", EBin("<<", x, k, "i32"), EConst(0, "i32"), "i32")
+        module = _module(Function("f", [("x", "i32"), ("k", "i32")], "i32",
+                                  body=[SReturn(cmp)], exported=True))
+        expected = 1 if _wrap(value << (count & 31), 32) < 0 else 0
+        wasm = _three_tier(_wasm_outcome, module, (value, count),
+                           monkeypatch)
+        native = _three_tier(_native_outcome, module, (value, count),
+                             monkeypatch)
+        assert wasm == native == expected
+
+    @pytest.mark.parametrize("value,count", [(-1, 1), (I32_MIN, 31),
+                                             (-2, 63)])
+    def test_shr_s_stays_negative(self, value, count, monkeypatch):
+        module = _shift_fn(">>", "i32")
+        expected = value >> (count & 31)
+        wasm = _three_tier(_wasm_outcome, module, (value, count),
+                           monkeypatch)
+        native = _three_tier(_native_outcome, module, (value, count),
+                             monkeypatch)
+        assert wasm == native == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (float(1 << 31), TRAP), (-2147483649.0, TRAP), (math.nan, TRAP),
+        (float(I32_MIN), I32_MIN),
+    ])
+    def test_trunc_traps_all_tiers(self, value, expected, monkeypatch):
+        """Trap agreement: every tier of every engine traps (or not) on
+        the same truncation input."""
+        module = _cast_fn("f64", "i32")
+        wasm = _three_tier(_wasm_outcome, module, (value,), monkeypatch)
+        native = _three_tier(_native_outcome, module, (value,),
+                             monkeypatch)
+        assert wasm == native == expected
+
+
+# ---------------------------------------------------------------------------
+# Constant folding must match runtime f64 division exactly
+# ---------------------------------------------------------------------------
+
+
+class TestConstfoldDivisionParity:
+    """The folded value of ``x / y`` must be bit-identical to what the
+    engines compute at runtime — the folder used to turn ``nan / 0.0``
+    into ±inf and ignore the sign of a ``-0.0`` divisor."""
+
+    CASES = [(math.nan, 0.0), (math.nan, -0.0), (1.0, -0.0),
+             (-1.0, -0.0), (0.0, 0.0), (-0.0, -0.0), (1.0, 0.0),
+             (-1.0, 0.0), (1.0, 2.0), (-0.0, 2.0)]
+
+    @pytest.mark.parametrize("x,y", CASES,
+                             ids=[f"{x!r}/{y!r}" for x, y in CASES])
+    def test_folded_equals_runtime(self, x, y):
+        from repro.ir.passes.constfold import _eval_bin
+        folded = _eval_bin(EBin("/", EConst(x, "f64"), EConst(y, "f64"),
+                                "f64"), x, y)
+        assert isinstance(folded, EConst)
+        module = _module(
+            Function("f", [("x", "f64"), ("y", "f64")], "f64",
+                     body=[SReturn(EBin("/", ELocal("x", "f64"),
+                                        ELocal("y", "f64"), "f64"))],
+                     exported=True))
+        # repr-compare: nan != nan, and the sign of zero/inf matters.
+        wasm = _wasm_outcome(module, (x, y))
+        native = _native_outcome(module, (x, y))
+        assert repr(wasm) == repr(native)
+        assert repr(folded.value) == repr(wasm)
+
+
 class TestStackRepresentationInvariant:
     """Every i32 the VM pushes must use the canonical signed form that
     ``_wrap32`` produces — ``shr_u`` used to leak raw unsigned values."""

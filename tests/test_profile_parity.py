@@ -1,8 +1,10 @@
 """Per-opclass profiler parity: the reference interpreter ladders
-(``REPRO_FAST_INTERP=0``) and the prepare-once threaded tier (``=1``)
-must record *identical* profiles — same per-function op-count dicts,
-same call counts — for all three engines.  The profiles are integer
-counts at matching charge points, so equality is exact, not approximate.
+(``REPRO_FAST_INTERP=0``), the prepare-once threaded tier
+(``REPRO_CODEGEN=0``) and the generated-Python codegen tier (the
+default) must record *identical* profiles — same per-function op-count
+dicts, same call counts — for all three engines.  The profiles are
+integer counts at matching charge points, so equality is exact, not
+approximate.
 
 Also covered: the wasm cycle decomposition invariant (every wasm op cost
 is a dyadic rational, so ``sum(count × OP_COST)`` reproduces
@@ -45,8 +47,12 @@ def _profiled(monkeypatch):
     reset_registry()
 
 
-def _set_tier(monkeypatch, fast):
-    monkeypatch.setenv("REPRO_FAST_INTERP", "1" if fast else "0")
+TIERS = ("ref", "threaded", "codegen")
+
+
+def _set_tier(monkeypatch, tier):
+    monkeypatch.setenv("REPRO_FAST_INTERP", "0" if tier == "ref" else "1")
+    monkeypatch.setenv("REPRO_CODEGEN", "1" if tier == "codegen" else "0")
 
 
 def _wasm_profile(cheerp):
@@ -89,13 +95,14 @@ def test_profiles_identical_across_interpreter_tiers(
     collect = {"wasm": lambda: _wasm_profile(cheerp),
                "js": lambda: _js_profile(cheerp),
                "native": lambda: _native_profile(llvm_x86)}[engine]
-    _set_tier(monkeypatch, False)
+    _set_tier(monkeypatch, "ref")
     ref_profile, ref_stats, ref_out = collect()
-    _set_tier(monkeypatch, True)
-    thr_profile, thr_stats, thr_out = collect()
-    assert ref_out == thr_out
-    assert ref_stats.cycles == thr_stats.cycles
-    assert ref_profile == thr_profile          # exact dict equality
+    for tier in ("threaded", "codegen"):
+        _set_tier(monkeypatch, tier)
+        profile, stats, out = collect()
+        assert ref_out == out
+        assert ref_stats.cycles == stats.cycles
+        assert ref_profile == profile          # exact dict equality
     assert ref_profile["calls"]                # call counting actually ran
     assert any(ref_profile["ops"].values())
 
@@ -104,8 +111,8 @@ def test_wasm_profile_decomposes_stats_cycles_exactly(cheerp, monkeypatch):
     """Every wasm op cost is a multiple of 0.25 and totals stay far below
     2**50, so the decoded per-opclass cycles must sum to *exactly* the
     interpreter's cycle counter — not approximately."""
-    for fast in (False, True):
-        _set_tier(monkeypatch, fast)
+    for tier in TIERS:
+        _set_tier(monkeypatch, tier)
         profile, stats, _ = _wasm_profile(cheerp)
         decoded = decode_profile(profile)
         assert decoded["total_cycles"] == stats.cycles
@@ -115,7 +122,7 @@ def test_wasm_profile_decomposes_stats_cycles_exactly(cheerp, monkeypatch):
 def test_js_profile_splits_tiers(cheerp, monkeypatch):
     """A hot function that tiers up records ops under both the entry tier
     (bit 8 clear) and the optimizing tier (bit 8 set)."""
-    _set_tier(monkeypatch, True)
+    _set_tier(monkeypatch, "codegen")
     profile, stats, _ = _js_profile(cheerp)
     keys = {int(k) for cells in profile["ops"].values() for k in cells}
     assert any(k < 256 for k in keys)           # entry-tier ops
@@ -124,7 +131,7 @@ def test_js_profile_splits_tiers(cheerp, monkeypatch):
 
 
 def test_decode_profile_shapes(cheerp, monkeypatch):
-    _set_tier(monkeypatch, True)
+    _set_tier(monkeypatch, "codegen")
     profile, _stats, _ = _wasm_profile(cheerp)
     decoded = decode_profile(profile)
     assert decoded["engine"] == "wasm"

@@ -164,3 +164,84 @@ class TestRepetitionAggregation:
         result = PageRunner(chrome_desktop(), DESKTOP,
                             repetitions=2).run_wasm(compiled["wasm"])
         assert result.output                      # TINY_C prints a checksum
+
+# -- libm sign-of-zero and copysign propagation -------------------------------
+
+SIGNED_ZERO_C = r"""
+double cs(double x, double y) { return copysign(x, y); }
+double fmz(double x, double y) { return fmod(x, y); }
+double pwz(double x, double y) { return pow(x, y); }
+int main() { return 0; }
+"""
+
+
+class TestLibmSignedZero:
+    """The zero results of fmod/pow must keep their C99 sign, and
+    copysign must exist in every host-shim registry — it used to be
+    absent from all of them."""
+
+    @pytest.fixture(scope="class")
+    def imports(self):
+        return wasm_host_imports([], None)
+
+    def test_fmod_sign_of_zero(self, imports):
+        fm = imports[("env", "fmod")]
+        assert repr(fm(_fake_instance(), -6.0, 3.0)) == "-0.0"
+        assert repr(fm(_fake_instance(), -0.0, 3.0)) == "-0.0"
+        assert repr(fm(_fake_instance(), 6.0, -3.0)) == "0.0"
+        assert repr(fm(_fake_instance(), -0.0, math.inf)) == "-0.0"
+
+    def test_pow_negative_zero_base_odd_exponent(self, imports):
+        p = imports[("env", "pow")]
+        assert repr(p(_fake_instance(), -0.0, 3.0)) == "-0.0"
+        assert p(_fake_instance(), -0.0, -3.0) == -math.inf
+        assert repr(p(_fake_instance(), -0.0, 2.0)) == "0.0"
+        assert p(_fake_instance(), -0.0, -2.0) == math.inf
+
+    def test_copysign_in_every_registry(self, imports):
+        from repro.engine.hostlib import JS_MATH, LIBM, native_libm
+        assert "copysign" in LIBM and "copysign" in JS_MATH
+        assert native_libm("copysign")(3.0, -0.0) == -3.0
+        cs = imports[("env", "copysign")]
+        assert cs(_fake_instance(), 3.0, -0.0) == -3.0
+        assert repr(cs(_fake_instance(), -0.0, 1.0)) == "0.0"
+        assert math.isnan(cs(_fake_instance(), math.nan, -1.0))
+
+    def test_copysign_charges_host_cycles(self, imports):
+        instance = _fake_instance()
+        imports[("env", "copysign")](instance, 1.0, -1.0)
+        assert instance.stats.cycles > 0
+
+
+class TestCopysignEndToEnd:
+    """copysign through the real pipelines: C source → each backend →
+    each engine, with the sign of zero intact."""
+
+    CASES = [("cs", (3.0, -0.0), "-3.0"), ("cs", (-3.0, 0.0), "3.0"),
+             ("cs", (-0.0, 1.0), "0.0"), ("fmz", (-6.0, 3.0), "-0.0"),
+             ("pwz", (-0.0, 3.0), "-0.0")]
+
+    def test_wasm(self, cheerp):
+        art = cheerp.compile_wasm(SIGNED_ZERO_C, name="signedzero")
+        from repro.wasm import WasmVM
+        instance = WasmVM().instantiate(art.module,
+                                        wasm_host_imports([], None))
+        for fn, args, expected in self.CASES:
+            assert repr(instance.invoke(fn, *args)) == expected
+
+    def test_native(self, llvm_x86):
+        from repro.native import execute_program
+        art = llvm_x86.compile(SIGNED_ZERO_C, name="signedzero")
+        for fn, args, expected in self.CASES:
+            assert repr(execute_program(art.program, fn, args)[0]) \
+                == expected
+
+    def test_js(self, cheerp):
+        from repro.harness import install_c_host
+        from repro.jsengine import JsEngine
+        art = cheerp.compile_js(SIGNED_ZERO_C, name="signedzero")
+        engine = JsEngine()
+        install_c_host(engine, [])
+        engine.load_script(art.source)
+        for fn, args, expected in self.CASES:
+            assert repr(engine.call_global(fn, *args)) == expected

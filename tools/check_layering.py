@@ -29,6 +29,16 @@ Enforced here:
   the substrate itself (``repro.engine.threaded``): the translators are
   leaves that pre-bind state handed to them by their host engine, so a
   tie to tiering/stats/hostlib internals would be a hidden layer edge.
+* ``repro.engine.codegen`` — the codegen-tier substrate — may import
+  only the threaded substrate it compiles from (``repro.engine.
+  threaded``), the artifact cache that persists compiled units
+  (``repro.cache``) and the telemetry leaf (``repro.obs``).  It loads
+  generated code by unit key; a dependency on an engine or the pipeline
+  would let compiled artifacts observe what they are supposed to replay.
+* Each engine's ``codegen.py`` translator may reach the engine core only
+  for the two substrates (``repro.engine.codegen`` and
+  ``repro.engine.threaded``) — like the threaded translators, they are
+  leaves whose state is pre-bound by the host engine.
 * ``repro.obs`` — the telemetry layer — is a leaf below everything:
   any layer may import it, but it must not import any other ``repro.*``
   module, anywhere, even inside functions.  Instrumentation that pulled
@@ -118,6 +128,16 @@ def check(src=SRC):
                             f"layer imports {mod} (repro.obs is a leaf — "
                             f"everything may import it, it may import "
                             f"nothing from repro)")
+            if rel.parts == ("engine", "codegen.py"):
+                for mod in _imported_modules(node):
+                    if mod != "repro.engine.threaded" and \
+                            not mod.startswith("repro.cache") and \
+                            not mod.startswith("repro.obs"):
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: the codegen "
+                            f"substrate imports {mod} (repro.engine."
+                            f"codegen may only use the threaded substrate, "
+                            f"repro.cache and repro.obs)")
             if rel.parts == ("engine", "threaded.py"):
                 for mod in _imported_modules(node):
                     violations.append(
@@ -134,6 +154,18 @@ def check(src=SRC):
                             f"only use the repro.engine.threaded substrate; "
                             f"other engine-core state must be pre-bound by "
                             f"the host engine)")
+            elif layer in ENGINE_LAYERS and rel.parts[-1] == "codegen.py":
+                for mod in _imported_modules(node):
+                    if mod.startswith("repro.engine") and mod not in (
+                            "repro.engine.codegen",
+                            "repro.engine.threaded"):
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: engine "
+                            f"translator imports {mod} (codegen tiers may "
+                            f"only use the repro.engine.codegen and "
+                            f"repro.engine.threaded substrates; other "
+                            f"engine-core state must be pre-bound by the "
+                            f"host engine)")
     return violations
 
 
