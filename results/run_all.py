@@ -38,7 +38,7 @@ from repro.experiments import (
     input_size_tables, figure10_jit_improvement, table7_tier_comparison,
     table8_browsers_platforms, context_switch_overhead, table9_manual_js,
     table10_realworld, table12_longjs_ops, figure11_five_number,
-    table11_chrome_flags,
+    table11_chrome_flags, startup_frontier,
 )
 from repro.env import chrome_desktop, firefox_desktop
 
@@ -124,6 +124,8 @@ summary["table10"] = {
 }
 t12 = table12_longjs_ops(t10["longjs"]); save("table12_longjs_ops", t12)
 t11 = table11_chrome_flags(); save("table11_chrome_flags", t11)
+e14 = startup_frontier(ctx); save("startup_frontier", e14)
+summary["startup_frontier"] = e14["data"]
 
 if ctx.failures:
     # Degraded sweep: record which cells failed (and why) alongside the

@@ -28,17 +28,33 @@ each other.
 """
 
 from repro.engine.adapter import EngineAdapter
+from repro.engine.compilemodel import (
+    CodeUnit,
+    CompileCharge,
+    CompilePlan,
+    CompilerModel,
+    PassPipelineCompiler,
+    PerInstrCompiler,
+    SinglePassCompiler,
+)
 from repro.engine.opclass import NUM_OP_CLASSES, OpClass
 from repro.engine.stats import EngineStats, new_op_counts
 from repro.engine.tiering import TierController, TierPlan, TierPolicy
 from repro.engine.trace import ExecutionTrace, TraceEvent
 
 __all__ = [
+    "CodeUnit",
+    "CompileCharge",
+    "CompilePlan",
+    "CompilerModel",
     "EngineAdapter",
     "EngineStats",
     "ExecutionTrace",
     "NUM_OP_CLASSES",
     "OpClass",
+    "PassPipelineCompiler",
+    "PerInstrCompiler",
+    "SinglePassCompiler",
     "TierController",
     "TierPlan",
     "TierPolicy",

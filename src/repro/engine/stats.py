@@ -35,6 +35,10 @@ class EngineStats:
     host_calls: int = 0
     #: Cycles charged for host-boundary context switches (§4.5).
     boundary_cycles: float = 0.0
+    #: Modeled compile cycles charged by the engine's startup path
+    #: (bytecode compile + JIT promotions for JS; tier compiles when a
+    #: standalone host instantiates a module with a tier policy attached).
+    compile_cycles: float = 0.0
     #: GC accounting (JS engines; zero for engines without a managed heap).
     gc_runs: int = 0
     gc_pause_cycles: float = 0.0

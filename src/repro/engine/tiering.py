@@ -1,48 +1,83 @@
 """Parameterized tiered-compilation model shared by the Wasm and JS engines.
 
-One :class:`TierPolicy` describes a two-tier pipeline — a fast baseline
-compiler (LiftOff / SpiderMonkey Baseline / Ignition) paired with a slow
-optimizing compiler (TurboFan / Ion) — as a speed/quality tradeoff:
-per-tier compile cost, per-tier code-quality factor, and the hotness
-thresholds that trigger promotion.  :class:`TierController` answers the two
-questions both engines used to answer privately:
+One :class:`TierPolicy` pairs two :class:`~repro.engine.compilemodel.
+CompilerModel`\\ s — a fast baseline compiler (LiftOff / SpiderMonkey
+Baseline / Ignition) and a slow optimizing compiler (TurboFan / Ion) —
+with the promotion policy between them: which tiers are enabled, eager vs
+lazy optimizing compile, and the hotness thresholds.  Compile *cost* and
+code *quality* live on the models; the policy decides when each model
+runs.  :class:`TierController` answers the two questions both engines used
+to answer privately:
 
-* **Module tiering** (Wasm, §4.4): given a module's static size and its
-  dynamic instruction count, which compiles ran and what blended
-  execution factor applies (:meth:`TierController.compile_plan`)?
+* **Module tiering** (Wasm, §4.4): given a module's static shape (a
+  :class:`~repro.engine.compilemodel.CodeUnit`) and its dynamic
+  instruction count, which compiles ran, where the tier switch landed,
+  and what blended execution factor applies (:meth:`TierController.plan`
+  → structured :class:`~repro.engine.compilemodel.CompilePlan`)?
 * **Function tiering** (JS): is this function hot by call count or loop
   back-edges, what does its promotion compile cost, and what per-op
   factor does each tier run at?
 
 Policies are derived from the browser profiles in :mod:`repro.env.browser`
-(``WasmEngineConfig.tier_policy()`` / ``JsEngineConfig``-driven
-:meth:`TierPolicy.from_js_config`), so one table of engine parameters
-drives both engines.
+(``WasmEngineConfig.tiers`` / ``JsEngineConfig``-driven
+:meth:`TierPolicy.from_js_config`) and the standalone host profiles in
+:mod:`repro.env.runtimes`, so one table of engine parameters drives every
+engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+
+from repro.engine.compilemodel import (
+    CodeUnit,
+    CompileCharge,
+    CompilePlan,
+    CompilerModel,
+    PerInstrCompiler,
+)
+
+
+def _default_basic():
+    return PerInstrCompiler(name="baseline", exec_factor=1.18,
+                            cycles_per_instr=2.0)
+
+
+def _default_optimizing():
+    return PerInstrCompiler(name="opt", exec_factor=1.0,
+                            cycles_per_instr=20.0)
+
+
+#: ``tweak()`` spellings for the model parameters, kept for the profile
+#: layer and older call sites: legacy name → (policy model field, model
+#: attribute).
+_MODEL_ALIASES = {
+    "basic_name": ("basic", "name"),
+    "optimizing_name": ("optimizing", "name"),
+    "basic_exec_factor": ("basic", "exec_factor"),
+    "opt_exec_factor": ("optimizing", "exec_factor"),
+    "basic_compile_cost": ("basic", "cycles_per_instr"),
+    "opt_compile_cost": ("optimizing", "cycles_per_instr"),
+    "basic_compile_cycles_per_instr": ("basic", "cycles_per_instr"),
+    "opt_compile_cycles_per_instr": ("optimizing", "cycles_per_instr"),
+}
 
 
 @dataclass(frozen=True)
 class TierPolicy:
-    """Parameters of one basic→optimizing tier pair."""
+    """One basic→optimizing tier pair: two compiler models plus the
+    promotion policy between them."""
 
-    basic_name: str = "baseline"
-    optimizing_name: str = "opt"
+    #: The fast entry tier (LiftOff / Baseline / Ignition).
+    basic: CompilerModel = field(default_factory=_default_basic)
+    #: The optimizing tier (TurboFan / Ion).
+    optimizing: CompilerModel = field(default_factory=_default_optimizing)
     #: Which tiers are enabled (Table 7 settings).
     basic_enabled: bool = True
     optimizing_enabled: bool = True
     #: Compile the optimizing tier eagerly at startup (2019 desktop
     #: SpiderMonkey) instead of lazily on hotness (V8).
     eager_opt_compile: bool = False
-    #: Compile cost per static instruction (Wasm) or bytecode op (JS).
-    basic_compile_cost: float = 2.0
-    opt_compile_cost: float = 20.0
-    #: Code quality: execution-cycle multiplier per tier.
-    basic_exec_factor: float = 1.18
-    opt_exec_factor: float = 1.0
     #: Module tiering: dynamic instruction count after which tier-up
     #: completes (Wasm-style).
     tier_up_instructions: int = 200000
@@ -50,40 +85,72 @@ class TierPolicy:
     call_threshold: int = 8
     backedge_threshold: int = 500
 
+    # -- legacy views (the scalar constants the models replaced) ----------
+
+    @property
+    def basic_name(self):
+        return self.basic.name
+
+    @property
+    def optimizing_name(self):
+        return self.optimizing.name
+
+    @property
+    def basic_exec_factor(self):
+        return self.basic.exec_factor
+
+    @property
+    def opt_exec_factor(self):
+        return self.optimizing.exec_factor
+
+    @property
+    def basic_compile_cost(self):
+        """Per-instruction basic-tier cost (``None`` for models whose
+        cost is not a single rate)."""
+        return getattr(self.basic, "cycles_per_instr", None)
+
+    @property
+    def opt_compile_cost(self):
+        return getattr(self.optimizing, "cycles_per_instr", None)
+
+    def tweak(self, **kwargs):
+        """``replace()`` that also accepts the legacy scalar spellings
+        (``basic_exec_factor=...``), rewriting them into the underlying
+        compiler models."""
+        basic, optimizing = self.basic, self.optimizing
+        policy_kwargs = {}
+        for key, value in kwargs.items():
+            alias = _MODEL_ALIASES.get(key)
+            if alias is None:
+                policy_kwargs[key] = value
+            elif alias[0] == "basic":
+                basic = replace(basic, **{alias[1]: value})
+            else:
+                optimizing = replace(optimizing, **{alias[1]: value})
+        return replace(self, basic=basic, optimizing=optimizing,
+                       **policy_kwargs)
+
     @classmethod
     def from_js_config(cls, cfg):
         """Policy for a JS pipeline (:class:`repro.jsengine.JsEngineConfig`):
         tier 0 is the entry tier (Ignition / Baseline), tier 1 the
         optimizing JIT."""
         return cls(
-            basic_name="tier0", optimizing_name="tier1",
+            basic=PerInstrCompiler(
+                name="tier0", exec_factor=cfg.tier0_factor,
+                cycles_per_instr=cfg.compile_cycles_per_op),
+            optimizing=PerInstrCompiler(
+                name="tier1", exec_factor=cfg.tier1_factor,
+                cycles_per_instr=cfg.tier1_compile_cycles_per_op),
             basic_enabled=True, optimizing_enabled=cfg.jit_enabled,
-            basic_compile_cost=cfg.compile_cycles_per_op,
-            opt_compile_cost=cfg.tier1_compile_cycles_per_op,
-            basic_exec_factor=cfg.tier0_factor,
-            opt_exec_factor=cfg.tier1_factor,
             call_threshold=cfg.call_threshold,
             backedge_threshold=cfg.backedge_threshold,
         )
 
 
-@dataclass
-class TierPlan:
-    """Outcome of module tiering: which compiles ran, at what cost, and
-    the blended execution-cycle factor."""
-
-    #: Ordered ``(phase, tier_name, cycles)`` compile charges, where
-    #: ``phase`` is ``"compile"`` or ``"tier-up"``.
-    compiles: list
-    #: Execution-cycle multiplier (blended across tiers for a lazy
-    #: promotion that happened mid-run).
-    exec_factor: float
-    #: True when the optimizing tier was entered via the hotness threshold.
-    tiered_up: bool
-
-    @property
-    def compile_cycles(self):
-        return sum(c for _phase, _tier, c in self.compiles)
+#: Back-compat alias: plans are built by the shared compile-model layer
+#: now; ``TierPlan`` remains importable for older call sites.
+TierPlan = CompilePlan
 
 
 class TierController:
@@ -94,8 +161,9 @@ class TierController:
 
     # -- module tiering (Wasm pipeline, §4.4) -----------------------------
 
-    def compile_plan(self, static_instrs, dynamic_instrs):
-        """Model the two-tier module pipeline.
+    def plan(self, unit, dynamic_instrs):
+        """Model the two-tier module pipeline for one
+        :class:`~repro.engine.compilemodel.CodeUnit`.
 
         Mirrors the browsers' behavior: eager mode compiles both tiers at
         instantiate and runs everything on optimized code; lazy mode
@@ -105,39 +173,68 @@ class TierController:
         tier executed.
         """
         p = self.policy
-        compiles = []
+        charges = []
         tiered_up = False
+        switch = None
         if p.basic_enabled and p.optimizing_enabled and p.eager_opt_compile:
             # SpiderMonkey-style: baseline compile for fast startup plus a
             # full optimizing compile at instantiate; execution runs on
             # optimized code.
-            compiles.append((
+            basic_cycles = p.basic.compile_cycles(unit)
+            opt_cycles = p.optimizing.compile_cycles(unit)
+            charges.append(CompileCharge(
                 "compile", f"{p.basic_name}+{p.optimizing_name}",
-                static_instrs * (p.basic_compile_cost + p.opt_compile_cost)))
+                self._eager_cycles(p, unit, basic_cycles, opt_cycles),
+                at_startup=True,
+                parts=((p.basic_name, basic_cycles),
+                       (p.optimizing_name, opt_cycles))))
             factor = p.opt_exec_factor
         elif p.basic_enabled and p.optimizing_enabled:
-            compiles.append(("compile", p.basic_name,
-                             static_instrs * p.basic_compile_cost))
+            charges.append(CompileCharge(
+                "compile", p.basic_name, p.basic.compile_cycles(unit)))
             if dynamic_instrs > p.tier_up_instructions:
                 # Hot module: optimizing compile happened concurrently;
                 # early instructions ran on the basic tier.
-                compiles.append(("tier-up", p.optimizing_name,
-                                 static_instrs * p.opt_compile_cost))
+                charges.append(CompileCharge(
+                    "tier-up", p.optimizing_name,
+                    p.optimizing.compile_cycles(unit), at_startup=False))
                 frac_basic = p.tier_up_instructions / max(dynamic_instrs, 1)
                 tiered_up = True
+                switch = p.tier_up_instructions
             else:
                 frac_basic = 1.0
             factor = (p.basic_exec_factor * frac_basic +
                       p.opt_exec_factor * (1.0 - frac_basic))
         elif p.basic_enabled:
-            compiles.append(("compile", p.basic_name,
-                             static_instrs * p.basic_compile_cost))
+            charges.append(CompileCharge(
+                "compile", p.basic_name, p.basic.compile_cycles(unit)))
             factor = p.basic_exec_factor
         else:
-            compiles.append(("compile", p.optimizing_name,
-                             static_instrs * p.opt_compile_cost))
+            charges.append(CompileCharge(
+                "compile", p.optimizing_name,
+                p.optimizing.compile_cycles(unit)))
             factor = p.opt_exec_factor
-        return TierPlan(compiles, factor, tiered_up)
+        return CompilePlan(charges, factor, tiered_up,
+                           switch_instructions=switch, unit=unit)
+
+    def compile_plan(self, static_instrs, dynamic_instrs):
+        """Size-only plan (legacy entry point): prices a unit known only
+        by its static instruction count."""
+        return self.plan(CodeUnit(static_instrs=static_instrs),
+                         dynamic_instrs)
+
+    @staticmethod
+    def _eager_cycles(policy, unit, basic_cycles, opt_cycles):
+        """Cycles of the combined eager charge.  For two per-instruction
+        models this intentionally reproduces the legacy arithmetic
+        ``size * (rate_b + rate_o)`` bit-for-bit (the refactor's golden
+        guarantee) — ``size*rate_b + size*rate_o`` can differ in the last
+        ulp.  Modeled compilers simply sum their per-tier costs."""
+        if isinstance(policy.basic, PerInstrCompiler) and \
+                isinstance(policy.optimizing, PerInstrCompiler):
+            return unit.static_instrs * (policy.basic.cycles_per_instr
+                                         + policy.optimizing.cycles_per_instr)
+        return basic_cycles + opt_cycles
 
     # -- function tiering (JS JIT) ----------------------------------------
 
@@ -151,7 +248,7 @@ class TierController:
 
     def tier_up_compile_cycles(self, num_ops):
         """Compile cost of promoting a function to the optimizing tier."""
-        return num_ops * self.policy.opt_compile_cost
+        return self.policy.optimizing.function_compile_cycles(num_ops)
 
     def exec_factor(self, tier):
         """Per-op cost multiplier for a function running in ``tier``."""

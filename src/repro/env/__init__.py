@@ -14,6 +14,14 @@ from repro.env.browser import (
     ALL_DESKTOP,
     ALL_MOBILE,
 )
+from repro.env.runtimes import (
+    ALL_RUNTIMES,
+    RuntimeProfile,
+    wamr_interp,
+    wasmer_singlepass,
+    wasmtime_style,
+    wasmtime_winch,
+)
 from repro.env.flags import ChromeFlags
 from repro.env.devtools import DevTools
 from repro.env.adb import AdbCollector
@@ -21,6 +29,7 @@ from repro.env.adb import AdbCollector
 __all__ = [
     "ALL_DESKTOP",
     "ALL_MOBILE",
+    "ALL_RUNTIMES",
     "AdbCollector",
     "BrowserProfile",
     "ChromeFlags",
@@ -28,6 +37,7 @@ __all__ = [
     "DevTools",
     "MOBILE",
     "PlatformSpec",
+    "RuntimeProfile",
     "WasmEngineConfig",
     "chrome_desktop",
     "chrome_mobile",
@@ -35,4 +45,8 @@ __all__ = [
     "edge_mobile",
     "firefox_desktop",
     "firefox_mobile",
+    "wamr_interp",
+    "wasmer_singlepass",
+    "wasmtime_style",
+    "wasmtime_winch",
 ]

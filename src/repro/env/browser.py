@@ -1,12 +1,21 @@
 """Browser engine profiles.
 
 Each profile bundles a JS engine configuration (tiering, parse rate, GC
-baseline) and a Wasm engine configuration (baseline/optimizing compiler
-costs and code quality, boundary-call cost).  The constants are engine
-*mechanism parameters*; they were calibrated once against Table 8's
+baseline) and a Wasm engine configuration (the tier pair's compiler
+models and promotion policy, boundary-call cost).  The constants are
+engine *mechanism parameters*; they were calibrated once against Table 8's
 orderings and are documented inline with the engine facts that motivate
 them (LiftOff/TurboFan, Baseline/Ion, Cranelift-on-ARM64, GeckoView,
 Firefox's fast JS↔Wasm calls).
+
+Since the compile-model refactor the tier parameters live in exactly one
+place: :class:`WasmEngineConfig.tiers` is a shared-engine-core
+:class:`~repro.engine.tiering.TierPolicy` whose two
+:class:`~repro.engine.compilemodel.PerInstrCompiler` models carry the
+calibrated per-instruction compile rates and code-quality factors.  The
+legacy scalar names (``basic_exec_factor``, ``opt_compile_cycles_per_instr``,
+...) remain readable as delegating properties so older call sites and the
+parity oracles keep working, but there is no second copy to drift.
 
 Everything else in the reproduction — input-size scaling, JIT speedups,
 memory growth, compiler effects — is *emergent* from executing programs
@@ -15,56 +24,112 @@ under these profiles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
+from repro.engine.compilemodel import PerInstrCompiler
 from repro.engine.tiering import TierPolicy
 from repro.jsengine.config import JsEngineConfig
+
+#: Policy fields routable through ``WasmEngineConfig.evolved`` /
+#: ``BrowserProfile.with_wasm`` straight into the nested ``TierPolicy``
+#: (legacy scalar spellings are handled by ``TierPolicy.tweak``).
+_TIER_FIELDS = frozenset(f.name for f in fields(TierPolicy))
+
+
+def _default_tiers():
+    return TierPolicy(
+        basic=PerInstrCompiler(name="baseline", exec_factor=1.18,
+                               cycles_per_instr=2.0),
+        optimizing=PerInstrCompiler(name="opt", exec_factor=1.0,
+                                    cycles_per_instr=20.0))
 
 
 @dataclass
 class WasmEngineConfig:
     """Parameters of a browser's Wasm execution tier pair."""
 
-    basic_name: str = "baseline"
-    optimizing_name: str = "opt"
-    # Startup pipeline: decode/validate ∝ binary size, compile ∝ static
-    # instruction count.
+    #: The two-tier compile pipeline: compiler models + promotion policy.
+    #: This IS the engine-core policy object — ``tier_policy()`` returns
+    #: it unchanged, so profile and controller can never disagree.
+    tiers: TierPolicy = field(default_factory=_default_tiers)
+    # Startup pipeline: decode/validate ∝ binary size; compile costs come
+    # from the tier models.
     decode_cycles_per_byte: float = 0.2
-    basic_compile_cycles_per_instr: float = 2.0
-    opt_compile_cycles_per_instr: float = 20.0
     instantiate_cycles: float = 12000.0
-    # Code quality: execution-cycle multiplier per tier.
-    basic_exec_factor: float = 1.18
-    opt_exec_factor: float = 1.0
-    # Dynamic instruction count after which tier-up completes.
-    tier_up_instructions: int = 200000
     # Wasm↔JS boundary call cost (measured in §4.5's micro-benchmark).
     boundary_cost: float = 180.0
     # Engine-side overhead of a live Wasm instance (module env, tables,
     # wrappers) added to linear memory for the DevTools metric.
     instance_overhead_bytes: int = 600 * 1024
-    # Which tiers are enabled (Table 7 settings).
-    basic_enabled: bool = True
-    optimizing_enabled: bool = True
-    # SpiderMonkey (2019 desktop) compiled Wasm with Ion eagerly at
-    # instantiation; V8 starts on LiftOff and tiers up lazily.
-    eager_opt_compile: bool = False
 
     def tier_policy(self):
-        """This config as a shared-engine-core :class:`TierPolicy` (the
-        same model the JS JIT uses for function tiering)."""
-        return TierPolicy(
-            basic_name=self.basic_name,
-            optimizing_name=self.optimizing_name,
-            basic_enabled=self.basic_enabled,
-            optimizing_enabled=self.optimizing_enabled,
-            eager_opt_compile=self.eager_opt_compile,
-            basic_compile_cost=self.basic_compile_cycles_per_instr,
-            opt_compile_cost=self.opt_compile_cycles_per_instr,
-            basic_exec_factor=self.basic_exec_factor,
-            opt_exec_factor=self.opt_exec_factor,
-            tier_up_instructions=self.tier_up_instructions,
-        )
+        """This config's :class:`TierPolicy` (the same object the JS JIT
+        model uses for function tiering)."""
+        return self.tiers
+
+    def evolved(self, **kwargs):
+        """A copy with config fields, policy fields, or legacy scalar
+        tier parameters changed — the one update path for profiles."""
+        config_kwargs = {}
+        tier_kwargs = {}
+        for key, value in kwargs.items():
+            if key in _CONFIG_FIELDS:
+                config_kwargs[key] = value
+            elif key in _TIER_FIELDS:
+                tier_kwargs[key] = value
+            else:
+                # Legacy scalar spellings (basic_exec_factor, ...) are
+                # rewritten into the compiler models by tweak().
+                tier_kwargs[key] = value
+        tiers = config_kwargs.pop("tiers", self.tiers)
+        if tier_kwargs:
+            tiers = tiers.tweak(**tier_kwargs)
+        return replace(self, tiers=tiers, **config_kwargs)
+
+    # -- legacy scalar views (delegate to the tier policy) ----------------
+
+    @property
+    def basic_name(self):
+        return self.tiers.basic_name
+
+    @property
+    def optimizing_name(self):
+        return self.tiers.optimizing_name
+
+    @property
+    def basic_enabled(self):
+        return self.tiers.basic_enabled
+
+    @property
+    def optimizing_enabled(self):
+        return self.tiers.optimizing_enabled
+
+    @property
+    def eager_opt_compile(self):
+        return self.tiers.eager_opt_compile
+
+    @property
+    def tier_up_instructions(self):
+        return self.tiers.tier_up_instructions
+
+    @property
+    def basic_compile_cycles_per_instr(self):
+        return self.tiers.basic_compile_cost
+
+    @property
+    def opt_compile_cycles_per_instr(self):
+        return self.tiers.opt_compile_cost
+
+    @property
+    def basic_exec_factor(self):
+        return self.tiers.basic_exec_factor
+
+    @property
+    def opt_exec_factor(self):
+        return self.tiers.opt_exec_factor
+
+
+_CONFIG_FIELDS = frozenset(f.name for f in fields(WasmEngineConfig))
 
 
 @dataclass
@@ -80,7 +145,7 @@ class BrowserProfile:
 
     def with_wasm(self, **kwargs):
         clone = replace(self)
-        clone.wasm = replace(self.wasm, **kwargs)
+        clone.wasm = self.wasm.evolved(**kwargs)
         return clone
 
     def with_js(self, **kwargs):
@@ -106,10 +171,15 @@ def chrome_desktop():
             gc_baseline_bytes=838 * 1024,
         ),
         wasm=WasmEngineConfig(
-            basic_name="LiftOff", optimizing_name="TurboFan",
-            basic_compile_cycles_per_instr=2.0,
-            opt_compile_cycles_per_instr=22.0,
-            basic_exec_factor=1.18,
+            tiers=TierPolicy(
+                # LiftOff: one fast pass, ~modest code quality.
+                basic=PerInstrCompiler(name="LiftOff", exec_factor=1.18,
+                                       cycles_per_instr=2.0),
+                # TurboFan: slow compiles, peak code.
+                optimizing=PerInstrCompiler(name="TurboFan",
+                                            exec_factor=1.0,
+                                            cycles_per_instr=22.0),
+            ),
             boundary_cost=180.0,
             instantiate_cycles=8000.0,
             instance_overhead_bytes=520 * 1024,
@@ -136,15 +206,17 @@ def firefox_desktop():
             gc_baseline_bytes=470 * 1024,
         ),
         wasm=WasmEngineConfig(
-            basic_name="Baseline", optimizing_name="Ion",
-            basic_compile_cycles_per_instr=2.4,
-            opt_compile_cycles_per_instr=150.0,  # Ion compiles are slow
-            basic_exec_factor=1.25,
-            opt_exec_factor=0.55,       # Ion's Wasm codegen leads (0.61×)
-            boundary_cost=24.0,         # the "finally fast" calls (0.13×)
-            instantiate_cycles=50000.0, # heavier module setup than V8
-            eager_opt_compile=True,     # desktop SpiderMonkey compiled
-                                        # Wasm with Ion eagerly
+            tiers=TierPolicy(
+                basic=PerInstrCompiler(name="Baseline", exec_factor=1.25,
+                                       cycles_per_instr=2.4),
+                # Ion compiles are slow but its Wasm codegen leads (0.61×).
+                optimizing=PerInstrCompiler(name="Ion", exec_factor=0.55,
+                                            cycles_per_instr=150.0),
+                eager_opt_compile=True,  # desktop SpiderMonkey compiled
+                                         # Wasm with Ion eagerly
+            ),
+            boundary_cost=24.0,          # the "finally fast" calls (0.13×)
+            instantiate_cycles=50000.0,  # heavier module setup than V8
             instance_overhead_bytes=380 * 1024,
         ),
         notes="Gecko; Ion Wasm tier; fast JS↔Wasm calls since 2018-10.",
@@ -162,10 +234,10 @@ def edge_desktop():
                          tier0_factor=25.0, tier1_factor=1.40,
                          startup_cycles=80000.0,
                          gc_baseline_bytes=828 * 1024)
-    profile.wasm = replace(profile.wasm, basic_exec_factor=1.5,
-                           opt_exec_factor=1.28,
-                           boundary_cost=210.0,
-                           instance_overhead_bytes=520 * 1024)
+    profile.wasm = profile.wasm.evolved(basic_exec_factor=1.5,
+                                        opt_exec_factor=1.28,
+                                        boundary_cost=210.0,
+                                        instance_overhead_bytes=520 * 1024)
     profile.notes = "Chromium fork; Blink + V8."
     return profile
 
@@ -175,8 +247,7 @@ def chrome_mobile():
     profile = chrome_desktop()
     profile.platform_kind = "mobile"
     profile.js = replace(profile.js, gc_baseline_bytes=365 * 1024)
-    profile.wasm = replace(profile.wasm,
-                           instance_overhead_bytes=430 * 1024)
+    profile.wasm = profile.wasm.evolved(instance_overhead_bytes=430 * 1024)
     profile.notes = "Same codebase as desktop Chrome (§4.5)."
     return profile
 
@@ -193,8 +264,8 @@ def firefox_mobile():
     profile.js = replace(profile.js, tier0_factor=3.2, tier1_factor=0.60,
                          startup_cycles=25000.0,
                          gc_baseline_bytes=650 * 1024)
-    profile.wasm = replace(
-        profile.wasm, optimizing_name="Cranelift",
+    profile.wasm = profile.wasm.evolved(
+        optimizing_name="Cranelift",
         opt_exec_factor=1.35,          # Cranelift replaces Ion on ARM64
         opt_compile_cycles_per_instr=18.0,   # ...but compiles quickly
         basic_exec_factor=1.7,
@@ -215,9 +286,9 @@ def edge_mobile():
     profile.platform_kind = "mobile"
     profile.js = replace(profile.js, tier0_factor=9.0, tier1_factor=0.73,
                          gc_baseline_bytes=900 * 1024)
-    profile.wasm = replace(profile.wasm, opt_exec_factor=0.82,
-                           basic_exec_factor=1.0,
-                           instance_overhead_bytes=610 * 1024)
+    profile.wasm = profile.wasm.evolved(opt_exec_factor=0.82,
+                                        basic_exec_factor=1.0,
+                                        instance_overhead_bytes=610 * 1024)
     profile.notes = "Chromium Blink fork (§4.5: similar to mobile Chrome)."
     return profile
 

@@ -1,0 +1,196 @@
+"""Standalone (non-browser) WebAssembly host runtime profiles.
+
+The paper measures browsers; the runtimes survey (PAPERS.md) motivates
+extending the scenario grid to standalone hosts — wasmtime/WAMR-style
+embeddings with no JS engine, no page, and very different startup
+economics.  A :class:`RuntimeProfile` is the standalone analogue of
+:class:`~repro.env.browser.BrowserProfile`: it owns a
+:class:`~repro.env.browser.WasmEngineConfig` (and therefore a
+:class:`~repro.engine.tiering.TierPolicy`) plus host startup constants,
+but no ``js`` config — launching a module costs process/runtime init
+instead of script parsing and glue.
+
+Unlike the browser profiles, whose per-instruction compile rates are
+calibrated legacy constants, the standalone profiles express their
+compilers with the *modeled* cost classes from
+:mod:`repro.engine.compilemodel`: single-pass baselines priced by the
+module's opclass mix, optimizing tiers priced by recorded pass telemetry.
+That makes them the natural subjects of the startup-frontier experiment
+(:mod:`repro.experiments.startup_frontier`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.compilemodel import (
+    PassPipelineCompiler,
+    SinglePassCompiler,
+)
+from repro.engine.opclass import OpClass
+from repro.engine.tiering import TierPolicy
+from repro.env.browser import WasmEngineConfig
+
+#: Single-pass emit weights: what each op class costs to *compile*,
+#: relative to a plain ALU op.  Memory accesses emit bounds checks, calls
+#: emit trampolines/frame setup, control flow resolves labels, division
+#: selects guarded sequences.  Shared by every single-pass baseline below
+#: so their frontier positions differ by rate and overhead, not shape.
+SINGLE_PASS_WEIGHTS = (
+    (int(OpClass.LOAD), 2.5),
+    (int(OpClass.STORE), 2.5),
+    (int(OpClass.CALL), 4.0),
+    (int(OpClass.CONTROL), 1.8),
+    (int(OpClass.DIV), 1.6),
+    (int(OpClass.REM), 1.6),
+    (int(OpClass.GLOBAL), 1.4),
+    (int(OpClass.MEMORY), 3.0),
+)
+
+
+@dataclass
+class RuntimeProfile:
+    """One standalone Wasm host: engine config + host startup constants."""
+
+    name: str
+    version: str
+    wasm: WasmEngineConfig
+    #: Process + runtime initialisation (no renderer, no JS realm): the
+    #: standalone analogue of ``JsEngineConfig.startup_cycles`` + page
+    #: overhead, typically far below a browser's.
+    startup_cycles: float = 9000.0
+    #: Virtual-time conversion, as on :class:`~repro.env.platformspec.
+    #: PlatformSpec`.
+    cycles_per_ms: float = 400000.0
+    kind: str = "standalone"
+    notes: str = ""
+
+    def with_wasm(self, **kwargs):
+        clone = replace(self)
+        clone.wasm = self.wasm.evolved(**kwargs)
+        return clone
+
+    def vm(self, max_instructions=None):
+        """A :class:`~repro.wasm.vm.WasmVM` wired for this host: the
+        profile's boundary cost, with the tier policy attached so the
+        instance charges its modeled startup compiles into
+        ``stats.compile_cycles``."""
+        from repro.wasm import WasmVM
+        return WasmVM(boundary_cost=self.wasm.boundary_cost,
+                      max_instructions=max_instructions,
+                      tier_policy=self.wasm.tier_policy())
+
+
+def wasmtime_style():
+    """A wasmtime-style host: Cranelift ahead-of-time, no baseline tier.
+
+    Startup pays the full optimizing compile (priced from the module's
+    recorded pass telemetry plus backend lowering) but execution runs on
+    peak code from the first instruction; boundary calls are cheap
+    native trampolines."""
+    return RuntimeProfile(
+        name="wasmtime", version="14-style",
+        wasm=WasmEngineConfig(
+            tiers=TierPolicy(
+                basic=SinglePassCompiler(
+                    name="winch", exec_factor=1.32,
+                    cycles_per_instr=1.6,
+                    opclass_weights=SINGLE_PASS_WEIGHTS,
+                    function_overhead_cycles=40.0),
+                optimizing=PassPipelineCompiler(
+                    name="cranelift", exec_factor=0.92,
+                    cycles_per_node=9.0,
+                    cycles_per_rewrite=14.0,
+                    backend_cycles_per_instr=26.0),
+                basic_enabled=False,     # AOT: Cranelift only
+                eager_opt_compile=False,
+            ),
+            decode_cycles_per_byte=0.15,
+            instantiate_cycles=3000.0,
+            boundary_cost=8.0,
+            instance_overhead_bytes=96 * 1024,
+        ),
+        startup_cycles=6000.0,
+        notes="Cranelift AOT; Winch available via tiers.basic_enabled.",
+    )
+
+
+def wasmtime_winch():
+    """wasmtime with its Winch baseline in front of Cranelift: fast
+    first result, lazy tier-up once the module runs hot."""
+    profile = wasmtime_style()
+    profile.name = "wasmtime-winch"
+    profile.wasm = profile.wasm.evolved(basic_enabled=True,
+                                        tier_up_instructions=150000)
+    profile.notes = "Winch single-pass baseline + lazy Cranelift tier-up."
+    return profile
+
+
+def wamr_interp():
+    """A WAMR-style interpreter host: no JIT at all.
+
+    'Compilation' is the fast-interpreter loader pre-decode — a cheap
+    single pass that rewrites bytecode into the internal form — so
+    startup is nearly free and steady-state execution is slow."""
+    return RuntimeProfile(
+        name="wamr", version="interp-style",
+        wasm=WasmEngineConfig(
+            tiers=TierPolicy(
+                basic=SinglePassCompiler(
+                    name="fast-interp-loader", exec_factor=11.0,
+                    cycles_per_instr=0.35,
+                    opclass_weights=((int(OpClass.CONTROL), 2.0),
+                                     (int(OpClass.CALL), 2.0)),
+                    function_overhead_cycles=12.0),
+                optimizing=PassPipelineCompiler(
+                    name="wamr-aot", exec_factor=1.1,
+                    cycles_per_node=7.0,
+                    cycles_per_rewrite=10.0,
+                    backend_cycles_per_instr=20.0),
+                optimizing_enabled=False,  # interpreter-only embedding
+            ),
+            decode_cycles_per_byte=0.1,
+            instantiate_cycles=1500.0,
+            boundary_cost=5.0,
+            instance_overhead_bytes=24 * 1024,
+        ),
+        startup_cycles=2500.0,
+        notes="Interpreter-only; embedded-class footprint.",
+    )
+
+
+def wasmer_singlepass():
+    """A wasmer-style Singlepass host: baseline compiler only.
+
+    One linear pass priced by the module's opclass mix — the classic
+    baseline-compiler frontier point: modest code quality, compile time
+    ∝ code, first result almost immediately."""
+    return RuntimeProfile(
+        name="wasmer", version="singlepass-style",
+        wasm=WasmEngineConfig(
+            tiers=TierPolicy(
+                basic=SinglePassCompiler(
+                    name="singlepass", exec_factor=1.55,
+                    cycles_per_instr=1.2,
+                    opclass_weights=SINGLE_PASS_WEIGHTS,
+                    function_overhead_cycles=30.0),
+                optimizing=PassPipelineCompiler(
+                    name="llvm", exec_factor=0.88,
+                    cycles_per_node=14.0,
+                    cycles_per_rewrite=22.0,
+                    backend_cycles_per_instr=60.0),
+                optimizing_enabled=False,  # baseline-only tiering
+            ),
+            decode_cycles_per_byte=0.15,
+            instantiate_cycles=2500.0,
+            boundary_cost=9.0,
+            instance_overhead_bytes=64 * 1024,
+        ),
+        startup_cycles=5000.0,
+        notes="Singlepass baseline only; LLVM tier available but off.",
+    )
+
+
+def ALL_RUNTIMES():
+    return [wasmtime_style(), wasmtime_winch(), wamr_interp(),
+            wasmer_singlepass()]

@@ -25,6 +25,7 @@ from repro.experiments.manual_js import table9_manual_js
 from repro.experiments.realworld import table10_realworld, table12_longjs_ops
 from repro.experiments.opt_level_stats import figure11_five_number
 from repro.experiments.chrome_flags import table11_chrome_flags
+from repro.experiments.startup_frontier import startup_frontier
 
 __all__ = [
     "ExperimentContext",
@@ -36,6 +37,7 @@ __all__ = [
     "figure6_opt_levels_x86",
     "figure9_input_sizes",
     "input_size_tables",
+    "startup_frontier",
     "table10_realworld",
     "table11_chrome_flags",
     "table12_longjs_ops",

@@ -64,6 +64,7 @@ class _JsPageAdapter(EngineAdapter):
         engine.load_script(page.script)
         metrics = runner.collector.js_metrics(engine)
         metrics.detail["timer_ms"] = timings[0] if timings else None
+        metrics.detail["startup"] = self._startup_detail(engine, runner)
         if engine._profile is not None:
             metrics.detail["profile"] = engine._profile.to_dict()
         if trace is not None:
@@ -73,6 +74,28 @@ class _JsPageAdapter(EngineAdapter):
     def finalize(self, result):
         result.detail["timer_ms_per_rep"] = [
             detail["timer_ms"] for detail in result.rep_details]
+
+    @staticmethod
+    def _startup_detail(engine, runner):
+        """Startup vs steady-state split for one JS run: parse + bytecode
+        compile happen before the first result; JIT promotions overlap
+        execution."""
+        stats = engine.stats
+        policy = engine.tiering.policy
+        startup_compile = (stats.compile_cycles
+                           - stats.tier_up_compile_cycles)
+        return {
+            "parse_cycles": stats.parse_cycles,
+            "startup_compile_cycles": startup_compile,
+            "tier_up_compile_cycles": stats.tier_up_compile_cycles,
+            "tier_cycles": {policy.basic_name: startup_compile,
+                            policy.optimizing_name:
+                                stats.tier_up_compile_cycles},
+            "ttfr_cycles": (runner.profile.js.startup_cycles
+                            + stats.parse_cycles + startup_compile),
+            "exec_cycles": stats.cycles,
+            "tier_ups": stats.tier_ups,
+        }
 
     @staticmethod
     def _assemble_trace(trace, engine, profile):
@@ -104,14 +127,19 @@ class _WasmPageAdapter(EngineAdapter):
     def __init__(self, runner):
         self.runner = runner
         self.module = None
-        self.static_instrs = 0
+        self.unit = None
 
     def page(self, artifact, entry):
         return HtmlPage.for_wasm(artifact, entry)
 
     def setup(self, artifact, page):
         self.module = artifact.module
-        self.static_instrs = self.module.static_instruction_count
+        # The module's static shape — size, opclass census, recorded pass
+        # telemetry — is what the profile's compiler models price.
+        telemetry = artifact.meta.get("pass_telemetry") or \
+            self.module.meta.get("pass_telemetry", ())
+        self.unit = self.module.code_unit(
+            binary_size=len(artifact.binary), pass_telemetry=telemetry)
 
     def run_rep(self, artifact, page, entry, output, trace):
         runner = self.runner
@@ -121,10 +149,10 @@ class _WasmPageAdapter(EngineAdapter):
         instance = vm.instantiate(self.module,
                                   wasm_host_imports(output, None))
         instance.invoke(entry)
-        cycles = runner._wasm_total_cycles(instance, page,
-                                           self.static_instrs,
-                                           len(artifact.binary), trace)
+        cycles, startup = runner._wasm_total_cycles(instance, page,
+                                                    self.unit, trace)
         metrics = runner.collector.wasm_metrics(cycles, instance)
+        metrics.detail["startup"] = startup
         if instance._profile is not None:
             metrics.detail["profile"] = instance._profile.to_dict()
         return metrics
@@ -196,6 +224,21 @@ class PageRunner:
                 reg.counter_add(f"opclass.{engine}.{cls}.count", count, DET)
                 reg.counter_add(f"opclass.{engine}.{cls}.cycles", cycles,
                                 DET)
+        startup = result.detail.get("startup")
+        if startup:
+            # Startup metrics replay on warm (memoized) runs exactly like
+            # the opclass counters above: the detail dict rides the
+            # memoized measurement, and this publish runs post-lookup.
+            prefix = f"startup.{adapter.target}"
+            for key, value in startup.items():
+                if isinstance(value, dict):
+                    for tier, cycles in value.items():
+                        reg.counter_add(f"{prefix}.tier.{tier}.cycles",
+                                        cycles, DET)
+                elif isinstance(value, bool):
+                    reg.counter_add(f"{prefix}.{key}", int(value), DET)
+                else:
+                    reg.counter_add(f"{prefix}.{key}", value, DET)
 
     def _measure(self, adapter, artifact, entry, name):
         try:
@@ -257,10 +300,11 @@ class PageRunner:
         result.rep_details.append(rep_detail)
         result.detail = dict(metrics.detail)
 
-    def _wasm_total_cycles(self, instance, page, static_instrs,
-                           binary_size, trace=None):
+    def _wasm_total_cycles(self, instance, page, unit, trace=None):
         """Compose the Wasm pipeline cost (§2.2.2 / §4.4) from the shared
-        tiering model."""
+        tiering model.  Returns ``(total_cycles, startup_detail)`` where
+        the detail splits time-to-first-result from steady-state
+        execution."""
         cfg = self.profile.wasm
         stats = instance.stats
         raw_exec = stats.cycles
@@ -268,9 +312,8 @@ class PageRunner:
 
         # JS glue: the loader script is real JS that must be parsed.
         glue = len(page.script) // 4 * self.profile.js.parse_cycles_per_token
-        decode = binary_size * cfg.decode_cycles_per_byte
-        plan = TierController(cfg.tier_policy()).compile_plan(static_instrs,
-                                                              instret)
+        decode = unit.code_bytes * cfg.decode_cycles_per_byte
+        plan = TierController(cfg.tier_policy()).plan(unit, instret)
 
         total = glue + cfg.instantiate_cycles
         total += decode
@@ -280,9 +323,25 @@ class PageRunner:
         total += exec_cycles
         total += stats.boundary_cycles
 
+        startup = {
+            "glue_cycles": glue,
+            "decode_cycles": decode,
+            "instantiate_cycles": cfg.instantiate_cycles,
+            "startup_compile_cycles": plan.startup_compile_cycles,
+            "tier_up_compile_cycles": plan.tier_up_cycles,
+            "tier_cycles": plan.cycles_by_tier(),
+            # Time to first result: everything charged before execution
+            # can begin (lazy tier-up compiles overlap execution).
+            "ttfr_cycles": (glue + decode + cfg.instantiate_cycles
+                            + plan.startup_compile_cycles),
+            "exec_cycles": exec_cycles,
+            "exec_factor": plan.exec_factor,
+            "tiered_up": plan.tiered_up,
+        }
+
         if trace is not None:
             clock = trace.emit("decode", 0.0, decode,
-                               bytes=binary_size).end_cycles
+                               bytes=unit.code_bytes).end_cycles
             clock = trace.emit("parse", clock, glue,
                                part="js-glue").end_cycles
             clock = trace.emit("instantiate", clock,
@@ -297,4 +356,4 @@ class PageRunner:
                                host_calls=stats.host_calls).end_cycles
             trace.emit("page-overhead", clock,
                        self.profile.page_overhead_cycles)
-        return total
+        return total, startup

@@ -370,3 +370,21 @@ def compile_program(program_ast):
     top = _FunctionCompiler("<toplevel>", [], program_ast, toplevel=True)
     toplevel_fn = top.compile()
     return toplevel_fn, top.inner_functions
+
+
+def script_code_unit(toplevel_fn, functions, name="<script>"):
+    """The compiled script as a :class:`~repro.engine.compilemodel.
+    CodeUnit`: total bytecode size plus a static opclass census, so the
+    engine's startup compile can be priced by a modeled compiler instead
+    of a flat per-op constant."""
+    from repro.engine.compilemodel import CodeUnit, empty_census
+    from repro.jsengine.bytecode import JS_OP_CLASS
+    counts = empty_census()
+    total_ops = 0
+    for fn in (toplevel_fn, *functions):
+        total_ops += len(fn.code)
+        for op, _arg in fn.code:
+            counts[JS_OP_CLASS[op]] += 1
+    return CodeUnit(name=name, static_instrs=total_ops,
+                    functions=1 + len(functions),
+                    opclass_counts=tuple(counts))

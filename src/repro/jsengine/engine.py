@@ -18,7 +18,7 @@ from repro.engine.tiering import TierController, TierPolicy
 from repro.errors import ReproError
 from repro.jsengine import host as host_module
 from repro.obs import new_profile
-from repro.jsengine.compiler import compile_program
+from repro.jsengine.compiler import compile_program, script_code_unit
 from repro.jsengine.config import JsEngineConfig
 from repro.jsengine.gc import GcHeap
 from repro.jsengine.interpreter import (
@@ -44,14 +44,17 @@ class JsExecutionStats(EngineStats):
     """Accounting for one engine realm.
 
     Extends the shared :class:`~repro.engine.stats.EngineStats` protocol
-    with the JS pipeline stages that precede execution (parse, bytecode
-    compile) and JIT promotion counts.  ``cycles`` covers execution + GC
-    pauses, as in the real engines' profiler attribution."""
+    with the JS pipeline stages that precede execution (parse, token
+    counts) and JIT promotion counts; ``compile_cycles`` lives on the
+    shared base now.  ``cycles`` covers execution + GC pauses, as in the
+    real engines' profiler attribution."""
 
     parse_cycles: float = 0.0
-    compile_cycles: float = 0.0
     tokens_parsed: int = 0
     tier_ups: int = 0
+    #: The slice of ``compile_cycles`` charged by JIT promotions (the
+    #: rest is the startup bytecode compile).
+    tier_up_compile_cycles: float = 0.0
 
     @property
     def exec_ops(self):
@@ -99,9 +102,12 @@ class JsEngine:
         self.stats.parse_cycles += \
             token_count * self.config.parse_cycles_per_token
         toplevel, functions = compile_program(program)
-        total_ops = len(toplevel.code) + sum(len(f.code) for f in functions)
+        # Price the bytecode compile with the policy's entry-tier model
+        # (the per-instruction model reproduces the legacy flat-rate
+        # arithmetic exactly; modeled compilers see the opclass census).
+        unit = script_code_unit(toplevel, functions)
         self.stats.compile_cycles += \
-            total_ops * self.config.compile_cycles_per_op
+            self.tiering.policy.basic.compile_cycles(unit)
         for fn in functions:
             self.heap.register(fn)
             self.globals[fn.name] = fn
@@ -136,6 +142,7 @@ class JsEngine:
         self.stats.tier_ups += 1
         compile_cycles = self.tiering.tier_up_compile_cycles(len(fn.code))
         self.stats.compile_cycles += compile_cycles
+        self.stats.tier_up_compile_cycles += compile_cycles
         if self.trace is not None:
             self.trace.emit("tier-up", self.total_cycles(), compile_cycles,
                             tier=self.tiering.policy.optimizing_name,

@@ -201,13 +201,39 @@ def program_byte_size(program):
     return total
 
 
+def program_code_unit(program):
+    """The program as a :class:`~repro.engine.compilemodel.CodeUnit`
+    (static opclass census + byte size), so an ahead-of-time compile can
+    be priced by a modeled compiler."""
+    from repro.engine.compilemodel import CodeUnit, normalize_telemetry
+    counts = [0] * (max(OpClass) + 1)
+    total_ops = 0
+    for fn in program.functions.values():
+        for op, _d, _a, _b, _vector in fn.code:
+            counts[N_OP_CLASS[op]] += 1
+            total_ops += 1
+    return CodeUnit(
+        name=program.name,
+        static_instrs=total_ops,
+        code_bytes=program_byte_size(program),
+        functions=len(program.functions),
+        opclass_counts=tuple(counts),
+        pass_telemetry=normalize_telemetry(
+            program.meta.get("pass_telemetry", ())))
+
+
 class _Machine:
-    def __init__(self, program, max_instructions=None):
+    def __init__(self, program, max_instructions=None, compile_model=None):
         self.program = program
         self.memory = bytearray(program.memory_bytes)
         for offset, data in program.data:
             self.memory[offset:offset + len(data)] = data
         self.stats = NativeStats()
+        if compile_model is not None:
+            # Native code is compiled ahead of time: one charge for the
+            # whole program, priced by the model (no tiering).
+            self.stats.compile_cycles += \
+                compile_model.compile_cycles(program_code_unit(program))
         self.budget = max_instructions
         self._fast = _threaded.fast_interp_enabled()
         self._codegen_on = _codegen.codegen_enabled()
@@ -525,9 +551,16 @@ def _compare(op, x, y):
     raise TrapError(f"bad comparison op {op}")
 
 
-def execute_program(program, entry="main", args=(), max_instructions=None):
-    """Run a native program; returns (result, NativeStats)."""
-    machine = _Machine(program, max_instructions)
+def execute_program(program, entry="main", args=(), max_instructions=None,
+                    compile_model=None):
+    """Run a native program; returns (result, NativeStats).
+
+    ``compile_model`` (a :class:`~repro.engine.compilemodel.
+    CompilerModel`) charges the ahead-of-time compile of the whole
+    program into ``stats.compile_cycles``; ``None`` keeps the legacy
+    free-compile accounting."""
+    machine = _Machine(program, max_instructions,
+                       compile_model=compile_model)
     result = machine.call(entry, *args)
     return result, machine.stats
 

@@ -121,3 +121,30 @@ class WasmModule:
     @property
     def static_instruction_count(self):
         return sum(len(f.body) for f in self.functions)
+
+    def opclass_census(self):
+        """Static per-:class:`~repro.engine.opclass.OpClass` instruction
+        counts over every function body (what a baseline compiler's emit
+        loop walks)."""
+        from repro.engine.compilemodel import empty_census
+        from repro.wasm.instructions import OP_CLASS
+        counts = empty_census()
+        for fn in self.functions:
+            for op, _arg in fn.body:
+                counts[OP_CLASS[op]] += 1
+        return counts
+
+    def code_unit(self, binary_size=0, pass_telemetry=None):
+        """This module as a :class:`~repro.engine.compilemodel.CodeUnit`
+        for the modeled compile pipeline.  ``pass_telemetry`` defaults to
+        the telemetry the optimizer recorded into ``meta``."""
+        from repro.engine.compilemodel import CodeUnit, normalize_telemetry
+        if pass_telemetry is None:
+            pass_telemetry = self.meta.get("pass_telemetry", ())
+        return CodeUnit(
+            name=self.name,
+            static_instrs=self.static_instruction_count,
+            code_bytes=binary_size,
+            functions=len(self.functions),
+            opclass_counts=tuple(self.opclass_census()),
+            pass_telemetry=normalize_telemetry(pass_telemetry))

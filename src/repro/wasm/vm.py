@@ -147,8 +147,13 @@ class WasmInstance:
     """An instantiated module: memory + globals + prepared code."""
 
     def __init__(self, module, imports=None, boundary_cost=40.0,
-                 max_instructions=None):
+                 max_instructions=None, tier_policy=None):
         self.module = module
+        #: Optional :class:`~repro.engine.tiering.TierPolicy`.  Browser
+        #: runs leave it ``None`` (the page runner composes the pipeline
+        #: from the profile); standalone hosts attach a policy so the
+        #: instance itself charges its modeled startup compiles.
+        self.tier_policy = tier_policy
         spec = module.memory
         self.memory = LinearMemory(spec.min_pages, spec.max_pages,
                                    spec.page_size)
@@ -184,6 +189,15 @@ class WasmInstance:
                 _prepare_body(fn, num_imports), fn.type.results)
             self._prepared[fn.name] = prepared
             self._funcs.append(("wasm", prepared, fn.type))
+
+        if tier_policy is not None:
+            # Standalone-host mode: charge the startup compiles the
+            # policy's models price for this module (the tier-up compile,
+            # if any, is dynamic and stays with the plan layer).
+            from repro.engine.tiering import TierController
+            startup_plan = TierController(tier_policy).plan(
+                module.code_unit(), 0)
+            self.stats.compile_cycles += startup_plan.startup_compile_cycles
 
         if module.start:
             self.invoke(module.start)
@@ -598,14 +612,17 @@ class WasmVM:
     converts the instance's cycle counts into milliseconds.
     """
 
-    def __init__(self, boundary_cost=40.0, max_instructions=None):
+    def __init__(self, boundary_cost=40.0, max_instructions=None,
+                 tier_policy=None):
         self.boundary_cost = boundary_cost
         self.max_instructions = max_instructions
+        self.tier_policy = tier_policy
 
     def instantiate(self, module, imports=None):
         return WasmInstance(module, imports=imports,
                             boundary_cost=self.boundary_cost,
-                            max_instructions=self.max_instructions)
+                            max_instructions=self.max_instructions,
+                            tier_policy=self.tier_policy)
 
 
 # Bound at the bottom so the threaded tier can import names from this

@@ -125,6 +125,18 @@ def test_det_metrics_identical_cold_vs_memo_warm(tmp_path, monkeypatch):
     assert cold_value == warm_value
     assert det_cold              # pass.* and measure.* counters present
     assert any(k.startswith("pass.") for k in det_cold)
+    # Startup decomposition counters (modeled compile pipeline) must ride
+    # the memoized payload like every other DET metric: same keys, same
+    # bytes, whether the measurement ran live or replayed from cache.
+    startup_cold = {k: v for k, v in det_cold.items()
+                    if k.startswith("startup.")}
+    startup_warm = {k: v for k, v in det_warm.items()
+                    if k.startswith("startup.")}
+    assert "startup.wasm.ttfr_cycles" in startup_cold
+    assert "startup.wasm.startup_compile_cycles" in startup_cold
+    assert any(k.startswith("startup.wasm.tier.") for k in startup_cold)
+    assert json.dumps(startup_cold, sort_keys=True) == \
+        json.dumps(startup_warm, sort_keys=True)
     assert det_cold == det_warm
     # And the warm run really was served from the caches.
     stats = repro_cache.get_cache().stats
@@ -203,6 +215,19 @@ def test_report_tool_renders_summary(tmp_path):
             "opclass.wasm.add.cycles": 100.0,
             "opclass.wasm.mul.count": 10,
             "opclass.wasm.mul.cycles": 30.0,
+            "startup.wasm.decode_cycles": 120.0,
+            "startup.wasm.startup_compile_cycles": 500.0,
+            "startup.wasm.ttfr_cycles": 620.0,
+            "startup.wasm.exec_cycles": 9000.0,
+            "startup.wasm.tier.LiftOff.cycles": 500.0,
+        },
+        "startup_frontier": {
+            "chrome-79": {"kind": "browser", "policies": {
+                "default": {"ttfr_ms": 0.2, "exec_ms": 1.0,
+                            "total_ms": 1.2, "steady_speed": 0.9},
+                "eager": {"ttfr_ms": 0.6, "exec_ms": 0.8,
+                          "total_ms": 1.4, "steady_speed": 1.1},
+            }},
         },
         "metrics_unstable": {
             "cache.hits": 5, "cache.misses": 2, "cache.puts": 2,
@@ -221,6 +246,11 @@ def test_report_tool_renders_summary(tmp_path):
     assert "dce" in out
     assert "Opclass profile: wasm" in out
     assert "add" in out
+    assert "Startup vs steady state: wasm" in out
+    assert "time to first result" in out
+    assert "compile tier LiftOff" in out
+    assert "Startup frontier" in out
+    assert "default / eager" in out
     assert "Cache / scheduler health" in out
     assert "71.4% hit rate" in out
     assert "1 retried attempt(s)" in out

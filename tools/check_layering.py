@@ -44,6 +44,17 @@ Enforced here:
   module, anywhere, even inside functions.  Instrumentation that pulled
   in pipeline or engine code would invert the dependency and make
   metrics collection able to change what it observes.
+* ``repro.engine.compilemodel`` — the compiler cost models — is a leaf
+  below the engines: it may import only the neutral opclass taxonomy
+  (``repro.engine.opclass``).  Every engine and both profile layers
+  price compiles through it, so anything else it pulled in would become
+  a hidden dependency of the whole stack.
+* ``repro.env.runtimes`` — the standalone host profiles — sits beside
+  ``repro.env.browser``: module-level imports must stay within
+  ``repro.engine`` and ``repro.env`` (plus ``repro.jsengine.config``-free
+  config plumbing via the browser module); engines may be reached only
+  through lazy function-level imports, and the measurement apparatus
+  never (profiles are inputs to the harness, not clients of it).
 
 Exits non-zero and prints one line per violation; silent when clean.
 """
@@ -128,6 +139,29 @@ def check(src=SRC):
                             f"layer imports {mod} (repro.obs is a leaf — "
                             f"everything may import it, it may import "
                             f"nothing from repro)")
+            if rel.parts == ("engine", "compilemodel.py"):
+                for mod in _imported_modules(node):
+                    if mod != "repro.engine.opclass":
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: the compile-"
+                            f"model layer imports {mod} (repro.engine."
+                            f"compilemodel is a leaf below the engines — "
+                            f"only the opclass taxonomy is allowed)")
+            if rel.parts == ("env", "runtimes.py"):
+                for mod in _imported_modules(node):
+                    allowed = (mod.startswith("repro.engine")
+                               or mod.startswith("repro.env"))
+                    engine_pkg = mod.split(".")[1] if "." in mod else ""
+                    if engine_pkg in ENGINE_LAYERS \
+                            and id(node) not in module_level_nodes:
+                        continue   # lazy engine import (vm() wiring)
+                    if not allowed:
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: the standalone "
+                            f"runtime profiles import {mod} (repro.env."
+                            f"runtimes may import the engine core and the "
+                            f"env layer; engines only lazily, the "
+                            f"measurement apparatus never)")
             if rel.parts == ("engine", "codegen.py"):
                 for mod in _imported_modules(node):
                     if mod != "repro.engine.threaded" and \

@@ -11,6 +11,13 @@ Sections (each skipped gracefully when its metrics are absent):
 * **Opclass profile** — per engine, the operation classes ranked by
   modeled cycles with their execution counts (``opclass.*`` metrics;
   recorded when the run was profiled via ``REPRO_PROFILE=1``).
+* **Startup vs steady state** — per execution target, the modeled
+  time-to-first-result pipeline (decode/parse, instantiate, startup
+  compile) split from steady-state execution, with per-tier compile
+  cycles (``startup.*`` metrics from the deterministic section).
+* **Startup frontier** — digest of the E14 sweep when
+  ``summary["startup_frontier"]`` is present: per host, the default
+  policy's startup/steady point plus which tier policy wins each axis.
 * **Cache / scheduler health** — compile-cache hit rates and sweep
   scheduler retry/timeout/lost counts (``cache.*`` / ``sched.*`` in the
   ``metrics_unstable`` section).
@@ -144,10 +151,88 @@ def _measure_section(summary):
     return lines
 
 
+#: Scalar ``startup.<target>.*`` counters rendered per target, in
+#: pipeline order (cycles before first result, then steady state).
+_STARTUP_ROWS = (
+    ("parse_cycles", "parse"),
+    ("decode_cycles", "decode"),
+    ("instantiate_cycles", "instantiate"),
+    ("startup_compile_cycles", "startup compile"),
+    ("ttfr_cycles", "time to first result"),
+    ("tier_up_compile_cycles", "tier-up compile"),
+    ("exec_cycles", "steady-state exec"),
+)
+
+
+def _startup_section(summary):
+    det = summary.get("metrics", {})
+    targets = {}
+    for name, value in det.items():
+        if not name.startswith("startup."):
+            continue
+        rest = name[len("startup."):]
+        target, _, key = rest.partition(".")
+        if not key:
+            continue
+        entry = targets.setdefault(target, {"scalars": {}, "tiers": {}})
+        if key.startswith("tier.") and key.endswith(".cycles"):
+            entry["tiers"][key[len("tier."):-len(".cycles")]] = value
+        elif "." not in key:
+            entry["scalars"][key] = value
+    lines = []
+    for target in sorted(targets):
+        entry = targets[target]
+        if lines:
+            lines.append("")
+        lines.extend(_rule(f"Startup vs steady state: {target}"))
+        for key, label in _STARTUP_ROWS:
+            if key in entry["scalars"]:
+                lines.append(f"{label:<22} {entry['scalars'][key]:>18,.1f} "
+                             f"cycles")
+        ranked = sorted(entry["tiers"].items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        for tier, cycles in ranked:
+            lines.append(f"  compile tier {tier:<12} {cycles:>14,.1f} cycles")
+        tier_ups = entry["scalars"].get("tier_ups")
+        tiered_up = entry["scalars"].get("tiered_up")
+        if tier_ups is not None:
+            lines.append(f"{'functions tiered up':<22} {tier_ups:>18,}")
+        elif tiered_up is not None:
+            lines.append(f"{'module tiered up':<22} "
+                         f"{'yes' if tiered_up else 'no':>18}")
+    return lines
+
+
+def _frontier_section(summary):
+    frontier = summary.get("startup_frontier")
+    if not isinstance(frontier, dict) or not frontier:
+        return []
+    lines = _rule("Startup frontier (E14, geomean per host)")
+    lines.append(f"{'host':<16} {'kind':<11} {'default ttfr':>13} "
+                 f"{'steady':>8}   fastest start / fastest steady")
+    for host in sorted(frontier):
+        entry = frontier[host]
+        policies = entry.get("policies", {})
+        if not policies:
+            continue
+        default = policies.get("default") or next(iter(policies.values()))
+        best_start = min(policies, key=lambda p: policies[p]["ttfr_ms"])
+        best_steady = max(policies,
+                          key=lambda p: policies[p]["steady_speed"])
+        lines.append(
+            f"{host:<16} {entry.get('kind', '?'):<11} "
+            f"{default['ttfr_ms']:>11.3f}ms "
+            f"{default['steady_speed']:>7.2f}x   "
+            f"{best_start} / {best_steady}")
+    return lines
+
+
 def render_report(summary):
     """The full report text for one ``summary.json`` payload."""
     sections = [
         _measure_section(summary),
+        _startup_section(summary),
+        _frontier_section(summary),
         _pass_section(summary),
         _opclass_section(summary),
         _health_section(summary),
