@@ -15,6 +15,14 @@ byte-identical either way).
 passes by wall time, top opclasses by modeled cycles, cache/scheduler
 health — to stdout and ``results/report.txt``.  ``--trace`` dumps one
 benchmark's phase timeline to ``results/trace.json``.
+
+``--cells <request.json>`` is the sweep service's reference path: read
+one experiment-request payload (the same JSON ``POST /sweep`` accepts),
+canonicalize it with the service's own validator, run every cell
+serially in this process, and print one result line per cell to stdout.
+These lines are byte-identical to the ``result`` lines the service
+streams for the same request — the service's end-to-end tests and
+``tools/bench_service.py`` pin that equality.
 """
 import json, os, time, sys
 
@@ -30,6 +38,19 @@ os.environ.setdefault("REPRO_RESULT_CACHE", "1")
 REPORT = "--report" in sys.argv
 if REPORT:
     os.environ.setdefault("REPRO_PROFILE", "1")
+
+if "--cells" in sys.argv:
+    # Service reference mode: run one canonicalized request's cells
+    # serially and print the canonical JSONL result lines.
+    from repro.service import canonicalize_request, direct_lines
+
+    spec_path = sys.argv[sys.argv.index("--cells") + 1]
+    with open(spec_path) as f:
+        payload = json.load(f)
+    request = canonicalize_request(payload)
+    for line in direct_lines(request.cells):
+        print(line, flush=True)
+    sys.exit(0)
 
 from repro.cache import get_cache
 from repro.experiments import (

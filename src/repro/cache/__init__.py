@@ -11,8 +11,10 @@ IR-pass → backend pipeline entirely.
 
 from repro.cache.keys import cache_key, code_fingerprint
 from repro.cache.memo import (
+    MISS,
     RESULT_CACHE_ENV,
     cached_result,
+    lookup,
     result_key,
     results_enabled,
 )
@@ -20,19 +22,23 @@ from repro.cache.store import (
     ArtifactCache,
     CACHE_DIR_ENV,
     CACHE_ENV,
+    CACHE_MEM_ENV,
     CACHE_VERSION,
     CacheStats,
     configure,
     default_cache_root,
     get_cache,
+    memory_cap_from_env,
 )
 
 __all__ = [
     "ArtifactCache",
     "CACHE_DIR_ENV",
     "CACHE_ENV",
+    "CACHE_MEM_ENV",
     "CACHE_VERSION",
     "CacheStats",
+    "MISS",
     "RESULT_CACHE_ENV",
     "cache_key",
     "cached_result",
@@ -40,6 +46,8 @@ __all__ = [
     "configure",
     "default_cache_root",
     "get_cache",
+    "lookup",
+    "memory_cap_from_env",
     "result_key",
     "results_enabled",
 ]

@@ -10,32 +10,43 @@ the measurement runs — which is what makes a repeat
 
 The layer is **opt-in** (``REPRO_RESULT_CACHE=1``): unit tests routinely
 monkeypatch collectors and host imports, and a memoized measurement would
-silently bypass those seams.  ``results/run_all.py`` turns it on for
-itself; everything else defaults to live execution.
+silently bypass those seams.  ``results/run_all.py`` and the sweep
+service turn it on for themselves; everything else defaults to live
+execution.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 
 from repro.cache.keys import code_fingerprint
 from repro.cache.store import get_cache
+from repro.obs import env_flag
 
 #: Environment variable enabling measurement/result memoization.
 RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
 
+#: Sentinel distinguishing "no usable entry" from a memoized ``None``.
+MISS = object()
+
 
 def results_enabled():
-    return os.environ.get(RESULT_CACHE_ENV, "").strip().lower() in (
-        "1", "on", "true", "yes")
+    return env_flag(RESULT_CACHE_ENV, default=False)
 
 
-def result_key(kind, parts):
+def result_key(kind, parts, replay_metrics=False):
     """Key for one deterministic result: the ``kind`` tag, the caller's
     ``parts`` (stringified), and the package code fingerprint — so editing
-    any ``repro`` source invalidates every memoized result."""
+    any ``repro`` source invalidates every memoized result.
+
+    ``replay_metrics`` participates in the key: an entry stored by a
+    plain caller is a 2-tuple with no metrics blob, so serving it to a
+    ``replay_metrics=True`` caller would silently drop the DET counters
+    the cold run recorded (and vice versa would replay counters the
+    caller replays itself).  Distinct keys keep the two populations
+    apart."""
     digest = hashlib.sha256()
+    parts = (*parts, "replay-metrics") if replay_metrics else tuple(parts)
     for part in ("repro-result", code_fingerprint(), kind, *parts):
         digest.update(str(part).encode("utf-8"))
         digest.update(b"\0")
@@ -51,6 +62,46 @@ def _det_diff(reg, snap):
             for section, values in reg.diff(snap).items()}
 
 
+def _serve(entry, replay_metrics):
+    """The memoized value carried by ``entry``, or :data:`MISS` when the
+    entry is unusable (corruption, key collision, or a shape that does
+    not match the caller's ``replay_metrics`` expectation).
+
+    Replaying the metrics blob is transactional: ``registry.apply`` can
+    mutate counters before raising on a truncated or schema-drifted
+    payload, so the registry is snapshotted first and rolled back on any
+    failure — otherwise the recompute that follows a corrupt blob would
+    double-count whatever ``apply`` managed to fold in."""
+    if not (isinstance(entry, tuple) and entry and entry[0] == "result"):
+        return MISS
+    if len(entry) != (3 if replay_metrics else 2):
+        return MISS                   # replay-flag/shape mismatch → stale
+    if not replay_metrics:
+        return entry[1]
+    from repro.obs import get_registry
+    reg = get_registry()
+    snap = reg.snapshot()
+    try:
+        reg.apply(entry[2])
+    except Exception:
+        reg.restore(snap)             # corrupt replay blob → stale
+        return MISS
+    return entry[1]
+
+
+def lookup(kind, parts, replay_metrics=False):
+    """Probe the result cache without computing anything.
+
+    Returns the memoized value, or :data:`MISS` when memoization is
+    disabled or no usable entry exists.  A ``replay_metrics=True`` hit
+    re-applies the stored DET metrics diff (atomically — see
+    :func:`_serve`), exactly as :func:`cached_result` would."""
+    if not results_enabled():
+        return MISS
+    entry = get_cache().get(result_key(kind, parts, replay_metrics))
+    return _serve(entry, replay_metrics)
+
+
 def cached_result(kind, parts, compute, replay_metrics=False):
     """Serve ``compute()`` from the cache, keyed on ``(kind, parts)``.
 
@@ -64,33 +115,28 @@ def cached_result(kind, parts, compute, replay_metrics=False):
     ``compute`` records are stored with the value and re-applied on a
     hit, so a warm run exports the same DET metrics as the cold run that
     populated the entry.  Use it when ``compute`` hides whole compiles or
-    measurements from the registry (the real-world app drivers); callers
-    that replay their DET counters from the returned value (the page
-    runner) must leave it off or they would double-count.
+    measurements from the registry (the real-world app drivers, the sweep
+    service's cells); callers that replay their DET counters from the
+    returned value (the page runner) must leave it off or they would
+    double-count.  The flag is part of the key, so the two caller
+    populations never serve each other's entries.
 
     Failure safety: a ``compute`` that raises memoizes *nothing* — the
     exception propagates and the next attempt (e.g. a scheduler retry of
     the failed cell) recomputes from scratch.  An entry that does not
     look like a memoized result (corruption, or a key collision with a
     foreign artifact), or whose ``replay_metrics`` blob fails to apply
-    (truncated write, registry schema drift), is treated as stale and
-    recomputed over rather than failing the sweep.
+    (truncated write, registry schema drift — the partial application is
+    rolled back first), is treated as stale and recomputed over rather
+    than failing the sweep.
     """
     if not results_enabled():
         return compute()
     cache = get_cache()
-    key = result_key(kind, parts)
-    entry = cache.get(key)
-    if isinstance(entry, tuple) and len(entry) in (2, 3) \
-            and entry[0] == "result":
-        if not replay_metrics or len(entry) != 3:
-            return entry[1]
-        from repro.obs import get_registry
-        try:
-            get_registry().apply(entry[2])
-            return entry[1]
-        except Exception:
-            pass                          # corrupt replay blob → stale
+    key = result_key(kind, parts, replay_metrics)
+    value = _serve(cache.get(key), replay_metrics)
+    if value is not MISS:
+        return value
     if replay_metrics:
         from repro.obs import get_registry
         reg = get_registry()

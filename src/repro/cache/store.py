@@ -22,7 +22,10 @@ import os
 import pickle
 import shutil
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+from repro.obs import env_flag, env_int
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -31,6 +34,14 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: the memory layer stays on — compiles are deterministic, so an in-process
 #: cache is always sound.
 CACHE_ENV = "REPRO_CACHE"
+
+#: Environment variable capping the in-process memory layer at N entries
+#: (LRU eviction).  Unset or ``0``: unbounded — right for one-shot sweeps,
+#: where the working set is the run itself.  Long-lived processes (the
+#: sweep service) set a cap so resident memory stays flat; an evicted
+#: entry is still served from disk, so only the ``memory_hits`` /
+#: ``disk_hits`` split shifts, never correctness.
+CACHE_MEM_ENV = "REPRO_CACHE_MEM"
 
 #: On-disk schema version; bump when the artifact dataclasses change shape.
 CACHE_VERSION = "v1"
@@ -42,8 +53,13 @@ def default_cache_root():
 
 
 def disk_enabled_from_env():
-    return os.environ.get(CACHE_ENV, "").strip().lower() not in (
-        "0", "off", "false", "no")
+    return env_flag(CACHE_ENV, default=True)
+
+
+def memory_cap_from_env():
+    """Entry cap for the memory layer from ``REPRO_CACHE_MEM`` (0 =
+    unbounded)."""
+    return env_int(CACHE_MEM_ENV, default=0, minimum=0)
 
 
 @dataclass
@@ -58,12 +74,14 @@ class CacheStats:
     puts: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    evictions: int = 0
 
     def as_dict(self):
         return {"hits": self.hits, "misses": self.misses,
                 "stale": self.stale, "puts": self.puts,
                 "memory_hits": self.memory_hits,
-                "disk_hits": self.disk_hits}
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions}
 
     def __str__(self):
         return (f"{self.hits} hits ({self.memory_hits} memory / "
@@ -72,21 +90,45 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """Two-layer (memory over disk) store for compiled artifacts."""
+    """Two-layer (memory over disk) store for compiled artifacts.
 
-    def __init__(self, root=None, disk=None):
+    The memory layer is an LRU bounded by ``memory_cap`` entries
+    (``REPRO_CACHE_MEM``; 0 = unbounded).  Eviction only drops the
+    in-process copy — the disk layer still serves the entry, so the
+    hit/miss counters stay exact: an access after eviction is an honest
+    ``disk_hit`` (or an honest miss with the disk layer off), never a
+    phantom."""
+
+    def __init__(self, root=None, disk=None, memory_cap=None):
         if disk is None:
             disk = disk_enabled_from_env()
+        if memory_cap is None:
+            memory_cap = memory_cap_from_env()
         self.disk = disk
+        self.memory_cap = max(0, int(memory_cap))
         self.root = os.path.join(root or default_cache_root(),
                                  CACHE_VERSION)
         self.stats = CacheStats()
-        self._memory = {}
+        self._memory = OrderedDict()
 
     # -- lookup ---------------------------------------------------------------
 
+    def shard_of(self, key):
+        """The shard (two-hex-digit prefix directory) a key lives in."""
+        return key[:2]
+
     def _path(self, key):
-        return os.path.join(self.root, key[:2], key + ".pkl")
+        return os.path.join(self.root, self.shard_of(key), key + ".pkl")
+
+    def _remember(self, key, artifact):
+        """Insert into the memory LRU (most-recently-used position),
+        evicting from the cold end past the cap."""
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        if self.memory_cap:
+            while len(self._memory) > self.memory_cap:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     def get(self, key):
         """Return the cached artifact or ``None`` (a miss)."""
@@ -94,6 +136,7 @@ class ArtifactCache:
         reg = get_registry()
         artifact = self._memory.get(key)
         if artifact is not None:
+            self._memory.move_to_end(key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
             reg.counter_add("cache.hits", 1, SCHED)
@@ -107,7 +150,7 @@ class ArtifactCache:
             if self.stats.stale > stale_before:
                 reg.counter_add("cache.stale", 1, SCHED)
             if artifact is not None:
-                self._memory[key] = artifact
+                self._remember(key, artifact)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 reg.counter_add("cache.hits", 1, SCHED)
@@ -142,7 +185,7 @@ class ArtifactCache:
 
     def put(self, key, artifact):
         from repro.obs import SCHED, get_registry
-        self._memory[key] = artifact
+        self._remember(key, artifact)
         self.stats.puts += 1
         get_registry().counter_add("cache.puts", 1, SCHED)
         if not self.disk:
@@ -170,21 +213,39 @@ class ArtifactCache:
 
     # -- maintenance ----------------------------------------------------------
 
-    def sweep_tmp(self, max_age_s=3600.0):
+    def shards(self):
+        """Sorted list of shard names (two-hex-digit key-prefix
+        directories) that exist on disk."""
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(name for name in entries
+                      if len(name) == 2
+                      and os.path.isdir(os.path.join(self.root, name)))
+
+    def sweep_tmp(self, max_age_s=3600.0, shard=None):
         """Remove orphaned ``*.tmp`` spill files.
 
         A worker killed mid-``put`` (the scheduler's cell-timeout path)
         can leak the temp file it was writing; the entry itself is never
         corrupted (``os.replace`` is atomic) but the orphan wastes disk.
         Only files older than ``max_age_s`` are removed so a concurrent
-        writer's in-flight temp file is left alone.  Returns the number
-        of files removed."""
-        if not os.path.isdir(self.root):
+        writer's in-flight temp file is left alone.
+
+        ``shard`` restricts the sweep to one key-prefix directory —
+        long-lived servers walk the shards round-robin (one per
+        maintenance tick) so no single sweep has to scan, or hold up
+        writers on, the whole store.  Returns the number of files
+        removed."""
+        root = self.root if shard is None else os.path.join(self.root,
+                                                            shard)
+        if not os.path.isdir(root):
             return 0
         import time
         cutoff = time.time() - max_age_s
         removed = 0
-        for dirpath, _subdirs, files in os.walk(self.root):
+        for dirpath, _subdirs, files in os.walk(root):
             for name in files:
                 if not name.endswith(".tmp"):
                     continue
@@ -221,9 +282,10 @@ def get_cache():
     return _GLOBAL
 
 
-def configure(root=None, disk=None):
+def configure(root=None, disk=None, memory_cap=None):
     """Replace the process-global cache (tests, or picking up changed
-    ``REPRO_CACHE_DIR``/``REPRO_CACHE`` environment variables)."""
+    ``REPRO_CACHE_DIR``/``REPRO_CACHE``/``REPRO_CACHE_MEM`` environment
+    variables)."""
     global _GLOBAL
-    _GLOBAL = ArtifactCache(root=root, disk=disk)
+    _GLOBAL = ArtifactCache(root=root, disk=disk, memory_cap=memory_cap)
     return _GLOBAL

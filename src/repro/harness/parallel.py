@@ -393,8 +393,9 @@ class _Worker:
 
 class _Scheduler:
     def __init__(self, fn, items, labels, jobs, retries, timeout,
-                 fault_plan, sleep):
+                 fault_plan, sleep, on_result=None):
         self.fn = fn
+        self.on_result = on_result
         self.items = items
         self.labels = labels
         self.jobs = jobs
@@ -499,6 +500,7 @@ class _Scheduler:
                 emit("cell", label=self.labels[index], index=index,
                      attempts=attempt, outcome="ok",
                      worker=worker.process.pid)
+            self._notify(index, message[2], None)
         else:
             _tag, _index, error, text, trace = message
             self._attempt_failed(index, attempt, error, text, trace)
@@ -542,15 +544,36 @@ class _Scheduler:
         if events_enabled():
             emit("cell", label=self.labels[index], index=index,
                  attempts=attempt, outcome=kind, error=error)
+        self._notify(index, None, self.failures[index])
+
+    def _notify(self, index, value, failure):
+        """Per-cell completion callback (see :func:`run_sweep`); a broken
+        callback must not take the sweep down with it."""
+        if self.on_result is None:
+            return
+        try:
+            self.on_result(index, self.labels[index], value, failure)
+        except Exception:
+            pass
 
 
-def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
+def _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
+                  on_result=None):
     """In-process reference path (``jobs=1``).  Same retry/injection
     semantics; per-cell timeouts are not enforced (the scheduler cannot
     kill its own process)."""
     values = [None] * len(items)
     failures = []
     reg = get_registry()
+
+    def notify(index, value, failure):
+        if on_result is None:
+            return
+        try:
+            on_result(index, labels[index], value, failure)
+        except Exception:
+            pass
+
     for index, item in enumerate(items):
         for attempt in range(1, retries + 2):
             # Same metric semantics as the worker path: a failed attempt
@@ -564,6 +587,7 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
                 if events_enabled():
                     emit("cell", label=labels[index], index=index,
                          attempts=attempt, outcome="ok", worker=os.getpid())
+                notify(index, values[index], None)
                 break
             except Exception as exc:
                 reg.restore(snap)
@@ -580,6 +604,7 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
                     emit("cell", label=labels[index], index=index,
                          attempts=attempt, outcome="crash",
                          error=type(exc).__name__)
+                notify(index, None, failures[-1])
     reg.counter_add("sched.cells", len(items), SCHED)
     reg.counter_add("sched.completed", len(items) - len(failures), SCHED)
     if failures:
@@ -588,7 +613,7 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep):
 
 
 def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
-              fault_plan=None, sleep=None):
+              fault_plan=None, sleep=None, on_result=None):
     """Fault-tolerant order-preserving map over ``items``.
 
     Returns a :class:`SweepResult`; never raises for cell failures.
@@ -597,6 +622,15 @@ def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
     ``labels`` names the cells for failure reports and fault injection
     (default: the item's index as a string).  ``sleep`` is injectable for
     tests; backoff sleeps only ever run in the scheduler process.
+
+    ``on_result(index, label, value, failure)`` — when given — is called
+    in the scheduler process the moment a cell finishes (exhausting its
+    retries counts as finishing, with ``failure`` set and ``value``
+    ``None``).  The sweep service streams per-cell results to clients
+    from this hook instead of waiting for the whole sweep; note the
+    cell's worker metrics are only merged into the registry when the
+    sweep completes, so the hook must not read cell metrics.  A raising
+    callback is ignored.
     """
     items = list(items)
     if labels is None:
@@ -623,9 +657,10 @@ def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
     # enforce timeouts; when the caller asked for workers *and* a timeout
     # is armed, keep even a one-cell sweep on the worker path.
     if jobs <= 1 and not (timeout and requested > 1):
-        return _serial_sweep(fn, items, labels, retries, fault_plan, sleep)
+        return _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
+                             on_result)
     return _Scheduler(fn, items, labels, max(jobs, 1), retries, timeout,
-                      fault_plan, sleep).run()
+                      fault_plan, sleep, on_result).run()
 
 
 def parallel_map(fn, items, jobs=None):

@@ -20,7 +20,12 @@ Three kinds of instrument:
   reference ladders and the threaded tier produce identical profiles.
 """
 
-from repro.obs.events import EVENTS_ENV, emit, events_enabled
+from repro.obs.envflags import (
+    env_flag, env_float, env_int, parse_flag,
+)
+from repro.obs.events import (
+    EVENTS_ENV, add_listener, emit, events_enabled, remove_listener,
+)
 from repro.obs.metrics import (
     DET, SCHED, WALL, MetricsRegistry, get_registry, reset_registry,
 )
@@ -37,9 +42,15 @@ __all__ = [
     "PROFILE_ENV",
     "SCHED",
     "WALL",
+    "add_listener",
     "emit",
+    "env_flag",
+    "env_float",
+    "env_int",
     "events_enabled",
     "get_registry",
+    "parse_flag",
+    "remove_listener",
     "new_profile",
     "profile_enabled",
     "reset_registry",

@@ -1,0 +1,86 @@
+"""Shared boolean environment-knob parsing for ``REPRO_*`` flags.
+
+The apparatus grew two incompatible spellings of "is this knob on?":
+``REPRO_CACHE`` treated *unset/empty/unrecognized* as **on** (anything
+but an explicit ``0``/``off``/``false``/``no`` enabled the disk layer)
+while ``REPRO_RESULT_CACHE`` required an explicit ``1``/``on``/``true``/
+``yes`` and treated everything else as **off**.  Both behaviours are
+intentional — they differ only in their *default* — so the one helper
+here captures them as a ``default`` parameter:
+
+* ``env_flag(name, default=False)``: off unless explicitly truthy.
+* ``env_flag(name, default=True)``: on unless explicitly falsy.
+
+Unset and empty/whitespace values always yield the default, and an
+unrecognized token (``"maybe"``) also yields the default rather than
+guessing.  Every boolean ``REPRO_*`` knob routes through this helper so
+the two default policies stay the only two policies.
+
+This module lives in ``repro.obs`` because the telemetry layer is the
+one leaf every other layer (including ``repro.cache``) may import.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Tokens accepted as an explicit "on" (case-insensitive).
+TRUTHY = ("1", "on", "true", "yes")
+
+#: Tokens accepted as an explicit "off" (case-insensitive).
+FALSY = ("0", "off", "false", "no")
+
+
+def parse_flag(raw, default=False):
+    """Interpret one raw environment value as a boolean.
+
+    ``None``, empty, and unrecognized values yield ``default``; only the
+    explicit :data:`TRUTHY`/:data:`FALSY` tokens override it."""
+    if raw is None:
+        return default
+    token = raw.strip().lower()
+    if not token:
+        return default
+    if token in TRUTHY:
+        return True
+    if token in FALSY:
+        return False
+    return default
+
+
+def env_flag(name, default=False):
+    """The boolean value of environment variable ``name``.
+
+    ``default=False`` knobs are opt-in (``REPRO_RESULT_CACHE``-style),
+    ``default=True`` knobs are opt-out (``REPRO_CACHE``-style)."""
+    return parse_flag(os.environ.get(name), default)
+
+
+def env_int(name, default=0, minimum=None):
+    """Integer environment knob with a default for unset/empty/garbage
+    values; clamped from below when ``minimum`` is given."""
+    raw = os.environ.get(name, "").strip()
+    value = default
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = default
+    if minimum is not None and value < minimum:
+        value = minimum
+    return value
+
+
+def env_float(name, default=0.0, minimum=None):
+    """Float environment knob with the same conventions as
+    :func:`env_int`."""
+    raw = os.environ.get(name, "").strip()
+    value = default
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = default
+    if minimum is not None and value < minimum:
+        value = minimum
+    return value

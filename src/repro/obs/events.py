@@ -1,4 +1,5 @@
-"""JSONL event sink, enabled by ``REPRO_EVENTS=<path>``.
+"""JSONL event sink, enabled by ``REPRO_EVENTS=<path>``, plus an
+in-process listener tap used by long-lived front ends.
 
 Events are append-only diagnostic records (spans, cache probes,
 scheduler cell lifecycles, engine phase traces) — one JSON object per
@@ -11,6 +12,14 @@ The sink is fork-aware: the file handle is cached per (path, pid) and
 reopened after a fork so each worker appends through its own handle
 (O_APPEND keeps whole lines intact across processes).  All I/O is
 best-effort; a broken sink never fails the run.
+
+**Listeners** (:func:`add_listener` / :func:`remove_listener`) receive
+each event record as a dict, in-process, before it is serialized.  The
+sweep service uses this to stream per-cell scheduler progress to HTTP
+clients without routing through a file.  A listener is bound to the pid
+that registered it, so a forked worker never delivers into a parent's
+callback; like the file sink, a listener that raises is dropped from
+that delivery rather than failing the emitting code path.
 """
 
 from __future__ import annotations
@@ -22,9 +31,36 @@ EVENTS_ENV = "REPRO_EVENTS"
 
 _state = {"path": None, "pid": None, "fh": None}
 
+#: token -> (registering pid, callback).  Tokens are monotonically
+#: assigned so remove_listener is O(1) and double-removal is harmless.
+_listeners = {}
+_next_token = 0
+
+
+def add_listener(callback):
+    """Register an in-process event listener; returns a removal token.
+
+    The callback receives the full record dict of every :func:`emit` in
+    this process (events become "enabled" for emitters as long as at
+    least one listener is registered, even without ``REPRO_EVENTS``)."""
+    global _next_token
+    _next_token += 1
+    _listeners[_next_token] = (os.getpid(), callback)
+    return _next_token
+
+
+def remove_listener(token):
+    """Unregister a listener; unknown/stale tokens are ignored."""
+    _listeners.pop(token, None)
+
 
 def events_enabled():
-    return bool(os.environ.get(EVENTS_ENV))
+    """True when emitting has somewhere to go: a JSONL path is armed or
+    an in-process listener registered by *this* process is live."""
+    if os.environ.get(EVENTS_ENV):
+        return True
+    pid = os.getpid()
+    return any(owner == pid for owner, _cb in _listeners.values())
 
 
 def _handle(path):
@@ -47,20 +83,34 @@ def _handle(path):
     return _state["fh"]
 
 
+def _deliver(record):
+    pid = os.getpid()
+    for token, (owner, callback) in list(_listeners.items()):
+        if owner != pid:
+            continue              # inherited across a fork: not ours
+        try:
+            callback(record)
+        except Exception:
+            pass                  # a broken listener never fails the run
+
+
 def emit(kind, /, **fields):
-    """Append one event record; no-op unless ``REPRO_EVENTS`` is set.
+    """Append one event record; no-op unless ``REPRO_EVENTS`` is set or
+    a listener is registered.
 
     ``kind`` is positional-only so callers can carry a ``kind`` field of
     their own (compile spans, failure records); the event's own kind
     lands under the ``event`` key."""
     path = os.environ.get(EVENTS_ENV)
+    record = {"event": kind, "pid": os.getpid()}
+    record.update(fields)
+    if _listeners:
+        _deliver(record)
     if not path:
         return
     fh = _handle(path)
     if fh is None:
         return
-    record = {"event": kind, "pid": os.getpid()}
-    record.update(fields)
     try:
         fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         fh.flush()

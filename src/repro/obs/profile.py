@@ -23,14 +23,13 @@ because the deopt check precedes the block charge.
 
 from __future__ import annotations
 
-import os
+from repro.obs.envflags import env_flag
 
 PROFILE_ENV = "REPRO_PROFILE"
 
 
 def profile_enabled():
-    return os.environ.get(PROFILE_ENV, "0").strip().lower() in \
-        ("1", "on", "true", "yes")
+    return env_flag(PROFILE_ENV, default=False)
 
 
 class EngineProfile:

@@ -1,0 +1,322 @@
+"""The sweep service's job engine: dedupe, batching, admission, budgets.
+
+Transport-free core (the HTTP layer in :mod:`repro.service.server` is a
+thin shell over it).  One :class:`SweepService` owns:
+
+* an **in-flight table** mapping cell keys to futures — two concurrent
+  requests for the same cell share one future, so the cell is scheduled
+  (and counted by the scheduler) exactly once;
+* a **warm probe** against the content-addressed result cache
+  (:func:`repro.cache.lookup`) that serves memoized cells without
+  touching the scheduler at all;
+* a **batcher** that coalesces cells admitted within a short window
+  (``REPRO_SERVICE_BATCH_WINDOW``) into one
+  :func:`~repro.harness.parallel.run_sweep` call of up to
+  ``REPRO_SERVICE_BATCH`` cells, riding the scheduler's existing
+  retry/timeout/fault machinery, with per-cell results streamed out of
+  the scheduler's ``on_result`` hook the moment each cell lands;
+* **admission control** (``REPRO_SERVICE_MAX_CELLS`` outstanding cells
+  server-wide) and **per-client budgets**
+  (``REPRO_SERVICE_BUDGET`` in-flight cells per client id) — both reject
+  with :class:`AdmissionError` (HTTP 429) instead of queueing unboundedly;
+* **shard maintenance**: after every sweep one shard of the disk store
+  is swept for orphaned temp files, round-robin, so no maintenance pass
+  ever scans the whole store.
+
+Threading model: all bookkeeping (in-flight table, budgets, counters)
+happens on the event loop; sweeps and warm probes run on a single
+dedicated executor thread, which also serializes every metrics-registry
+mutation the service performs.  Scheduler worker processes hand results
+back through ``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cache import MISS, get_cache, lookup
+from repro.harness.parallel import run_sweep
+from repro.obs import SCHED, env_float, env_int, get_registry
+from repro.service.cells import run_cell_task
+from repro.service.requests import MEMO_KIND, canonicalize_request
+
+#: Max cells per scheduler sweep (one batch).
+SERVICE_BATCH_ENV = "REPRO_SERVICE_BATCH"
+
+#: Seconds the batcher waits for a burst to coalesce before sweeping.
+SERVICE_BATCH_WINDOW_ENV = "REPRO_SERVICE_BATCH_WINDOW"
+
+#: Server-wide cap on outstanding (queued + running) cells.
+SERVICE_MAX_CELLS_ENV = "REPRO_SERVICE_MAX_CELLS"
+
+#: Per-client cap on in-flight requested cells.
+SERVICE_BUDGET_ENV = "REPRO_SERVICE_BUDGET"
+
+DEFAULT_BATCH = 64
+DEFAULT_BATCH_WINDOW_S = 0.02
+DEFAULT_MAX_CELLS = 1024
+DEFAULT_BUDGET = 256
+
+
+class AdmissionError(RuntimeError):
+    """The request was refused by admission control (HTTP 429)."""
+
+
+class SweepJob:
+    """One admitted request: its canonical cells and their futures.
+
+    ``futures`` aligns with ``request.cells``; each resolves to
+    ``("ok" | "warm" | "failed", payload)``.  The creator must call
+    :meth:`close` (typically in a ``finally``) to release the client's
+    budget."""
+
+    def __init__(self, service, request, futures, deduped, new_keys):
+        self.service = service
+        self.request = request
+        self.futures = futures
+        self.deduped = deduped
+        self.new_keys = new_keys
+        self._closed = False
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self.service._release_client(self.request.client,
+                                     self.request.cell_count)
+
+
+class SweepService:
+    """Loop-bound job engine; create and drive it from one event loop."""
+
+    def __init__(self, jobs=None, batch_max=None, batch_window=None,
+                 max_cells=None, client_budget=None, sweep_tmp_age=3600.0):
+        self.jobs = jobs
+        self.batch_max = batch_max if batch_max is not None else \
+            env_int(SERVICE_BATCH_ENV, DEFAULT_BATCH, minimum=1)
+        self.batch_window = batch_window if batch_window is not None else \
+            env_float(SERVICE_BATCH_WINDOW_ENV, DEFAULT_BATCH_WINDOW_S,
+                      minimum=0.0)
+        self.max_cells = max_cells if max_cells is not None else \
+            env_int(SERVICE_MAX_CELLS_ENV, DEFAULT_MAX_CELLS, minimum=0)
+        self.client_budget = client_budget if client_budget is not None \
+            else env_int(SERVICE_BUDGET_ENV, DEFAULT_BUDGET, minimum=0)
+        self.sweep_tmp_age = sweep_tmp_age
+        self._inflight = {}        # cell key -> asyncio.Future
+        self._pending = []         # [CellSpec] awaiting the next batch
+        self._client_load = {}     # client id -> in-flight requested cells
+        self._outstanding = 0      # unique cells queued or running
+        self._shard_cursor = 0
+        self.last_cells = ()       # cells of the last admitted request
+        self._loop = None
+        self._wake = None
+        self._batcher = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-sweep")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def stop(self):
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_result(("failed", {
+                    "error": "ServiceStopped",
+                    "message": "service shut down before the cell ran",
+                    "kind": "lost", "attempts": 0}))
+        self._inflight.clear()
+        self._pending.clear()
+        self._outstanding = 0
+        self._client_load.clear()
+        self._executor.shutdown(wait=True)
+
+    # -- submission ----------------------------------------------------------
+
+    def _count(self, name, value=1):
+        get_registry().counter_add(f"service.{name}", value, SCHED)
+
+    def _release_client(self, client, cells):
+        load = self._client_load.get(client, 0) - cells
+        if load > 0:
+            self._client_load[client] = load
+        else:
+            self._client_load.pop(client, None)
+
+    def admit(self, payload):
+        """Canonicalize and admit one request payload.
+
+        Returns a :class:`SweepJob` whose futures resolve as cells
+        complete (warm cells resolve after the next executor turn).
+        Raises :class:`~repro.service.requests.RequestError` on a
+        malformed payload and :class:`AdmissionError` when over
+        capacity or budget.  Must be called on the service's loop."""
+        request = canonicalize_request(payload)
+        self.last_cells = request.cells
+        self._count("requests")
+        self._count("cells.requested", request.cell_count)
+        new_specs = [spec for spec in request.cells
+                     if spec.cell_key() not in self._inflight]
+        if self._outstanding + len(new_specs) > self.max_cells:
+            self._count("rejected")
+            raise AdmissionError(
+                f"over capacity: {self._outstanding} cell(s) outstanding "
+                f"+ {len(new_specs)} new > {self.max_cells} "
+                f"(REPRO_SERVICE_MAX_CELLS)")
+        load = self._client_load.get(request.client, 0)
+        if load + request.cell_count > self.client_budget:
+            self._count("rejected")
+            raise AdmissionError(
+                f"client {request.client!r} budget exceeded: {load} "
+                f"in flight + {request.cell_count} requested > "
+                f"{self.client_budget} (REPRO_SERVICE_BUDGET)")
+        self._client_load[request.client] = load + request.cell_count
+
+        futures = []
+        new_keys = []
+        for spec in request.cells:
+            key = spec.cell_key()
+            future = self._inflight.get(key)
+            if future is None:
+                future = self._loop.create_future()
+                self._inflight[key] = future
+                self._outstanding += 1
+                new_keys.append((key, spec))
+            futures.append(future)
+        deduped = request.cell_count - len(new_keys)
+        if deduped:
+            self._count("cells.deduped", deduped)
+        if new_keys:
+            # Probe the result cache off-loop (the probe replays DET
+            # metrics; the executor serializes all registry access), then
+            # queue the misses for the batcher.
+            self._loop.create_task(self._admit_new(new_keys))
+        return SweepJob(self, request, futures, deduped,
+                        [key for key, _spec in new_keys])
+
+    async def _admit_new(self, new_keys):
+        try:
+            probes = await self._loop.run_in_executor(
+                self._executor, self._probe_warm,
+                [s for _k, s in new_keys])
+        except Exception as exc:   # defensive: never strand a future
+            for key, _spec in new_keys:
+                self._settle(key, ("failed", {
+                    "error": type(exc).__name__, "message": str(exc),
+                    "kind": "lost", "attempts": 0}))
+            return
+        queued = False
+        for (key, spec), value in zip(new_keys, probes):
+            if value is MISS:
+                self._pending.append(spec)
+                queued = True
+            else:
+                self._count("cells.warm")
+                self._settle(key, ("warm", value))
+        if queued:
+            self._wake.set()
+
+    @staticmethod
+    def _probe_warm(specs):
+        return [lookup(MEMO_KIND, spec.key_parts(), replay_metrics=True)
+                for spec in specs]
+
+    def _settle(self, key, outcome):
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(outcome)
+            self._outstanding -= 1
+
+    # -- batching ------------------------------------------------------------
+
+    async def _batch_loop(self):
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._pending:
+                if self.batch_window:
+                    await asyncio.sleep(self.batch_window)
+                batch = self._pending[:self.batch_max]
+                del self._pending[:len(batch)]
+                if not batch:
+                    break
+                await self._loop.run_in_executor(
+                    self._executor, self._run_batch, batch)
+
+    def _run_batch(self, batch):
+        """One scheduler sweep over a batch of cells (executor thread).
+
+        Every cell is self-describing, so any mix of benchmarks,
+        toolchains, levels and profiles rides one sweep; the batch bound
+        exists to keep per-sweep worker lifetimes reasonable."""
+        self._count("sweeps")
+        self._count("cells.swept", len(batch))
+        keys = [spec.cell_key() for spec in batch]
+
+        def on_result(index, _label, value, failure):
+            if failure is not None:
+                outcome = ("failed", {
+                    "error": failure.error, "message": failure.message,
+                    "kind": failure.kind, "attempts": failure.attempts})
+            else:
+                outcome = ("ok", value)
+            self._loop.call_soon_threadsafe(self._settle, keys[index],
+                                            outcome)
+
+        try:
+            run_sweep(run_cell_task, [spec.as_tuple() for spec in batch],
+                      jobs=self.jobs, labels=[spec.label() for spec in batch],
+                      on_result=on_result)
+        except BaseException as exc:  # defensive: never strand a future
+            for key in keys:
+                self._loop.call_soon_threadsafe(self._settle, key, (
+                    "failed", {"error": type(exc).__name__,
+                               "message": str(exc), "kind": "lost",
+                               "attempts": 0}))
+            raise
+        finally:
+            self._sweep_one_shard()
+
+    def _sweep_one_shard(self):
+        """Round-robin orphan-temp sweep of one disk-store shard."""
+        cache = get_cache()
+        shards = cache.shards()
+        if not shards:
+            return
+        shard = shards[self._shard_cursor % len(shards)]
+        self._shard_cursor += 1
+        removed = cache.sweep_tmp(max_age_s=self.sweep_tmp_age, shard=shard)
+        if removed:
+            self._count("tmp_swept", removed)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self):
+        """JSON-clean operational snapshot (the ``/stats`` endpoint)."""
+        registry = get_registry()
+        service = {name: value
+                   for name, value in registry.export([SCHED]).items()
+                   if name.startswith(("service.", "sched.", "cache."))}
+        return {
+            "outstanding_cells": self._outstanding,
+            "pending_cells": len(self._pending),
+            "inflight_cells": len(self._inflight),
+            "clients": dict(sorted(self._client_load.items())),
+            "limits": {"batch": self.batch_max,
+                       "batch_window_s": self.batch_window,
+                       "max_cells": self.max_cells,
+                       "client_budget": self.client_budget},
+            "counters": service,
+            "store": get_cache().stats.as_dict(),
+        }

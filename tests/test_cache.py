@@ -253,7 +253,7 @@ class TestFailureSafety:
         # A three-field entry whose replay_metrics blob cannot be applied
         # (truncated write / schema drift) used to raise mid-sweep; it
         # must be treated as stale: recomputed and overwritten.
-        key = result_key("test", ("k",))
+        key = result_key("test", ("k",), replay_metrics=True)
         isolated_cache.put(key, ("result", 7, "not-a-metrics-diff"))
         calls = []
 
@@ -268,6 +268,98 @@ class TestFailureSafety:
         assert cached_result("test", ("k",), compute,
                              replay_metrics=True) == 42
         assert len(calls) == 1
+
+    def test_partial_apply_rolls_back_before_recompute(self, isolated_cache,
+                                                       monkeypatch):
+        # Regression: `registry.apply` folds payload entries in order and
+        # raises mid-iteration on a truncated/corrupt tail — the entries
+        # it already folded used to stay behind, so the recompute that
+        # followed double-counted them.  The replay must be transactional.
+        from fractions import Fraction
+
+        from repro.cache.memo import cached_result, result_key
+        from repro.obs import DET, get_registry, reset_registry
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        reset_registry()
+        try:
+            zero = Fraction(0)
+            # Truncated blob: the first counter applies cleanly, the
+            # second raises (unknown stability tag) — exactly what a
+            # half-written diff looks like after schema drift.
+            corrupt = {"counters": {"memo.test.cells": (DET, 100, zero),
+                                    "memo.test.tail": ("bogus", 1, zero)},
+                       "gauges": {}, "hists": {}}
+            key = result_key("test", ("k",), replay_metrics=True)
+            isolated_cache.put(key, ("result", 7, corrupt))
+
+            def compute():
+                get_registry().counter_add("memo.test.cells", 1, DET)
+                return 42
+
+            assert cached_result("test", ("k",), compute,
+                                 replay_metrics=True) == 42
+            # Only the recompute's increment survives: the 100 the corrupt
+            # blob managed to fold in before raising was rolled back.
+            assert get_registry().export()["memo.test.cells"] == 1
+            assert "memo.test.tail" not in get_registry().export()
+        finally:
+            reset_registry()
+
+    def test_replay_flag_mismatch_never_drops_metrics(self, isolated_cache,
+                                                      monkeypatch):
+        # Regression: an entry stored by a replay_metrics=False caller is
+        # a 2-tuple with no metrics blob; serving it to a
+        # replay_metrics=True caller silently dropped the DET counters
+        # the warm run should have exported.  The flag is folded into the
+        # key so the two caller populations never share entries.
+        from repro.cache.memo import cached_result, result_key
+        from repro.obs import DET, get_registry, reset_registry
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        assert result_key("test", ("k",)) != \
+            result_key("test", ("k",), replay_metrics=True)
+        reset_registry()
+        try:
+            calls = []
+
+            def compute():
+                calls.append(None)
+                get_registry().counter_add("memo.test.runs", 1, DET)
+                return 42
+
+            assert cached_result("test", ("k",), compute) == 42
+            assert len(calls) == 1
+            # The replay caller computes its own (metrics-carrying) entry
+            # instead of being served the blobless one...
+            assert cached_result("test", ("k",), compute,
+                                 replay_metrics=True) == 42
+            assert len(calls) == 2
+            # ... and its warm hits replay the counter instead of losing it.
+            before = get_registry().export()["memo.test.runs"]
+            assert cached_result("test", ("k",), compute,
+                                 replay_metrics=True) == 42
+            assert len(calls) == 2
+            assert get_registry().export()["memo.test.runs"] == before + 1
+        finally:
+            reset_registry()
+
+    def test_stale_shape_entry_recomputed_over(self, isolated_cache,
+                                               monkeypatch):
+        # Belt and braces for old caches: a 2-tuple planted at the replay
+        # key (e.g. written by a pre-flag-in-key build) is length-mismatched
+        # and must be treated as stale, not served metrics-free.
+        from repro.cache.memo import cached_result, result_key
+        monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+        key = result_key("test", ("k",), replay_metrics=True)
+        isolated_cache.put(key, ("result", 7))
+        calls = []
+
+        def compute():
+            calls.append(None)
+            return 42
+
+        assert cached_result("test", ("k",), compute,
+                             replay_metrics=True) == 42
+        assert calls  # recomputed over the shape-mismatched entry
 
     def test_sweep_tmp_removes_only_stale_orphans(self, isolated_cache):
         import time

@@ -1,0 +1,419 @@
+"""Benchmark-as-a-service end-to-end: request canonicalization, in-flight
+dedupe, admission control, HTTP streaming, and the byte-equality contract
+between streamed result lines and the direct ``run_all.py --cells`` path."""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cache import RESULT_CACHE_ENV, configure
+from repro.obs import SCHED, get_registry, reset_registry
+from repro.service import (
+    AdmissionError,
+    CellSpec,
+    RequestError,
+    SweepServer,
+    SweepService,
+    canonicalize_request,
+    direct_lines,
+    get_json,
+    post_shutdown,
+    request_lines,
+    result_line,
+    run_cell,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: One tiny cell — the cheapest real sweep the service can run.
+TINY_PAYLOAD = {"benchmarks": ["atax"], "targets": ["wasm"],
+                "opt_levels": ["O2"], "sizes": ["S"], "repetitions": 1}
+
+
+@pytest.fixture()
+def service_env(tmp_path, monkeypatch):
+    """Isolated cache directory + memoization on + a fresh registry."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv(RESULT_CACHE_ENV, "1")
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    cache = configure(root=str(tmp_path / "cache"), disk=True)
+    reset_registry()
+    yield cache
+    reset_registry()
+    configure()
+
+
+class TestCanonicalization:
+    def test_spellings_canonicalize_identically(self):
+        # Scalar vs list, explicit defaults vs implied, shuffled order:
+        # same cells, same keys — the basis of cross-client dedupe.
+        a = canonicalize_request({"benchmarks": "atax", "targets": "wasm",
+                                  "opt_levels": "O2"})
+        b = canonicalize_request({"benchmarks": ["atax"],
+                                  "targets": ["wasm"],
+                                  "toolchains": ["cheerp"],
+                                  "opt_levels": ["O2"], "sizes": ["M"],
+                                  "profiles": ["chrome-desktop"],
+                                  "repetitions": 2})
+        assert a.cells == b.cells
+        assert [s.cell_key() for s in a.cells] == \
+            [s.cell_key() for s in b.cells]
+
+    def test_cells_are_sorted_and_deduplicated(self):
+        request = canonicalize_request(
+            {"benchmarks": ["gemm", "atax", "atax"],
+             "opt_levels": ["O3", "O0"]})
+        assert list(request.cells) == sorted(set(request.cells))
+        names = [spec.benchmark for spec in request.cells]
+        assert names == sorted(names)
+        assert len({spec.as_tuple() for spec in request.cells}) == \
+            len(request.cells)
+
+    def test_suite_expansion_and_default(self):
+        quick = canonicalize_request({})
+        assert quick.cells            # default suite: quick
+        explicit = canonicalize_request({"suite": "quick"})
+        assert explicit.cells == quick.cells
+        poly = canonicalize_request({"suite": "polybench",
+                                     "opt_levels": ["O2"]})
+        allb = canonicalize_request({"suite": "all", "opt_levels": ["O2"]})
+        assert len(allb.cells) > len(poly.cells)
+
+    def test_invalid_target_toolchain_pairs_skipped(self):
+        # cheerp can't produce x86; the x86 cells keep llvm-x86 only.
+        request = canonicalize_request(
+            {"benchmarks": ["atax"], "targets": ["wasm", "x86"],
+             "toolchains": ["cheerp", "llvm-x86"]})
+        pairs = {(s.target, s.toolchain) for s in request.cells}
+        assert pairs == {("wasm", "cheerp"), ("x86", "llvm-x86")}
+
+    @pytest.mark.parametrize("payload", [
+        {"benchmarks": ["no-such-benchmark"]},
+        {"suite": "nope"},
+        {"targets": ["riscv"]},
+        {"toolchains": ["gcc"]},
+        {"opt_levels": ["O9"]},
+        {"benchmarks": ["atax"], "sizes": ["XXL"]},
+        {"profiles": ["netscape-desktop"]},
+        {"repetitions": 0},
+        {"repetitions": 11},
+        {"repetitions": True},
+        {"repetitions": "2"},
+        {"benchmarks": []},
+        {"targets": ["x86"], "toolchains": ["cheerp"]},  # empty product
+        "not an object",
+    ])
+    def test_malformed_requests_rejected(self, payload):
+        with pytest.raises(RequestError):
+            canonicalize_request(payload)
+
+    def test_request_cell_cap(self):
+        with pytest.raises(RequestError, match="cap"):
+            canonicalize_request({"suite": "all",
+                                  "targets": ["wasm", "js"],
+                                  "toolchains": ["cheerp", "emscripten"],
+                                  "opt_levels": ["O0", "O1", "O2", "O3",
+                                                 "O4", "Os", "Oz", "Ofast"],
+                                  "profiles": ["chrome-desktop",
+                                               "firefox-desktop",
+                                               "edge-desktop",
+                                               "chrome-mobile",
+                                               "firefox-mobile",
+                                               "edge-mobile"]})
+
+    def test_cell_tuple_roundtrip(self):
+        spec = CellSpec("atax", "wasm", "cheerp", "O2", "S",
+                        "chrome-desktop", 1)
+        assert CellSpec.from_tuple(spec.as_tuple()) == spec
+        assert spec.label() == "atax|wasm|cheerp|O2|S|chrome-desktop|1"
+
+
+class TestAdmissionControl:
+    def _drive(self, coro):
+        return asyncio.run(coro)
+
+    def test_over_capacity_rejected(self, service_env):
+        async def scenario():
+            service = SweepService(jobs=1, max_cells=1)
+            await service.start()
+            try:
+                with pytest.raises(AdmissionError, match="over capacity"):
+                    service.admit({"benchmarks": ["atax", "gemm"],
+                                   "sizes": ["S"], "repetitions": 1})
+            finally:
+                await service.stop()
+
+        self._drive(scenario())
+        assert get_registry().export([SCHED])["service.rejected"] == 1
+
+    def test_client_budget_enforced_and_released(self, service_env):
+        async def scenario():
+            service = SweepService(jobs=1, client_budget=1,
+                                   batch_window=30.0)  # hold cells pending
+            await service.start()
+            try:
+                job = service.admit(dict(TINY_PAYLOAD, client="alice"))
+                with pytest.raises(AdmissionError, match="budget"):
+                    service.admit(dict(TINY_PAYLOAD, client="alice"))
+                # Another client has its own budget...
+                other = service.admit(dict(TINY_PAYLOAD, client="bob"))
+                other.close()
+                # ... and closing the job releases alice's.
+                job.close()
+                service.admit(dict(TINY_PAYLOAD, client="alice")).close()
+            finally:
+                await service.stop()
+
+        self._drive(scenario())
+
+    def test_stop_settles_stranded_futures(self, service_env):
+        async def scenario():
+            service = SweepService(jobs=1, batch_window=30.0)
+            await service.start()
+            job = service.admit(TINY_PAYLOAD)
+            await service.stop()
+            status, info = job.futures[0].result()
+            assert status == "failed"
+            assert info["error"] == "ServiceStopped"
+            job.close()
+
+        self._drive(scenario())
+
+
+class TestDedupe:
+    """Two identical concurrent requests → one sweep execution."""
+
+    def test_concurrent_identical_requests_share_one_execution(
+            self, service_env):
+        async def scenario():
+            service = SweepService(jobs=1, batch_window=0.01)
+            await service.start()
+            try:
+                # Admitted back-to-back on one loop turn: the second
+                # request can only ever see the first's in-flight futures.
+                job1 = service.admit(TINY_PAYLOAD)
+                job2 = service.admit(TINY_PAYLOAD)
+                assert job1.deduped == 0 and len(job1.new_keys) == 1
+                assert job2.deduped == 1 and not job2.new_keys
+                assert job2.futures[0] is job1.futures[0]
+                (status1, value1), = await asyncio.gather(*job1.futures)
+                (status2, value2), = await asyncio.gather(*job2.futures)
+                job1.close()
+                job2.close()
+                return (status1, value1), (status2, value2)
+            finally:
+                await service.stop()
+
+        (status1, value1), (status2, value2) = asyncio.run(scenario())
+        assert status1 == status2 == "ok"
+        assert value1 == value2
+        counters = get_registry().export([SCHED])
+        # The scheduler ran the cell exactly once; the dedupe is visible.
+        assert counters["sched.cells"] == 1
+        assert counters["service.cells.requested"] == 2
+        assert counters["service.cells.deduped"] == 1
+        assert counters["service.sweeps"] == 1
+
+    def test_warm_cell_served_without_scheduling(self, service_env):
+        spec = canonicalize_request(TINY_PAYLOAD).cells[0]
+        run_cell(spec)                      # populate the result cache
+        reset_registry()
+
+        async def scenario():
+            service = SweepService(jobs=1, batch_window=0.01)
+            await service.start()
+            try:
+                job = service.admit(TINY_PAYLOAD)
+                (status, value), = await asyncio.gather(*job.futures)
+                job.close()
+                return status, value
+            finally:
+                await service.stop()
+
+        status, value = asyncio.run(scenario())
+        assert status == "warm"
+        assert value == run_cell(spec)      # identical memoized payload
+        counters = get_registry().export([SCHED])
+        assert counters["service.cells.warm"] == 1
+        assert counters.get("sched.cells", 0) == 0   # never scheduled
+        assert counters["cache.hits"] >= 1
+
+
+class TestHttpServer:
+    def _run_server(self, scenario, **server_kwargs):
+        async def drive():
+            server = SweepServer(host="127.0.0.1", port=0, jobs=1,
+                                 batch_window=0.01, **server_kwargs)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            try:
+                return await scenario(server, loop)
+            finally:
+                await server.stop()
+
+        return asyncio.run(drive())
+
+    def test_healthz_stats_and_errors(self, service_env):
+        async def scenario(server, loop):
+            host, port = server.host, server.port
+
+            def probe():
+                health = get_json(host, port, "/healthz")
+                stats = get_json(host, port, "/stats")
+                codes = {}
+                from repro.service.client import ServiceError
+                for path, payload in [("/nope", None),
+                                      ("/sweep", {"targets": ["riscv"]})]:
+                    try:
+                        if payload is None:
+                            get_json(host, port, path)
+                        else:
+                            list(request_lines(host, port, payload))
+                    except ServiceError as exc:
+                        codes[path] = exc.status
+                return health, stats, codes
+
+            return await loop.run_in_executor(None, probe)
+
+        health, stats, codes = self._run_server(scenario)
+        assert health == {"ok": True}
+        assert stats["limits"]["batch"] >= 1
+        assert "store" in stats and "counters" in stats
+        assert codes == {"/nope": 404, "/sweep": 400}
+
+    def test_http_429_on_admission_reject(self, service_env):
+        async def scenario(server, loop):
+            from repro.service.client import ServiceError
+            host, port = server.host, server.port
+
+            def probe():
+                try:
+                    list(request_lines(
+                        host, port, {"benchmarks": ["atax", "gemm"],
+                                     "sizes": ["S"], "repetitions": 1}))
+                except ServiceError as exc:
+                    return exc.status
+                return None
+
+            return await loop.run_in_executor(None, probe)
+
+        assert self._run_server(scenario, max_cells=1) == 429
+
+    def test_stream_matches_direct_path_and_dedupes(self, service_env,
+                                                    tmp_path):
+        payload = dict(TINY_PAYLOAD, progress=True)
+
+        async def scenario(server, loop):
+            host, port = server.host, server.port
+
+            def fetch():
+                return list(request_lines(host, port, payload))
+
+            # Two concurrent identical requests over HTTP.
+            streams = await asyncio.gather(
+                loop.run_in_executor(None, fetch),
+                loop.run_in_executor(None, fetch))
+            # Futures settle from the scheduler's on_result hook, which
+            # can run before the sweep merges its sched.* counters —
+            # poll until the batch's bookkeeping lands.
+            for _ in range(100):
+                stats = await loop.run_in_executor(
+                    None, lambda: get_json(host, port, "/stats"))
+                if "sched.cells" in stats["counters"]:
+                    break
+                await asyncio.sleep(0.05)
+            return streams, stats
+
+        (stream_a, stream_b), stats = self._run_server(scenario)
+
+        def events(stream):
+            return [json.loads(line) for line in stream]
+
+        def results(stream):
+            return [line for line in stream
+                    if json.loads(line).get("event") == "result"]
+
+        # Both streams open, carry one result line each, and close.
+        for stream in (stream_a, stream_b):
+            kinds = [e["event"] for e in events(stream)]
+            assert kinds[0] == "accepted" and kinds[-1] == "done"
+            assert kinds.count("result") == 1
+            assert events(stream)[-1]["completed"] == 1
+        # Progress lines carry the scheduler lifecycle for one of the
+        # two requests (the one whose cells actually ran).
+        stages = [e["stage"] for e in
+                  events(stream_a) + events(stream_b)
+                  if e["event"] == "progress"]
+        assert "cell" in stages
+        # The cell executed once server-wide; the twin was deduped
+        # against the in-flight future (or served memo-warm if it lost
+        # the race) — never re-executed.
+        counters = stats["counters"]
+        assert counters["sched.cells"] == 1
+        assert counters["service.cells.requested"] == 2
+        assert counters.get("service.cells.deduped", 0) + \
+            counters.get("service.cells.warm", 0) == 1
+        assert results(stream_a) == results(stream_b)
+
+        # Byte-equality contract: the streamed result lines equal the
+        # in-process direct path...
+        cells = canonicalize_request(payload).cells
+        direct = [line.encode("utf-8") for line in direct_lines(cells)]
+        assert results(stream_a) == direct
+        # ... and the run_all.py --cells reference subprocess.
+        spec_file = tmp_path / "request.json"
+        spec_file.write_text(json.dumps(payload))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(ROOT / "src"), str(ROOT)])
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "results" / "run_all.py"),
+             "--cells", str(spec_file)],
+            capture_output=True, timeout=570, env=env, cwd=str(ROOT))
+        assert proc.returncode == 0, proc.stderr.decode()
+        assert proc.stdout.splitlines() == results(stream_a)
+
+    def test_shutdown_endpoint_stops_server(self, service_env):
+        async def drive():
+            server = SweepServer(host="127.0.0.1", port=0, jobs=1)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            ack = await loop.run_in_executor(
+                None, lambda: post_shutdown(server.host, server.port))
+            await asyncio.wait_for(server.serve_until_stopped(), timeout=30)
+            return ack
+
+        assert asyncio.run(drive()) == {"stopping": True}
+
+
+class TestResultLineContract:
+    def test_result_line_is_canonical_json(self, service_env):
+        spec = canonicalize_request(TINY_PAYLOAD).cells[0]
+        value = run_cell(spec)
+        line = result_line(spec, value)
+        record = json.loads(line)
+        assert record["event"] == "result"
+        assert record["cell"] == spec.as_dict()
+        assert record["key"] == spec.cell_key()
+        # Canonical serialization: re-dumping the parsed record with
+        # sorted keys reproduces the line byte-for-byte.
+        assert json.dumps(record, sort_keys=True) == line
+
+
+# Tier-1 gate: the full start → request → shutdown loop stays runnable.
+
+class TestServiceSmoke:
+    def test_service_smoke_gate(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(ROOT / "src"), str(ROOT)])
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.service", "--smoke"],
+            capture_output=True, text=True, timeout=570, env=env,
+            cwd=str(ROOT))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "smoke: ok" in result.stdout

@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Sweep-service throughput benchmark: sustained requests/sec cold vs
+memo-warm, written to ``BENCH_service.json``.
+
+The workload is the tier-1 quick set served as one request per benchmark
+(wasm / cheerp / O2 / size S / 1 repetition / chrome-desktop), issued by
+a small pool of concurrent HTTP clients against an in-process
+:class:`~repro.service.server.SweepServer` over an isolated cache
+directory:
+
+* **cold** — every cell is computed: the server canonicalizes, batches
+  and schedules real compile+measure work.  Requests/sec here is
+  compute-bound and scales with ``--jobs``.
+* **warm** — the same requests repeated for ``--rounds`` rounds: every
+  cell is served from the content-addressed result cache (DET metrics
+  replayed), so requests/sec is service-overhead-bound.  This is the
+  number that makes "shared warm cache" concrete: the ratio to cold is
+  the cost a second client *doesn't* pay.
+* **dedupe** — the cold phase fires each request from two clients at
+  once; the twin is deduped against the in-flight future (or served
+  warm if it lost the race), never recomputed — pinned by the
+  ``sched.cells == cells`` assertion.
+
+Byte-equality is asserted before anything is timed counts: every result
+line streamed in either phase must equal the canonical
+:func:`~repro.service.cells.direct_lines` serialization of the same
+cell, and warm streams must equal cold streams byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_service.py            # writes JSON
+    PYTHONPATH=src python tools/bench_service.py --smoke    # 2 cells,
+                                                            # no file
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+#: The cell slice served: cheap, real, deterministic.
+BENCH_SLICE = {"targets": ["wasm"], "toolchains": ["cheerp"],
+               "opt_levels": ["O2"], "sizes": ["S"], "repetitions": 1,
+               "profiles": ["chrome-desktop"]}
+
+
+def _payloads(benchmarks):
+    return [dict(BENCH_SLICE, benchmarks=[name], client=f"bench-{i % 4}")
+            for i, name in enumerate(benchmarks)]
+
+
+def _result_lines(stream):
+    return [line for line in stream
+            if json.loads(line).get("event") == "result"]
+
+
+async def _phase(server, loop, payloads, clients):
+    """Issue every payload once, ``clients`` at a time; returns
+    ``(per-payload result lines, wall seconds, request count)``."""
+    from repro.service.client import request_lines
+
+    host, port = server.host, server.port
+    semaphore = asyncio.Semaphore(clients)
+
+    async def one(payload):
+        async with semaphore:
+            return await loop.run_in_executor(
+                None, lambda: _result_lines(
+                    list(request_lines(host, port, payload))))
+
+    start = time.perf_counter()
+    streams = await asyncio.gather(*[one(p) for p in payloads])
+    return list(streams), time.perf_counter() - start, len(payloads)
+
+
+async def _bench(args, benchmarks):
+    from repro.obs import SCHED, get_registry
+    from repro.service import canonicalize_request, direct_lines
+    from repro.service.client import get_json
+    from repro.service.server import SweepServer
+
+    server = SweepServer(host="127.0.0.1", port=0, jobs=args.jobs)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    payloads = _payloads(benchmarks)
+    try:
+        # -- cold: two concurrent clients per request (dedupe visible) --
+        cold_streams, cold_s, _n = await _phase(
+            server, loop, payloads + payloads, clients=args.clients)
+        cold_requests = len(payloads) * 2
+
+        # -- warm: every cell served from the result cache ---------------
+        warm_payloads = payloads * args.rounds
+        warm_streams, warm_s, warm_requests = await _phase(
+            server, loop, warm_payloads, clients=args.clients)
+
+        # -- equality gates ---------------------------------------------
+        expected = {}
+        for payload in payloads:
+            cells = canonicalize_request(payload).cells
+            key = json.dumps(payload, sort_keys=True)
+            expected[key] = [line.encode("utf-8")
+                             for line in direct_lines(cells)]
+        checked = 0
+        for payload, stream in zip(payloads + payloads + warm_payloads,
+                                   cold_streams + warm_streams):
+            key = json.dumps(payload, sort_keys=True)
+            assert stream == expected[key], \
+                f"stream diverged from direct path for {key}"
+            checked += 1
+
+        # -- counters ----------------------------------------------------
+        for _ in range(200):            # let the last batch merge home
+            counters = get_registry().export([SCHED])
+            if counters.get("sched.cells"):
+                break
+            await asyncio.sleep(0.05)
+        stats = await loop.run_in_executor(
+            None, lambda: get_json(server.host, server.port, "/stats"))
+        cells = len(payloads)
+        assert counters.get("sched.cells", 0) == cells, \
+            (f"expected exactly {cells} scheduled cells, saw "
+             f"{counters.get('sched.cells', 0)} — dedupe broken?")
+        twins = counters.get("service.cells.deduped", 0) + \
+            counters.get("service.cells.warm", 0) - warm_requests
+        return {
+            "cells": cells,
+            "cold": {"requests": cold_requests,
+                     "seconds": round(cold_s, 3),
+                     "requests_per_s": round(cold_requests / cold_s, 3)},
+            "warm": {"requests": warm_requests,
+                     "seconds": round(warm_s, 3),
+                     "requests_per_s": round(warm_requests / warm_s, 3)},
+            "warm_speedup": round((cold_requests / cold_s and
+                                   (warm_requests / warm_s) /
+                                   (cold_requests / cold_s)), 1),
+            "dedupe": {"scheduled_cells": counters.get("sched.cells", 0),
+                       "twin_requests_not_recomputed": twins,
+                       "deduped_in_flight":
+                           counters.get("service.cells.deduped", 0)},
+            "equality": {"streams_checked": checked,
+                         "byte_identical_to_direct": True},
+            "store": stats["store"],
+        }
+    finally:
+        await server.stop()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="2 benchmarks, 1 warm round, no file written")
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="scheduler workers per sweep")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent HTTP clients")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="warm passes over the request set")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    from repro.experiments.common import QUICK_SET
+
+    benchmarks = sorted(QUICK_SET)
+    if args.smoke:
+        benchmarks = benchmarks[:2]
+        args.rounds = 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ["REPRO_RESULT_CACHE"] = "1"
+        os.environ["REPRO_CACHE_MEM"] = "256"
+        from repro.cache import configure
+        configure(root=tmp, disk=True)
+        result = asyncio.run(_bench(args, benchmarks))
+
+    payload = {
+        "description": "sweep service sustained req/s, cold vs memo-warm: "
+                       "quick set, one request per benchmark, "
+                       "wasm/cheerp/O2/S/1 rep/chrome-desktop, every cold "
+                       "request raced by a twin client (dedupe), every "
+                       "stream byte-checked against the direct path",
+        "python": platform.python_version(),
+        "jobs": args.jobs,
+        "clients": args.clients,
+        **result,
+    }
+    print(json.dumps(payload, indent=2))
+    if args.smoke:
+        print("bench_service smoke ok", flush=True)
+        return 0
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

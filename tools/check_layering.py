@@ -7,6 +7,7 @@ Layer rules (bottom to top)::
     engine core (repro.engine)      (shared tiering/stats/hostlib/trace)
     wasm | jsengine | native        (the three execution engines)
     env / harness / experiments     (measurement apparatus)
+    service                         (benchmark-as-a-service front end)
 
 Enforced here:
 
@@ -49,6 +50,11 @@ Enforced here:
   (``repro.engine.opclass``).  Every engine and both profile layers
   price compiles through it, so anything else it pulled in would become
   a hidden dependency of the whole stack.
+* ``repro.service`` — the sweep server — is the top of the stack: it
+  may import anything in ``repro``, but no other ``repro`` package may
+  import it, anywhere, even inside functions.  The service is a client
+  of the harness and caches, never a dependency; a back-edge would let
+  batch experiment code depend on server lifecycle.
 * ``repro.env.runtimes`` — the standalone host profiles — sits beside
   ``repro.env.browser``: module-level imports must stay within
   ``repro.engine`` and ``repro.env`` (plus ``repro.jsengine.config``-free
@@ -124,6 +130,12 @@ def check(src=SRC):
                         f"imports repro.{pkg} (engines sit below the "
                         f"measurement apparatus and must not reach up "
                         f"into it)")
+                elif pkg == "service" and layer != "service":
+                    violations.append(
+                        f"src/repro/{rel}:{node.lineno}: {layer} layer "
+                        f"imports repro.service (the service is the top "
+                        f"of the stack — nothing below it may depend "
+                        f"on it)")
                 elif layer == "engine" and pkg in ENGINE_LAYERS \
                         and id(node) in module_level_nodes:
                     violations.append(

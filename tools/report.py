@@ -21,6 +21,10 @@ Sections (each skipped gracefully when its metrics are absent):
 * **Cache / scheduler health** — compile-cache hit rates and sweep
   scheduler retry/timeout/lost counts (``cache.*`` / ``sched.*`` in the
   ``metrics_unstable`` section).
+* **Sweep service** — request/cell admission, dedupe and memo-warm
+  serves, scheduler batches and shard sweeps (``service.*`` counters in
+  the ``metrics_unstable`` section, recorded when the summary came from
+  a serving process or ``tools/bench_service.py``).
 
 Stdlib-only and import-free of the package, so it can be pointed at a
 ``summary.json`` from any checkout: ``python tools/report.py
@@ -134,6 +138,35 @@ def _health_section(summary):
     return lines
 
 
+def _service_section(summary):
+    unstable = summary.get("metrics_unstable", {})
+    service = {k.split(".", 1)[1]: v for k, v in unstable.items()
+               if k.startswith("service.") and isinstance(v, (int, float))}
+    if not service:
+        return []
+    lines = _rule("Sweep service")
+    requested = service.get("cells.requested", 0)
+    deduped = service.get("cells.deduped", 0)
+    warm = service.get("cells.warm", 0)
+    swept = service.get("cells.swept", 0)
+    lines.append(
+        f"requests: {service.get('requests', 0):,} admitted, "
+        f"{service.get('rejected', 0):,} rejected "
+        f"(capacity/budget)")
+    lines.append(
+        f"cells: {requested:,} requested — {deduped:,} deduped against "
+        f"in-flight work, {warm:,} served memo-warm, {swept:,} swept")
+    if swept:
+        sweeps = service.get("sweeps", 0)
+        per = (swept / sweeps) if sweeps else 0.0
+        lines.append(f"batches: {sweeps:,} scheduler sweep(s), "
+                     f"{per:.1f} cell(s)/sweep")
+    if service.get("tmp_swept"):
+        lines.append(f"shard maintenance: {service['tmp_swept']:,} "
+                     f"orphaned temp file(s) removed")
+    return lines
+
+
 def _measure_section(summary):
     det = summary.get("metrics", {})
     runs = {k.split(".")[1]: v for k, v in det.items()
@@ -236,6 +269,7 @@ def render_report(summary):
         _pass_section(summary),
         _opclass_section(summary),
         _health_section(summary),
+        _service_section(summary),
     ]
     populated = [section for section in sections if section]
     if not populated:
