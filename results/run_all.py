@@ -23,6 +23,14 @@ serially in this process, and print one result line per cell to stdout.
 These lines are byte-identical to the ``result`` lines the service
 streams for the same request — the service's end-to-end tests and
 ``tools/bench_service.py`` pin that equality.
+
+``--cells <request.json> --trace-out <trace.json>`` additionally arms
+distributed tracing (``REPRO_TRACE=1``) and the event sink for the run,
+opens one deterministic trace over the request, and exports the
+collected span stream as Chrome Trace Event JSON (load it at
+https://ui.perfetto.dev) via ``tools/trace_export.py``.  The printed
+result lines then carry ``trace`` ids — use plain ``--cells`` when the
+byte-identical reference stream is what you need.
 """
 import json, os, time, sys
 
@@ -48,6 +56,41 @@ if "--cells" in sys.argv:
     with open(spec_path) as f:
         payload = json.load(f)
     request = canonicalize_request(payload)
+
+    if "--trace-out" in sys.argv:
+        # Traced reference run: arm tracing + the JSONL sink, run the
+        # cells under one deterministic root context, then fold the
+        # span stream into Chrome Trace Event JSON.
+        import importlib.util, tempfile
+        trace_out = sys.argv[sys.argv.index("--trace-out") + 1]
+        fd, events_path = tempfile.mkstemp(prefix="repro-events-",
+                                           suffix=".jsonl")
+        os.close(fd)
+        os.environ["REPRO_TRACE"] = "1"
+        os.environ["REPRO_EVENTS"] = events_path
+        from repro.obs import TraceContext, emit_span
+
+        root = TraceContext.root(
+            "run_all", request.client,
+            *(spec.cell_key() for spec in request.cells))
+        started = time.time()
+        lines = direct_lines(request.cells, trace=root)
+        emit_span(root, "run_all.cells", started, time.time() - started,
+                  client=request.client, cells=len(request.cells))
+        for line in lines:
+            print(line, flush=True)
+        _spec = importlib.util.spec_from_file_location(
+            "repro_trace_export",
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "tools", "trace_export.py"))
+        _export = importlib.util.module_from_spec(_spec)
+        _spec.loader.exec_module(_export)
+        chrome = _export.export_file(events_path, trace_out)
+        os.unlink(events_path)
+        print(f"chrome trace: {len(chrome['traceEvents'])} event(s) "
+              f"-> {trace_out}", flush=True)
+        sys.exit(0)
+
     for line in direct_lines(request.cells):
         print(line, flush=True)
     sys.exit(0)

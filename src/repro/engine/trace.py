@@ -67,14 +67,27 @@ class ExecutionTrace:
         """Sort events into timeline order (stable, so simultaneous
         events keep emission order).  When the JSONL event sink is armed
         (``REPRO_EVENTS``), the finished timeline is forwarded there as
-        one ``trace`` event per phase span."""
+        one ``trace`` event per phase span.
+
+        When a distributed trace context is active (the sweep worker
+        activates the cell attempt's context around the measurement),
+        each phase event is additionally stamped as a *leaf span* of
+        that attempt: deterministic span ids derived from the attempt's
+        context plus the phase name and timeline index, so the
+        request → cell → attempt → engine-phase chain links up in the
+        exported Chrome trace."""
         self.events.sort(key=lambda e: e.start_cycles)
-        from repro.obs import emit, events_enabled
+        from repro.obs import current, emit, events_enabled
         if events_enabled():
-            for event in self.events:
+            ctx = current()
+            for index, event in enumerate(self.events):
+                trace_fields = {}
+                if ctx is not None:
+                    leaf = ctx.child("phase", index, event.phase)
+                    trace_fields = leaf.fields()
                 emit("trace", engine=self.engine, phase=event.phase,
                      start_cycles=event.start_cycles, cycles=event.cycles,
-                     **event.detail)
+                     **trace_fields, **event.detail)
         return self
 
     def total_cycles(self):

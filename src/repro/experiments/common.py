@@ -19,6 +19,7 @@ from repro.harness import PageRunner
 from repro.harness.parallel import (
     default_cell_timeout, default_jobs, default_retries, run_sweep,
 )
+from repro.obs import TraceContext, trace_enabled
 from repro.suites import all_benchmarks
 
 #: Environment variable: set to run experiments on a representative subset
@@ -166,10 +167,23 @@ class ExperimentContext:
         spec = (self.quick, self.repetitions, self.heap_bytes)
         fn = partial(_run_benchmark_task, worker, spec,
                      tuple(sorted(params.items())))
+        # With REPRO_TRACE=1 the sweep runs under one deterministic
+        # trace per experiment call: ids derive from the worker name and
+        # benchmark list, each cell a ("cell", name) child shipped to
+        # its worker process (attempt and engine-phase spans land in the
+        # event sink).  Off by default — untraced runs carry no context.
+        traces = None
+        if trace_enabled():
+            experiment = getattr(worker, "__name__", str(worker))
+            root = TraceContext.root(
+                "experiment", experiment,
+                tuple(sorted(params.items())),
+                *(b.name for b in benchmarks))
+            traces = [root.child("cell", b.name) for b in benchmarks]
         sweep = run_sweep(fn, benchmarks, jobs=self.jobs,
                           retries=self.retries, timeout=self.cell_timeout,
                           labels=[b.name for b in benchmarks],
-                          fault_plan=self.fault_plan)
+                          fault_plan=self.fault_plan, traces=traces)
         if sweep.failures:
             experiment = getattr(worker, "__name__", str(worker))
             for failure in sweep.failures:

@@ -56,7 +56,10 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as _mpc
 
 from repro.errors import SweepError
-from repro.obs import SCHED, emit, events_enabled, get_registry
+from repro.obs import (
+    SCHED, TraceContext, emit, emit_span, events_enabled, get_registry,
+    trace_span,
+)
 
 #: Environment variable selecting the worker count.  Unset: one worker per
 #: CPU.  ``REPRO_JOBS=1``: serial execution in the calling process.
@@ -302,13 +305,17 @@ class SweepResult:
 
 
 def _worker_main(conn, fn, plan_spec):
-    """Worker loop: receive ``(index, attempt, label, item)`` tasks, run
-    them, report ``("ok", index, value, metrics)`` or
+    """Worker loop: receive ``(index, attempt, label, item, trace)``
+    tasks, run them, report ``("ok", index, value, metrics)`` or
     ``("err", index, ...)``.  ``metrics`` is the registry diff the attempt
     produced; the scheduler applies the per-cell diffs in *input* order so
     the merged registry is byte-identical to a serial run.  A failed
     attempt restores the worker's registry to its pre-attempt snapshot, so
-    retried flakes leave no metric residue.  The worker never dies on a
+    retried flakes leave no metric residue.  ``trace`` is an optional
+    :class:`~repro.obs.TraceContext` wire tuple: when present the attempt
+    runs inside a ``sched.attempt`` span (activated, so engine phase
+    events nest under it) whose deterministic id the scheduler can
+    re-derive if it has to kill this worker.  The worker never dies on a
     cell exception — only on EOF/sentinel or when the scheduler kills
     it."""
     plan = FaultPlan(plan_spec) if plan_spec else None
@@ -320,12 +327,16 @@ def _worker_main(conn, fn, plan_spec):
             return
         if task is None:
             return
-        index, attempt, label, item = task
+        index, attempt, label, item, trace = task
+        ctx = TraceContext.from_wire(trace)
         snap = reg.snapshot()
         try:
-            if plan is not None:
-                plan.apply(label, attempt)
-            message = ("ok", index, fn(item), reg.diff(snap))
+            with trace_span("sched.attempt", ctx=ctx, parts=(attempt,),
+                            label=label, attempt=attempt):
+                if plan is not None:
+                    plan.apply(label, attempt)
+                value = fn(item)
+            message = ("ok", index, value, reg.diff(snap))
         except BaseException as exc:
             reg.restore(snap)
             message = ("err", index, type(exc).__name__, str(exc),
@@ -357,13 +368,16 @@ class _Worker:
                                    args=(child, fn, plan_spec), daemon=True)
         self.process.start()
         child.close()
-        self.task = None      # (index, attempt) while busy
-        self.deadline = None  # monotonic kill time while busy
+        self.task = None           # (index, attempt) while busy
+        self.deadline = None       # monotonic kill time while busy
+        self.dispatched_ts = None  # epoch time of the in-flight dispatch
 
-    def dispatch(self, index, attempt, label, item, timeout):
+    def dispatch(self, index, attempt, label, item, timeout, trace=None):
         self.task = (index, attempt)
         self.deadline = (time.monotonic() + timeout) if timeout else None
-        self.conn.send((index, attempt, label, item))
+        self.dispatched_ts = time.time()
+        self.conn.send((index, attempt, label, item,
+                        trace.to_wire() if trace is not None else None))
 
     def kill(self):
         try:
@@ -393,11 +407,12 @@ class _Worker:
 
 class _Scheduler:
     def __init__(self, fn, items, labels, jobs, retries, timeout,
-                 fault_plan, sleep, on_result=None):
+                 fault_plan, sleep, on_result=None, traces=None):
         self.fn = fn
         self.on_result = on_result
         self.items = items
         self.labels = labels
+        self.traces = traces      # per-cell TraceContext (or None), aligned
         self.jobs = jobs
         self.retries = retries
         self.timeout = timeout
@@ -441,12 +456,22 @@ class _Scheduler:
         reg.counter_add("sched.cells", len(self.items), SCHED)
         reg.counter_add("sched.completed",
                         len(self.items) - len(failures), SCHED)
+        # Register the retry counter even on clean sweeps so scrapers
+        # (the /metrics endpoint) always see it.
+        reg.counter_add("sched.retries", 0, SCHED)
         if failures:
             reg.counter_add("sched.failures", len(failures), SCHED)
         return SweepResult(self.values, failures)
 
     def _spawn(self, ctx):
         return _Worker(ctx, self.fn, self.plan_spec)
+
+    def _trace(self, index):
+        return self.traces[index] if self.traces is not None else None
+
+    def _trace_fields(self, index):
+        ctx = self._trace(index)
+        return ctx.fields() if ctx is not None else {}
 
     def _dispatch(self, workers):
         for worker in workers:
@@ -463,9 +488,11 @@ class _Scheduler:
                     emit("cell_dispatch", label=self.labels[index],
                          index=index, attempt=attempt,
                          worker=worker.process.pid,
-                         queue_wait_ms=round(wait_ms, 3))
+                         queue_wait_ms=round(wait_ms, 3),
+                         **self._trace_fields(index))
                 worker.dispatch(index, attempt, self.labels[index],
-                                self.items[index], self.timeout)
+                                self.items[index], self.timeout,
+                                trace=self._trace(index))
 
     def _wait_timeout(self, busy):
         if not self.timeout:
@@ -483,7 +510,9 @@ class _Scheduler:
         except (EOFError, OSError):
             # The worker died without reporting (hard crash).  Replace it
             # and account the in-flight attempt as lost.
+            started = worker.dispatched_ts or time.time()
             self._replace(worker, workers, ctx)
+            self._emit_dead_attempt(index, attempt, started, "lost")
             self._attempt_failed(
                 index, attempt, "WorkerDied",
                 "worker process died while running this cell", "",
@@ -499,11 +528,25 @@ class _Scheduler:
             if events_enabled():
                 emit("cell", label=self.labels[index], index=index,
                      attempts=attempt, outcome="ok",
-                     worker=worker.process.pid)
+                     worker=worker.process.pid,
+                     **self._trace_fields(index))
             self._notify(index, message[2], None)
         else:
             _tag, _index, error, text, trace = message
             self._attempt_failed(index, attempt, error, text, trace)
+
+    def _emit_dead_attempt(self, index, attempt, started, outcome):
+        """The worker running this attempt died (timeout kill or hard
+        crash), so its ``sched.attempt`` span never closed.  Ids are
+        deterministic, so the scheduler re-derives the same span id the
+        worker would have emitted and closes the span on its behalf."""
+        cell_ctx = self._trace(index)
+        if cell_ctx is None:
+            return
+        span_ctx = cell_ctx.child("sched.attempt", attempt)
+        emit_span(span_ctx, "sched.attempt", started,
+                  time.time() - started, outcome=outcome,
+                  label=self.labels[index], attempt=attempt)
 
     def _reap_timeouts(self, workers, ctx):
         if not self.timeout:
@@ -513,7 +556,9 @@ class _Scheduler:
             if worker.task is None or now < worker.deadline:
                 continue
             index, attempt = worker.task
+            started = worker.dispatched_ts or time.time()
             self._replace(worker, workers, ctx)
+            self._emit_dead_attempt(index, attempt, started, "timeout")
             self._attempt_failed(
                 index, attempt, "Timeout",
                 f"cell exceeded {self.timeout:g}s; worker killed and "
@@ -543,7 +588,8 @@ class _Scheduler:
         reg.hist_observe("sched.attempts", attempt, SCHED)
         if events_enabled():
             emit("cell", label=self.labels[index], index=index,
-                 attempts=attempt, outcome=kind, error=error)
+                 attempts=attempt, outcome=kind, error=error,
+                 **self._trace_fields(index))
         self._notify(index, None, self.failures[index])
 
     def _notify(self, index, value, failure):
@@ -558,7 +604,7 @@ class _Scheduler:
 
 
 def _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
-                  on_result=None):
+                  on_result=None, traces=None):
     """In-process reference path (``jobs=1``).  Same retry/injection
     semantics; per-cell timeouts are not enforced (the scheduler cannot
     kill its own process)."""
@@ -574,19 +620,29 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
         except Exception:
             pass
 
+    def trace_fields(index):
+        if traces is None or traces[index] is None:
+            return {}
+        return traces[index].fields()
+
     for index, item in enumerate(items):
+        cell_ctx = traces[index] if traces is not None else None
         for attempt in range(1, retries + 2):
             # Same metric semantics as the worker path: a failed attempt
             # rolls the registry back, so only completed attempts count.
             snap = reg.snapshot()
             try:
-                if fault_plan is not None:
-                    fault_plan.apply(labels[index], attempt)
-                values[index] = fn(item)
+                with trace_span("sched.attempt", ctx=cell_ctx,
+                                parts=(attempt,), label=labels[index],
+                                attempt=attempt):
+                    if fault_plan is not None:
+                        fault_plan.apply(labels[index], attempt)
+                    values[index] = fn(item)
                 reg.hist_observe("sched.attempts", attempt, SCHED)
                 if events_enabled():
                     emit("cell", label=labels[index], index=index,
-                         attempts=attempt, outcome="ok", worker=os.getpid())
+                         attempts=attempt, outcome="ok", worker=os.getpid(),
+                         **trace_fields(index))
                 notify(index, values[index], None)
                 break
             except Exception as exc:
@@ -603,17 +659,18 @@ def _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
                 if events_enabled():
                     emit("cell", label=labels[index], index=index,
                          attempts=attempt, outcome="crash",
-                         error=type(exc).__name__)
+                         error=type(exc).__name__, **trace_fields(index))
                 notify(index, None, failures[-1])
     reg.counter_add("sched.cells", len(items), SCHED)
     reg.counter_add("sched.completed", len(items) - len(failures), SCHED)
+    reg.counter_add("sched.retries", 0, SCHED)
     if failures:
         reg.counter_add("sched.failures", len(failures), SCHED)
     return SweepResult(values, failures)
 
 
 def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
-              fault_plan=None, sleep=None, on_result=None):
+              fault_plan=None, sleep=None, on_result=None, traces=None):
     """Fault-tolerant order-preserving map over ``items``.
 
     Returns a :class:`SweepResult`; never raises for cell failures.
@@ -631,6 +688,14 @@ def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
     cell's worker metrics are only merged into the registry when the
     sweep completes, so the hook must not read cell metrics.  A raising
     callback is ignored.
+
+    ``traces`` — when given — aligns one
+    :class:`~repro.obs.TraceContext` (or ``None``) with each item: the
+    scheduler stamps the context's ids into the cell lifecycle events
+    and every attempt (including retries, timeout kills and lost
+    workers) runs as a ``sched.attempt`` child span, shipped to workers
+    over the task pipe.  Without ``traces`` the sweep is byte-identical
+    to the untraced scheduler.
     """
     items = list(items)
     if labels is None:
@@ -639,6 +704,10 @@ def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
         labels = [str(label) for label in labels]
         if len(labels) != len(items):
             raise ValueError("labels must align with items")
+    if traces is not None:
+        traces = list(traces)
+        if len(traces) != len(items):
+            raise ValueError("traces must align with items")
     if jobs is None:
         jobs = default_jobs()
     if retries is None:
@@ -658,9 +727,9 @@ def run_sweep(fn, items, jobs=None, retries=None, timeout=None, labels=None,
     # is armed, keep even a one-cell sweep on the worker path.
     if jobs <= 1 and not (timeout and requested > 1):
         return _serial_sweep(fn, items, labels, retries, fault_plan, sleep,
-                             on_result)
+                             on_result, traces)
     return _Scheduler(fn, items, labels, max(jobs, 1), retries, timeout,
-                      fault_plan, sleep, on_result).run()
+                      fault_plan, sleep, on_result, traces).run()
 
 
 def parallel_map(fn, items, jobs=None):

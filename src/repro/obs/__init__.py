@@ -18,6 +18,10 @@ Three kinds of instrument:
 * :mod:`repro.obs.profile` — the per-function/per-op execution profiler
   the engines drive when ``REPRO_PROFILE=1``; pure integer counts so the
   reference ladders and the threaded tier produce identical profiles.
+* :mod:`repro.obs.tracing` — distributed trace/span context with
+  deterministic ids (``REPRO_TRACE=1``), propagated across the worker
+  Pipe protocol and exported to Chrome Trace / Perfetto JSON by
+  ``tools/trace_export.py``.
 """
 
 from repro.obs.envflags import (
@@ -27,12 +31,17 @@ from repro.obs.events import (
     EVENTS_ENV, add_listener, emit, events_enabled, remove_listener,
 )
 from repro.obs.metrics import (
-    DET, SCHED, WALL, MetricsRegistry, get_registry, reset_registry,
+    DET, SCHED, WALL, MetricsRegistry, get_registry, render_prometheus,
+    reset_registry,
 )
 from repro.obs.profile import (
     PROFILE_ENV, EngineProfile, new_profile, profile_enabled,
 )
 from repro.obs.spans import span
+from repro.obs.tracing import (
+    TRACE_ENV, TraceContext, activate, current, derive_id, emit_span,
+    trace_enabled, trace_span,
+)
 
 __all__ = [
     "DET",
@@ -41,9 +50,15 @@ __all__ = [
     "MetricsRegistry",
     "PROFILE_ENV",
     "SCHED",
+    "TRACE_ENV",
+    "TraceContext",
     "WALL",
+    "activate",
     "add_listener",
+    "current",
+    "derive_id",
     "emit",
+    "emit_span",
     "env_flag",
     "env_float",
     "env_int",
@@ -53,6 +68,9 @@ __all__ = [
     "remove_listener",
     "new_profile",
     "profile_enabled",
+    "render_prometheus",
     "reset_registry",
     "span",
+    "trace_enabled",
+    "trace_span",
 ]

@@ -17,7 +17,9 @@ best-effort; a broken sink never fails the run.
 each event record as a dict, in-process, before it is serialized.  The
 sweep service uses this to stream per-cell scheduler progress to HTTP
 clients without routing through a file.  A listener is bound to the pid
-that registered it, so a forked worker never delivers into a parent's
+that registered it: a forked worker purges the inherited foreign-pid
+tokens on its first listener-table access (registration, enablement
+check, or delivery) and therefore never delivers into a parent's
 callback; like the file sink, a listener that raises is dropped from
 that delivery rather than failing the emitting code path.
 """
@@ -36,6 +38,28 @@ _state = {"path": None, "pid": None, "fh": None}
 _listeners = {}
 _next_token = 0
 
+#: The pid whose listeners currently populate ``_listeners``.  A forked
+#: child inherits the parent's table; the first listener-table access in
+#: the child purges the foreign tokens once (instead of re-checking the
+#: owner on every delivery) and rebinds the table to the child's pid.
+_listeners_pid = None
+
+
+def _purge_foreign():
+    """Drop listeners inherited across a fork; returns this pid.
+
+    Called on every listener-table access; after the first call in a
+    process it is a single pid comparison."""
+    global _listeners_pid
+    pid = os.getpid()
+    if _listeners_pid != pid:
+        if _listeners:
+            for token, (owner, _cb) in list(_listeners.items()):
+                if owner != pid:
+                    del _listeners[token]
+        _listeners_pid = pid
+    return pid
+
 
 def add_listener(callback):
     """Register an in-process event listener; returns a removal token.
@@ -44,8 +68,9 @@ def add_listener(callback):
     this process (events become "enabled" for emitters as long as at
     least one listener is registered, even without ``REPRO_EVENTS``)."""
     global _next_token
+    pid = _purge_foreign()
     _next_token += 1
-    _listeners[_next_token] = (os.getpid(), callback)
+    _listeners[_next_token] = (pid, callback)
     return _next_token
 
 
@@ -59,8 +84,10 @@ def events_enabled():
     an in-process listener registered by *this* process is live."""
     if os.environ.get(EVENTS_ENV):
         return True
-    pid = os.getpid()
-    return any(owner == pid for owner, _cb in _listeners.values())
+    if not _listeners:
+        return False
+    _purge_foreign()
+    return bool(_listeners)
 
 
 def _handle(path):
@@ -77,6 +104,11 @@ def _handle(path):
         try:
             _state["fh"] = open(path, "a", encoding="utf-8")
         except OSError:
+            # A failed open must not leave the previous path/pid behind:
+            # stale bookkeeping would make the close-on-reopen guard
+            # above compare against a handle that no longer exists.
+            _state["path"] = None
+            _state["pid"] = None
             return None
         _state["path"] = path
         _state["pid"] = pid
@@ -84,10 +116,8 @@ def _handle(path):
 
 
 def _deliver(record):
-    pid = os.getpid()
-    for token, (owner, callback) in list(_listeners.items()):
-        if owner != pid:
-            continue              # inherited across a fork: not ours
+    _purge_foreign()
+    for _token, (_owner, callback) in list(_listeners.items()):
         try:
             callback(record)
         except Exception:

@@ -253,6 +253,69 @@ class MetricsRegistry:
         self._stability.clear()
 
 
+def _prom_name(name):
+    """Metric name to Prometheus spelling: ``repro_`` prefix, separators
+    flattened to underscores."""
+    safe = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return "repro_" + safe
+
+
+def render_prometheus(registry, extra_gauges=None):
+    """Prometheus text exposition (v0.0.4) of one registry.
+
+    Counters export as ``counter`` samples, gauges as ``gauge``,
+    histograms as cumulative ``le`` buckets plus a ``_count`` total.
+    Every sample carries its stability tag (``det``/``sched``/``wall``)
+    as a label, so scrapers can select the deterministic slice the same
+    way the parity tests do.  ``extra_gauges`` — ``{name: value}`` or
+    ``{name: (value, {label: v})}`` — lets front ends append
+    operational numbers (store stats, outstanding cells) that live
+    outside the registry."""
+    lines = []
+
+    def sample(name, labels, value):
+        if isinstance(value, float):
+            text = repr(value)
+        else:
+            text = str(value)
+        rendered = ",".join(f'{k}="{v}"' for k, v in labels.items())
+        lines.append(f"{name}{{{rendered}}} {text}" if rendered
+                     else f"{name} {text}")
+
+    for name in sorted(registry._stability):
+        stability = registry._stability[name]
+        prom = _prom_name(name)
+        labels = {"stability": stability}
+        if name in registry._counters:
+            lines.append(f"# TYPE {prom} counter")
+            sample(prom, labels, registry._counters[name].value)
+        elif name in registry._gauges:
+            value = registry._gauges[name].value
+            if value is None:
+                continue
+            lines.append(f"# TYPE {prom} gauge")
+            sample(prom, labels, value)
+        elif name in registry._hists:
+            hist = registry._hists[name]
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                sample(prom + "_bucket", {**labels, "le": str(bound)},
+                       cumulative)
+            cumulative += hist.counts[-1]
+            sample(prom + "_bucket", {**labels, "le": "+Inf"}, cumulative)
+            sample(prom + "_count", labels, cumulative)
+    for name, value in sorted((extra_gauges or {}).items()):
+        labels = {}
+        if isinstance(value, tuple):
+            value, labels = value
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        sample(prom, labels, value)
+    return "\n".join(lines) + "\n"
+
+
 _REGISTRY = MetricsRegistry()
 
 

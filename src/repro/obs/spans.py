@@ -8,7 +8,10 @@ region — node counts, rewrites, hit/miss — are recorded separately as
 ``det``/``sched`` counters by the caller; the span only owns time.
 
 When the JSONL sink is enabled each span also emits one ``span`` event
-carrying its structured fields.
+carrying its structured fields plus the region's ``outcome`` — ``ok``
+when the body returned, ``raised`` when it propagated an exception — so
+failed regions are distinguishable in traces.  A raising region still
+books its ``wall_ms``/``count`` metrics before re-raising.
 """
 
 from __future__ import annotations
@@ -27,12 +30,17 @@ def span(name, /, **fields):
     The span name is positional-only so callers can attach a ``name``
     field of their own (the event carries the span under ``span``)."""
     t0 = time.perf_counter()
+    outcome = "ok"
     try:
         yield fields
+    except BaseException:
+        outcome = "raised"
+        raise
     finally:
         wall_ms = (time.perf_counter() - t0) * 1000.0
         reg = get_registry()
         reg.counter_add(name + ".wall_ms", wall_ms, WALL)
         reg.counter_add(name + ".count", 1, SCHED)
         if events_enabled():
-            emit("span", span=name, wall_ms=round(wall_ms, 3), **fields)
+            emit("span", span=name, wall_ms=round(wall_ms, 3),
+                 outcome=outcome, **fields)

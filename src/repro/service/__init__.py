@@ -24,6 +24,7 @@ from repro.service.cells import (
 from repro.service.client import (
     ServiceError,
     get_json,
+    get_text,
     post_shutdown,
     request_lines,
     request_sweep,
@@ -92,6 +93,7 @@ __all__ = [
     "direct_lines",
     "failure_line",
     "get_json",
+    "get_text",
     "post_shutdown",
     "profile_for",
     "request_lines",

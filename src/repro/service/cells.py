@@ -80,7 +80,14 @@ def compute_cell(spec):
                 "opt_level": artifact.opt_level,
                 "code_size": artifact.code_size, "cycles": cycles}
     profile, platform = profile_for(spec.profile)
-    runner = PageRunner(profile, platform, repetitions=spec.repetitions)
+    # With REPRO_TRACE=1 the harness records the engine phase timeline,
+    # whose events become leaf spans of the running attempt (see
+    # ExecutionTrace.finalize).  Tracing bypasses the measurement-level
+    # memo, but the engine is deterministic so the returned values — and
+    # the DET metrics slice — are identical either way.
+    from repro.obs import trace_enabled
+    runner = PageRunner(profile, platform, repetitions=spec.repetitions,
+                        trace=trace_enabled())
     if spec.target == "wasm":
         artifact = toolchain.compile_wasm(benchmark.source, defines,
                                           spec.opt_level, benchmark.name)
@@ -119,27 +126,51 @@ def run_cell_task(spec_tuple):
     return run_cell(CellSpec.from_tuple(spec_tuple))
 
 
-def result_line(spec, value):
+def result_line(spec, value, trace=None):
     """The canonical JSONL result line for one completed cell.  Both the
-    service stream and the direct path emit exactly this string."""
-    return json.dumps({"event": "result", "cell": spec.as_dict(),
-                       "key": spec.cell_key(), "value": value},
-                      sort_keys=True)
+    service stream and the direct path emit exactly this string.  When a
+    :class:`~repro.obs.TraceContext` is supplied (``REPRO_TRACE=1``) the
+    line additionally carries the cell's trace/span ids; with tracing
+    off the ``trace`` key is absent and the byte contract is untouched."""
+    record = {"event": "result", "cell": spec.as_dict(),
+              "key": spec.cell_key(), "value": value}
+    if trace is not None:
+        record["trace"] = {"trace_id": trace.trace_id,
+                           "span_id": trace.span_id}
+    return json.dumps(record, sort_keys=True)
 
 
-def failure_line(spec, failure):
+def failure_line(spec, failure, trace=None):
     """JSONL line for a cell that exhausted its retries.  Failure lines
     carry schedule-dependent fields (attempt counts) and are *not* part
     of the byte-equality contract."""
-    return json.dumps({"event": "cell_failed", "cell": spec.as_dict(),
-                       "key": spec.cell_key(), "error": failure["error"],
-                       "message": failure["message"],
-                       "kind": failure["kind"],
-                       "attempts": failure["attempts"]}, sort_keys=True)
+    record = {"event": "cell_failed", "cell": spec.as_dict(),
+              "key": spec.cell_key(), "error": failure["error"],
+              "message": failure["message"], "kind": failure["kind"],
+              "attempts": failure["attempts"]}
+    if trace is not None:
+        record["trace"] = {"trace_id": trace.trace_id,
+                           "span_id": trace.span_id}
+    return json.dumps(record, sort_keys=True)
 
 
-def direct_lines(cells):
+def direct_lines(cells, trace=None):
     """The reference serial path: run every cell in canonical order in
     this process and return the result lines (what ``run_all.py --cells``
-    prints, and what a service stream must reproduce byte-for-byte)."""
-    return [result_line(spec, run_cell(spec)) for spec in cells]
+    prints, and what a service stream must reproduce byte-for-byte).
+
+    ``trace`` is an optional request-root :class:`~repro.obs.TraceContext`;
+    each cell then runs under a ``("cell", key)`` child span (the same
+    derivation the service uses) and its line carries the child's ids."""
+    from repro.obs import trace_span
+
+    lines = []
+    for spec in cells:
+        if trace is None:
+            lines.append(result_line(spec, run_cell(spec)))
+            continue
+        with trace_span("cell", ctx=trace, parts=(spec.cell_key(),),
+                        cell=spec.label()) as ctx:
+            value = run_cell(spec)
+        lines.append(result_line(spec, value, trace=ctx))
+    return lines

@@ -60,6 +60,20 @@ def request_sweep(host, port, payload, timeout=600.0):
             for line in request_lines(host, port, payload, timeout=timeout)]
 
 
+def get_text(host, port, path, timeout=30.0):
+    """GET a plain-text endpoint (``/metrics``)."""
+    conn = _connect(host, port, timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        data = response.read().decode("utf-8", "replace")
+        if response.status != 200:
+            raise ServiceError(response.status, data)
+        return data
+    finally:
+        conn.close()
+
+
 def get_json(host, port, path, timeout=30.0):
     """GET a JSON endpoint (``/healthz``, ``/stats``)."""
     conn = _connect(host, port, timeout)

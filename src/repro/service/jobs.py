@@ -21,7 +21,14 @@ thin shell over it).  One :class:`SweepService` owns:
   with :class:`AdmissionError` (HTTP 429) instead of queueing unboundedly;
 * **shard maintenance**: after every sweep one shard of the disk store
   is swept for orphaned temp files, round-robin, so no maintenance pass
-  ever scans the whole store.
+  ever scans the whole store;
+* **distributed tracing**: every admitted request opens a deterministic
+  :class:`~repro.obs.TraceContext` (ids derived from the request
+  sequence number, client and cell keys — never wallclock), each cell a
+  child context.  Dedupe hits, warm-cache probes and batch membership
+  emit link spans, and the scheduling context rides
+  :func:`~repro.harness.parallel.run_sweep` to the workers, so one
+  exported trace links request → cell → attempt → engine phase.
 
 Threading model: all bookkeeping (in-flight table, budgets, counters)
 happens on the event loop; sweeps and warm probes run on a single
@@ -33,11 +40,14 @@ back through ``loop.call_soon_threadsafe``.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.cache import MISS, get_cache, lookup
 from repro.harness.parallel import run_sweep
-from repro.obs import SCHED, env_float, env_int, get_registry
+from repro.obs import (
+    SCHED, TraceContext, emit_span, env_float, env_int, get_registry,
+)
 from repro.service.cells import run_cell_task
 from repro.service.requests import MEMO_KIND, canonicalize_request
 
@@ -67,16 +77,23 @@ class SweepJob:
     """One admitted request: its canonical cells and their futures.
 
     ``futures`` aligns with ``request.cells``; each resolves to
-    ``("ok" | "warm" | "failed", payload)``.  The creator must call
-    :meth:`close` (typically in a ``finally``) to release the client's
-    budget."""
+    ``("ok" | "warm" | "failed", payload)``.  ``trace`` is the request's
+    root :class:`~repro.obs.TraceContext` and ``cell_traces`` its
+    per-cell children (aligned with ``request.cells``); for deduped
+    cells the *owning* request's context did the scheduling, so this
+    request's child only appears in its dedupe link span.  The creator
+    must call :meth:`close` (typically in a ``finally``) to release the
+    client's budget."""
 
-    def __init__(self, service, request, futures, deduped, new_keys):
+    def __init__(self, service, request, futures, deduped, new_keys,
+                 trace=None, cell_traces=()):
         self.service = service
         self.request = request
         self.futures = futures
         self.deduped = deduped
         self.new_keys = new_keys
+        self.trace = trace
+        self.cell_traces = list(cell_traces)
         self._closed = False
 
     def close(self):
@@ -108,6 +125,9 @@ class SweepService:
         self._client_load = {}     # client id -> in-flight requested cells
         self._outstanding = 0      # unique cells queued or running
         self._shard_cursor = 0
+        self._request_seq = 0      # per-process request counter (trace ids)
+        self._batch_seq = 0        # per-process batch counter (trace ids)
+        self._cell_traces = {}     # cell key -> owning TraceContext
         self.last_cells = ()       # cells of the last admitted request
         self._loop = None
         self._wake = None
@@ -140,6 +160,7 @@ class SweepService:
         self._pending.clear()
         self._outstanding = 0
         self._client_load.clear()
+        self._cell_traces.clear()
         self._executor.shutdown(wait=True)
 
     # -- submission ----------------------------------------------------------
@@ -161,10 +182,22 @@ class SweepService:
         complete (warm cells resolve after the next executor turn).
         Raises :class:`~repro.service.requests.RequestError` on a
         malformed payload and :class:`AdmissionError` when over
-        capacity or budget.  Must be called on the service's loop."""
+        capacity or budget.  Must be called on the service's loop.
+
+        Every admitted request opens a deterministic trace: the root id
+        derives from the per-process request sequence number, the client
+        id and the canonical cell keys (never wallclock), and each cell
+        gets a ``("cell", key)`` child context.  New cells record their
+        context as the *owner* that will schedule them; a dedupe hit
+        instead emits a ``service.dedupe`` link span pointing at the
+        owning request's span."""
         request = canonicalize_request(payload)
         self.last_cells = request.cells
         self._count("requests")
+        self._request_seq += 1
+        root = TraceContext.root(
+            "request", self._request_seq, request.client,
+            *(spec.cell_key() for spec in request.cells))
         self._count("cells.requested", request.cell_count)
         new_specs = [spec for spec in request.cells
                      if spec.cell_key() not in self._inflight]
@@ -185,14 +218,26 @@ class SweepService:
 
         futures = []
         new_keys = []
+        cell_traces = []
         for spec in request.cells:
             key = spec.cell_key()
+            ctx = root.child("cell", key)
+            cell_traces.append(ctx)
             future = self._inflight.get(key)
             if future is None:
                 future = self._loop.create_future()
                 self._inflight[key] = future
                 self._outstanding += 1
+                self._cell_traces[key] = ctx
                 new_keys.append((key, spec))
+            else:
+                owner = self._cell_traces.get(key)
+                link = {}
+                if owner is not None:
+                    link = {"link_trace_id": owner.trace_id,
+                            "link_span_id": owner.span_id}
+                emit_span(ctx.child("service.dedupe"), "service.dedupe",
+                          time.time(), 0.0, cell=spec.label(), **link)
             futures.append(future)
         deduped = request.cell_count - len(new_keys)
         if deduped:
@@ -203,13 +248,15 @@ class SweepService:
             # queue the misses for the batcher.
             self._loop.create_task(self._admit_new(new_keys))
         return SweepJob(self, request, futures, deduped,
-                        [key for key, _spec in new_keys])
+                        [key for key, _spec in new_keys],
+                        trace=root, cell_traces=cell_traces)
 
     async def _admit_new(self, new_keys):
         try:
             probes = await self._loop.run_in_executor(
                 self._executor, self._probe_warm,
-                [s for _k, s in new_keys])
+                [(spec, self._cell_traces.get(key))
+                 for key, spec in new_keys])
         except Exception as exc:   # defensive: never strand a future
             for key, _spec in new_keys:
                 self._settle(key, ("failed", {
@@ -228,12 +275,25 @@ class SweepService:
             self._wake.set()
 
     @staticmethod
-    def _probe_warm(specs):
-        return [lookup(MEMO_KIND, spec.key_parts(), replay_metrics=True)
-                for spec in specs]
+    def _probe_warm(pairs):
+        values = []
+        for spec, ctx in pairs:
+            started = time.time()
+            t0 = time.perf_counter()
+            value = lookup(MEMO_KIND, spec.key_parts(),
+                           replay_metrics=True)
+            if ctx is not None:
+                emit_span(ctx.child("service.cache_probe"),
+                          "service.cache_probe", started,
+                          time.perf_counter() - t0,
+                          outcome="hit" if value is not MISS else "miss",
+                          cell=spec.label())
+            values.append(value)
+        return values
 
     def _settle(self, key, outcome):
         future = self._inflight.pop(key, None)
+        self._cell_traces.pop(key, None)
         if future is not None and not future.done():
             future.set_result(outcome)
             self._outstanding -= 1
@@ -259,10 +319,19 @@ class SweepService:
 
         Every cell is self-describing, so any mix of benchmarks,
         toolchains, levels and profiles rides one sweep; the batch bound
-        exists to keep per-sweep worker lifetimes reasonable."""
+        exists to keep per-sweep worker lifetimes reasonable.  Each
+        member's owning trace context rides the sweep (the scheduler
+        ships it to the worker over the Pipe protocol) and additionally
+        gets a ``service.batch`` membership span covering the sweep, so
+        an exported trace shows which cells shared a batch."""
         self._count("sweeps")
         self._count("cells.swept", len(batch))
+        self._batch_seq += 1
+        batch_seq = self._batch_seq
         keys = [spec.cell_key() for spec in batch]
+        traces = [self._cell_traces.get(key) for key in keys]
+        started = time.time()
+        t0 = time.perf_counter()
 
         def on_result(index, _label, value, failure):
             if failure is not None:
@@ -277,7 +346,7 @@ class SweepService:
         try:
             run_sweep(run_cell_task, [spec.as_tuple() for spec in batch],
                       jobs=self.jobs, labels=[spec.label() for spec in batch],
-                      on_result=on_result)
+                      on_result=on_result, traces=traces)
         except BaseException as exc:  # defensive: never strand a future
             for key in keys:
                 self._loop.call_soon_threadsafe(self._settle, key, (
@@ -286,6 +355,13 @@ class SweepService:
                                "attempts": 0}))
             raise
         finally:
+            duration = time.perf_counter() - t0
+            for spec, ctx in zip(batch, traces):
+                if ctx is not None:
+                    emit_span(ctx.child("service.batch", batch_seq),
+                              "service.batch", started, duration,
+                              batch=batch_seq, size=len(batch),
+                              cell=spec.label())
             self._sweep_one_shard()
 
     def _sweep_one_shard(self):

@@ -25,9 +25,22 @@ no frameworks, no threads per connection.  Endpoints:
     Operational snapshot: outstanding/pending cells, client budgets,
     ``service.*`` counters, artifact-store stats.
 
+``GET /metrics``
+    Prometheus text exposition (v0.0.4) of the metrics registry — every
+    sample labelled with its stability tag (``det``/``sched``/``wall``)
+    — plus operational gauges: artifact-store hit/miss counts and
+    outstanding/pending cells.
+
 ``POST /shutdown``
     Graceful stop (enabled by default; disable with
     ``allow_shutdown=False`` for exposed deployments).
+
+Tracing: every ``/sweep`` request opens a deterministic trace (see
+:mod:`repro.obs.tracing`); progress lines are routed to their owning
+request by trace id, so two overlapping streams never see each other's
+progress.  With ``REPRO_TRACE=1`` every streamed line additionally
+carries its trace/span ids; with tracing off those fields are stripped
+and the stream is byte-identical to an untraced server's.
 
 Errors are JSON: 400 for malformed requests, 404 unknown path, 429 from
 admission control, 500 otherwise.
@@ -38,9 +51,13 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 
 from repro.cache import RESULT_CACHE_ENV, get_cache
-from repro.obs import add_listener, remove_listener
+from repro.obs import (
+    add_listener, emit_span, get_registry, remove_listener,
+    render_prometheus, trace_enabled,
+)
 from repro.service.cells import failure_line, result_line
 from repro.service.jobs import AdmissionError, SweepService
 from repro.service.requests import RequestError
@@ -199,6 +216,8 @@ class SweepServer:
             await self._send_json(writer, {"ok": True})
         elif path == "/stats" and method == "GET":
             await self._send_json(writer, self.service.stats())
+        elif path == "/metrics" and method == "GET":
+            await self._send_metrics(writer)
         elif path == "/sweep" and method == "POST":
             payload = json.loads(body.decode("utf-8") or "{}")
             await self._stream_sweep(payload, writer)
@@ -207,62 +226,106 @@ class SweepServer:
                 raise _HttpError(404, "not found", "shutdown disabled")
             await self._send_json(writer, {"stopping": True})
             asyncio.get_running_loop().create_task(self.stop())
-        elif path in ("/healthz", "/stats", "/sweep", "/shutdown"):
+        elif path in ("/healthz", "/stats", "/metrics", "/sweep",
+                      "/shutdown"):
             raise _HttpError(405, "method not allowed",
                              f"{method} not allowed on {path}")
         else:
             raise _HttpError(404, "not found", f"no route for {path}")
+
+    async def _send_metrics(self, writer):
+        """``GET /metrics``: Prometheus text rendering of the registry
+        plus store / scheduler health gauges."""
+        service = self.service
+        extra = {
+            "service.outstanding_cells": service._outstanding,
+            "service.pending_cells": len(service._pending),
+            "service.inflight_cells": len(service._inflight),
+        }
+        for name, value in get_cache().stats.as_dict().items():
+            extra[f"store.{name}"] = value
+        text = render_prometheus(get_registry(), extra_gauges=extra)
+        writer.write(_head(200, "text/plain; version=0.0.4"))
+        writer.write(text.encode("utf-8"))
+        await writer.drain()
 
     # -- the sweep stream ----------------------------------------------------
 
     async def _stream_sweep(self, payload, writer):
         job = self.service.admit(payload)     # may raise 400/429 pre-headers
         request = job.request
+        root = job.trace
+        traced = trace_enabled()
         loop = asyncio.get_running_loop()
         progress_token = None
+        started = time.time()
+        t0 = time.perf_counter()
+        completed = failed = 0
         try:
             writer.write(_head(200, "application/x-ndjson"))
-            await self._write_line(writer, {
+            accepted = {
                 "event": "accepted", "client": request.client,
                 "cells": request.cell_count, "deduped": job.deduped,
-                "scheduled": len(job.new_keys)})
+                "scheduled": len(job.new_keys)}
+            if traced:
+                accepted["trace"] = {"trace_id": root.trace_id,
+                                     "span_id": root.span_id}
+            await self._write_line(writer, accepted)
             if request.progress:
-                progress_token = self._tap_progress(request, writer, loop)
-            completed = failed = 0
-            for spec, future in zip(request.cells, job.futures):
+                progress_token = self._tap_progress(job, writer, loop,
+                                                    traced)
+            for spec, ctx, future in zip(request.cells, job.cell_traces,
+                                         job.futures):
                 status, value = await asyncio.shield(future)
+                trace = ctx if traced else None
                 if status == "failed":
                     failed += 1
-                    writer.write(failure_line(spec, value)
+                    writer.write(failure_line(spec, value, trace=trace)
                                  .encode("utf-8") + b"\n")
                 else:
                     completed += 1
-                    writer.write(result_line(spec, value)
+                    writer.write(result_line(spec, value, trace=trace)
                                  .encode("utf-8") + b"\n")
                 await writer.drain()
-            await self._write_line(writer, {
+            done = {
                 "event": "done", "cells": request.cell_count,
-                "completed": completed, "failed": failed})
+                "completed": completed, "failed": failed}
+            if traced:
+                done["trace"] = {"trace_id": root.trace_id,
+                                 "span_id": root.span_id}
+            await self._write_line(writer, done)
         finally:
             if progress_token is not None:
                 remove_listener(progress_token)
             job.close()
+            emit_span(root, "service.request", started,
+                      time.perf_counter() - t0, client=request.client,
+                      cells=request.cell_count, deduped=job.deduped,
+                      completed=completed, failed=failed)
 
-    def _tap_progress(self, request, writer, loop):
+    def _tap_progress(self, job, writer, loop, traced):
         """Forward this request's scheduler lifecycle events into the
-        stream.  The tap fires on the executor thread (scheduler side),
-        so writes hop to the loop; a closed writer ends the tap's
-        output harmlessly."""
-        labels = {spec.label() for spec in request.cells}
+        stream, routed by trace id: only events carrying the request's
+        own ``trace_id`` are forwarded, so two overlapping streams never
+        receive each other's progress lines (a deduped cell's progress
+        belongs to the request that scheduled it).  With tracing off the
+        trace fields are stripped from the payload, keeping the stream
+        byte-identical to an untraced server's.  The tap fires on the
+        executor thread (scheduler side), so writes hop to the loop; a
+        closed writer ends the tap's output harmlessly."""
+        trace_id = job.trace.trace_id
 
         def write_progress(record):
             if record.get("event") not in ("cell_dispatch", "cell"):
                 return
-            if record.get("label") not in labels:
+            if record.get("trace_id") != trace_id:
                 return
             payload = dict(record)
             payload["stage"] = payload.pop("event")
             payload["event"] = "progress"
+            if not traced:
+                for field in ("trace_id", "span_id", "parent_span_id"):
+                    payload.pop(field, None)
             line = json.dumps(payload, sort_keys=True, default=str)
 
             def push():

@@ -212,6 +212,125 @@ def test_span_records_wall_and_count(tmp_path, monkeypatch):
     assert event["extra"] == 42
 
 
+def test_failed_open_resets_sink_state(tmp_path, monkeypatch):
+    """An unopenable REPRO_EVENTS path must not leave stale path/pid
+    bookkeeping behind — a later good path has to open cleanly."""
+    from repro.obs import events as events_mod
+
+    good = tmp_path / "good.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS", str(good))
+    emit("unit", n=1)                       # prime a healthy handle
+    bad = tmp_path / "a-directory"
+    bad.mkdir()
+    monkeypatch.setenv("REPRO_EVENTS", str(bad))
+    emit("unit", n=2)                       # open fails; must not raise
+    assert events_mod._state["path"] is None
+    assert events_mod._state["pid"] is None
+    monkeypatch.setenv("REPRO_EVENTS", str(good))
+    emit("unit", n=3)                       # recovers on the good path
+    values = [json.loads(line)["n"]
+              for line in good.read_text().strip().splitlines()]
+    assert values == [1, 3]
+    assert events_mod._state["path"] == str(good)
+
+
+def test_fork_inherited_listeners_purged_once(monkeypatch):
+    """A child that inherited the parent's listener table drops the
+    foreign-pid tokens on first access and never delivers into them."""
+    from repro.obs import events as events_mod
+
+    monkeypatch.delenv("REPRO_EVENTS", raising=False)
+    foreign_calls = []
+    token = events_mod.add_listener(foreign_calls.append)
+    try:
+        # Forge a post-fork state: the table holds a token registered by
+        # another pid, and the table's pid marker predates this process.
+        events_mod._listeners[token] = (os.getpid() + 1,
+                                        foreign_calls.append)
+        events_mod._listeners_pid = None
+        assert not events_enabled()          # purge on enablement check
+        assert token not in events_mod._listeners
+        assert events_mod._listeners_pid == os.getpid()
+        emit("unit", x=1)
+        assert foreign_calls == []
+        # A live local listener still works after the purge.
+        local_calls = []
+        local = events_mod.add_listener(local_calls.append)
+        try:
+            emit("unit", x=2)
+        finally:
+            events_mod.remove_listener(local)
+        assert [r["x"] for r in local_calls] == [2]
+    finally:
+        events_mod.remove_listener(token)
+
+
+def test_raising_span_books_metrics_and_outcome(tmp_path, monkeypatch):
+    """A region that raises still lands its wall_ms/count metrics, and
+    its event records ``outcome: raised``."""
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS", str(path))
+    with pytest.raises(RuntimeError):
+        with span("unit.fail", phase="test"):
+            raise RuntimeError("boom")
+    exported = get_registry().export()
+    assert exported["unit.fail.count"] == 1
+    assert exported["unit.fail.wall_ms"] >= 0.0
+    event = json.loads(path.read_text().strip())
+    assert event["outcome"] == "raised"
+    with span("unit.fail", phase="test"):
+        pass
+    last = json.loads(path.read_text().strip().splitlines()[-1])
+    assert last["outcome"] == "ok"
+    assert get_registry().export()["unit.fail.count"] == 2
+
+
+# -- prometheus export -----------------------------------------------------
+
+
+def test_render_prometheus_text_exposition():
+    from repro.obs import render_prometheus
+
+    reg = MetricsRegistry()
+    reg.counter_add("cache.hits", 3, SCHED)
+    reg.counter_add("vm.cycles", 1.5, DET)
+    reg.gauge_max("sched.peak", 7, SCHED)
+    reg.hist_observe("sched.attempts", 1, SCHED, bounds=(1, 2))
+    reg.hist_observe("sched.attempts", 5, SCHED, bounds=(1, 2))
+    text = render_prometheus(reg, extra_gauges={
+        "store.hits": 9,
+        "service.outstanding_cells": (2, {"shard": "0"})})
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "# TYPE repro_cache_hits counter" in lines
+    assert 'repro_cache_hits{stability="sched"} 3' in lines
+    assert 'repro_vm_cycles{stability="det"} 1.5' in lines
+    assert 'repro_sched_peak{stability="sched"} 7' in lines
+    # Histogram buckets are cumulative and close with +Inf and _count
+    # (registry bounds are exclusive: an observation of exactly 1 lands
+    # in the next bucket).
+    assert 'repro_sched_attempts_bucket{stability="sched",le="1"} 0' \
+        in lines
+    assert 'repro_sched_attempts_bucket{stability="sched",le="2"} 1' \
+        in lines
+    assert 'repro_sched_attempts_bucket{stability="sched",le="+Inf"} 2' \
+        in lines
+    assert 'repro_sched_attempts_count{stability="sched"} 2' in lines
+    assert "# TYPE repro_store_hits gauge" in lines
+    assert "repro_store_hits 9" in lines
+    assert 'repro_service_outstanding_cells{shard="0"} 2' in lines
+
+
+def test_render_prometheus_skips_unset_gauges():
+    from repro.obs import render_prometheus
+
+    reg = MetricsRegistry()
+    reg.gauge_max("unset.gauge", 1, SCHED)
+    reg._gauges["unset.gauge"].peak = None   # registered but never set
+    text = render_prometheus(reg)
+    assert "unset_gauge" not in text
+
+
 # -- profiler --------------------------------------------------------------
 
 
@@ -261,3 +380,26 @@ def test_obs_layering_rule_flags_back_edges(tmp_path):
     assert len(violations) == 1
     assert "obs/metrics.py" in violations[0]
     assert "repro.engine" in violations[0]
+
+
+def test_tracing_leaf_rule_pins_imports(tmp_path):
+    """``repro.obs.tracing`` may import only the event sink and the
+    env-flag helpers — anything else (even the metrics registry) is a
+    violation, and the real module must be clean."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    try:
+        import check_layering
+    finally:
+        sys.path.pop(0)
+    tracing = tmp_path / "obs" / "tracing.py"
+    tracing.parent.mkdir()
+    tracing.write_text(
+        "from repro.obs.events import emit\n"
+        "from repro.obs.envflags import env_flag\n"
+        "from repro.obs.metrics import get_registry\n")
+    violations = check_layering.check(src=tmp_path)
+    assert len(violations) == 1
+    assert "obs/tracing.py" in violations[0]
+    assert "repro.obs.metrics" in violations[0]
+    # The shipped tree passes the full checker, tracing rule included.
+    assert check_layering.check() == []

@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.cache import RESULT_CACHE_ENV, configure
-from repro.obs import SCHED, get_registry, reset_registry
+from repro.obs import SCHED, TRACE_ENV, get_registry, reset_registry
 from repro.service import (
     AdmissionError,
     CellSpec,
@@ -22,6 +22,7 @@ from repro.service import (
     canonicalize_request,
     direct_lines,
     get_json,
+    get_text,
     post_shutdown,
     request_lines,
     result_line,
@@ -388,6 +389,107 @@ class TestHttpServer:
             return ack
 
         assert asyncio.run(drive()) == {"stopping": True}
+
+
+class TestTracing:
+    """Trace propagation over HTTP: per-request routing of progress
+    lines, id stamping under ``REPRO_TRACE=1``, and ``/metrics``."""
+
+    _run_server = TestHttpServer._run_server
+
+    def test_overlapping_streams_do_not_crosstalk(self, service_env):
+        # Two different requests stream concurrently through one server;
+        # progress lines are routed by trace id, so neither stream may
+        # ever carry the other request's cells.
+        payload_a = dict(TINY_PAYLOAD, progress=True)
+        payload_b = dict(TINY_PAYLOAD, benchmarks=["gemm"], progress=True)
+
+        async def scenario(server, loop):
+            host, port = server.host, server.port
+            return await asyncio.gather(
+                loop.run_in_executor(None, lambda: list(
+                    request_lines(host, port, payload_a))),
+                loop.run_in_executor(None, lambda: list(
+                    request_lines(host, port, payload_b))))
+
+        stream_a, stream_b = self._run_server(scenario)
+
+        def progress(stream):
+            return [json.loads(line) for line in stream
+                    if json.loads(line).get("event") == "progress"]
+
+        labels_a = [e["label"] for e in progress(stream_a)]
+        labels_b = [e["label"] for e in progress(stream_b)]
+        assert labels_a and labels_b      # both saw their own lifecycle
+        assert all("atax" in label for label in labels_a)
+        assert all("gemm" in label for label in labels_b)
+        # Tracing off: no trace fields leak into any streamed line.
+        for line in stream_a + stream_b:
+            record = json.loads(line)
+            assert "trace" not in record
+            assert "trace_id" not in record
+
+    def test_traced_stream_stamps_linked_ids(self, service_env,
+                                             monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "1")
+        payload = dict(TINY_PAYLOAD, progress=True)
+
+        async def scenario(server, loop):
+            host, port = server.host, server.port
+            return await loop.run_in_executor(
+                None, lambda: list(request_lines(host, port, payload)))
+
+        events = [json.loads(line) for line in self._run_server(scenario)]
+        accepted, done = events[0], events[-1]
+        assert accepted["event"] == "accepted" and done["event"] == "done"
+        root = accepted["trace"]
+        assert set(root) == {"trace_id", "span_id"}
+        assert done["trace"] == root
+        # Result lines carry the per-cell span of the same trace.
+        results = [e for e in events if e["event"] == "result"]
+        assert results
+        for record in results:
+            assert record["trace"]["trace_id"] == root["trace_id"]
+            assert record["trace"]["span_id"] != root["span_id"]
+        # Progress lines link cell spans back to the request root.
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress
+        for record in progress:
+            assert record["trace_id"] == root["trace_id"]
+            assert record["parent_span_id"] == root["span_id"]
+
+    def test_metrics_endpoint_scrapes_counters(self, service_env):
+        async def scenario(server, loop):
+            host, port = server.host, server.port
+
+            def fetch():
+                return list(request_lines(host, port, TINY_PAYLOAD))
+
+            await loop.run_in_executor(None, fetch)
+            # Futures settle before the sweep merges its sched.*
+            # counters; poll until the batch bookkeeping lands.
+            text = ""
+            for _ in range(100):
+                text = await loop.run_in_executor(
+                    None, lambda: get_text(host, port, "/metrics"))
+                if "repro_sched_retries" in text:
+                    break
+                await asyncio.sleep(0.05)
+            return text
+
+        text = self._run_server(scenario)
+        assert text.endswith("\n")
+        assert "# TYPE repro_service_requests counter" in text
+        assert 'repro_service_requests{stability="sched"} 1' in text
+        assert 'repro_service_cells_requested{stability="sched"} 1' in text
+        # The retry counter is registered even on clean sweeps so
+        # scrapers always see the series.
+        assert 'repro_sched_retries{stability="sched"} 0' in text
+        # Store stats and scheduler-health gauges ride along.
+        assert "# TYPE repro_store_hits gauge" in text
+        assert "# TYPE repro_store_misses gauge" in text
+        assert "repro_service_outstanding_cells 0" in text
+        assert "repro_service_inflight_cells 0" in text
 
 
 class TestResultLineContract:

@@ -45,6 +45,14 @@ Enforced here:
   module, anywhere, even inside functions.  Instrumentation that pulled
   in pipeline or engine code would invert the dependency and make
   metrics collection able to change what it observes.
+* ``repro.obs.tracing`` — the distributed-trace context — is the bottom
+  of the telemetry layer itself: it may import only the event sink
+  (``repro.obs.events``) and the env-flag helpers
+  (``repro.obs.envflags``).  The context rides the worker Pipe protocol
+  and is stamped by the scheduler, the service and the engine trace —
+  an import of any of those (or of the metrics registry, which spans
+  feed *through events*, not directly) would cycle the stack through
+  its lowest leaf.
 * ``repro.engine.compilemodel`` — the compiler cost models — is a leaf
   below the engines: it may import only the neutral opclass taxonomy
   (``repro.engine.opclass``).  Every engine and both profile layers
@@ -151,6 +159,16 @@ def check(src=SRC):
                             f"layer imports {mod} (repro.obs is a leaf — "
                             f"everything may import it, it may import "
                             f"nothing from repro)")
+            if rel.parts == ("obs", "tracing.py"):
+                for mod in _imported_modules(node):
+                    if mod not in ("repro.obs.events",
+                                   "repro.obs.envflags"):
+                        violations.append(
+                            f"src/repro/{rel}:{node.lineno}: the trace "
+                            f"context imports {mod} (repro.obs.tracing is "
+                            f"the bottom of the telemetry leaf — only "
+                            f"repro.obs.events and repro.obs.envflags are "
+                            f"allowed)")
             if rel.parts == ("engine", "compilemodel.py"):
                 for mod in _imported_modules(node):
                     if mod != "repro.engine.opclass":
